@@ -1,0 +1,266 @@
+// Benchmarks regenerating each of the paper's tables and figures (one bench
+// per artifact, the regeneration entry points EXPERIMENTS.md indexes), plus
+// micro-benchmarks of the communication substrates EmbRace is built from.
+package embrace_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"embrace"
+	"embrace/internal/collective"
+	"embrace/internal/comm"
+	"embrace/internal/compress"
+	"embrace/internal/coord"
+	"embrace/internal/sched"
+	"embrace/internal/tensor"
+)
+
+// benchExperiment runs one experiment harness per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := embrace.RunExperiment(id, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1ModelSizes(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkTable2CommCosts(b *testing.B)         { benchExperiment(b, "table2") }
+func BenchmarkTable3GradientSizes(b *testing.B)     { benchExperiment(b, "table3") }
+func BenchmarkFigure1SparseMovement(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFigure4SparsitySweep(b *testing.B)    { benchExperiment(b, "fig4") }
+func BenchmarkFigure6Timelines(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFigure7EndToEnd(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFigure8ComputationStall(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFigure9Ablation(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFigure10Scaling(b *testing.B)         { benchExperiment(b, "fig10") }
+func BenchmarkFigure11Convergence(b *testing.B)     { benchExperiment(b, "fig11") }
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks.
+// ---------------------------------------------------------------------------
+
+func BenchmarkRingAllReduce8x64K(b *testing.B) {
+	const ranks, elems = 8, 65536
+	b.SetBytes(int64(elems * tensor.BytesPerElem))
+	for i := 0; i < b.N; i++ {
+		err := comm.RunRanks(ranks, func(t comm.Transport) error {
+			buf := make([]float32, elems)
+			return collective.RingAllReduce(t, 1, buf)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAllToAll8Ranks(b *testing.B) {
+	const ranks, elems = 8, 8192
+	b.SetBytes(int64(elems * tensor.BytesPerElem))
+	for i := 0; i < b.N; i++ {
+		err := comm.RunRanks(ranks, func(t comm.Transport) error {
+			send := make([][]float32, ranks)
+			for p := range send {
+				send[p] = make([]float32, elems/ranks)
+			}
+			_, err := collective.AllToAll(t, 1, send)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparseAllGather8Ranks(b *testing.B) {
+	const ranks, rows, dim = 8, 512, 64
+	locals := make([]*tensor.Sparse, ranks)
+	rng := rand.New(rand.NewSource(1))
+	for r := range locals {
+		idx := make([]int64, rows)
+		vals := make([]float32, rows*dim)
+		for i := range idx {
+			idx[i] = int64(rng.Intn(8192))
+		}
+		s, err := tensor.NewSparse(8192, dim, idx, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		locals[r] = s
+	}
+	b.SetBytes(int64(locals[0].SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := comm.RunRanks(ranks, func(t comm.Transport) error {
+			_, err := collective.SparseAllGather(t, 1, locals[t.Rank()])
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoalesce(b *testing.B) {
+	const rows, dim = 4096, 64
+	rng := rand.New(rand.NewSource(2))
+	idx := make([]int64, rows)
+	vals := make([]float32, rows*dim)
+	for i := range idx {
+		idx[i] = int64(rng.Intn(1024)) // heavy duplication
+	}
+	s, err := tensor.NewSparse(65536, dim, idx, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(s.SizeBytes()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Coalesce()
+	}
+}
+
+func BenchmarkVerticalSplit(b *testing.B) {
+	const rows, dim = 4096, 64
+	rng := rand.New(rand.NewSource(3))
+	idx := make([]int64, rows)
+	vals := make([]float32, rows*dim)
+	for i := range idx {
+		idx[i] = int64(rng.Intn(8192))
+	}
+	g, err := tensor.NewSparse(65536, dim, idx, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	next := make([]int64, 2048)
+	for i := range next {
+		next[i] = int64(rng.Intn(8192))
+	}
+	nextU := tensor.UniqueInt64(next)
+	cur := g.UniqueIndices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.VerticalSplit(g, cur, nextU)
+	}
+}
+
+func BenchmarkRealTrainingStepEmbRace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := embrace.Train(embrace.TrainConfig{
+			Strategy: embrace.EmbRace,
+			Sched:    embrace.Sched2D,
+			Workers:  4,
+			Steps:    2,
+			Vocab:    500,
+			EmbDim:   16,
+			Hidden:   16,
+			Adam:     true,
+			Seed:     int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartitionAblation(b *testing.B) { benchExperiment(b, "partition") }
+
+func BenchmarkGiantModelExtension(b *testing.B) { benchExperiment(b, "giant") }
+
+func BenchmarkHierarchicalAllReduce8x64K(b *testing.B) {
+	const ranks, elems = 8, 65536
+	b.SetBytes(int64(elems * tensor.BytesPerElem))
+	for i := 0; i < b.N; i++ {
+		err := comm.RunRanks(ranks, func(t comm.Transport) error {
+			buf := make([]float32, elems)
+			return collective.HierarchicalAllReduce(t, 1, 4, buf)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPRingAllReduce4x16K(b *testing.B) {
+	const ranks, elems = 4, 16384
+	b.SetBytes(int64(elems * tensor.BytesPerElem))
+	for i := 0; i < b.N; i++ {
+		err := comm.RunRanksTCP(ranks, func(t comm.Transport) error {
+			buf := make([]float32, elems)
+			return collective.RingAllReduce(t, 1, buf)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoordNegotiation(b *testing.B) {
+	const ranks, ops = 4, 16
+	for i := 0; i < b.N; i++ {
+		err := comm.RunRanks(ranks, func(t comm.Transport) error {
+			c, err := coord.New(t, 1, ops)
+			if err != nil {
+				return err
+			}
+			go func() {
+				for k := 0; k < ops; k++ {
+					_ = c.Announce(coord.Op{ID: fmt.Sprint(k), Priority: k % 3})
+				}
+			}()
+			for {
+				_, ok, err := c.Next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float32, 65536)
+	for i := range src {
+		src[i] = rng.Float32()
+	}
+	c := compress.TopK{K: 1024}
+	b.SetBytes(int64(len(src) * tensor.BytesPerElem))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQ8Compress(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float32, 65536)
+	for i := range src {
+		src[i] = rng.Float32()
+	}
+	b.SetBytes(int64(len(src) * tensor.BytesPerElem))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (compress.Q8{}).Compress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBandwidthSensitivity(b *testing.B) { benchExperiment(b, "bandwidth") }
+
+func BenchmarkBatchSensitivity(b *testing.B) { benchExperiment(b, "batch") }
+
+func BenchmarkFigure5DependencyGraph(b *testing.B) { benchExperiment(b, "fig5") }

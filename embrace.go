@@ -1,0 +1,567 @@
+// Package embrace is a Go reproduction of "EmbRace: Accelerating Sparse
+// Communication for Distributed Training of Deep Neural Networks"
+// (Li et al., ICPP 2022).
+//
+// It exposes the three things a downstream user needs:
+//
+//   - Real distributed training (Train): N in-process ranks train a real
+//     embedding+MLP model with genuine collective data movement under any of
+//     the paper's five strategies — the four baselines or EmbRace's hybrid
+//     AlltoAll/AllReduce communication with 2D scheduling and the modified
+//     Adam optimizer.
+//
+//   - Performance simulation (Simulate): a calibrated discrete-event model
+//     of the paper's two GPU clusters that predicts step time and
+//     Computation Stall for the paper's four NLP models under every
+//     strategy, reproducing the evaluation's figures.
+//
+//   - Experiment harnesses (RunExperiment): regenerate every table and
+//     figure of the paper's evaluation section.
+//
+// The substrates — tensors, collectives, schedulers, parameter servers, the
+// network cost model — live under internal/ and are documented in DESIGN.md.
+package embrace
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"embrace/internal/checkpoint"
+	"embrace/internal/data"
+	"embrace/internal/experiments"
+	"embrace/internal/modelzoo"
+	"embrace/internal/perfsim"
+	"embrace/internal/simnet"
+	"embrace/internal/strategies"
+	"embrace/internal/tensor"
+	"embrace/internal/trace"
+	"embrace/internal/trainer"
+)
+
+// Strategy names a distributed training strategy (§5.2.3).
+type Strategy string
+
+// The five strategies of the paper's evaluation.
+const (
+	BytePS           Strategy = "byteps"
+	HorovodAllReduce Strategy = "horovod-allreduce"
+	HorovodAllGather Strategy = "horovod-allgather"
+	Parallax         Strategy = "parallax"
+	EmbRace          Strategy = "embrace"
+)
+
+// Strategies returns all strategies in the paper's comparison order.
+func Strategies() []Strategy {
+	return []Strategy{BytePS, HorovodAllReduce, HorovodAllGather, Parallax, EmbRace}
+}
+
+// SchedLevel selects EmbRace's scheduling level (the Figure-9 ablation).
+type SchedLevel string
+
+// Scheduling levels.
+const (
+	// SchedNone is hybrid communication only ("EmbRace w/o Scheduling").
+	SchedNone SchedLevel = "none"
+	// SchedHorizontal adds Block-level Horizontal Scheduling (§4.2.1).
+	SchedHorizontal SchedLevel = "horizontal"
+	// Sched2D adds Vertical Sparse Scheduling on top (§4.2.2) — full
+	// EmbRace.
+	Sched2D SchedLevel = "2d"
+)
+
+// GPU selects one of the paper's cluster types.
+type GPU string
+
+// The paper's GPU kinds.
+const (
+	RTX3090 GPU = "RTX3090"
+	RTX2080 GPU = "RTX2080"
+)
+
+func (g GPU) kind() (modelzoo.GPUKind, error) {
+	switch g {
+	case RTX3090:
+		return modelzoo.RTX3090, nil
+	case RTX2080:
+		return modelzoo.RTX2080, nil
+	default:
+		return 0, fmt.Errorf("embrace: unknown GPU %q", g)
+	}
+}
+
+func (s Strategy) perf() (perfsim.Strategy, error) {
+	switch s {
+	case BytePS:
+		return perfsim.StratBytePS, nil
+	case HorovodAllReduce:
+		return perfsim.StratAllReduce, nil
+	case HorovodAllGather:
+		return perfsim.StratAllGather, nil
+	case Parallax:
+		return perfsim.StratParallax, nil
+	case EmbRace:
+		return perfsim.StratEmbRace, nil
+	default:
+		return 0, fmt.Errorf("embrace: unknown strategy %q", s)
+	}
+}
+
+func (l SchedLevel) perf() (perfsim.SchedMode, error) {
+	switch l {
+	case SchedNone, "":
+		return perfsim.SchedDefault, nil
+	case SchedHorizontal:
+		return perfsim.SchedHorizontal, nil
+	case Sched2D:
+		return perfsim.Sched2D, nil
+	default:
+		return 0, fmt.Errorf("embrace: unknown scheduling level %q", l)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Performance simulation
+// ---------------------------------------------------------------------------
+
+// SimJob describes one performance-simulation run.
+type SimJob struct {
+	// Model is one of the paper's models: "LM", "GNMT-8", "Transformer",
+	// "BERT-base".
+	Model string
+	// GPU selects the cluster type; GPUs the total worker count (4, 8 or
+	// 16 in the paper; any multiple of 4, or 1/2, works).
+	GPU  GPU
+	GPUs int
+	// Strategy selects the communication strategy; Sched the EmbRace
+	// scheduling level (ignored by baselines).
+	Strategy Strategy
+	Sched    SchedLevel
+}
+
+// SimResult reports a simulated steady-state training iteration.
+type SimResult struct {
+	// StepSeconds is the steady-state step time.
+	StepSeconds float64
+	// StallSeconds is the Computation Stall (§5.4).
+	StallSeconds float64
+	// ComputeSeconds is the useful FP+BP compute per step.
+	ComputeSeconds float64
+	// TokensPerSec is throughput in the paper's metric.
+	TokensPerSec float64
+}
+
+// Simulate runs the calibrated discrete-event performance model for the job.
+func Simulate(job SimJob) (SimResult, error) {
+	gpu, err := job.GPU.kind()
+	if err != nil {
+		return SimResult{}, err
+	}
+	strat, err := job.Strategy.perf()
+	if err != nil {
+		return SimResult{}, err
+	}
+	mode, err := job.Sched.perf()
+	if err != nil {
+		return SimResult{}, err
+	}
+	m, err := modelzoo.ByName(job.Model)
+	if err != nil {
+		return SimResult{}, err
+	}
+	st, err := m.MeasureGradStats(gpu, 10, 42)
+	if err != nil {
+		return SimResult{}, err
+	}
+	cl, err := modelzoo.NewCluster(gpu, job.GPUs)
+	if err != nil {
+		return SimResult{}, err
+	}
+	est, err := cl.Estimator()
+	if err != nil {
+		return SimResult{}, err
+	}
+	spec := m.PerfSpec(gpu, st, strat == perfsim.StratEmbRace)
+	met, _, err := perfsim.RunJob(spec, strat, mode, est, 6)
+	if err != nil {
+		return SimResult{}, err
+	}
+	tokens := st.RawRows * float64(job.GPUs)
+	return SimResult{
+		StepSeconds:    met.StepTime,
+		StallSeconds:   met.Stall,
+		ComputeSeconds: met.UsefulCompute,
+		TokensPerSec:   tokens / met.StepTime,
+	}, nil
+}
+
+// SimulateTrace runs the performance simulation for the job and writes the
+// resulting execution timeline as Chrome trace-event JSON (viewable in
+// chrome://tracing or Perfetto) — an interactive Figure 6.
+func SimulateTrace(job SimJob, w io.Writer) error {
+	gpu, err := job.GPU.kind()
+	if err != nil {
+		return err
+	}
+	strat, err := job.Strategy.perf()
+	if err != nil {
+		return err
+	}
+	mode, err := job.Sched.perf()
+	if err != nil {
+		return err
+	}
+	m, err := modelzoo.ByName(job.Model)
+	if err != nil {
+		return err
+	}
+	st, err := m.MeasureGradStats(gpu, 10, 42)
+	if err != nil {
+		return err
+	}
+	cl, err := modelzoo.NewCluster(gpu, job.GPUs)
+	if err != nil {
+		return err
+	}
+	est, err := cl.Estimator()
+	if err != nil {
+		return err
+	}
+	spec := m.PerfSpec(gpu, st, strat == perfsim.StratEmbRace)
+	_, tl, err := perfsim.RunJob(spec, strat, mode, est, 6)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("%s / %s @ %dx %s", job.Model, job.Strategy, job.GPUs, job.GPU)
+	return trace.Export(w, title, tl)
+}
+
+// Models returns the names of the paper's four models.
+func Models() []string {
+	out := make([]string, 0, 4)
+	for _, m := range modelzoo.All() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Real distributed training
+// ---------------------------------------------------------------------------
+
+// TrainConfig describes a real-execution training run: N rank goroutines
+// train an embedding+MLP next-token model on a synthetic Zipf corpus with
+// genuine collective communication.
+type TrainConfig struct {
+	// Strategy selects the communication strategy; Sched the EmbRace
+	// scheduling level.
+	Strategy Strategy
+	Sched    SchedLevel
+	// Workers is the number of ranks. EmbRace requires EmbDim%Workers==0.
+	Workers int
+	// Steps is the number of training iterations.
+	Steps int
+	// Vocab, EmbDim, Hidden size the model; zero values pick defaults
+	// (2000, 32, 32).
+	Vocab, EmbDim, Hidden int
+	// BatchSentences per worker per step; zero picks 16.
+	BatchSentences int
+	// Adam selects the Adam optimizer (with the §5.7 modification under
+	// EmbRace 2D); false selects SGD.
+	Adam bool
+	// LR is the learning rate; zero picks 0.01.
+	LR float32
+	// Seed makes the run deterministic.
+	Seed int64
+	// OverTCP carries all collective traffic over real loopback TCP
+	// sockets instead of the in-process fabric; results are identical.
+	OverTCP bool
+	// CheckpointPath, when set, saves the final parameters (embedding +
+	// trunk) and completed step count there.
+	CheckpointPath string
+	// ResumeFrom, when set, warm-starts from a checkpoint written by a run
+	// with the SAME configuration: parameters are restored and the data
+	// stream fast-forwards past the already-trained steps. With SGD the
+	// resumed run is bit-identical to an uninterrupted one; Adam resumes
+	// parameters but starts with fresh moments.
+	ResumeFrom string
+}
+
+// TrainResult reports a completed training run.
+type TrainResult struct {
+	// Losses holds the per-step mean training loss.
+	Losses []float64
+	// Accuracies holds the per-step top-1 next-token accuracy.
+	Accuracies []float64
+	// FinalPPL is the perplexity of the last step.
+	FinalPPL float64
+	// TokensTrained counts non-pad tokens consumed.
+	TokensTrained int
+	// CommBytes is the measured communication payload across all ranks;
+	// CommMessages the message count. Comparing strategies' CommBytes on
+	// the same job reproduces the paper's traffic analysis with real data.
+	CommBytes    int64
+	CommMessages int64
+}
+
+func (c TrainConfig) job() (trainer.Job, error) {
+	var name strategies.Name
+	switch c.Strategy {
+	case BytePS:
+		name = strategies.BytePS
+	case HorovodAllReduce:
+		name = strategies.HorovodAllReduce
+	case HorovodAllGather:
+		name = strategies.HorovodAllGather
+	case Parallax:
+		name = strategies.Parallax
+	case EmbRace, "":
+		name = strategies.EmbRace
+	default:
+		return trainer.Job{}, fmt.Errorf("embrace: unknown strategy %q", c.Strategy)
+	}
+	sched := strategies.SchedNone
+	if c.Sched == Sched2D {
+		sched = strategies.Sched2D
+	}
+	opt := strategies.OptSGD
+	if c.Adam {
+		opt = strategies.OptAdam
+	}
+	vocab := c.Vocab
+	if vocab == 0 {
+		vocab = 2000
+	}
+	embDim := c.EmbDim
+	if embDim == 0 {
+		embDim = 32
+	}
+	hidden := c.Hidden
+	if hidden == 0 {
+		hidden = 32
+	}
+	batch := c.BatchSentences
+	if batch == 0 {
+		batch = 16
+	}
+	lr := c.LR
+	if lr == 0 {
+		lr = 0.01
+	}
+	return trainer.Job{
+		Strategy: name,
+		Workers:  c.Workers,
+		Steps:    c.Steps,
+		Window:   4,
+		Model: strategies.Config{
+			Seed:      c.Seed,
+			Vocab:     vocab,
+			EmbDim:    embDim,
+			Hidden:    hidden,
+			Optimizer: opt,
+			LR:        lr,
+			Sched:     sched,
+			PSServers: max(1, c.Workers/4),
+		},
+		Data: data.Config{
+			VocabSize:      vocab,
+			BatchSentences: batch,
+			MaxSeqLen:      10,
+			MinSeqLen:      6,
+			ZipfS:          1.5,
+			ZipfV:          4,
+		},
+		DataSeed: c.Seed + 1,
+		OverTCP:  c.OverTCP,
+	}, nil
+}
+
+// SeqTrainConfig describes distributed training of the recurrent model
+// (embedding -> GRU -> softmax): per-token sparse embedding gradients, the
+// gradient structure of the paper's translation models.
+type SeqTrainConfig struct {
+	// Workers, Steps and Window (BPTT length) shape the job.
+	Workers, Steps, Window int
+	// Vocab, EmbDim, Hidden size the model; zero values pick defaults
+	// (500, 12, 16).
+	Vocab, EmbDim, Hidden int
+	// BatchSentences per worker per step; zero picks 12.
+	BatchSentences int
+	// Vertical enables Algorithm 1's prior/delayed split with the
+	// modified Adam.
+	Vertical bool
+	// LR is the Adam learning rate; zero picks 0.01.
+	LR float32
+	// Seed makes the run deterministic.
+	Seed int64
+	// Text, when non-empty, trains on real sentences: a frequency-sorted
+	// tokenizer is built over them (capped at Vocab ids) and rank r takes
+	// every Workers-th sentence.
+	Text []string
+	// OverTCP runs ranks over loopback TCP.
+	OverTCP bool
+}
+
+// TrainSeq runs real distributed training of the recurrent model.
+func TrainSeq(cfg SeqTrainConfig) (*TrainResult, error) {
+	vocab := cfg.Vocab
+	if vocab == 0 {
+		vocab = 500
+	}
+	embDim := cfg.EmbDim
+	if embDim == 0 {
+		embDim = 12
+	}
+	hidden := cfg.Hidden
+	if hidden == 0 {
+		hidden = 16
+	}
+	batch := cfg.BatchSentences
+	if batch == 0 {
+		batch = 12
+	}
+	lr := cfg.LR
+	if lr == 0 {
+		lr = 0.01
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = 6
+	}
+	res, err := trainer.RunSeq(trainer.SeqJob{
+		Workers:   cfg.Workers,
+		Steps:     cfg.Steps,
+		Window:    window,
+		Vocab:     vocab,
+		EmbDim:    embDim,
+		Hidden:    hidden,
+		LR:        lr,
+		Vertical:  cfg.Vertical,
+		Seed:      cfg.Seed,
+		DataSeed:  cfg.Seed + 1,
+		Text:      cfg.Text,
+		TextBatch: batch,
+		Data: data.Config{
+			VocabSize:      vocab,
+			BatchSentences: batch,
+			MaxSeqLen:      window + 3,
+			MinSeqLen:      window + 1,
+			ZipfS:          1.6,
+			ZipfV:          3,
+		},
+		OverTCP: cfg.OverTCP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &TrainResult{
+		Losses:        res.Losses,
+		Accuracies:    res.Accuracies,
+		TokensTrained: res.TokensTrained,
+		CommBytes:     res.Comm.PayloadBytes,
+		CommMessages:  res.Comm.Messages,
+	}
+	if n := len(res.Losses); n > 0 {
+		out.FinalPPL = perplexity(res.Losses[n-1])
+	}
+	return out, nil
+}
+
+// Train runs real distributed training and returns the loss curve.
+func Train(cfg TrainConfig) (*TrainResult, error) {
+	job, err := cfg.job()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ResumeFrom != "" {
+		ckpt, err := checkpoint.LoadFile(cfg.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		job.Model.InitEmbedding = ckpt.Params["emb"]
+		job.Model.InitTrunk = map[string]*tensor.Dense{}
+		for name, p := range ckpt.Params {
+			if name != "emb" {
+				job.Model.InitTrunk[name] = p
+			}
+		}
+		job.SkipBatches = ckpt.Step
+	}
+	res, err := trainer.Run(job)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointPath != "" {
+		ckpt := &checkpoint.Checkpoint{
+			Step:   job.SkipBatches + job.Steps,
+			Params: map[string]*tensor.Dense{"emb": res.Embedding},
+		}
+		for _, p := range res.Trunk.Params() {
+			ckpt.Params[p.Name] = p.Tensor
+		}
+		if err := checkpoint.SaveFile(cfg.CheckpointPath, ckpt); err != nil {
+			return nil, err
+		}
+	}
+	out := &TrainResult{
+		Losses:        res.Losses,
+		Accuracies:    res.Accuracies,
+		TokensTrained: res.TokensTrained,
+		CommBytes:     res.Comm.PayloadBytes,
+		CommMessages:  res.Comm.Messages,
+	}
+	if n := len(res.Losses); n > 0 {
+		out.FinalPPL = perplexity(res.Losses[n-1])
+	}
+	return out, nil
+}
+
+func perplexity(loss float64) float64 { return math.Exp(loss) }
+
+// ---------------------------------------------------------------------------
+// Experiments
+// ---------------------------------------------------------------------------
+
+// ExperimentIDs lists the regenerable tables and figures.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentTitle returns the human title of an experiment id.
+func ExperimentTitle(id string) (string, error) { return experiments.Title(id) }
+
+// RunExperiment regenerates one table or figure, writing paper-style rows.
+func RunExperiment(id string, w io.Writer) error { return experiments.Run(id, w) }
+
+// RunExperimentJSON regenerates one table or figure as structured JSON for
+// plotting scripts and dashboards.
+func RunExperimentJSON(id string, w io.Writer) error { return experiments.RunJSON(id, w) }
+
+// RunAllExperiments regenerates every table and figure.
+func RunAllExperiments(w io.Writer) error { return experiments.RunAll(w) }
+
+// CommCost holds the paper's Table-2 analytic communication overheads for
+// one sparse-tensor aggregation, in seconds.
+type CommCost struct {
+	AllToAll, AllReduce, PS, AllGather float64
+}
+
+// EstimateCommCost evaluates the Table-2 formulas: aggregating a tensor of
+// denseMB megabytes with gradient density alpha across `workers` workers on
+// `nodes` nodes at linkGbps per-link bandwidth. Useful for capacity planning
+// before running the full simulator.
+func EstimateCommCost(alpha, denseMB float64, workers, nodes int, linkGbps float64) (CommCost, error) {
+	if alpha < 0 || alpha > 1 {
+		return CommCost{}, fmt.Errorf("embrace: alpha %g out of [0,1]", alpha)
+	}
+	if denseMB <= 0 || workers <= 0 || nodes <= 0 || linkGbps <= 0 {
+		return CommCost{}, fmt.Errorf("embrace: parameters must be positive")
+	}
+	m := denseMB * 1e6
+	b := linkGbps / 8 * 1e9
+	const beta = 15e-6
+	return CommCost{
+		AllToAll:  simnet.AllToAllCost(alpha, m, workers, b, beta),
+		AllReduce: simnet.AllReduceCost(m, workers, b, beta),
+		PS:        simnet.PSCost(alpha, m, workers, nodes, b, beta),
+		AllGather: simnet.AllGatherCost(alpha, m, workers, b, beta),
+	}, nil
+}

@@ -1,0 +1,244 @@
+package embrace_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"embrace"
+)
+
+func TestStrategiesAndModels(t *testing.T) {
+	if len(embrace.Strategies()) != 5 {
+		t.Fatalf("want 5 strategies, got %d", len(embrace.Strategies()))
+	}
+	models := embrace.Models()
+	want := []string{"LM", "GNMT-8", "Transformer", "BERT-base"}
+	if len(models) != len(want) {
+		t.Fatalf("models = %v", models)
+	}
+	for i, m := range models {
+		if m != want[i] {
+			t.Fatalf("models[%d] = %s, want %s", i, m, want[i])
+		}
+	}
+}
+
+func TestSimulateBasics(t *testing.T) {
+	res, err := embrace.Simulate(embrace.SimJob{
+		Model: "GNMT-8", GPU: embrace.RTX3090, GPUs: 8,
+		Strategy: embrace.EmbRace, Sched: embrace.Sched2D,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StepSeconds <= 0 || res.TokensPerSec <= 0 || res.StallSeconds < 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+	if res.StepSeconds < res.ComputeSeconds {
+		t.Fatal("step cannot be shorter than compute")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	bad := []embrace.SimJob{
+		{Model: "nope", GPU: embrace.RTX3090, GPUs: 8, Strategy: embrace.EmbRace},
+		{Model: "LM", GPU: "GTX1080", GPUs: 8, Strategy: embrace.EmbRace},
+		{Model: "LM", GPU: embrace.RTX3090, GPUs: 8, Strategy: "carrier-pigeon"},
+		{Model: "LM", GPU: embrace.RTX3090, GPUs: 8, Strategy: embrace.EmbRace, Sched: "3d"},
+		{Model: "LM", GPU: embrace.RTX3090, GPUs: 0, Strategy: embrace.EmbRace},
+	}
+	for i, job := range bad {
+		if _, err := embrace.Simulate(job); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSimulateEmbRaceWinsHeadline(t *testing.T) {
+	// The headline claim through the public API: EmbRace beats the best
+	// baseline on LM at 16 RTX2080s by roughly 2x.
+	var best, emb float64
+	for _, s := range embrace.Strategies() {
+		sched := embrace.SchedNone
+		if s == embrace.EmbRace {
+			sched = embrace.Sched2D
+		}
+		res, err := embrace.Simulate(embrace.SimJob{
+			Model: "LM", GPU: embrace.RTX2080, GPUs: 16, Strategy: s, Sched: sched,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == embrace.EmbRace {
+			emb = res.TokensPerSec
+		} else if res.TokensPerSec > best {
+			best = res.TokensPerSec
+		}
+	}
+	if ratio := emb / best; ratio < 1.8 || ratio > 2.8 {
+		t.Fatalf("LM@16xRTX2080 speedup %.2fx, want ~2x (paper: 1.99-2.41x)", ratio)
+	}
+}
+
+func TestTrainAllStrategiesAgree(t *testing.T) {
+	results := map[embrace.Strategy]*embrace.TrainResult{}
+	for _, s := range embrace.Strategies() {
+		cfg := embrace.TrainConfig{
+			Strategy: s,
+			Workers:  4,
+			Steps:    6,
+			Vocab:    60,
+			EmbDim:   8,
+			Hidden:   8,
+			Adam:     true,
+			Seed:     5,
+		}
+		if s == embrace.EmbRace {
+			cfg.Sched = embrace.Sched2D
+		}
+		res, err := embrace.Train(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if len(res.Losses) != 6 || res.FinalPPL <= 1 {
+			t.Fatalf("%s: bad result %+v", s, res)
+		}
+		results[s] = res
+	}
+	ref := results[embrace.HorovodAllGather]
+	for s, res := range results {
+		for i := range ref.Losses {
+			d := res.Losses[i] - ref.Losses[i]
+			if d > 1e-4 || d < -1e-4 {
+				t.Fatalf("%s diverged from AllGather at step %d: %v vs %v", s, i, res.Losses[i], ref.Losses[i])
+			}
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := embrace.Train(embrace.TrainConfig{Strategy: "nope", Workers: 2, Steps: 2}); err == nil {
+		t.Fatal("expected unknown-strategy error")
+	}
+	if _, err := embrace.Train(embrace.TrainConfig{Workers: 3, Steps: 2, EmbDim: 8}); err == nil {
+		t.Fatal("expected divisibility error")
+	}
+}
+
+func TestRunExperimentThroughFacade(t *testing.T) {
+	ids := embrace.ExperimentIDs()
+	if len(ids) != 16 {
+		t.Fatalf("want 16 experiments, got %v", ids)
+	}
+	title, err := embrace.ExperimentTitle("table2")
+	if err != nil || !strings.Contains(title, "Table 2") {
+		t.Fatalf("title %q err %v", title, err)
+	}
+	var buf bytes.Buffer
+	if err := embrace.RunExperiment("table1", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "LM") || !strings.Contains(buf.String(), "97.2") {
+		t.Fatalf("table1 output missing LM row: %s", buf.String())
+	}
+	if err := embrace.RunExperiment("nope", &buf); err == nil {
+		t.Fatal("expected unknown experiment error")
+	}
+}
+
+func TestTrainSeqThroughFacade(t *testing.T) {
+	res, err := embrace.TrainSeq(embrace.SeqTrainConfig{
+		Workers:  2,
+		Steps:    8,
+		Vertical: true,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Losses) != 8 || res.FinalPPL <= 1 || res.CommBytes <= 0 {
+		t.Fatalf("bad result %+v", res)
+	}
+	if res.Losses[7] >= res.Losses[0] {
+		t.Fatalf("seq loss did not decrease: %v -> %v", res.Losses[0], res.Losses[7])
+	}
+	if _, err := embrace.TrainSeq(embrace.SeqTrainConfig{Workers: 0, Steps: 1}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestEstimateCommCost(t *testing.T) {
+	c, err := embrace.EstimateCommCost(0.1, 252.5, 16, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §4.1.2 ordering for sparse tensors at scale.
+	if !(c.AllToAll < c.PS && c.PS < c.AllGather && c.AllGather < c.AllReduce) {
+		t.Fatalf("cost ordering wrong: %+v", c)
+	}
+	bad := []struct {
+		a, m float64
+		w, n int
+		g    float64
+	}{
+		{-0.1, 100, 4, 1, 100},
+		{1.5, 100, 4, 1, 100},
+		{0.5, 0, 4, 1, 100},
+		{0.5, 100, 0, 1, 100},
+		{0.5, 100, 4, 0, 100},
+		{0.5, 100, 4, 1, 0},
+	}
+	for i, b := range bad {
+		if _, err := embrace.EstimateCommCost(b.a, b.m, b.w, b.n, b.g); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCheckpointResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	base := embrace.TrainConfig{
+		Strategy: embrace.EmbRace,
+		Sched:    embrace.Sched2D,
+		Workers:  2,
+		Steps:    8,
+		Vocab:    50,
+		EmbDim:   8,
+		Hidden:   8,
+		Adam:     false, // SGD: stateless, so resume is exact
+		LR:       0.05,
+		Seed:     31,
+	}
+	straight, err := embrace.Train(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first := base
+	first.Steps = 5
+	first.CheckpointPath = path
+	if _, err := embrace.Train(first); err != nil {
+		t.Fatal(err)
+	}
+	second := base
+	second.Steps = 3
+	second.ResumeFrom = path
+	resumed, err := embrace.Train(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if resumed.Losses[i] != straight.Losses[5+i] {
+			t.Fatalf("resumed loss[%d] %v != straight loss[%d] %v",
+				i, resumed.Losses[i], 5+i, straight.Losses[5+i])
+		}
+	}
+	if _, err := embrace.Train(embrace.TrainConfig{
+		Strategy: embrace.EmbRace, Workers: 2, Steps: 1, ResumeFrom: filepath.Join(dir, "missing"),
+	}); err == nil {
+		t.Fatal("expected missing-checkpoint error")
+	}
+}

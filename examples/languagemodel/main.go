@@ -1,0 +1,71 @@
+// Languagemodel: the LM workload — the paper's most embedding-dominated
+// model (97.3% sparse parameters). Shows the two things that make EmbRace
+// shine here: the Figure-4 style communication sweep of the sparse gradient,
+// and the Table-3 payload reductions Vertical Sparse Scheduling achieves on
+// real Zipf batches, ending with a real training run under EmbRace.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"embrace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Table 3 + sparsity on the real synthetic workload.
+	if err := embrace.RunExperiment("table3", os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// The LM panels of Figure 7: dense strategies collapse, AllGather and
+	// Parallax compete, EmbRace wins — most dramatically on RTX2080 where
+	// the baselines' full embedding tables do not fit in GPU memory but
+	// EmbRace's 1/N column shards do.
+	for _, gpu := range []embrace.GPU{embrace.RTX3090, embrace.RTX2080} {
+		fmt.Printf("LM on %s, 16 GPUs (tokens/sec):\n", gpu)
+		var best, emb float64
+		for _, s := range embrace.Strategies() {
+			sched := embrace.SchedNone
+			if s == embrace.EmbRace {
+				sched = embrace.Sched2D
+			}
+			res, err := embrace.Simulate(embrace.SimJob{
+				Model: "LM", GPU: gpu, GPUs: 16, Strategy: s, Sched: sched,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-18s %10.0f tok/s (stall %.1fms)\n", s, res.TokensPerSec, res.StallSeconds*1e3)
+			if s == embrace.EmbRace {
+				emb = res.TokensPerSec
+			} else if res.TokensPerSec > best {
+				best = res.TokensPerSec
+			}
+		}
+		fmt.Printf("  EmbRace speedup over best baseline: %.2fx\n\n", emb/best)
+	}
+
+	// Real training with an LM-shaped micro model: big-ish vocabulary,
+	// Adam, full 2D scheduling.
+	res, err := embrace.Train(embrace.TrainConfig{
+		Strategy: embrace.EmbRace,
+		Sched:    embrace.Sched2D,
+		Workers:  4,
+		Steps:    30,
+		Vocab:    5000,
+		EmbDim:   32,
+		Hidden:   32,
+		Adam:     true,
+		Seed:     3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("real training: loss %.3f -> %.3f over %d steps (final PPL %.1f)\n",
+		res.Losses[0], res.Losses[len(res.Losses)-1], len(res.Losses), res.FinalPPL)
+}

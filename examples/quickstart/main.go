@@ -1,0 +1,49 @@
+// Quickstart: train a sparse model with EmbRace's hybrid communication in a
+// dozen lines, then compare the result against the Horovod AllGather
+// baseline to show that the AlltoAll + 2D-scheduling path is synchronous and
+// loss-equivalent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"embrace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Train with EmbRace: column-partitioned embedding, AlltoAll exchange,
+	// Vertical Sparse Scheduling, modified Adam.
+	embraceRun, err := embrace.Train(embrace.TrainConfig{
+		Strategy: embrace.EmbRace,
+		Sched:    embrace.Sched2D,
+		Workers:  4,
+		Steps:    40,
+		Adam:     true,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same job through the strongest sparse baseline.
+	baseline, err := embrace.Train(embrace.TrainConfig{
+		Strategy: embrace.HorovodAllGather,
+		Workers:  4,
+		Steps:    40,
+		Adam:     true,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("step   EmbRace-loss   AllGather-loss")
+	for i := 0; i < len(embraceRun.Losses); i += 8 {
+		fmt.Printf("%4d %14.4f %16.4f\n", i+1, embraceRun.Losses[i], baseline.Losses[i])
+	}
+	fmt.Printf("\nfinal PPL: EmbRace %.2f vs AllGather %.2f (synchronous training, identical math)\n",
+		embraceRun.FinalPPL, baseline.FinalPPL)
+}

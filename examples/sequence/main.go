@@ -1,0 +1,176 @@
+// Sequence: data-parallel training of the recurrent model (embedding → GRU
+// → softmax) with per-token sparse embedding gradients — the gradient
+// structure of the paper's translation models, where every token position
+// contributes a row and duplicates abound. The example runs a hand-rolled
+// AllGather data-parallel loop over real collectives and prints the
+// Algorithm-1 statistics of the actual gradients it ships.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"embrace"
+
+	"embrace/internal/collective"
+	"embrace/internal/comm"
+	"embrace/internal/data"
+	"embrace/internal/nn"
+	"embrace/internal/optim"
+	"embrace/internal/sched"
+	"embrace/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		workers = 4
+		steps   = 25
+		vocab   = 400
+		embDim  = 12
+		hidden  = 16
+		window  = 6
+	)
+
+	losses := make([]float64, steps)
+	var statsMu sync.Mutex
+	var rawRows, coalescedRows, priorRows int
+
+	err := comm.RunRanks(workers, func(t comm.Transport) error {
+		model := nn.NewSeqModel(11, vocab, embDim, hidden)
+		opts := map[string]optim.Optimizer{}
+		for _, p := range model.Params() {
+			opts[p.Name] = optim.NewAdamDefault(p.Tensor, 0.01)
+		}
+		embOpt := optim.NewAdamDefault(model.Emb.Table, 0.01)
+
+		gen, err := data.NewGenerator(data.Config{
+			VocabSize: vocab, BatchSentences: 12,
+			MaxSeqLen: window + 2, MinSeqLen: window + 1,
+			ZipfS: 1.6, ZipfV: 3,
+		}, 100+int64(t.Rank()))
+		if err != nil {
+			return err
+		}
+		loader := data.NewLoader(gen)
+
+		for step := 0; step < steps; step++ {
+			batch := loader.Next()
+			next := loader.Peek()
+			windows := make([][]int64, len(batch.Sentences))
+			targets := make([]int64, len(batch.Sentences))
+			for i, s := range batch.Sentences {
+				windows[i] = s[:window]
+				targets[i] = s[window]
+			}
+
+			stats, embGrad, dense, err := model.Step(windows, targets)
+			if err != nil {
+				return err
+			}
+
+			// Dense gradients: ring AllReduce, like any dense model.
+			for _, p := range model.Params() {
+				g := dense[p.Name]
+				if err := collective.RingAllReduce(t, step*100+tagOf(p.Name), g.Data()); err != nil {
+					return err
+				}
+				if err := opts[p.Name].StepDense(g); err != nil {
+					return err
+				}
+			}
+
+			// Embedding gradient: Algorithm 1 on the real per-token rows,
+			// then sparse AllGather of prior + delayed parts.
+			prior, delayed := sched.VerticalSplit(embGrad, embGrad.UniqueIndices(),
+				tensor.UniqueInt64(next.Tokens()))
+			if t.Rank() == 0 && step == steps-1 {
+				statsMu.Lock()
+				rawRows = embGrad.NNZ()
+				coalescedRows = prior.NNZ() + delayed.NNZ()
+				priorRows = prior.NNZ()
+				statsMu.Unlock()
+			}
+			mergedPrior, err := collective.SparseAllGather(t, step*100+90, prior)
+			if err != nil {
+				return err
+			}
+			if err := embOpt.StepSparsePartial(mergedPrior, false); err != nil {
+				return err
+			}
+			mergedDelayed, err := collective.SparseAllGather(t, step*100+91, delayed)
+			if err != nil {
+				return err
+			}
+			if err := embOpt.StepSparsePartial(mergedDelayed, true); err != nil {
+				return err
+			}
+
+			all, err := collective.Gather(t, step*100+92, 0, stats.Loss)
+			if err != nil {
+				return err
+			}
+			if t.Rank() == 0 {
+				var sum float64
+				for _, l := range all {
+					sum += l
+				}
+				statsMu.Lock()
+				losses[step] = sum / float64(len(all))
+				statsMu.Unlock()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("GRU sequence model, 4 workers, per-token sparse gradients + Algorithm 1:")
+	for i := 0; i < steps; i += 6 {
+		fmt.Printf("  step %3d  loss %.4f\n", i+1, losses[i])
+	}
+	fmt.Printf("  step %3d  loss %.4f\n", steps, losses[steps-1])
+	fmt.Printf("\nlast-step gradient (rank 0): %d raw token rows -> %d coalesced (%d prior, %d delayed)\n",
+		rawRows, coalescedRows, priorRows, coalescedRows-priorRows)
+
+	// The same machinery on real text through the public API: a tokenizer
+	// is built from the sentences, each worker takes an interleaved shard,
+	// and vertical scheduling splits the real per-token gradients.
+	text := []string{
+		"the old man went to the sea",
+		"the sea was calm and the wind was cold",
+		"the old man cast his net into the sea",
+		"the net came back empty and the man waited",
+		"the wind rose and the sea grew rough",
+		"the man pulled the net from the rough sea",
+		"the cold wind cut through the old net",
+		"the sea gave the man a great fish",
+	}
+	res, err := embrace.TrainSeq(embrace.SeqTrainConfig{
+		Workers:        2,
+		Steps:          40,
+		Window:         5,
+		Vocab:          64,
+		BatchSentences: 4,
+		Vertical:       true,
+		Seed:           3,
+		Text:           text,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreal text (%d sentences): loss %.3f -> %.3f, final next-word accuracy %.0f%%\n",
+		len(text), res.Losses[0], res.Losses[len(res.Losses)-1],
+		100*res.Accuracies[len(res.Accuracies)-1])
+}
+
+// tagOf gives each dense parameter a stable tag offset.
+func tagOf(name string) int {
+	tags := map[string]int{
+		"wz": 1, "wr": 2, "wc": 3, "uz": 4, "ur": 5, "uc": 6,
+		"bz": 7, "br": 8, "bc": 9, "wo": 10, "bo": 11,
+	}
+	return tags[name]
+}

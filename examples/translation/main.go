@@ -1,0 +1,67 @@
+// Translation: the GNMT-8 workload of the paper's evaluation. Simulates
+// end-to-end training throughput of every strategy on both clusters at
+// 4/8/16 GPUs — the GNMT-8 panels of Figure 7 — and the 4->16 scaling curve
+// of Figure 10.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"embrace"
+)
+
+func main() {
+	log.SetFlags(0)
+	const model = "GNMT-8"
+
+	for _, gpu := range []embrace.GPU{embrace.RTX3090, embrace.RTX2080} {
+		fmt.Printf("%s on %s (tokens/sec):\n", model, gpu)
+		for _, gpus := range []int{4, 8, 16} {
+			fmt.Printf("  %2d GPUs:", gpus)
+			var best, emb float64
+			for _, s := range embrace.Strategies() {
+				sched := embrace.SchedNone
+				if s == embrace.EmbRace {
+					sched = embrace.Sched2D
+				}
+				res, err := embrace.Simulate(embrace.SimJob{
+					Model: model, GPU: gpu, GPUs: gpus, Strategy: s, Sched: sched,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf(" %s=%.0f", s, res.TokensPerSec)
+				if s == embrace.EmbRace {
+					emb = res.TokensPerSec
+				} else if res.TokensPerSec > best {
+					best = res.TokensPerSec
+				}
+			}
+			fmt.Printf("  -> EmbRace %.2fx\n", emb/best)
+		}
+	}
+
+	fmt.Println("\nScaling on RTX3090 (relative to own 4-GPU throughput):")
+	base := map[embrace.Strategy]float64{}
+	for _, gpus := range []int{4, 8, 16} {
+		fmt.Printf("  %2d GPUs:", gpus)
+		for _, s := range []embrace.Strategy{embrace.HorovodAllReduce, embrace.EmbRace} {
+			sched := embrace.SchedNone
+			if s == embrace.EmbRace {
+				sched = embrace.Sched2D
+			}
+			res, err := embrace.Simulate(embrace.SimJob{
+				Model: model, GPU: embrace.RTX3090, GPUs: gpus, Strategy: s, Sched: sched,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if gpus == 4 {
+				base[s] = res.TokensPerSec
+			}
+			fmt.Printf("  %s %.2fx", s, res.TokensPerSec/base[s])
+		}
+		fmt.Printf("  (ideal %.1fx)\n", float64(gpus)/4)
+	}
+}

@@ -1,0 +1,3 @@
+module embrace
+
+go 1.22

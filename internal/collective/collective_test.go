@@ -1,0 +1,471 @@
+package collective
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"embrace/internal/comm"
+	"embrace/internal/tensor"
+)
+
+func TestChunkBounds(t *testing.T) {
+	// 10 elements over 4 parts -> sizes 3,3,2,2 covering [0,10).
+	wantLo := []int{0, 3, 6, 8}
+	wantHi := []int{3, 6, 8, 10}
+	for i := 0; i < 4; i++ {
+		lo, hi := chunkBounds(10, 4, i)
+		if lo != wantLo[i] || hi != wantHi[i] {
+			t.Fatalf("chunk %d = [%d,%d), want [%d,%d)", i, lo, hi, wantLo[i], wantHi[i])
+		}
+	}
+	// Fewer elements than parts: some chunks empty, still a partition.
+	total := 0
+	for i := 0; i < 8; i++ {
+		lo, hi := chunkBounds(3, 8, i)
+		total += hi - lo
+	}
+	if total != 3 {
+		t.Fatalf("chunks cover %d elements, want 3", total)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, n := range []int{1, 2, 5} {
+		var mu sync.Mutex
+		arrived := 0
+		err := comm.RunRanks(n, func(tr comm.Transport) error {
+			mu.Lock()
+			arrived++
+			mu.Unlock()
+			if err := Barrier(tr, 1); err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if arrived != n {
+				return fmt.Errorf("rank %d passed barrier with only %d arrived", tr.Rank(), arrived)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	const n = 4
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		buf := make([]float32, 5)
+		if tr.Rank() == 2 {
+			for i := range buf {
+				buf[i] = float32(i + 1)
+			}
+		}
+		if err := Broadcast(tr, 1, 2, buf); err != nil {
+			return err
+		}
+		for i, v := range buf {
+			if v != float32(i+1) {
+				return fmt.Errorf("rank %d buf[%d]=%v", tr.Rank(), i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastSingleRank(t *testing.T) {
+	err := comm.RunRanks(1, func(tr comm.Transport) error {
+		buf := []float32{1, 2}
+		return Broadcast(tr, 1, 0, buf)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingAllReduceSumsAcrossRanks(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		for _, m := range []int{1, 2, n - 1, n, n + 1, 64, 1000} {
+			if m <= 0 {
+				continue
+			}
+			err := comm.RunRanks(n, func(tr comm.Transport) error {
+				buf := make([]float32, m)
+				for i := range buf {
+					buf[i] = float32(tr.Rank()*m + i)
+				}
+				if err := RingAllReduce(tr, 1, buf); err != nil {
+					return err
+				}
+				for i, v := range buf {
+					// sum over r of r*m+i = m*n(n-1)/2 + n*i
+					want := float32(m*n*(n-1)/2 + n*i)
+					if v != want {
+						return fmt.Errorf("n=%d m=%d rank %d buf[%d]=%v want %v",
+							n, m, tr.Rank(), i, v, want)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// Property: ring AllReduce equals locally computed sum for random tensors.
+func TestRingAllReduceMatchesSequentialSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(200)
+		inputs := make([][]float32, n)
+		want := make([]float64, m)
+		for r := range inputs {
+			inputs[r] = make([]float32, m)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.Float32()*2 - 1
+				want[i] += float64(inputs[r][i])
+			}
+		}
+		err := comm.RunRanks(n, func(tr comm.Transport) error {
+			buf := append([]float32(nil), inputs[tr.Rank()]...)
+			if err := RingAllReduce(tr, 1, buf); err != nil {
+				return err
+			}
+			for i, v := range buf {
+				if math.Abs(float64(v)-want[i]) > 1e-4 {
+					return fmt.Errorf("elem %d: %v vs %v", i, v, want[i])
+				}
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterOwnChunk(t *testing.T) {
+	const n, m = 4, 10
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		buf := make([]float32, m)
+		for i := range buf {
+			buf[i] = float32(tr.Rank() + 1) // sum across ranks = 1+2+3+4 = 10
+		}
+		lo, hi, err := ReduceScatter(tr, 1, buf)
+		if err != nil {
+			return err
+		}
+		wantLo, wantHi := chunkBounds(m, n, tr.Rank())
+		if lo != wantLo || hi != wantHi {
+			return fmt.Errorf("bounds [%d,%d), want [%d,%d)", lo, hi, wantLo, wantHi)
+		}
+		for i := lo; i < hi; i++ {
+			if buf[i] != 10 {
+				return fmt.Errorf("rank %d chunk elem %d = %v, want 10", tr.Rank(), i, buf[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherOrderAndValues(t *testing.T) {
+	const n = 5
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		got, err := AllGather(tr, 1, fmt.Sprintf("rank-%d", tr.Rank()))
+		if err != nil {
+			return err
+		}
+		for p, v := range got {
+			if v != fmt.Sprintf("rank-%d", p) {
+				return fmt.Errorf("slot %d = %q", p, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllIsTransposition(t *testing.T) {
+	// Rank r sends value r*10+p to rank p; so rank p must receive p from
+	// sender r as r*10+p. AllToAll is exactly a matrix transpose.
+	const n = 6
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		send := make([]int, n)
+		for p := range send {
+			send[p] = tr.Rank()*10 + p
+		}
+		got, err := AllToAll(tr, 1, send)
+		if err != nil {
+			return err
+		}
+		for p, v := range got {
+			if v != p*10+tr.Rank() {
+				return fmt.Errorf("rank %d slot %d = %d, want %d", tr.Rank(), p, v, p*10+tr.Rank())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AllToAll applied twice restores the original send matrix.
+func TestAllToAllInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		vals := make([][]int, n)
+		for r := range vals {
+			vals[r] = make([]int, n)
+			for p := range vals[r] {
+				vals[r][p] = rng.Int()
+			}
+		}
+		err := comm.RunRanks(n, func(tr comm.Transport) error {
+			once, err := AllToAll(tr, 1, vals[tr.Rank()])
+			if err != nil {
+				return err
+			}
+			twice, err := AllToAll(tr, 2, once)
+			if err != nil {
+				return err
+			}
+			for p := range twice {
+				if twice[p] != vals[tr.Rank()][p] {
+					return fmt.Errorf("not an involution at %d", p)
+				}
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAllSizeValidation(t *testing.T) {
+	err := comm.RunRanks(2, func(tr comm.Transport) error {
+		_, err := AllToAll(tr, 1, []int{1}) // wrong length on a 2-rank world
+		if err == nil {
+			return fmt.Errorf("expected size error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherToRoot(t *testing.T) {
+	const n = 4
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		got, err := Gather(tr, 1, 0, tr.Rank()*2)
+		if err != nil {
+			return err
+		}
+		if tr.Rank() != 0 {
+			if got != nil {
+				return fmt.Errorf("non-root got %v", got)
+			}
+			return nil
+		}
+		for p, v := range got {
+			if v != p*2 {
+				return fmt.Errorf("root slot %d = %d", p, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseAllGatherEqualsSum(t *testing.T) {
+	// Each rank holds a sparse gradient; the gathered+concatenated tensor
+	// must project to the same dense matrix as summing every rank's dense
+	// projection — the semantic equivalence of Figure 1(b).
+	const n = 3
+	const rows, dim = 12, 2
+	locals := make([]*tensor.Sparse, n)
+	want := tensor.NewDense(rows, dim)
+	rng := rand.New(rand.NewSource(7))
+	for r := range locals {
+		nnz := 3 + rng.Intn(4)
+		idx := make([]int64, nnz)
+		vals := make([]float32, nnz*dim)
+		for i := range idx {
+			idx[i] = int64(rng.Intn(rows))
+		}
+		for i := range vals {
+			vals[i] = rng.Float32()
+		}
+		s, err := tensor.NewSparse(rows, dim, idx, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		locals[r] = s
+		s.AddToDense(want, 1)
+	}
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		got, err := SparseAllGather(tr, 1, locals[tr.Rank()])
+		if err != nil {
+			return err
+		}
+		if !got.ToDense().AllClose(want, 1e-4) {
+			return fmt.Errorf("rank %d: gathered sparse != dense sum", tr.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseAllToAllRoutesShards(t *testing.T) {
+	const n = 3
+	const rows = 6
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		shards := make([]*tensor.Sparse, n)
+		for p := range shards {
+			s, err := tensor.NewSparse(rows, 1,
+				[]int64{int64(tr.Rank())}, []float32{float32(p)})
+			if err != nil {
+				return err
+			}
+			shards[p] = s
+		}
+		got, err := SparseAllToAll(tr, 1, shards)
+		if err != nil {
+			return err
+		}
+		for p, s := range got {
+			// shard from sender p must carry index p and value = my rank.
+			if s.Indices[0] != int64(p) || s.Vals[0] != float32(tr.Rank()) {
+				return fmt.Errorf("rank %d from %d: idx %d val %v",
+					tr.Rank(), p, s.Indices[0], s.Vals[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentCollectivesDistinctTags(t *testing.T) {
+	// Two allreduces in flight on different tags must not interfere — the
+	// property the scheduler's communication thread relies on.
+	const n, m = 4, 32
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		a := make([]float32, m)
+		b := make([]float32, m)
+		for i := range a {
+			a[i] = 1
+			b[i] = 2
+		}
+		var wg sync.WaitGroup
+		var errA, errB error
+		wg.Add(2)
+		go func() { defer wg.Done(); errA = RingAllReduce(tr, 100, a) }()
+		go func() { defer wg.Done(); errB = RingAllReduce(tr, 200, b) }()
+		wg.Wait()
+		if errA != nil || errB != nil {
+			return fmt.Errorf("errs: %v %v", errA, errB)
+		}
+		for i := range a {
+			if a[i] != float32(n) || b[i] != float32(2*n) {
+				return fmt.Errorf("interference: a[%d]=%v b[%d]=%v", i, a[i], i, b[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingAllReduceOpMaxMin(t *testing.T) {
+	const n, m = 5, 17
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		mx := make([]float32, m)
+		mn := make([]float32, m)
+		for i := range mx {
+			mx[i] = float32(tr.Rank()*m + i)
+			mn[i] = float32(tr.Rank()*m + i)
+		}
+		if err := RingAllReduceOp(tr, 1, mx, Max); err != nil {
+			return err
+		}
+		if err := RingAllReduceOp(tr, 2, mn, Min); err != nil {
+			return err
+		}
+		for i := 0; i < m; i++ {
+			if mx[i] != float32((n-1)*m+i) {
+				return fmt.Errorf("max[%d] = %v", i, mx[i])
+			}
+			if mn[i] != float32(i) {
+				return fmt.Errorf("min[%d] = %v", i, mn[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RingAllReduceOp with Sum matches RingAllReduce bit-for-bit.
+func TestRingAllReduceOpSumMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(100)
+		inputs := make([][]float32, n)
+		for r := range inputs {
+			inputs[r] = make([]float32, m)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.Float32()
+			}
+		}
+		err := comm.RunRanks(n, func(tr comm.Transport) error {
+			a := append([]float32(nil), inputs[tr.Rank()]...)
+			b := append([]float32(nil), inputs[tr.Rank()]...)
+			if err := RingAllReduce(tr, 1, a); err != nil {
+				return err
+			}
+			if err := RingAllReduceOp(tr, 2, b, Sum); err != nil {
+				return err
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return fmt.Errorf("mismatch at %d", i)
+				}
+			}
+			return nil
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package collective
+
+import (
+	"fmt"
+
+	"embrace/internal/comm"
+)
+
+// Hierarchical (topology-aware) AllReduce, the related-work optimization the
+// paper cites as orthogonal to EmbRace (§6: "applying topology-aware
+// hierarchical collective communication"). On a cluster of n nodes with w
+// workers each, a flat ring crosses the slow inter-node links 2(N-1) times;
+// the hierarchical variant reduces inside each node first, runs the
+// inter-node exchange once per node, and broadcasts back — trading ring
+// optimality for far fewer slow-link crossings. It composes with EmbRace's
+// dense path: any strategy can aggregate its dense gradients this way.
+//
+// Ranks are grouped node-contiguously: node k owns ranks
+// [k*w, (k+1)*w), matching how modelzoo lays clusters out.
+
+// tag offsets for the three phases; callers reserve one tag and the phases
+// derive disjoint subspaces from it.
+const (
+	hierPhaseReduce = iota
+	hierPhaseInter
+	hierPhaseBcast
+	hierPhases
+)
+
+// HierarchicalAllReduce sums buf element-wise across all ranks in place
+// using the three-phase node-aware algorithm: (1) intra-node reduce to the
+// node leader, (2) ring AllReduce among leaders, (3) intra-node broadcast.
+// workersPerNode must divide the world size. With workersPerNode == 1 it
+// degenerates to a flat ring AllReduce.
+func HierarchicalAllReduce(t comm.Transport, tag, workersPerNode int, buf []float32) error {
+	n, r := t.Size(), t.Rank()
+	if workersPerNode <= 0 {
+		return fmt.Errorf("collective: workersPerNode must be positive, got %d", workersPerNode)
+	}
+	if n%workersPerNode != 0 {
+		return fmt.Errorf("collective: world size %d not divisible by %d workers/node", n, workersPerNode)
+	}
+	if n == 1 {
+		return nil
+	}
+	if workersPerNode == 1 {
+		return RingAllReduce(t, tag*hierPhases+hierPhaseInter, buf)
+	}
+
+	leader := (r / workersPerNode) * workersPerNode
+	baseTag := tag * hierPhases
+
+	// Phase 1: intra-node reduce to the leader.
+	if r == leader {
+		for p := leader + 1; p < leader+workersPerNode; p++ {
+			payload, err := t.Recv(p, baseTag+hierPhaseReduce)
+			if err != nil {
+				return fmt.Errorf("hier reduce recv from %d: %w", p, err)
+			}
+			in := payload.([]float32)
+			if len(in) != len(buf) {
+				return fmt.Errorf("collective: hier reduce length %d != %d", len(in), len(buf))
+			}
+			for i, v := range in {
+				buf[i] += v
+			}
+		}
+	} else {
+		out := append([]float32(nil), buf...)
+		if err := t.Send(leader, baseTag+hierPhaseReduce, out); err != nil {
+			return fmt.Errorf("hier reduce send: %w", err)
+		}
+	}
+
+	// Phase 2: leaders exchange node sums. Every rank participates in the
+	// transport world, but only leaders carry payload; non-leaders skip.
+	if r == leader {
+		if err := leaderRingAllReduce(t, baseTag+hierPhaseInter, workersPerNode, buf); err != nil {
+			return err
+		}
+		// Phase 3: broadcast the result back within the node.
+		out := append([]float32(nil), buf...)
+		for p := leader + 1; p < leader+workersPerNode; p++ {
+			if err := t.Send(p, baseTag+hierPhaseBcast, out); err != nil {
+				return fmt.Errorf("hier bcast send to %d: %w", p, err)
+			}
+		}
+		return nil
+	}
+	payload, err := t.Recv(leader, baseTag+hierPhaseBcast)
+	if err != nil {
+		return fmt.Errorf("hier bcast recv: %w", err)
+	}
+	in := payload.([]float32)
+	if len(in) != len(buf) {
+		return fmt.Errorf("collective: hier bcast length %d != %d", len(in), len(buf))
+	}
+	copy(buf, in)
+	return nil
+}
+
+// leaderRingAllReduce runs a ring AllReduce among the node leaders (ranks
+// 0, w, 2w, ...) of the world.
+func leaderRingAllReduce(t comm.Transport, tag, workersPerNode int, buf []float32) error {
+	nodes := t.Size() / workersPerNode
+	if nodes == 1 {
+		return nil
+	}
+	me := t.Rank() / workersPerNode
+	right := ((me + 1) % nodes) * workersPerNode
+	left := ((me - 1 + nodes) % nodes) * workersPerNode
+
+	// Reduce-scatter among leaders.
+	for s := 0; s < nodes-1; s++ {
+		sendChunk := ((me-s-1)%nodes + 2*nodes) % nodes
+		recvChunk := ((me-s-2)%nodes + 2*nodes) % nodes
+		slo, shi := chunkBounds(len(buf), nodes, sendChunk)
+		out := append([]float32(nil), buf[slo:shi]...)
+		if err := t.Send(right, tag, out); err != nil {
+			return fmt.Errorf("leader rs send step %d: %w", s, err)
+		}
+		payload, err := t.Recv(left, tag)
+		if err != nil {
+			return fmt.Errorf("leader rs recv step %d: %w", s, err)
+		}
+		in := payload.([]float32)
+		rlo, rhi := chunkBounds(len(buf), nodes, recvChunk)
+		if len(in) != rhi-rlo {
+			return fmt.Errorf("collective: leader rs chunk %d != %d", len(in), rhi-rlo)
+		}
+		dst := buf[rlo:rhi]
+		for i, v := range in {
+			dst[i] += v
+		}
+	}
+	// All-gather among leaders.
+	for s := 0; s < nodes-1; s++ {
+		sendChunk := ((me-s)%nodes + nodes) % nodes
+		recvChunk := ((me-s-1)%nodes + nodes) % nodes
+		slo, shi := chunkBounds(len(buf), nodes, sendChunk)
+		out := append([]float32(nil), buf[slo:shi]...)
+		if err := t.Send(right, tag, out); err != nil {
+			return fmt.Errorf("leader ag send step %d: %w", s, err)
+		}
+		payload, err := t.Recv(left, tag)
+		if err != nil {
+			return fmt.Errorf("leader ag recv step %d: %w", s, err)
+		}
+		in := payload.([]float32)
+		rlo, rhi := chunkBounds(len(buf), nodes, recvChunk)
+		if len(in) != rhi-rlo {
+			return fmt.Errorf("collective: leader ag chunk %d != %d", len(in), rhi-rlo)
+		}
+		copy(buf[rlo:rhi], in)
+	}
+	return nil
+}

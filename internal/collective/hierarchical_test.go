@@ -1,0 +1,130 @@
+package collective
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"embrace/internal/comm"
+)
+
+func TestHierarchicalAllReduceMatchesFlat(t *testing.T) {
+	for _, cfg := range []struct{ n, w int }{
+		{1, 1}, {2, 1}, {4, 2}, {4, 4}, {8, 4}, {12, 4}, {9, 3},
+	} {
+		for _, m := range []int{1, 7, 100} {
+			inputs := make([][]float32, cfg.n)
+			want := make([]float64, m)
+			rng := rand.New(rand.NewSource(int64(cfg.n*100 + m)))
+			for r := range inputs {
+				inputs[r] = make([]float32, m)
+				for i := range inputs[r] {
+					inputs[r][i] = rng.Float32()*2 - 1
+					want[i] += float64(inputs[r][i])
+				}
+			}
+			err := comm.RunRanks(cfg.n, func(tr comm.Transport) error {
+				buf := append([]float32(nil), inputs[tr.Rank()]...)
+				if err := HierarchicalAllReduce(tr, 1, cfg.w, buf); err != nil {
+					return err
+				}
+				for i, v := range buf {
+					if math.Abs(float64(v)-want[i]) > 1e-4 {
+						return fmt.Errorf("n=%d w=%d m=%d rank %d elem %d: %v vs %v",
+							cfg.n, cfg.w, m, tr.Rank(), i, v, want[i])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestHierarchicalAllReduceValidation(t *testing.T) {
+	err := comm.RunRanks(4, func(tr comm.Transport) error {
+		buf := make([]float32, 4)
+		if err := HierarchicalAllReduce(tr, 1, 0, buf); err == nil {
+			return fmt.Errorf("expected workersPerNode error")
+		}
+		if err := HierarchicalAllReduce(tr, 1, 3, buf); err == nil {
+			return fmt.Errorf("expected divisibility error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hierarchical and flat ring AllReduce agree on random inputs.
+func TestHierarchicalEqualsRingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := 1 + rng.Intn(3)
+		w := 1 + rng.Intn(3)
+		n := nodes * w
+		m := 1 + rng.Intn(50)
+		inputs := make([][]float32, n)
+		for r := range inputs {
+			inputs[r] = make([]float32, m)
+			for i := range inputs[r] {
+				inputs[r][i] = rng.Float32()
+			}
+		}
+		flat := make([][]float32, n)
+		hier := make([][]float32, n)
+		err := comm.RunRanks(n, func(tr comm.Transport) error {
+			a := append([]float32(nil), inputs[tr.Rank()]...)
+			if err := RingAllReduce(tr, 1, a); err != nil {
+				return err
+			}
+			b := append([]float32(nil), inputs[tr.Rank()]...)
+			if err := HierarchicalAllReduce(tr, 2, w, b); err != nil {
+				return err
+			}
+			flat[tr.Rank()], hier[tr.Rank()] = a, b
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		for r := range flat {
+			for i := range flat[r] {
+				if math.Abs(float64(flat[r][i]-hier[r][i])) > 1e-4 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchicalOverTCP(t *testing.T) {
+	const n, w, m = 4, 2, 32
+	err := comm.RunRanksTCP(n, func(tr comm.Transport) error {
+		buf := make([]float32, m)
+		for i := range buf {
+			buf[i] = 1
+		}
+		if err := HierarchicalAllReduce(tr, 1, w, buf); err != nil {
+			return err
+		}
+		for i, v := range buf {
+			if v != n {
+				return fmt.Errorf("elem %d = %v", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package comm provides the message transport underneath the collective
+// operations.
+//
+// The paper's testbed runs one training process per GPU and moves bytes with
+// NCCL. Here every rank is a goroutine and the transport is an in-process
+// mailbox fabric: Send/Recv pairs matched on (peer, tag). The collective
+// algorithms in internal/collective are written against the Transport
+// interface only, so their data-movement pattern is exactly what a wire
+// implementation would perform.
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Transport is the point-to-point fabric a single rank uses. Implementations
+// must be safe for concurrent use: a rank may run several collectives at once
+// (the communication thread of §5.1 overlaps sparse and dense ops) as long as
+// each concurrent operation uses a distinct tag space.
+type Transport interface {
+	// Rank returns this participant's rank in [0, Size).
+	Rank() int
+	// Size returns the number of participants (the paper's N).
+	Size() int
+	// Send delivers payload to rank `to` under `tag`. It blocks only on
+	// backpressure, never on the receiver being absent.
+	Send(to, tag int, payload any) error
+	// Recv blocks until a payload sent to this rank by `from` under `tag`
+	// arrives, and returns it.
+	Recv(from, tag int) (any, error)
+}
+
+// ErrClosed is returned by operations on a closed world.
+var ErrClosed = errors.New("comm: world closed")
+
+// ErrRank is returned when a peer rank is out of range.
+var ErrRank = errors.New("comm: rank out of range")
+
+// mailboxBuffer is the per-(sender, tag) channel capacity. Collectives never
+// have more than a few in-flight messages per edge, but a generous buffer
+// keeps senders from blocking on slow receivers.
+const mailboxBuffer = 64
+
+type mailboxKey struct {
+	from, tag int
+}
+
+// mailboxSet is the demultiplexer shared by every transport implementation:
+// messages are delivered per (sender, tag) channel in FIFO order, and
+// receivers block on exactly their envelope.
+type mailboxSet struct {
+	mu    sync.Mutex
+	boxes map[mailboxKey]chan any
+}
+
+func newMailboxSet() *mailboxSet {
+	return &mailboxSet{boxes: make(map[mailboxKey]chan any)}
+}
+
+// box returns (creating if needed) the channel for (from, tag), or nil if
+// the set has been closed.
+func (m *mailboxSet) box(from, tag int) chan any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.boxes == nil {
+		return nil
+	}
+	key := mailboxKey{from: from, tag: tag}
+	ch, ok := m.boxes[key]
+	if !ok {
+		ch = make(chan any, mailboxBuffer)
+		m.boxes[key] = ch
+	}
+	return ch
+}
+
+// deliver enqueues payload for (from, tag). It reports false if the set is
+// closed.
+func (m *mailboxSet) deliver(from, tag int, payload any) bool {
+	ch := m.box(from, tag)
+	if ch == nil {
+		return false
+	}
+	defer func() { recover() }() //nolint:errcheck // racing close surfaces as drop
+	ch <- payload
+	return true
+}
+
+// receive blocks until a payload for (from, tag) arrives.
+func (m *mailboxSet) receive(from, tag int) (any, error) {
+	ch := m.box(from, tag)
+	if ch == nil {
+		return nil, ErrClosed
+	}
+	payload, ok := <-ch
+	if !ok {
+		return nil, ErrClosed
+	}
+	return payload, nil
+}
+
+// closeAll closes every mailbox, unblocking receivers with ErrClosed.
+func (m *mailboxSet) closeAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ch := range m.boxes {
+		close(ch)
+	}
+	m.boxes = nil
+}
+
+// World is a set of N in-process ranks wired all-to-all.
+//
+// Create it once, hand each worker goroutine its Transport, and close it when
+// the job ends. Messages are delivered per (sender, tag) in FIFO order, the
+// same guarantee MPI offers for matching (source, tag) envelopes.
+type World struct {
+	size   int
+	ranks  []*rank
+	closed atomic.Bool
+}
+
+type rank struct {
+	world *World
+	id    int
+	mail  *mailboxSet
+}
+
+// NewWorld creates a fully connected in-process world of n ranks.
+func NewWorld(n int) (*World, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("comm: world size must be positive, got %d", n)
+	}
+	w := &World{size: n, ranks: make([]*rank, n)}
+	for i := range w.ranks {
+		w.ranks[i] = &rank{world: w, id: i, mail: newMailboxSet()}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Rank returns the transport endpoint for rank i.
+func (w *World) Rank(i int) Transport {
+	return w.ranks[i]
+}
+
+// Close tears the world down. Subsequent Sends fail with ErrClosed; Recvs on
+// never-to-arrive messages would otherwise block forever, so Close also
+// unblocks them with ErrClosed by closing every existing mailbox.
+func (w *World) Close() {
+	if w.closed.Swap(true) {
+		return
+	}
+	for _, r := range w.ranks {
+		r.mail.closeAll()
+	}
+}
+
+func (r *rank) Rank() int { return r.id }
+func (r *rank) Size() int { return r.world.size }
+
+func (r *rank) Send(to, tag int, payload any) error {
+	if r.world.closed.Load() {
+		return ErrClosed
+	}
+	if to < 0 || to >= r.world.size {
+		return fmt.Errorf("%w: send to %d in world of %d", ErrRank, to, r.world.size)
+	}
+	if !r.world.ranks[to].mail.deliver(r.id, tag, payload) {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (r *rank) Recv(from, tag int) (any, error) {
+	if from < 0 || from >= r.world.size {
+		return nil, fmt.Errorf("%w: recv from %d in world of %d", ErrRank, from, r.world.size)
+	}
+	return r.mail.receive(from, tag)
+}
+
+// RunRanks runs fn concurrently on every rank of a fresh world of size n and
+// waits for all to finish, returning the first error encountered (all other
+// results are discarded). It is the harness used by collectives tests and by
+// the real-execution trainer.
+func RunRanks(n int, fn func(t Transport) error) error {
+	w, err := NewWorld(n)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(w.Rank(i))
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

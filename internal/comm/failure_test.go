@@ -1,0 +1,60 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// Failure injection: abrupt TCP teardown must surface as ErrClosed on
+// blocked receivers of the surviving side, never as a hang or panic.
+func TestTCPAbruptPeerCloseUnblocksReceiver(t *testing.T) {
+	w, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := w.Rank(1).Recv(0, 5) // will never be satisfied
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	w.Close() // tears down sockets under the blocked receiver
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("receiver hung after teardown")
+	}
+}
+
+func TestSendAfterTCPCloseErrors(t *testing.T) {
+	w, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if err := w.Rank(0).Send(1, 1, []float32{1}); err == nil {
+		t.Fatal("expected error after close")
+	}
+}
+
+func TestInProcessWorldSurvivesManyChurnCycles(t *testing.T) {
+	// Worlds are created and torn down once per training job; leaking
+	// goroutines or channels would show up over many cycles.
+	for i := 0; i < 200; i++ {
+		w, err := NewWorld(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Rank(0).Send(1, 1, i); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := w.Rank(1).Recv(0, 1); err != nil || v != i {
+			t.Fatalf("cycle %d: %v %v", i, v, err)
+		}
+		w.Close()
+	}
+}

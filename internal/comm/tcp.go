@@ -1,0 +1,347 @@
+// TCP transport: the same Transport contract as the in-process world, but
+// carried over real sockets with gob framing. It exists to demonstrate that
+// the collective algorithms are wire-ready — nothing in internal/collective
+// or internal/strategies knows which fabric it runs on — and to exercise the
+// serialization of every payload the trainer moves (gradients, sparse
+// tensors, token batches).
+//
+// Topology: a full mesh. Rank i accepts connections from every lower rank
+// and dials every higher rank, so each unordered pair shares exactly one
+// TCP connection used in both directions. One reader goroutine per
+// connection demultiplexes frames into the shared (sender, tag) mailboxes.
+package comm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Dial retry schedule for meshes whose processes start at different times:
+// up to ~10 seconds of patience.
+const (
+	dialAttempts = 100
+	dialBackoff  = 100 * time.Millisecond
+)
+
+// wireFrame is the on-the-wire envelope.
+type wireFrame struct {
+	From    int
+	Tag     int
+	Payload any
+}
+
+// RegisterWireType registers a concrete payload type for TCP transport.
+// Types sent through TCPWorld must be registered by all processes; the
+// common tensor and batch types are pre-registered by internal packages.
+func RegisterWireType(v any) {
+	gob.Register(v)
+}
+
+func init() {
+	// Payload types every collective uses.
+	RegisterWireType([]float32{})
+	RegisterWireType([][]float32{})
+	RegisterWireType([]int64{})
+	RegisterWireType([][]int64{})
+	RegisterWireType([]int{})
+	RegisterWireType(0)
+	RegisterWireType(0.0)
+	RegisterWireType("")
+	RegisterWireType(struct{}{})
+}
+
+// TCPWorld is a set of ranks connected all-to-all over loopback TCP. It is
+// the single-process harness for the wire transport; the per-rank pieces
+// (listener, mesh dialing, framed reader) are exactly what a multi-process
+// deployment would run.
+type TCPWorld struct {
+	size   int
+	ranks  []*tcpRank
+	closed atomic.Bool
+}
+
+type tcpRank struct {
+	id   int
+	size int
+	mail *mailboxSet
+
+	listener net.Listener
+
+	mu    sync.Mutex
+	conns []*tcpConn // indexed by peer rank; nil for self
+	errs  []error
+	wg    sync.WaitGroup
+}
+
+// tcpConn is one duplex peer connection. Exactly one gob encoder and one
+// gob decoder exist per connection for its whole lifetime — the handshake
+// uses the same streams as the frames, because a second decoder on the same
+// socket would lose bytes buffered by the first.
+type tcpConn struct {
+	conn  net.Conn
+	encMu sync.Mutex
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+}
+
+// newTCPConn wraps a socket with its lifetime encoder/decoder pair.
+func newTCPConn(conn net.Conn) *tcpConn {
+	return &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+// hello is the first frame on a dialed connection, identifying the dialer.
+type hello struct {
+	From int
+}
+
+// NewTCPWorld builds an n-rank world connected over 127.0.0.1 TCP sockets.
+func NewTCPWorld(n int) (*TCPWorld, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("comm: tcp world size must be positive, got %d", n)
+	}
+	w := &TCPWorld{size: n, ranks: make([]*tcpRank, n)}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("comm: tcp listen: %w", err)
+		}
+		w.ranks[i] = &tcpRank{
+			id:       i,
+			size:     n,
+			mail:     newMailboxSet(),
+			listener: l,
+			conns:    make([]*tcpConn, n),
+		}
+		addrs[i] = l.Addr().String()
+	}
+
+	// Accept from lower ranks (n-1-i connections each) concurrently with
+	// dialing higher ranks.
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.ranks[i].connectMesh(addrs)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	for _, r := range w.ranks {
+		r.startReaders()
+	}
+	return w, nil
+}
+
+// connectMesh dials every higher rank and accepts from every lower rank.
+func (r *tcpRank) connectMesh(addrs []string) error {
+	type dialRes struct {
+		peer int
+		conn *tcpConn
+		err  error
+	}
+	dialCh := make(chan dialRes, r.size)
+	dials := 0
+	for peer := r.id + 1; peer < r.size; peer++ {
+		dials++
+		go func(peer int) {
+			// In multi-process deployments peers start at slightly
+			// different times; retry refused connections briefly.
+			var conn net.Conn
+			var err error
+			for attempt := 0; attempt < dialAttempts; attempt++ {
+				conn, err = net.Dial("tcp", addrs[peer])
+				if err == nil {
+					break
+				}
+				time.Sleep(dialBackoff)
+			}
+			var tc *tcpConn
+			if err == nil {
+				tc = newTCPConn(conn)
+				err = tc.enc.Encode(hello{From: r.id})
+			}
+			dialCh <- dialRes{peer: peer, conn: tc, err: err}
+		}(peer)
+	}
+
+	accepts := r.id // lower ranks dial us
+	for accepts > 0 || dials > 0 {
+		if accepts > 0 {
+			conn, err := r.listener.Accept()
+			if err != nil {
+				return fmt.Errorf("comm: rank %d accept: %w", r.id, err)
+			}
+			tc := newTCPConn(conn)
+			var h hello
+			if err := tc.dec.Decode(&h); err != nil {
+				return fmt.Errorf("comm: rank %d handshake: %w", r.id, err)
+			}
+			if h.From < 0 || h.From >= r.id {
+				return fmt.Errorf("comm: rank %d got handshake from invalid rank %d", r.id, h.From)
+			}
+			r.setConn(h.From, tc)
+			accepts--
+			continue
+		}
+		res := <-dialCh
+		if res.err != nil {
+			return fmt.Errorf("comm: rank %d dial %d: %w", r.id, res.peer, res.err)
+		}
+		r.setConn(res.peer, res.conn)
+		dials--
+	}
+	return nil
+}
+
+func (r *tcpRank) setConn(peer int, tc *tcpConn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.conns[peer] = tc
+}
+
+// startReaders launches one frame-demultiplexing goroutine per peer.
+func (r *tcpRank) startReaders() {
+	for peer, c := range r.conns {
+		if c == nil {
+			continue
+		}
+		r.wg.Add(1)
+		go func(peer int, c *tcpConn) {
+			defer r.wg.Done()
+			for {
+				var f wireFrame
+				if err := c.dec.Decode(&f); err != nil {
+					// Connection closed (shutdown) or broken; receivers
+					// are unblocked when the world closes the mailboxes.
+					return
+				}
+				if f.From != peer {
+					r.recordErr(fmt.Errorf("comm: rank %d: frame from %d on connection to %d", r.id, f.From, peer))
+					return
+				}
+				r.mail.deliver(f.From, f.Tag, f.Payload)
+			}
+		}(peer, c)
+	}
+}
+
+func (r *tcpRank) recordErr(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.errs = append(r.errs, err)
+}
+
+// Rank implements Transport.
+func (r *tcpRank) Rank() int { return r.id }
+
+// Size implements Transport.
+func (r *tcpRank) Size() int { return r.size }
+
+// Send implements Transport: frames the payload with gob and writes it to
+// the peer connection. Self-sends short-circuit through the local mailbox.
+func (r *tcpRank) Send(to, tag int, payload any) error {
+	if to < 0 || to >= r.size {
+		return fmt.Errorf("%w: send to %d in world of %d", ErrRank, to, r.size)
+	}
+	if to == r.id {
+		if !r.mail.deliver(r.id, tag, payload) {
+			return ErrClosed
+		}
+		return nil
+	}
+	r.mu.Lock()
+	c := r.conns[to]
+	r.mu.Unlock()
+	if c == nil {
+		return ErrClosed
+	}
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	if err := c.enc.Encode(wireFrame{From: r.id, Tag: tag, Payload: payload}); err != nil {
+		return fmt.Errorf("comm: rank %d send to %d: %w", r.id, to, err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (r *tcpRank) Recv(from, tag int) (any, error) {
+	if from < 0 || from >= r.size {
+		return nil, fmt.Errorf("%w: recv from %d in world of %d", ErrRank, from, r.size)
+	}
+	return r.mail.receive(from, tag)
+}
+
+// Size returns the number of ranks.
+func (w *TCPWorld) Size() int { return w.size }
+
+// Rank returns the transport endpoint for rank i.
+func (w *TCPWorld) Rank(i int) Transport { return w.ranks[i] }
+
+// Close shuts down listeners, connections and mailboxes. Blocked receivers
+// return ErrClosed.
+func (w *TCPWorld) Close() {
+	if w.closed.Swap(true) {
+		return
+	}
+	for _, r := range w.ranks {
+		if r == nil {
+			continue
+		}
+		if r.listener != nil {
+			r.listener.Close()
+		}
+		r.mu.Lock()
+		for _, c := range r.conns {
+			if c != nil {
+				c.conn.Close()
+			}
+		}
+		r.mu.Unlock()
+	}
+	for _, r := range w.ranks {
+		if r == nil {
+			continue
+		}
+		r.wg.Wait()
+		r.mail.closeAll()
+	}
+}
+
+// RunRanksTCP runs fn concurrently on every rank of a fresh TCP world and
+// waits for all to finish — RunRanks over real sockets.
+func RunRanksTCP(n int, fn func(t Transport) error) error {
+	w, err := NewTCPWorld(n)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(w.Rank(i))
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+// Multi-process TCP endpoints. TCPWorld wires all ranks inside one process;
+// NewTCPNode is the per-process variant: each OS process owns one rank,
+// binds its own listen address, and meshes with its peers — real distributed
+// deployment, driven by cmd/embrace-worker.
+package comm
+
+import (
+	"fmt"
+	"net"
+)
+
+// TCPNode is one process's rank endpoint in a multi-process TCP mesh. It
+// implements Transport and must be Closed when the job ends.
+type TCPNode struct {
+	rank *tcpRank
+}
+
+// NewTCPNode creates rank `rank`'s endpoint of a len(addrs)-rank mesh,
+// binding addrs[rank] and connecting to every peer. All processes must be
+// started with the same address list; the call blocks until the mesh is
+// fully connected, so start every worker before the handshake timeout of
+// the underlying dials (the OS connect timeout).
+//
+// Dials to not-yet-started higher-ranked peers are retried by the OS-level
+// connection backlog only; start lower ranks last or all ranks together.
+func NewTCPNode(rank int, addrs []string) (*TCPNode, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("comm: empty address list")
+	}
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("comm: rank %d out of range for %d addrs", rank, len(addrs))
+	}
+	l, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d listen on %s: %w", rank, addrs[rank], err)
+	}
+	return NewTCPNodeFromListener(rank, l, addrs)
+}
+
+// NewTCPNodeFromListener is NewTCPNode with a caller-provided listener,
+// useful when the caller binds port 0 first and distributes the resolved
+// addresses (the pattern the tests use).
+func NewTCPNodeFromListener(rank int, l net.Listener, addrs []string) (*TCPNode, error) {
+	r := &tcpRank{
+		id:       rank,
+		size:     len(addrs),
+		mail:     newMailboxSet(),
+		listener: l,
+		conns:    make([]*tcpConn, len(addrs)),
+	}
+	if err := r.connectMesh(addrs); err != nil {
+		l.Close()
+		return nil, err
+	}
+	r.startReaders()
+	return &TCPNode{rank: r}, nil
+}
+
+// Rank implements Transport.
+func (n *TCPNode) Rank() int { return n.rank.Rank() }
+
+// Size implements Transport.
+func (n *TCPNode) Size() int { return n.rank.Size() }
+
+// Send implements Transport.
+func (n *TCPNode) Send(to, tag int, payload any) error { return n.rank.Send(to, tag, payload) }
+
+// Recv implements Transport.
+func (n *TCPNode) Recv(from, tag int) (any, error) { return n.rank.Recv(from, tag) }
+
+// Close shuts the node down: listener, peer connections, mailboxes.
+func (n *TCPNode) Close() {
+	r := n.rank
+	if r.listener != nil {
+		r.listener.Close()
+	}
+	r.mu.Lock()
+	for _, c := range r.conns {
+		if c != nil {
+			c.conn.Close()
+		}
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	r.mail.closeAll()
+}
+
+// Compile-time check.
+var _ Transport = (*TCPNode)(nil)

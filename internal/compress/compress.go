@@ -1,0 +1,257 @@
+// Package compress implements the gradient-compression techniques the paper
+// lists as orthogonal, complementary communication accelerations (§6,
+// direction 3: "reducing messages size with gradient compression", citing
+// QSGD and Deep Gradient Compression). Two compressors are provided:
+//
+//   - TopK: keep the k largest-magnitude elements as a sparse (index, value)
+//     list — DGC-style sparsification.
+//   - Q8: linear 8-bit quantization with a per-tensor scale — QSGD-style.
+//
+// CompressedAllReduce aggregates a dense gradient by compressing locally,
+// AllGathering the small payloads, and summing the decompressed
+// contributions — the exchange pattern compressed gradients force (they are
+// not associative under reduction, §2.2). Both compressors are lossy; the
+// error-feedback accumulator (Residual) captures what was dropped so it can
+// be re-injected into the next step, the standard trick for keeping
+// convergence.
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"embrace/internal/collective"
+	"embrace/internal/comm"
+)
+
+// Compressor turns a dense vector into a compact payload and back.
+type Compressor interface {
+	// Name identifies the compressor.
+	Name() string
+	// Compress encodes src. The returned payload must be routable through
+	// comm transports (registered wire type).
+	Compress(src []float32) (Payload, error)
+	// Ratio estimates payload bytes over dense bytes for a vector of n
+	// elements (for reporting).
+	Ratio(n int) float64
+}
+
+// Payload is a compressed gradient chunk.
+type Payload struct {
+	// Kind discriminates the compressor ("topk", "q8").
+	Kind string
+	// N is the dense length.
+	N int
+	// Indices/Values carry TopK data.
+	Indices []int32
+	Values  []float32
+	// Q carries Q8 data; Scale its dequantization factor.
+	Q     []int8
+	Scale float32
+}
+
+func init() {
+	comm.RegisterWireType(Payload{})
+}
+
+// Decompress scatters the payload into a dense vector of length p.N.
+func Decompress(p Payload) ([]float32, error) {
+	out := make([]float32, p.N)
+	switch p.Kind {
+	case "topk":
+		if len(p.Indices) != len(p.Values) {
+			return nil, fmt.Errorf("compress: topk payload has %d indices, %d values", len(p.Indices), len(p.Values))
+		}
+		for i, ix := range p.Indices {
+			if ix < 0 || int(ix) >= p.N {
+				return nil, fmt.Errorf("compress: topk index %d out of range [0,%d)", ix, p.N)
+			}
+			out[ix] = p.Values[i]
+		}
+	case "q8":
+		if len(p.Q) != p.N {
+			return nil, fmt.Errorf("compress: q8 payload has %d values, want %d", len(p.Q), p.N)
+		}
+		for i, q := range p.Q {
+			out[i] = float32(q) * p.Scale
+		}
+	default:
+		return nil, fmt.Errorf("compress: unknown payload kind %q", p.Kind)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// TopK
+// ---------------------------------------------------------------------------
+
+// TopK keeps the K largest-magnitude elements.
+type TopK struct {
+	// K is the number of elements kept; vectors shorter than K pass
+	// through losslessly.
+	K int
+}
+
+// Name implements Compressor.
+func (c TopK) Name() string { return fmt.Sprintf("top%d", c.K) }
+
+// Compress implements Compressor.
+func (c TopK) Compress(src []float32) (Payload, error) {
+	if c.K <= 0 {
+		return Payload{}, fmt.Errorf("compress: top-k needs positive K, got %d", c.K)
+	}
+	k := c.K
+	if k > len(src) {
+		k = len(src)
+	}
+	order := make([]int, len(src))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return math.Abs(float64(src[order[a]])) > math.Abs(float64(src[order[b]]))
+	})
+	p := Payload{Kind: "topk", N: len(src)}
+	p.Indices = make([]int32, k)
+	p.Values = make([]float32, k)
+	for i := 0; i < k; i++ {
+		p.Indices[i] = int32(order[i])
+		p.Values[i] = src[order[i]]
+	}
+	return p, nil
+}
+
+// Ratio implements Compressor.
+func (c TopK) Ratio(n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	k := min(c.K, n)
+	return float64(k*(4+4)) / float64(n*4)
+}
+
+// ---------------------------------------------------------------------------
+// Q8
+// ---------------------------------------------------------------------------
+
+// Q8 quantizes to signed 8-bit integers with a per-tensor max-abs scale.
+type Q8 struct{}
+
+// Name implements Compressor.
+func (Q8) Name() string { return "q8" }
+
+// Compress implements Compressor.
+func (Q8) Compress(src []float32) (Payload, error) {
+	var maxAbs float32
+	for _, v := range src {
+		if a := float32(math.Abs(float64(v))); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	p := Payload{Kind: "q8", N: len(src), Q: make([]int8, len(src))}
+	if maxAbs == 0 {
+		p.Scale = 0
+		return p, nil
+	}
+	p.Scale = maxAbs / 127
+	inv := 1 / p.Scale
+	for i, v := range src {
+		q := math.Round(float64(v * inv))
+		if q > 127 {
+			q = 127
+		}
+		if q < -127 {
+			q = -127
+		}
+		p.Q[i] = int8(q)
+	}
+	return p, nil
+}
+
+// Ratio implements Compressor.
+func (Q8) Ratio(n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	return (float64(n) + 4) / float64(n*4)
+}
+
+// ---------------------------------------------------------------------------
+// Exchange
+// ---------------------------------------------------------------------------
+
+// Residual is a per-tensor error-feedback accumulator: the difference
+// between what a rank wanted to send and what the compressor kept is added
+// back into the next gradient, so nothing is lost permanently.
+type Residual struct {
+	buf []float32
+}
+
+// Apply folds the residual into grad (in place) and returns grad.
+func (r *Residual) Apply(grad []float32) []float32 {
+	if r.buf == nil {
+		r.buf = make([]float32, len(grad))
+	}
+	if len(r.buf) != len(grad) {
+		// Gradient shape changed; drop stale feedback.
+		r.buf = make([]float32, len(grad))
+	}
+	for i := range grad {
+		grad[i] += r.buf[i]
+	}
+	return grad
+}
+
+// Update records what the payload failed to carry of the (residual-folded)
+// gradient.
+func (r *Residual) Update(grad []float32, sent Payload) error {
+	dec, err := Decompress(sent)
+	if err != nil {
+		return err
+	}
+	for i := range grad {
+		r.buf[i] = grad[i] - dec[i]
+	}
+	return nil
+}
+
+// CompressedAllReduce sums buf element-wise across all ranks, moving only
+// compressed payloads: each rank compresses its (residual-corrected) vector,
+// AllGathers the payloads, and sums the decompressed contributions. The
+// residual may be nil to disable error feedback.
+func CompressedAllReduce(t comm.Transport, tag int, buf []float32, c Compressor, res *Residual) error {
+	send := buf
+	if res != nil {
+		send = res.Apply(buf)
+	}
+	payload, err := c.Compress(send)
+	if err != nil {
+		return err
+	}
+	if res != nil {
+		if err := res.Update(send, payload); err != nil {
+			return err
+		}
+	}
+	gathered, err := collective.AllGather(t, tag, payload)
+	if err != nil {
+		return fmt.Errorf("compress: gathering payloads: %w", err)
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	for _, p := range gathered {
+		dec, err := Decompress(p)
+		if err != nil {
+			return err
+		}
+		if len(dec) != len(buf) {
+			return fmt.Errorf("compress: peer payload length %d != %d", len(dec), len(buf))
+		}
+		for i, v := range dec {
+			buf[i] += v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"embrace/internal/comm"
+)
+
+func TestTopKKeepsLargest(t *testing.T) {
+	src := []float32{0.1, -5, 0.2, 3, -0.05, 4}
+	p, err := TopK{K: 3}.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, -5, 0, 3, 0, 4}
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Fatalf("dec[%d] = %v, want %v", i, dec[i], want[i])
+		}
+	}
+}
+
+func TestTopKShortVectorLossless(t *testing.T) {
+	src := []float32{1, 2}
+	p, _ := TopK{K: 10}.Compress(src)
+	dec, _ := Decompress(p)
+	for i := range src {
+		if dec[i] != src[i] {
+			t.Fatal("short vectors must pass through losslessly")
+		}
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	if _, err := (TopK{K: 0}).Compress([]float32{1}); err == nil {
+		t.Fatal("expected K validation error")
+	}
+}
+
+func TestQ8RoundTripBounds(t *testing.T) {
+	// Quantization error is bounded by scale/2 per element.
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float32, 500)
+	for i := range src {
+		src[i] = rng.Float32()*20 - 10
+	}
+	p, err := Q8{}.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decompress(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := float64(p.Scale) * 0.5001
+	for i := range src {
+		if math.Abs(float64(src[i]-dec[i])) > bound {
+			t.Fatalf("elem %d error %v exceeds %v", i, src[i]-dec[i], bound)
+		}
+	}
+}
+
+func TestQ8ZeroVector(t *testing.T) {
+	p, err := Q8{}.Compress(make([]float32, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _ := Decompress(p)
+	for _, v := range dec {
+		if v != 0 {
+			t.Fatal("zero vector must round trip to zeros")
+		}
+	}
+}
+
+func TestRatios(t *testing.T) {
+	if r := (TopK{K: 10}).Ratio(1000); math.Abs(r-0.02) > 1e-9 {
+		t.Fatalf("topk ratio = %v", r)
+	}
+	if r := (Q8{}).Ratio(1000); r > 0.26 || r < 0.25 {
+		t.Fatalf("q8 ratio = %v", r)
+	}
+}
+
+func TestDecompressValidation(t *testing.T) {
+	if _, err := Decompress(Payload{Kind: "nope", N: 1}); err == nil {
+		t.Fatal("expected kind error")
+	}
+	if _, err := Decompress(Payload{Kind: "topk", N: 2, Indices: []int32{5}, Values: []float32{1}}); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := Decompress(Payload{Kind: "topk", N: 2, Indices: []int32{0}, Values: nil}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := Decompress(Payload{Kind: "q8", N: 3, Q: []int8{1}}); err == nil {
+		t.Fatal("expected q8 length error")
+	}
+}
+
+func TestCompressedAllReduceQ8(t *testing.T) {
+	// Q8 aggregation must approximate the true sum within the combined
+	// quantization bound.
+	const n, m = 4, 200
+	rng := rand.New(rand.NewSource(2))
+	inputs := make([][]float32, n)
+	want := make([]float64, m)
+	for r := range inputs {
+		inputs[r] = make([]float32, m)
+		for i := range inputs[r] {
+			inputs[r][i] = rng.Float32()*2 - 1
+			want[i] += float64(inputs[r][i])
+		}
+	}
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		buf := append([]float32(nil), inputs[tr.Rank()]...)
+		if err := CompressedAllReduce(tr, 1, buf, Q8{}, nil); err != nil {
+			return err
+		}
+		for i, v := range buf {
+			if math.Abs(float64(v)-want[i]) > 0.05 {
+				return fmt.Errorf("elem %d: %v vs %v", i, v, want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Error feedback property: with TopK + residual, repeatedly sending the SAME
+// gradient eventually delivers its full mass — nothing dropped is lost.
+func TestResidualErrorFeedbackConverges(t *testing.T) {
+	const m = 32
+	rng := rand.New(rand.NewSource(3))
+	grad := make([]float32, m)
+	for i := range grad {
+		grad[i] = rng.Float32() + 0.1
+	}
+	var res Residual
+	c := TopK{K: 4}
+	delivered := make([]float64, m)
+	for step := 0; step < 60; step++ {
+		work := append([]float32(nil), grad...)
+		work = res.Apply(work)
+		p, err := c.Compress(work)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Update(work, p); err != nil {
+			t.Fatal(err)
+		}
+		dec, _ := Decompress(p)
+		for i, v := range dec {
+			delivered[i] += float64(v)
+		}
+	}
+	// After S steps the total delivered mass must track S * grad: the gap
+	// is bounded by the residual still in flight, which cycles every
+	// m/K steps — allow a couple of cycles of slack but no unbounded leak.
+	slackCycles := 2.0 * float64(m) / 4.0
+	for i := range grad {
+		wantTotal := 60 * float64(grad[i])
+		if math.Abs(delivered[i]-wantTotal) > float64(grad[i])*slackCycles {
+			t.Fatalf("elem %d: delivered %v of %v — error feedback leaking", i, delivered[i], wantTotal)
+		}
+	}
+	// Without error feedback, rarely-selected elements deliver nothing at
+	// all — the contrast that motivates the residual.
+	var noFeedback float64
+	for step := 0; step < 60; step++ {
+		p, _ := c.Compress(grad)
+		dec, _ := Decompress(p)
+		noFeedback += float64(dec[0]) // grad[0] is small, never in the top 4
+	}
+	idx0InTop := false
+	p, _ := c.Compress(grad)
+	for _, ix := range p.Indices {
+		if ix == 0 {
+			idx0InTop = true
+		}
+	}
+	if !idx0InTop && noFeedback != 0 {
+		t.Fatal("without feedback, unselected elements should deliver zero")
+	}
+}
+
+func TestCompressedAllReduceOverTCP(t *testing.T) {
+	const n, m = 3, 50
+	err := comm.RunRanksTCP(n, func(tr comm.Transport) error {
+		buf := make([]float32, m)
+		for i := range buf {
+			buf[i] = 1
+		}
+		if err := CompressedAllReduce(tr, 1, buf, TopK{K: m}, nil); err != nil {
+			return err
+		}
+		for i, v := range buf {
+			if v != n {
+				return fmt.Errorf("elem %d = %v", i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lossless when K >= len: compressed allreduce == plain sum.
+func TestTopKLosslessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(64)
+		src := make([]float32, m)
+		for i := range src {
+			src[i] = rng.Float32()*2 - 1
+		}
+		p, err := TopK{K: m}.Compress(src)
+		if err != nil {
+			return false
+		}
+		dec, err := Decompress(p)
+		if err != nil {
+			return false
+		}
+		for i := range src {
+			if dec[i] != src[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,20 @@
+package compress_test
+
+import (
+	"fmt"
+
+	"embrace/internal/compress"
+)
+
+// Top-K keeps only the largest-magnitude gradient entries; everything else
+// waits in the error-feedback residual for a later round.
+func ExampleTopK() {
+	grad := []float32{0.1, -5, 0.2, 3, -0.05}
+	p, _ := compress.TopK{K: 2}.Compress(grad)
+	dec, _ := compress.Decompress(p)
+	fmt.Println(dec)
+	fmt.Printf("payload %.0f%% of dense\n", 100*compress.TopK{K: 2}.Ratio(len(grad)))
+	// Output:
+	// [0 -5 0 3 0]
+	// payload 80% of dense
+}

@@ -1,0 +1,254 @@
+// Package coord implements Horovod-style tensor negotiation, the mechanism
+// that makes a cross-rank priority queue safe.
+//
+// The hazard: collectives are symmetric — every rank must execute the same
+// operations in the same order — but with wait-free backpropagation each
+// rank's gradients become ready at slightly different times. If every rank
+// independently popped its own priority queue, two ranks could pop different
+// operations first and deadlock inside the collectives. Horovod solves this
+// with a coordinator running negotiation cycles, and EmbRace's communication
+// thread (§5.1) inherits the scheme.
+//
+// The protocol here follows Horovod's cycles: backward-pass hooks Announce
+// ready operations into a local buffer (never blocking on the network); the
+// consumer drains Next, and each time its local dispatch queue runs dry a
+// negotiation round runs — every rank ships its newly-ready batch to rank 0,
+// which dispatches every operation now ready on all ranks, ordered by
+// priority. All ranks therefore execute an identical, priority-respecting,
+// deadlock-free order.
+package coord
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"embrace/internal/comm"
+)
+
+// Op identifies one negotiable operation.
+type Op struct {
+	// ID names the operation; all ranks must use identical ids for the
+	// same logical collective.
+	ID string
+	// Priority orders fully-ready operations; lower dispatches sooner.
+	Priority int
+}
+
+// batchMsg is one rank's newly-ready announcements for a round.
+type batchMsg struct {
+	Ops []Op
+}
+
+// responseMsg is the coordinator's round outcome.
+type responseMsg struct {
+	// IDs are dispatched operations, in global execution order.
+	IDs []string
+	// Done signals that all expected operations have been dispatched.
+	Done bool
+}
+
+func init() {
+	comm.RegisterWireType(batchMsg{})
+	comm.RegisterWireType(responseMsg{})
+}
+
+// tag subspaces.
+const (
+	tagBatch = iota
+	tagResponse
+	tagSpan
+)
+
+// Coordinator negotiates the execution order of `expected` operations per
+// rank. One instance exists per rank; rank 0 doubles as the server.
+//
+// Announce may be called from any goroutine (typically backward hooks); Next
+// must be called from a single consumer goroutine.
+type Coordinator struct {
+	t        comm.Transport
+	tag      int
+	expected int
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	buffer    []Op
+	announced int
+
+	queue      []string
+	done       bool
+	dispatched int // rank-0: ops dispatched so far
+
+	// rank-0 negotiation state
+	counts map[string]*pendingOp
+	seq    int
+}
+
+type pendingOp struct {
+	op    Op
+	count int
+	seq   int
+}
+
+// New creates the per-rank coordinator endpoint. Every rank will announce
+// exactly `expected` operations over the coordinator's lifetime.
+func New(t comm.Transport, tag, expected int) (*Coordinator, error) {
+	if expected < 0 {
+		return nil, fmt.Errorf("coord: negative expected count %d", expected)
+	}
+	c := &Coordinator{t: t, tag: tag, expected: expected}
+	c.cond = sync.NewCond(&c.mu)
+	if t.Rank() == 0 {
+		c.counts = make(map[string]*pendingOp, expected)
+	}
+	return c, nil
+}
+
+// Announce registers a locally ready operation. It never blocks on the
+// network; the next negotiation round carries it to the coordinator.
+func (c *Coordinator) Announce(op Op) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.announced >= c.expected {
+		return fmt.Errorf("coord: rank %d announced more than %d ops", c.t.Rank(), c.expected)
+	}
+	c.announced++
+	c.buffer = append(c.buffer, op)
+	c.cond.Broadcast()
+	return nil
+}
+
+// takeBatch waits until there is something to contribute to a round — a
+// buffered announcement, or the knowledge that this rank has announced
+// everything (an empty batch keeps the round protocol moving).
+func (c *Coordinator) takeBatch() []Op {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.buffer) == 0 && c.announced < c.expected {
+		c.cond.Wait()
+	}
+	batch := c.buffer
+	c.buffer = nil
+	return batch
+}
+
+// Next blocks until the next globally agreed operation id is available and
+// returns it. ok=false signals that all expected operations have been
+// dispatched on every rank.
+func (c *Coordinator) Next() (string, bool, error) {
+	for {
+		if len(c.queue) > 0 {
+			id := c.queue[0]
+			c.queue = c.queue[1:]
+			return id, true, nil
+		}
+		if c.done {
+			return "", false, nil
+		}
+		if err := c.round(); err != nil {
+			return "", false, err
+		}
+	}
+}
+
+// round runs one negotiation cycle.
+func (c *Coordinator) round() error {
+	batch := c.takeBatch()
+	if c.t.Rank() != 0 {
+		if err := c.t.Send(0, c.tag*tagSpan+tagBatch, batchMsg{Ops: batch}); err != nil {
+			return fmt.Errorf("coord: send batch: %w", err)
+		}
+		payload, err := c.t.Recv(0, c.tag*tagSpan+tagResponse)
+		if err != nil {
+			return fmt.Errorf("coord: await response: %w", err)
+		}
+		resp := payload.(responseMsg)
+		c.queue = append(c.queue, resp.IDs...)
+		c.done = resp.Done
+		return nil
+	}
+
+	// Rank 0: absorb own batch plus one batch from every peer.
+	n := c.t.Size()
+	allEmpty := len(batch) == 0
+	c.note(batch)
+	for p := 1; p < n; p++ {
+		payload, err := c.t.Recv(p, c.tag*tagSpan+tagBatch)
+		if err != nil {
+			return fmt.Errorf("coord: recv batch from %d: %w", p, err)
+		}
+		ops := payload.(batchMsg).Ops
+		allEmpty = allEmpty && len(ops) == 0
+		c.note(ops)
+	}
+
+	// Dispatch everything now ready on all ranks, by priority.
+	var ready []*pendingOp
+	for _, p := range c.counts {
+		if p.count == n {
+			ready = append(ready, p)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		if ready[i].op.Priority != ready[j].op.Priority {
+			return ready[i].op.Priority < ready[j].op.Priority
+		}
+		return ready[i].seq < ready[j].seq
+	})
+	resp := responseMsg{}
+	for _, p := range ready {
+		resp.IDs = append(resp.IDs, p.op.ID)
+		delete(c.counts, p.op.ID)
+	}
+	c.dispatched += len(resp.IDs)
+	resp.Done = c.dispatched == c.expected
+
+	// A rank only sends an empty batch once it has announced everything,
+	// so a fully empty round that dispatches nothing means the ranks
+	// announced mismatched op ids. Terminate the peers and report it.
+	var mismatch error
+	if allEmpty && len(resp.IDs) == 0 && !resp.Done {
+		resp.Done = true
+		mismatch = fmt.Errorf("coord: negotiation stuck with %d ops never ready on all ranks (mismatched ids?)", len(c.counts))
+	}
+
+	for p := 1; p < n; p++ {
+		if err := c.t.Send(p, c.tag*tagSpan+tagResponse, resp); err != nil {
+			return fmt.Errorf("coord: send response to %d: %w", p, err)
+		}
+	}
+	c.queue = append(c.queue, resp.IDs...)
+	c.done = resp.Done
+	return mismatch
+}
+
+// note merges a rank's batch into the readiness counts.
+func (c *Coordinator) note(ops []Op) {
+	for _, op := range ops {
+		p, ok := c.counts[op.ID]
+		if !ok {
+			p = &pendingOp{op: op, seq: c.seq}
+			c.seq++
+			c.counts[op.ID] = p
+		}
+		p.count++
+	}
+}
+
+// Run drains the negotiation to completion, invoking exec for every
+// dispatched op id in the agreed order — the consumer loop of §5.1's
+// communication thread. It stops on the first exec or protocol error.
+func (c *Coordinator) Run(exec func(id string) error) error {
+	for {
+		id, ok, err := c.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := exec(id); err != nil {
+			return fmt.Errorf("coord: executing %q: %w", id, err)
+		}
+	}
+}

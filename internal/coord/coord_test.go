@@ -1,0 +1,368 @@
+package coord
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"embrace/internal/comm"
+)
+
+// drain runs the consumer loop: collects the dispatched order.
+func drain(c *Coordinator) ([]string, error) {
+	var order []string
+	for {
+		id, ok, err := c.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return order, nil
+		}
+		order = append(order, id)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	err := comm.RunRanks(1, func(tr comm.Transport) error {
+		if _, err := New(tr, 1, -1); err == nil {
+			return fmt.Errorf("expected error for negative expected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllRanksSeeSameOrder(t *testing.T) {
+	const n = 4
+	ops := []Op{
+		{ID: "emb-prior", Priority: 0},
+		{ID: "dense-0", Priority: 100},
+		{ID: "dense-1", Priority: 101},
+		{ID: "emb-delayed", Priority: 1 << 20},
+	}
+	orders := make([][]string, n)
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		c, err := New(tr, 1, len(ops))
+		if err != nil {
+			return err
+		}
+		// Producer goroutine announces in a rank-dependent order with
+		// rank-dependent delays, like gradients becoming ready at
+		// different times on different workers.
+		go func() {
+			rng := rand.New(rand.NewSource(int64(tr.Rank())))
+			perm := rng.Perm(len(ops))
+			for _, i := range perm {
+				time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+				_ = c.Announce(ops[i])
+			}
+		}()
+		order, err := drain(c)
+		if err != nil {
+			return err
+		}
+		orders[tr.Rank()] = order
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < n; r++ {
+		if len(orders[r]) != len(ops) {
+			t.Fatalf("rank %d saw %d ops", r, len(orders[r]))
+		}
+		for i := range orders[0] {
+			if orders[r][i] != orders[0][i] {
+				t.Fatalf("rank %d order %v != rank 0 order %v", r, orders[r], orders[0])
+			}
+		}
+	}
+}
+
+func TestPriorityRespectedWhenAllReady(t *testing.T) {
+	// All ops announced before draining: dispatch order must be priority
+	// order.
+	const n = 3
+	ops := []Op{
+		{ID: "c", Priority: 30},
+		{ID: "a", Priority: 10},
+		{ID: "b", Priority: 20},
+	}
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		c, err := New(tr, 1, len(ops))
+		if err != nil {
+			return err
+		}
+		for _, op := range ops {
+			if err := c.Announce(op); err != nil {
+				return err
+			}
+		}
+		order, err := drain(c)
+		if err != nil {
+			return err
+		}
+		want := []string{"a", "b", "c"}
+		for i := range want {
+			if order[i] != want[i] {
+				return fmt.Errorf("rank %d order %v", tr.Rank(), order)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverAnnounceRejected(t *testing.T) {
+	err := comm.RunRanks(1, func(tr comm.Transport) error {
+		c, err := New(tr, 1, 1)
+		if err != nil {
+			return err
+		}
+		if err := c.Announce(Op{ID: "x"}); err != nil {
+			return err
+		}
+		if err := c.Announce(Op{ID: "y"}); err == nil {
+			return fmt.Errorf("expected over-announce error")
+		}
+		// Drain the one legitimate op.
+		order, err := drain(c)
+		if err != nil {
+			return err
+		}
+		if len(order) != 1 || order[0] != "x" {
+			return fmt.Errorf("order %v", order)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroExpectedTerminatesImmediately(t *testing.T) {
+	err := comm.RunRanks(2, func(tr comm.Transport) error {
+		c, err := New(tr, 1, 0)
+		if err != nil {
+			return err
+		}
+		order, err := drain(c)
+		if err != nil {
+			return err
+		}
+		if len(order) != 0 {
+			return fmt.Errorf("order %v", order)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random op sets, priorities and world sizes, every rank sees
+// the same dispatch order, the order is a permutation of the op set, and no
+// op is dispatched before every rank has announced it (implied by protocol
+// but asserted via causality: a rank that delays one announcement delays
+// that op's dispatch past the announcement).
+func TestNegotiationConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		k := 1 + rng.Intn(8)
+		ops := make([]Op, k)
+		for i := range ops {
+			ops[i] = Op{ID: fmt.Sprintf("op-%d", i), Priority: rng.Intn(5)}
+		}
+		orders := make([][]string, n)
+		var mu sync.Mutex
+		err := comm.RunRanks(n, func(tr comm.Transport) error {
+			c, err := New(tr, 7, k)
+			if err != nil {
+				return err
+			}
+			go func() {
+				perm := rand.New(rand.NewSource(seed + int64(tr.Rank()))).Perm(k)
+				for _, i := range perm {
+					_ = c.Announce(ops[i])
+				}
+			}()
+			order, err := drain(c)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			orders[tr.Rank()] = order
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, id := range orders[0] {
+			if seen[id] {
+				return false // duplicate dispatch
+			}
+			seen[id] = true
+		}
+		if len(seen) != k {
+			return false
+		}
+		for r := 1; r < n; r++ {
+			for i := range orders[0] {
+				if orders[r][i] != orders[0][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegotiationOverTCP(t *testing.T) {
+	const n = 3
+	ops := []Op{{ID: "g1", Priority: 2}, {ID: "g2", Priority: 1}}
+	err := comm.RunRanksTCP(n, func(tr comm.Transport) error {
+		c, err := New(tr, 1, len(ops))
+		if err != nil {
+			return err
+		}
+		go func() {
+			for _, op := range ops {
+				_ = c.Announce(op)
+			}
+		}()
+		order, err := drain(c)
+		if err != nil {
+			return err
+		}
+		if len(order) != 2 {
+			return fmt.Errorf("order %v", order)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMismatchedIDsDetected(t *testing.T) {
+	// Ranks announce different op ids: the negotiation can never complete,
+	// and the coordinator must detect it instead of hanging.
+	err := comm.RunRanks(2, func(tr comm.Transport) error {
+		c, err := New(tr, 1, 1)
+		if err != nil {
+			return err
+		}
+		if err := c.Announce(Op{ID: fmt.Sprintf("only-rank-%d", tr.Rank())}); err != nil {
+			return err
+		}
+		_, err = drain(c)
+		if tr.Rank() == 0 {
+			if err == nil {
+				return fmt.Errorf("coordinator should report the mismatch")
+			}
+			return nil
+		}
+		// Peers are terminated cleanly.
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundsPipelineEarlyOps(t *testing.T) {
+	// An op ready on all ranks early must dispatch before ops announced
+	// later — the consumer can start executing while producers continue.
+	const n = 2
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		c, err := New(tr, 1, 2)
+		if err != nil {
+			return err
+		}
+		if err := c.Announce(Op{ID: "early", Priority: 5}); err != nil {
+			return err
+		}
+		id, ok, err := c.Next()
+		if err != nil || !ok || id != "early" {
+			return fmt.Errorf("first dispatch = %q ok=%v err=%v", id, ok, err)
+		}
+		// Announce the second op only after the first dispatched.
+		if err := c.Announce(Op{ID: "late", Priority: 0}); err != nil {
+			return err
+		}
+		id, ok, err = c.Next()
+		if err != nil || !ok || id != "late" {
+			return fmt.Errorf("second dispatch = %q ok=%v err=%v", id, ok, err)
+		}
+		if _, ok, _ := c.Next(); ok {
+			return fmt.Errorf("expected done")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExecutesAllInOrder(t *testing.T) {
+	ops := []Op{{ID: "b", Priority: 2}, {ID: "a", Priority: 1}}
+	err := comm.RunRanks(2, func(tr comm.Transport) error {
+		c, err := New(tr, 1, len(ops))
+		if err != nil {
+			return err
+		}
+		for _, op := range ops {
+			if err := c.Announce(op); err != nil {
+				return err
+			}
+		}
+		var got []string
+		if err := c.Run(func(id string) error {
+			got = append(got, id)
+			return nil
+		}); err != nil {
+			return err
+		}
+		if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+			return fmt.Errorf("order %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStopsOnExecError(t *testing.T) {
+	err := comm.RunRanks(1, func(tr comm.Transport) error {
+		c, err := New(tr, 1, 1)
+		if err != nil {
+			return err
+		}
+		if err := c.Announce(Op{ID: "x"}); err != nil {
+			return err
+		}
+		err = c.Run(func(string) error { return fmt.Errorf("exec boom") })
+		if err == nil {
+			return fmt.Errorf("expected exec error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package data
+
+import (
+	"testing"
+	"testing/quick"
+
+	"embrace/internal/tensor"
+)
+
+func testConfig() Config {
+	return Config{
+		VocabSize:      1000,
+		BatchSentences: 16,
+		MaxSeqLen:      20,
+		MinSeqLen:      5,
+		ZipfS:          1.3,
+		ZipfV:          2,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.VocabSize = 1 },
+		func(c *Config) { c.BatchSentences = 0 },
+		func(c *Config) { c.MinSeqLen = 0 },
+		func(c *Config) { c.MaxSeqLen = 3; c.MinSeqLen = 5 },
+		func(c *Config) { c.ZipfS = 1.0 },
+		func(c *Config) { c.ZipfV = 0.5 },
+	}
+	for i, mutate := range bad {
+		c := testConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := NewGenerator(testConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := NewGenerator(testConfig(), 42)
+	b1, b2 := g1.NextBatch(), g2.NextBatch()
+	if b1.NonPad != b2.NonPad {
+		t.Fatal("same seed must give same batch")
+	}
+	for i := range b1.Sentences {
+		for j := range b1.Sentences[i] {
+			if b1.Sentences[i][j] != b2.Sentences[i][j] {
+				t.Fatal("same seed must give same tokens")
+			}
+		}
+	}
+	g3, _ := NewGenerator(testConfig(), 43)
+	b3 := g3.NextBatch()
+	same := true
+	for i := range b1.Sentences {
+		for j := range b1.Sentences[i] {
+			if b1.Sentences[i][j] != b3.Sentences[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestBatchShapeAndPadding(t *testing.T) {
+	cfg := testConfig()
+	g, _ := NewGenerator(cfg, 1)
+	b := g.NextBatch()
+	if len(b.Sentences) != cfg.BatchSentences {
+		t.Fatalf("batch has %d sentences", len(b.Sentences))
+	}
+	nonPad := 0
+	for _, s := range b.Sentences {
+		if len(s) != cfg.MaxSeqLen {
+			t.Fatalf("sentence length %d != %d", len(s), cfg.MaxSeqLen)
+		}
+		// Tokens must be in range, padding only at the tail.
+		seenPad := false
+		for _, tok := range s {
+			if tok < 0 || tok >= int64(cfg.VocabSize) {
+				t.Fatalf("token %d out of vocab", tok)
+			}
+			if tok == PadID {
+				seenPad = true
+			} else {
+				if seenPad {
+					t.Fatal("real token after padding started")
+				}
+				nonPad++
+			}
+		}
+	}
+	if nonPad != b.NonPad {
+		t.Fatalf("NonPad = %d, counted %d", b.NonPad, nonPad)
+	}
+	if b.TotalTokens() != cfg.BatchSentences*cfg.MaxSeqLen {
+		t.Fatalf("TotalTokens = %d", b.TotalTokens())
+	}
+}
+
+func TestZipfSkewProducesDuplicates(t *testing.T) {
+	// The whole premise of coalescing: a Zipf batch has far fewer unique
+	// tokens than total tokens.
+	g, _ := NewGenerator(testConfig(), 7)
+	b := g.NextBatch()
+	u := b.Unique()
+	if len(u) >= b.TotalTokens()/2 {
+		t.Fatalf("expected heavy duplication, got %d unique of %d", len(u), b.TotalTokens())
+	}
+}
+
+func TestUniqueSortedAndDeduped(t *testing.T) {
+	g, _ := NewGenerator(testConfig(), 9)
+	b := g.NextBatch()
+	u := b.Unique()
+	for i := 1; i < len(u); i++ {
+		if u[i] <= u[i-1] {
+			t.Fatal("Unique must be sorted strictly increasing")
+		}
+	}
+	set := tensor.ToSet(b.Tokens())
+	if len(set) != len(u) {
+		t.Fatalf("unique count %d != set size %d", len(u), len(set))
+	}
+}
+
+func TestLoaderPrefetchSemantics(t *testing.T) {
+	g, _ := NewGenerator(testConfig(), 3)
+	l := NewLoader(g)
+	peeked := l.Peek()
+	got := l.Next()
+	if peeked != got {
+		t.Fatal("Next must return the previously peeked batch")
+	}
+	if l.Peek() == got {
+		t.Fatal("Peek must advance after Next")
+	}
+	// Loader stream must equal the raw generator stream with same seed.
+	g2, _ := NewGenerator(testConfig(), 3)
+	want := g2.NextBatch()
+	for i := range want.Sentences {
+		for j := range want.Sentences[i] {
+			if got.Sentences[i][j] != want.Sentences[i][j] {
+				t.Fatal("loader must not reorder batches")
+			}
+		}
+	}
+}
+
+func TestComputeBatchStatsInvariants(t *testing.T) {
+	// Property: coalesced <= original; prior+delayed == coalesced;
+	// prior <= |next unique|.
+	f := func(seed int64) bool {
+		g, err := NewGenerator(testConfig(), seed)
+		if err != nil {
+			return false
+		}
+		l := NewLoader(g)
+		cur := l.Next()
+		next := l.Peek()
+		st := ComputeBatchStats(cur, next)
+		if st.CoalescedRows > st.OriginalRows {
+			return false
+		}
+		if st.PriorRows+st.DelayedRows != st.CoalescedRows {
+			return false
+		}
+		if st.PriorRows > len(next.Unique()) {
+			return false
+		}
+		return st.PriorRows >= 0 && st.DelayedRows >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchStatsIntersectionIsMeaningful(t *testing.T) {
+	// With a skewed Zipf the hot head tokens recur across consecutive
+	// batches, so the prior part must be non-empty but smaller than the
+	// coalesced set (the Table-3 "Prioritized" column is strictly between
+	// zero and the coalesced size).
+	g, _ := NewGenerator(testConfig(), 11)
+	l := NewLoader(g)
+	cur := l.Next()
+	st := ComputeBatchStats(cur, l.Peek())
+	if st.PriorRows == 0 {
+		t.Fatal("expected hot tokens shared across batches")
+	}
+	if st.PriorRows >= st.CoalescedRows {
+		t.Fatal("expected some delayed rows")
+	}
+}
+
+func TestNewGeneratorRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.ZipfS = 0.9
+	if _, err := NewGenerator(cfg, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,38 @@
+package data_test
+
+import (
+	"fmt"
+
+	"embrace/internal/data"
+)
+
+// The tokenizer assigns ids by descending frequency — the convention the
+// partitioning analysis (§4.1.1) and the Zipf workloads both assume.
+func ExampleBuildTokenizer() {
+	tok, _ := data.BuildTokenizer("the cat sat on the mat the cat ran", 16)
+	ids := tok.Encode("the cat ran fast", 6)
+	fmt.Println(ids)             // "fast" is OOV -> unk (1); pads fill to 6
+	fmt.Println(tok.Decode(ids)) // pads drop on decode
+	fmt.Println(tok.VocabSize() > 4)
+	// Output:
+	// [2 3 6 1 0 0]
+	// the cat ran <unk>
+	// true
+}
+
+// Algorithm 1's statistics over consecutive batches: the coalesced gradient
+// is smaller than the raw one, and the prior part smaller still.
+func ExampleComputeBatchStats() {
+	gen, _ := data.NewGenerator(data.Config{
+		VocabSize: 1000, BatchSentences: 16,
+		MaxSeqLen: 20, MinSeqLen: 10, ZipfS: 1.5, ZipfV: 2,
+	}, 42)
+	l := data.NewLoader(gen)
+	cur := l.Next()
+	st := data.ComputeBatchStats(cur, l.Peek())
+	fmt.Println(st.CoalescedRows < st.OriginalRows)
+	fmt.Println(st.PriorRows+st.DelayedRows == st.CoalescedRows)
+	// Output:
+	// true
+	// true
+}

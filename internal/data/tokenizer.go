@@ -1,0 +1,188 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tokenizer maps real text to the token-id space the training stack
+// consumes — the stand-in for the SentencePiece tokenizer the paper's
+// models use (Kudo & Richardson, cited in §4.2.2). Ids are assigned by
+// descending corpus frequency, the convention the partition analysis and
+// the Zipf generator both assume: low ids are hot.
+type Tokenizer struct {
+	// byWord maps a word to its id; byID the inverse.
+	byWord map[string]int64
+	byID   []string
+}
+
+// Reserved token ids.
+const (
+	// PadID (0) pads sentences; UnkID (1) covers out-of-vocabulary words.
+	UnkID int64 = 1
+	// firstWordID is the first id assigned to corpus words.
+	firstWordID int64 = 2
+)
+
+// padToken and unkToken are the surface forms of the reserved ids.
+const (
+	padToken = "<pad>"
+	unkToken = "<unk>"
+)
+
+// BuildTokenizer learns a vocabulary from a whitespace-tokenized corpus,
+// keeping the maxVocab-2 most frequent words (ties broken alphabetically
+// for determinism) below the reserved pad/unk ids.
+func BuildTokenizer(corpus string, maxVocab int) (*Tokenizer, error) {
+	if maxVocab < int(firstWordID)+1 {
+		return nil, fmt.Errorf("data: vocab %d too small (need >= %d)", maxVocab, firstWordID+1)
+	}
+	counts := map[string]int{}
+	for _, w := range strings.Fields(corpus) {
+		counts[strings.ToLower(w)]++
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("data: empty corpus")
+	}
+	words := make([]string, 0, len(counts))
+	for w := range counts {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(i, j int) bool {
+		if counts[words[i]] != counts[words[j]] {
+			return counts[words[i]] > counts[words[j]]
+		}
+		return words[i] < words[j]
+	})
+	keep := maxVocab - int(firstWordID)
+	if keep > len(words) {
+		keep = len(words)
+	}
+	t := &Tokenizer{
+		byWord: make(map[string]int64, keep),
+		byID:   make([]string, int(firstWordID)+keep),
+	}
+	t.byID[PadID] = padToken
+	t.byID[UnkID] = unkToken
+	for i, w := range words[:keep] {
+		id := firstWordID + int64(i)
+		t.byWord[w] = id
+		t.byID[id] = w
+	}
+	return t, nil
+}
+
+// VocabSize returns the id-space size including pad and unk.
+func (t *Tokenizer) VocabSize() int { return len(t.byID) }
+
+// Encode converts a sentence to token ids, padding or truncating to maxLen.
+func (t *Tokenizer) Encode(sentence string, maxLen int) []int64 {
+	out := make([]int64, 0, maxLen)
+	for _, w := range strings.Fields(sentence) {
+		if len(out) == maxLen {
+			break
+		}
+		id, ok := t.byWord[strings.ToLower(w)]
+		if !ok {
+			id = UnkID
+		}
+		out = append(out, id)
+	}
+	for len(out) < maxLen {
+		out = append(out, PadID)
+	}
+	return out
+}
+
+// Decode converts token ids back to a space-joined sentence, dropping pads.
+func (t *Tokenizer) Decode(ids []int64) string {
+	var sb strings.Builder
+	for _, id := range ids {
+		if id == PadID {
+			continue
+		}
+		word := unkToken
+		if id >= 0 && int(id) < len(t.byID) && t.byID[id] != "" {
+			word = t.byID[id]
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(word)
+	}
+	return sb.String()
+}
+
+// EncodeBatch turns sentences into a padded training Batch with the given
+// maximum length, ready for the trainer.
+func (t *Tokenizer) EncodeBatch(sentences []string, maxLen int) (*Batch, error) {
+	if len(sentences) == 0 {
+		return nil, fmt.Errorf("data: empty batch")
+	}
+	if maxLen <= 0 {
+		return nil, fmt.Errorf("data: maxLen must be positive, got %d", maxLen)
+	}
+	b := &Batch{Sentences: make([][]int64, len(sentences))}
+	for i, s := range sentences {
+		ids := t.Encode(s, maxLen)
+		b.Sentences[i] = ids
+		for _, id := range ids {
+			if id != PadID {
+				b.NonPad++
+			}
+		}
+	}
+	return b, nil
+}
+
+// TextLoader streams batches from real tokenized text with one batch of
+// lookahead, mirroring Loader's prefetch contract (Peek exposes the next
+// batch for Algorithm 1). Sentences cycle endlessly in order, so runs are
+// deterministic; rank-striding (offset, stride) partitions one corpus
+// across data-parallel workers.
+type TextLoader struct {
+	batches []*Batch
+	pos     int
+}
+
+// NewTextLoader tokenizes sentences into fixed batches of `batchSentences`
+// padded rows of maxLen, taking every stride-th sentence starting at
+// offset (rank r of N passes offset=r, stride=N).
+func NewTextLoader(tok *Tokenizer, sentences []string, batchSentences, maxLen, offset, stride int) (*TextLoader, error) {
+	if batchSentences <= 0 || maxLen <= 0 {
+		return nil, fmt.Errorf("data: need positive batch (%d) and maxLen (%d)", batchSentences, maxLen)
+	}
+	if stride <= 0 || offset < 0 || offset >= stride {
+		return nil, fmt.Errorf("data: bad shard offset=%d stride=%d", offset, stride)
+	}
+	var mine []string
+	for i := offset; i < len(sentences); i += stride {
+		mine = append(mine, sentences[i])
+	}
+	if len(mine) < batchSentences {
+		return nil, fmt.Errorf("data: shard has %d sentences, need at least %d", len(mine), batchSentences)
+	}
+	l := &TextLoader{}
+	for start := 0; start+batchSentences <= len(mine); start += batchSentences {
+		b, err := tok.EncodeBatch(mine[start:start+batchSentences], maxLen)
+		if err != nil {
+			return nil, err
+		}
+		l.batches = append(l.batches, b)
+	}
+	return l, nil
+}
+
+// Next returns the current batch and advances, cycling at the end.
+func (l *TextLoader) Next() *Batch {
+	b := l.batches[l.pos]
+	l.pos = (l.pos + 1) % len(l.batches)
+	return b
+}
+
+// Peek returns the batch the next Next call will return.
+func (l *TextLoader) Peek() *Batch { return l.batches[l.pos] }
+
+// Batches returns the number of distinct batches per epoch.
+func (l *TextLoader) Batches() int { return len(l.batches) }

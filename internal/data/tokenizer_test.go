@@ -1,0 +1,181 @@
+package data
+
+import (
+	"strings"
+	"testing"
+)
+
+const corpus = "the cat sat on the mat the cat ran and the dog sat"
+
+func TestBuildTokenizerFrequencyOrder(t *testing.T) {
+	tok, err := BuildTokenizer(corpus, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "the" (4x) must get the first word id; then "cat"/"sat" (2x each,
+	// alphabetical tie-break).
+	if got := tok.Encode("the", 1)[0]; got != firstWordID {
+		t.Fatalf("'the' id = %d, want %d", got, firstWordID)
+	}
+	if got := tok.Encode("cat", 1)[0]; got != firstWordID+1 {
+		t.Fatalf("'cat' id = %d, want %d", got, firstWordID+1)
+	}
+	if got := tok.Encode("sat", 1)[0]; got != firstWordID+2 {
+		t.Fatalf("'sat' id = %d, want %d", got, firstWordID+2)
+	}
+}
+
+func TestBuildTokenizerValidation(t *testing.T) {
+	if _, err := BuildTokenizer("", 20); err == nil {
+		t.Fatal("expected empty-corpus error")
+	}
+	if _, err := BuildTokenizer(corpus, 2); err == nil {
+		t.Fatal("expected tiny-vocab error")
+	}
+}
+
+func TestVocabCap(t *testing.T) {
+	tok, err := BuildTokenizer(corpus, 5) // pad + unk + 3 words
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.VocabSize() != 5 {
+		t.Fatalf("vocab = %d", tok.VocabSize())
+	}
+	// A rare word must map to unk under the cap.
+	if got := tok.Encode("dog", 1)[0]; got != UnkID {
+		t.Fatalf("'dog' id = %d, want unk", got)
+	}
+}
+
+func TestEncodePadTruncate(t *testing.T) {
+	tok, _ := BuildTokenizer(corpus, 20)
+	ids := tok.Encode("the cat", 4)
+	if len(ids) != 4 || ids[2] != PadID || ids[3] != PadID {
+		t.Fatalf("ids = %v", ids)
+	}
+	ids = tok.Encode("the cat sat on the mat", 3)
+	if len(ids) != 3 {
+		t.Fatalf("truncated ids = %v", ids)
+	}
+	for _, id := range ids {
+		if id == PadID {
+			t.Fatal("truncated encoding must not pad")
+		}
+	}
+}
+
+func TestEncodeUnknownAndCase(t *testing.T) {
+	tok, _ := BuildTokenizer(corpus, 20)
+	ids := tok.Encode("THE zebra", 2)
+	if ids[0] != firstWordID {
+		t.Fatal("encoding must be case-insensitive")
+	}
+	if ids[1] != UnkID {
+		t.Fatalf("unknown word id = %d, want unk", ids[1])
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	tok, _ := BuildTokenizer(corpus, 20)
+	got := tok.Decode(tok.Encode("the dog ran", 6))
+	if got != "the dog ran" {
+		t.Fatalf("round trip = %q", got)
+	}
+	// Pads drop, unknown ids render as <unk>.
+	if got := tok.Decode([]int64{PadID, UnkID, 999}); got != "<unk> <unk>" {
+		t.Fatalf("decode = %q", got)
+	}
+}
+
+func TestEncodeBatch(t *testing.T) {
+	tok, _ := BuildTokenizer(corpus, 20)
+	b, err := tok.EncodeBatch([]string{"the cat sat", "the dog"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Sentences) != 2 || len(b.Sentences[0]) != 5 {
+		t.Fatalf("batch shape %dx%d", len(b.Sentences), len(b.Sentences[0]))
+	}
+	if b.NonPad != 5 {
+		t.Fatalf("NonPad = %d, want 5", b.NonPad)
+	}
+	// The batch feeds the same machinery as the synthetic generator.
+	u := b.Unique()
+	if len(u) == 0 || u[0] != PadID {
+		t.Fatalf("unique = %v", u)
+	}
+	if _, err := tok.EncodeBatch(nil, 5); err == nil {
+		t.Fatal("expected empty-batch error")
+	}
+	if _, err := tok.EncodeBatch([]string{"x"}, 0); err == nil {
+		t.Fatal("expected maxLen error")
+	}
+}
+
+func TestTokenizerFrequencySortedForPartitioning(t *testing.T) {
+	// Property the §4.1.1 analysis relies on: ids sorted by frequency, so
+	// low ids are the hot head.
+	big := strings.Repeat("alpha ", 50) + strings.Repeat("beta ", 20) + strings.Repeat("gamma ", 5) + "delta"
+	tok, err := BuildTokenizer(big, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 1; i < len(order); i++ {
+		a := tok.Encode(order[i-1], 1)[0]
+		b := tok.Encode(order[i], 1)[0]
+		if a >= b {
+			t.Fatalf("%s (%d) should precede %s (%d)", order[i-1], a, order[i], b)
+		}
+	}
+}
+
+func TestTextLoaderShardingAndCycling(t *testing.T) {
+	tok, _ := BuildTokenizer(corpus, 20)
+	sentences := []string{
+		"the cat sat", "the dog ran", "the mat sat", "the cat ran",
+		"the dog sat", "the mat ran",
+	}
+	// Two shards of a 6-sentence corpus, 1 batch of 3 each.
+	l0, err := NewTextLoader(tok, sentences, 3, 4, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := NewTextLoader(tok, sentences, 3, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l0.Batches() != 1 || l1.Batches() != 1 {
+		t.Fatalf("batches %d %d", l0.Batches(), l1.Batches())
+	}
+	// Shard 0 holds even-indexed sentences.
+	b := l0.Next()
+	if got := tok.Decode(b.Sentences[0]); got != "the cat sat" {
+		t.Fatalf("shard 0 first = %q", got)
+	}
+	if got := tok.Decode(l1.Peek().Sentences[0]); got != "the dog ran" {
+		t.Fatalf("shard 1 first = %q", got)
+	}
+	// Cycles: Peek==Next forever on a single-batch shard.
+	if l0.Peek() != l0.Next() {
+		t.Fatal("prefetch contract broken")
+	}
+}
+
+func TestNewTextLoaderValidation(t *testing.T) {
+	tok, _ := BuildTokenizer(corpus, 20)
+	ss := []string{"the cat", "the dog"}
+	if _, err := NewTextLoader(tok, ss, 0, 4, 0, 1); err == nil {
+		t.Fatal("expected batch error")
+	}
+	if _, err := NewTextLoader(tok, ss, 1, 0, 0, 1); err == nil {
+		t.Fatal("expected maxLen error")
+	}
+	if _, err := NewTextLoader(tok, ss, 1, 4, 2, 2); err == nil {
+		t.Fatal("expected offset error")
+	}
+	if _, err := NewTextLoader(tok, ss, 5, 4, 0, 1); err == nil {
+		t.Fatal("expected too-few-sentences error")
+	}
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"embrace/internal/data"
+	"embrace/internal/modelzoo"
+	"embrace/internal/partition"
+)
+
+// PartitionRow reports the load-balance ablation of §4.1.1 for one model:
+// how each embedding-partitioning scheme distributes lookup work over 8
+// shards under the model's real batch statistics.
+type PartitionRow struct {
+	Model string
+	Stats []partition.Stats
+}
+
+// RunPartitionAblation evaluates row-range, row-hash and column-wise
+// partitioning on every model's workload with 8 shards — the design-choice
+// ablation behind the paper's column-wise decision.
+func RunPartitionAblation() ([]PartitionRow, error) {
+	const shards = 8
+	var out []PartitionRow
+	for _, m := range modelzoo.All() {
+		gen, err := data.NewGenerator(m.WorkloadConfig(modelzoo.RTX3090), 42)
+		if err != nil {
+			return nil, err
+		}
+		batches := make([][]int64, 10)
+		for i := range batches {
+			batches[i] = gen.NextBatch().Tokens()
+		}
+		stats, err := partition.Compare(batches, m.Vocab, shards)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PartitionRow{Model: m.Name, Stats: stats})
+	}
+	return out, nil
+}
+
+// RenderPartitionAblation prints per-model imbalance factors. The imbalance
+// factor directly scales the embedding AlltoAll time (the exchange finishes
+// when the hottest shard finishes), so column-wise's 1.0 is the §4.1.1
+// "balance loads naturally" claim made quantitative.
+func RenderPartitionAblation(w io.Writer) error {
+	rows, err := RunPartitionAblation()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "embedding-lookup load imbalance over 8 shards (max/mean; 1.0 = perfect):")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12s", r.Model)
+		for _, s := range r.Stats {
+			fmt.Fprintf(w, "  %s=%.2f", s.Scheme, s.Imbalance)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) from this repository's substrates. Each experiment has a
+// Run function returning structured results plus a renderer that prints
+// paper-style rows, and the registry maps experiment ids (table1, fig7, ...)
+// to runners for the embrace-bench CLI.
+//
+// Absolute numbers come from simulators rather than the authors' testbed, so
+// EXPERIMENTS.md compares shapes — orderings, ratios, crossovers — against
+// the published values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one experiment and writes its rendered output.
+type Runner func(w io.Writer) error
+
+// registry maps experiment ids to runners.
+var registry = map[string]struct {
+	Title string
+	Run   Runner
+}{
+	"table1": {"Table 1: model and embedding sizes", RenderTable1},
+	"table2": {"Table 2: analytic communication costs", RenderTable2},
+	"table3": {"Table 3: vertical-scheduling gradient sizes", RenderTable3},
+	"fig1":   {"Figure 1: sparse data movement, AllReduce vs AllGather", RenderFigure1},
+	"fig4":   {"Figure 4: embedding communication vs sparsity", RenderFigure4},
+	"fig5":   {"Figure 5: module dependency graph under hybrid communication", RenderFigure5},
+	"fig6":   {"Figure 6: execution timelines per scheduling mode", RenderFigure6},
+	"fig7":   {"Figure 7: end-to-end training throughput", RenderFigure7},
+	"fig8":   {"Figure 8: computation stall, normalized", RenderFigure8},
+	"fig9":   {"Figure 9: ablation of EmbRace optimizations", RenderFigure9},
+	"fig10":  {"Figure 10: scaling efficiency", RenderFigure10},
+	"fig11":  {"Figure 11: convergence, EmbRace vs AllGather", RenderFigure11},
+	"partition": {
+		"Ablation: row-wise vs column-wise embedding partitioning (§4.1.1)",
+		RenderPartitionAblation,
+	},
+	"giant": {
+		"Extension: giant-model (LM-XL) scale sweep (conclusion)",
+		RenderGiant,
+	},
+	"bandwidth": {
+		"Extension: inter-node bandwidth sensitivity",
+		RenderBandwidth,
+	},
+	"batch": {
+		"Extension: batch-size sensitivity (§5.3 mechanism)",
+		RenderBatch,
+	},
+}
+
+// IDs returns the experiment ids in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns the human title of an experiment id.
+func Title(id string) (string, error) {
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e.Title, nil
+}
+
+// Run executes the experiment with the given id, writing rendered output.
+func Run(id string, w io.Writer) error {
+	e, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	fmt.Fprintf(w, "=== %s ===\n", e.Title)
+	return e.Run(w)
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(w io.Writer) error {
+	for _, id := range IDs() {
+		if err := Run(id, w); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

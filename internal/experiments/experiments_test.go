@@ -1,0 +1,460 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"embrace/internal/modelzoo"
+	"embrace/internal/perfsim"
+)
+
+func TestRegistryRunsEverything(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 16 {
+		t.Fatalf("expected 16 experiments, have %d: %v", len(ids), ids)
+	}
+	for _, id := range ids {
+		if _, err := Title(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Title("nope"); err == nil {
+		t.Fatal("expected unknown-id error")
+	}
+	if err := Run("nope", io.Discard); err == nil {
+		t.Fatal("expected unknown-id error")
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := RunTable1()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0].Model != "LM" || rows[0].RatioPercent < 97 || rows[0].RatioPercent > 98 {
+		t.Fatalf("LM row %+v", rows[0])
+	}
+	// Ratio ordering of the paper: LM > GNMT-8 > Transformer > BERT-base.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].RatioPercent >= rows[i-1].RatioPercent {
+			t.Fatalf("ratio ordering broken at %s", rows[i].Model)
+		}
+	}
+}
+
+func TestTable2Ordering(t *testing.T) {
+	rows := RunTable2()
+	byName := map[string]float64{}
+	for _, r := range rows {
+		if r.Seconds <= 0 {
+			t.Fatalf("%s: non-positive cost", r.Approach)
+		}
+		byName[r.Approach] = r.Seconds
+	}
+	// At the sparse reference point AlltoAll must be cheapest and dense
+	// AllReduce the most expensive of the collective family (§4.1.2).
+	if !(byName["AlltoAll"] < byName["PS"] && byName["AlltoAll"] < byName["AllGather"] && byName["AlltoAll"] < byName["AllReduce"]) {
+		t.Fatalf("AlltoAll must win at the reference point: %v", byName)
+	}
+}
+
+func TestTable3ReductionsHold(t *testing.T) {
+	rows, err := RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !(r.PriorityMB < r.CoalescedMB && r.CoalescedMB < r.OriginalMB) {
+			t.Fatalf("%s: reductions not monotone: %+v", r.Model, r)
+		}
+		if r.SparsityPercent <= 0 || r.SparsityPercent >= 100 {
+			t.Fatalf("%s: sparsity %v", r.Model, r.SparsityPercent)
+		}
+	}
+}
+
+func TestFigure1VolumesAndAgreement(t *testing.T) {
+	r, err := RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ResultsAgree {
+		t.Fatal("AllReduce and AllGather disagreed on the sum")
+	}
+	if r.DenseZerosTransmited <= 0 {
+		t.Fatal("dense aggregation should move zeros")
+	}
+	for _, b := range r.SparseBytesPerRank {
+		if b >= r.DenseBytesPerRank {
+			t.Fatal("sparse payload should undercut dense payload in the example")
+		}
+	}
+}
+
+func TestFigure4Crossovers(t *testing.T) {
+	topoA, topoB := Figure4Topologies()
+
+	// (a) 2 nodes x 4 GPUs: the paper reports AlltoAll winning "when the
+	// sparsity is greater than 40%" — so it must be fastest strictly above
+	// the 40% point, and the AllReduce crossover must sit in (20%, 60%).
+	a, err := RunFigure4(topoA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range a {
+		if p.Sparsity > 0.4 {
+			if p.AllToAllMS >= p.AllReduceMS || p.AllToAllMS >= p.AllGatherMS || p.AllToAllMS >= p.PSMS {
+				t.Fatalf("(a) sparsity %.0f%%: AlltoAll not fastest: %+v", p.Sparsity*100, p)
+			}
+		}
+		if p.Sparsity <= 0.2 && p.AllToAllMS < p.AllReduceMS {
+			t.Fatalf("(a) sparsity %.0f%%: crossover too early (AlltoAll %.1f < AllReduce %.1f)",
+				p.Sparsity*100, p.AllToAllMS, p.AllReduceMS)
+		}
+		if p.OmniReduceMS != 0 {
+			t.Fatal("(a) OmniReduce must be unavailable on multi-GPU nodes")
+		}
+	}
+
+	// (b) 4 nodes x 1 GPU: AlltoAll best at every sparsity; OmniReduce
+	// decreasing with sparsity but never below AlltoAll.
+	b, err := RunFigure4(topoB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range b {
+		if p.AllToAllMS > p.AllReduceMS || p.AllToAllMS > p.AllGatherMS || p.AllToAllMS > p.PSMS || p.AllToAllMS > p.OmniReduceMS {
+			t.Fatalf("(b) sparsity %.0f%%: AlltoAll not fastest: %+v", p.Sparsity*100, p)
+		}
+		if i > 0 && p.OmniReduceMS > b[i-1].OmniReduceMS {
+			t.Fatal("(b) OmniReduce must improve with sparsity")
+		}
+	}
+}
+
+func TestFigure6StallImproves(t *testing.T) {
+	tls, err := RunFigure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tls) != 3 {
+		t.Fatalf("%d timelines", len(tls))
+	}
+	def, twoD := tls[0].Metrics, tls[2].Metrics
+	if twoD.StepTime > def.StepTime+1e-12 {
+		t.Fatalf("2D step (%v) must not exceed default (%v)", twoD.StepTime, def.StepTime)
+	}
+}
+
+func TestFigure7EmbRaceAlwaysWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full grid is slow-ish under -short")
+	}
+	groups, err := RunFigure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2*4*3 {
+		t.Fatalf("%d groups", len(groups))
+	}
+	for _, g := range groups {
+		last := g.Cells[len(g.Cells)-1]
+		if last.Strategy != perfsim.StratEmbRace {
+			t.Fatal("EmbRace must be the last cell")
+		}
+		if last.SpeedupVsBest < 1.0 {
+			t.Errorf("%s@%s/%d: EmbRace speedup %.3f < 1", g.Model, g.GPU, g.GPUs, last.SpeedupVsBest)
+		}
+		if last.SpeedupVsBest > 3.0 {
+			t.Errorf("%s@%s/%d: speedup %.2f implausibly high", g.Model, g.GPU, g.GPUs, last.SpeedupVsBest)
+		}
+	}
+}
+
+func TestFigure8StallRatiosAtLeastOne(t *testing.T) {
+	rows, err := RunFigure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		for strat, ratio := range r.StallVsEmbRace {
+			if ratio < 1.0-1e-9 {
+				t.Errorf("%s@%s: %v stall ratio %.3f < 1 (EmbRace must have the least stall)",
+					r.Model, r.GPU, strat, ratio)
+			}
+		}
+		if r.EmbRaceStallMS < 0 {
+			t.Errorf("%s@%s: negative stall", r.Model, r.GPU)
+		}
+	}
+}
+
+func TestFigure9AblationMonotone(t *testing.T) {
+	for _, gpus := range []int{4, 16} {
+		rows, err := RunFigure9(gpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			// Hybrid communication alone must already beat AllGather, and
+			// full 2D must be at least as good as no scheduling.
+			if r.NoSched < 1.0 {
+				t.Errorf("%d GPUs %s: hybrid comm below AllGather (%.3f)", gpus, r.Model, r.NoSched)
+			}
+			if r.TwoD < r.NoSched-1e-9 {
+				t.Errorf("%d GPUs %s: 2D (%.3f) below no-sched (%.3f)", gpus, r.Model, r.TwoD, r.NoSched)
+			}
+		}
+	}
+}
+
+func TestFigure10ScalingBounds(t *testing.T) {
+	rows, err := RunFigure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.EmbRaceScale <= 1.0 || r.EmbRaceScale > r.Ideal+1e-9 {
+			t.Errorf("%s@%d: EmbRace scaling %.2f out of (1, %.1f]", r.Model, r.GPUs, r.EmbRaceScale, r.Ideal)
+		}
+		if r.BaselineScale <= 0 {
+			t.Errorf("%s@%d: baseline scaling %.2f", r.Model, r.GPUs, r.BaselineScale)
+		}
+	}
+	// LM must use Parallax as the §5.6 competitor.
+	for _, r := range rows {
+		if r.Model == "LM" && r.Baseline != perfsim.StratParallax {
+			t.Errorf("LM baseline = %v, want Parallax", r.Baseline)
+		}
+	}
+}
+
+func TestFigure11ConvergenceIdentical(t *testing.T) {
+	res, err := RunFigure11(20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.7: the modified Adam keeps EmbRace's split updates exactly
+	// equivalent, so both curves coincide to float precision.
+	if res.MaxDelta > 1e-6 {
+		t.Fatalf("convergence curves diverge by %v", res.MaxDelta)
+	}
+	// And training must actually make progress.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.EmbRacePPL >= first.EmbRacePPL {
+		t.Fatalf("PPL did not improve: %v -> %v", first.EmbRacePPL, last.EmbRacePPL)
+	}
+	if _, err := RunFigure11(2, 5); err == nil {
+		t.Fatal("expected sampling validation error")
+	}
+}
+
+func TestRenderersProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every experiment")
+	}
+	for _, id := range IDs() {
+		var buf bytes.Buffer
+		if err := Run(id, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() < 40 {
+			t.Fatalf("%s: suspiciously short output %q", id, buf.String())
+		}
+		if !strings.Contains(buf.String(), "===") {
+			t.Fatalf("%s: missing header", id)
+		}
+	}
+}
+
+func TestTokensPerStepScalesWithWorkers(t *testing.T) {
+	m := modelzoo.All()[0]
+	t4, err := tokensPerStep(m, modelzoo.RTX3090, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t16, err := tokensPerStep(m, modelzoo.RTX3090, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t16 != 4*t4 {
+		t.Fatalf("tokens/step must scale linearly with workers: %v vs %v", t4, t16)
+	}
+}
+
+func TestPartitionAblationShape(t *testing.T) {
+	rows, err := RunPartitionAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Stats) != 3 {
+			t.Fatalf("%s: %d schemes", r.Model, len(r.Stats))
+		}
+		// Column-wise must be perfectly balanced and best; row-range worst.
+		if r.Stats[0].Scheme != "column-wise" || r.Stats[0].Imbalance > 1.0+1e-9 {
+			t.Fatalf("%s: best scheme %+v", r.Model, r.Stats[0])
+		}
+		if r.Stats[2].Scheme != "row-range" || r.Stats[2].Imbalance < 2 {
+			t.Fatalf("%s: row-range should be severely imbalanced: %+v", r.Model, r.Stats[2])
+		}
+	}
+}
+
+func TestFigure11AccuracyPanel(t *testing.T) {
+	res, err := RunFigure11(30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if p.EmbRaceAcc < 0 || p.EmbRaceAcc > 1 || p.GatherAcc < 0 || p.GatherAcc > 1 {
+			t.Fatalf("accuracy out of range: %+v", p)
+		}
+		if p.EmbRaceAcc != p.GatherAcc {
+			t.Fatalf("accuracy curves must coincide (synchronous equivalence): %+v", p)
+		}
+	}
+	// Training must beat uniform guessing by the end.
+	last := res.Points[len(res.Points)-1]
+	if last.EmbRaceAcc <= 1.0/600 {
+		t.Fatalf("final accuracy %v no better than chance", last.EmbRaceAcc)
+	}
+}
+
+func TestGiantModelExtension(t *testing.T) {
+	rows, err := RunGiant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The giant model is the paper conclusion's strongest case: with
+		// 12.4 GB embeddings only EmbRace keeps its parameters on device,
+		// and the win should be at least 2x at every scale.
+		if r.SpeedupVsBest < 2.0 {
+			t.Errorf("%d GPUs: speedup %.2fx below the giant-model expectation", r.GPUs, r.SpeedupVsBest)
+		}
+		if r.EmbRaceStep <= 0 || r.BaselineStep <= r.EmbRaceStep {
+			t.Errorf("%d GPUs: bad steps %+v", r.GPUs, r)
+		}
+	}
+}
+
+func TestBandwidthSensitivityShape(t *testing.T) {
+	rows, err := RunBandwidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Slower networks must increase EmbRace's relative advantage.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].InterGbps <= rows[i-1].InterGbps {
+			t.Fatal("rows must be sorted by bandwidth")
+		}
+		if rows[i].SpeedupVsBest > rows[i-1].SpeedupVsBest+0.02 {
+			t.Fatalf("speedup should not grow with bandwidth: %.2f Gbps %.3fx -> %.2f Gbps %.3fx",
+				rows[i-1].InterGbps, rows[i-1].SpeedupVsBest, rows[i].InterGbps, rows[i].SpeedupVsBest)
+		}
+	}
+	if rows[0].SpeedupVsBest < 1.2 {
+		t.Fatalf("at 25 Gbps EmbRace should win clearly, got %.2fx", rows[0].SpeedupVsBest)
+	}
+}
+
+func TestBatchSensitivityShape(t *testing.T) {
+	rows, err := RunBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Larger batches hide more communication, so the small-batch end must
+	// beat the large-batch end clearly (§5.3's BERT story); small wiggles
+	// in the deeply comm-bound regime are allowed.
+	first, last := rows[0], rows[len(rows)-1]
+	if first.SpeedupVsBest < last.SpeedupVsBest+0.1 {
+		t.Fatalf("batch %d speedup %.3fx should clearly exceed batch %d speedup %.3fx",
+			first.BatchSentences, first.SpeedupVsBest, last.BatchSentences, last.SpeedupVsBest)
+	}
+	for _, r := range rows {
+		if r.SpeedupVsBest < 1.0 {
+			t.Fatalf("batch %d: EmbRace below baseline (%.3fx)", r.BatchSentences, r.SpeedupVsBest)
+		}
+	}
+}
+
+func TestRunJSONAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	for _, id := range IDs() {
+		var buf bytes.Buffer
+		if err := RunJSON(id, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		var parsed map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+			t.Fatalf("%s: invalid JSON: %v", id, err)
+		}
+		if parsed["experiment"] != id || parsed["result"] == nil {
+			t.Fatalf("%s: malformed envelope %v", id, parsed)
+		}
+	}
+	if err := RunJSON("nope", io.Discard); err == nil {
+		t.Fatal("expected unknown-id error")
+	}
+}
+
+func TestStructuredRegistryMatchesTextRegistry(t *testing.T) {
+	for _, id := range IDs() {
+		if _, ok := structured[id]; !ok {
+			t.Errorf("experiment %s has no structured runner", id)
+		}
+	}
+	if len(structured) != len(IDs()) {
+		t.Errorf("structured registry has %d entries, text registry %d", len(structured), len(IDs()))
+	}
+}
+
+func TestFigure5GraphStructure(t *testing.T) {
+	edges, err := RunFigure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(from, to string) bool {
+		for _, e := range edges {
+			if e.From == from && e.To == to {
+				return true
+			}
+		}
+		return false
+	}
+	// The load-bearing dependencies of the paper's Figure 5:
+	// BP produces the gradient exchanges...
+	if !has("bp:Encoder Blocks", "allreduce:Encoder Blocks") {
+		t.Error("missing BP -> dense AllReduce edge")
+	}
+	// ...Algorithm 1 gates the embedding exchanges...
+	if !has("vsched:algorithm1", "a2a-prior:Encoder Embedding") {
+		t.Error("missing vsched -> prior AlltoAll edge")
+	}
+	// ...the lookup AlltoAll feeds the embedding FP...
+	if !has("a2a-data:Encoder Embedding", "fp:Encoder Embedding") {
+		t.Error("missing Emb Data -> FP edge")
+	}
+	// ...and dense FP waits on its own AllReduce.
+	if !has("allreduce:Decoder Blocks", "fp:Decoder Blocks") {
+		t.Error("missing AllReduce -> dense FP edge")
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"embrace/internal/modelzoo"
+	"embrace/internal/perfsim"
+)
+
+// Figure5Edge is one dependency edge of the module graph.
+type Figure5Edge struct {
+	From, To string
+}
+
+// RunFigure5 derives the paper's Figure-5 module dependency graph — the
+// relationships between BP, the hybrid communication operations (Emb Grad /
+// Emb Data AlltoAll, dense AllReduce) and the next FP — from the actual task
+// graph the performance simulator builds for one EmbRace step of a
+// translation model. Edges within a step and into the next step's forward
+// pass are reported; compute-chain edges between consecutive blocks are
+// collapsed for readability, matching the paper's module-level view.
+func RunFigure5() ([]Figure5Edge, error) {
+	m, err := modelzoo.ByName("GNMT-8")
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.MeasureGradStats(modelzoo.RTX3090, 5, 42)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := modelzoo.NewCluster(modelzoo.RTX3090, 8)
+	if err != nil {
+		return nil, err
+	}
+	est, err := cl.Estimator()
+	if err != nil {
+		return nil, err
+	}
+	spec := m.PerfSpec(modelzoo.RTX3090, st, true)
+	g, _, err := perfsim.BuildJob(spec, perfsim.StratEmbRace, perfsim.Sched2D, est, 2)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collapse block-level names to Figure 5's module granularity.
+	module := func(name string) string {
+		name = strings.ReplaceAll(name, "-block-0", " Blocks")
+		name = strings.ReplaceAll(name, "-block-1", " Blocks")
+		name = strings.ReplaceAll(name, "-block-2", " Blocks")
+		name = strings.ReplaceAll(name, "-block-3", " Blocks")
+		name = strings.ReplaceAll(name, "enc-emb", "Encoder Embedding")
+		name = strings.ReplaceAll(name, "dec-emb", "Decoder Embedding")
+		name = strings.ReplaceAll(name, "enc Blocks", "Encoder Blocks")
+		name = strings.ReplaceAll(name, "dec Blocks", "Decoder Blocks")
+		return name
+	}
+
+	seen := map[string]bool{}
+	var edges []Figure5Edge
+	for _, task := range g.Tasks() {
+		if task.Step > 1 {
+			continue
+		}
+		for _, dep := range deps(g, task) {
+			from, to := module(dep), module(task.Name)
+			if from == to {
+				continue // collapsed intra-module chains
+			}
+			key := from + "->" + to
+			if !seen[key] {
+				seen[key] = true
+				edges = append(edges, Figure5Edge{From: from, To: to})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges, nil
+}
+
+// deps lists the dependency names of a task by simulating once and reading
+// start-order adjacency: perfsim does not export dep pointers, so the graph
+// builder records them for us via Tasks ordering. To keep the inspection
+// honest we re-derive edges from the builder's published Task dependencies.
+func deps(g *perfsim.Graph, t *perfsim.Task) []string {
+	return g.DepsOf(t)
+}
+
+// RenderFigure5 prints the module dependency edges.
+func RenderFigure5(w io.Writer) error {
+	edges, err := RunFigure5()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "EmbRace module dependency graph (GNMT-8, one step into the next FP):")
+	for _, e := range edges {
+		fmt.Fprintf(w, "  %-28s -> %s\n", e.From, e.To)
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"embrace/internal/collective"
+	"embrace/internal/comm"
+	"embrace/internal/modelzoo"
+	"embrace/internal/perfsim"
+	"embrace/internal/simnet"
+	"embrace/internal/tensor"
+)
+
+// Figure1Result reports the data volumes a sparse gradient generates under
+// dense AllReduce vs sparse AllGather on a small world, verified against
+// actually running both collectives to the same result.
+type Figure1Result struct {
+	Ranks                int
+	DenseBytesPerRank    int
+	SparseBytesPerRank   []int
+	AllReduceWireBytes   int // total bytes each rank transmits (ring)
+	AllGatherWireBytes   []int
+	ResultsAgree         bool
+	DenseZerosTransmited int
+}
+
+// RunFigure1 builds the Figure-1 example: 3 processes each holding a sparse
+// gradient over a 6x2 embedding, aggregated once as dense AllReduce and once
+// as sparse AllGather; both must yield the same dense sum.
+func RunFigure1() (*Figure1Result, error) {
+	const (
+		ranks = 3
+		rows  = 6
+		dim   = 2
+	)
+	rng := rand.New(rand.NewSource(11))
+	locals := make([]*tensor.Sparse, ranks)
+	want := tensor.NewDense(rows, dim)
+	for r := range locals {
+		nnz := 1 + rng.Intn(2)
+		idx := make([]int64, nnz)
+		vals := make([]float32, nnz*dim)
+		for i := range idx {
+			idx[i] = int64(rng.Intn(rows))
+		}
+		for i := range vals {
+			vals[i] = float32(rng.Intn(9) + 1)
+		}
+		s, err := tensor.NewSparse(rows, dim, idx, vals)
+		if err != nil {
+			return nil, err
+		}
+		locals[r] = s
+		s.AddToDense(want, 1)
+	}
+
+	res := &Figure1Result{
+		Ranks:             ranks,
+		DenseBytesPerRank: rows * dim * tensor.BytesPerElem,
+	}
+	for _, s := range locals {
+		res.SparseBytesPerRank = append(res.SparseBytesPerRank, s.SizeBytes())
+		res.AllGatherWireBytes = append(res.AllGatherWireBytes, (ranks-1)*s.SizeBytes())
+		res.DenseZerosTransmited += rows*dim - s.Coalesce().NNZ()*dim
+	}
+	// Ring AllReduce moves 2(N-1)/N of the dense buffer per rank.
+	res.AllReduceWireBytes = 2 * (ranks - 1) * res.DenseBytesPerRank / ranks
+
+	agree := true
+	err := comm.RunRanks(ranks, func(t comm.Transport) error {
+		dense := locals[t.Rank()].ToDense()
+		if err := collective.RingAllReduce(t, 1, dense.Data()); err != nil {
+			return err
+		}
+		gathered, err := collective.SparseAllGather(t, 2, locals[t.Rank()])
+		if err != nil {
+			return err
+		}
+		if !dense.AllClose(want, 1e-5) || !gathered.ToDense().AllClose(want, 1e-5) {
+			agree = false
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.ResultsAgree = agree
+	return res, nil
+}
+
+// RenderFigure1 prints the Figure-1 volume comparison.
+func RenderFigure1(w io.Writer) error {
+	r, err := RunFigure1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "3-process sparse aggregation over a 6x2 embedding gradient\n")
+	fmt.Fprintf(w, "AllReduce (dense):  %d bytes/rank on the wire, %d zero elements moved\n",
+		r.AllReduceWireBytes, r.DenseZerosTransmited)
+	for i, b := range r.AllGatherWireBytes {
+		fmt.Fprintf(w, "AllGather rank %d:   %d bytes on the wire (local sparse payload %d)\n",
+			i, b, r.SparseBytesPerRank[i])
+	}
+	fmt.Fprintf(w, "both collectives produce the identical dense sum: %v\n", r.ResultsAgree)
+	return nil
+}
+
+// Figure4Point is one (sparsity, scheme) sample of the Figure-4 sweep.
+type Figure4Point struct {
+	Sparsity float64
+	// Milliseconds per full gradient exchange per scheme; zero entries
+	// mean the scheme is unavailable on the topology (OmniReduce off
+	// multi-GPU nodes).
+	AllToAllMS, AllReduceMS, AllGatherMS, PSMS, OmniReduceMS float64
+}
+
+// RunFigure4 sweeps embedding-gradient communication time against sparsity
+// for the GNMT-8 embedding (252.5 MB) on the given topology, mirroring
+// Figure 4(a) (2 nodes x 4 GPUs) and 4(b) (4 nodes x 1 GPU).
+func RunFigure4(topo simnet.Topology) ([]Figure4Point, error) {
+	est, err := simnet.NewEstimator(topo)
+	if err != nil {
+		return nil, err
+	}
+	const embBytes = 252.5e6
+	var out []Figure4Point
+	for _, sparsity := range []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99} {
+		alpha := 1 - sparsity
+		payload := alpha * embBytes
+		p := Figure4Point{
+			Sparsity: sparsity,
+			// AlltoAll and AllGather run on the sparse payload; EmbRace
+			// performs two AlltoAlls per step (§4.1.2 compares one
+			// gradient aggregation, so a pair is charged consistently
+			// with the 2x in the AllReduce/PS round trips).
+			AllToAllMS:  est.AllToAllPair(payload) * 1e3,
+			AllReduceMS: est.RingAllReduce(embBytes) * 1e3,
+			AllGatherMS: est.AllGather(payload) * 1e3,
+			PSMS:        est.PS(payload) * 1e3,
+		}
+		if topo.WorkersPerNode == 1 {
+			om, err := est.OmniReduce(embBytes, alpha)
+			if err != nil {
+				return nil, err
+			}
+			p.OmniReduceMS = om * 1e3
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Figure4Topologies returns the two topologies of Figure 4: (a) 2 nodes with
+// 4 RTX3090 GPUs each, (b) 4 nodes with 1 RTX3090 GPU each.
+func Figure4Topologies() (a, b simnet.Topology) {
+	cl8, _ := modelzoo.NewCluster(modelzoo.RTX3090, 8)
+	a = cl8.Topology()
+	b = a
+	b.Nodes, b.WorkersPerNode = 4, 1
+	return a, b
+}
+
+// RenderFigure4 prints both Figure-4 sweeps.
+func RenderFigure4(w io.Writer) error {
+	topoA, topoB := Figure4Topologies()
+	for _, cfg := range []struct {
+		label string
+		topo  simnet.Topology
+	}{
+		{"(a) 2 nodes x 4 RTX3090", topoA},
+		{"(b) 4 nodes x 1 RTX3090", topoB},
+	} {
+		points, err := RunFigure4(cfg.topo)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s — GNMT-8 embedding (252.5 MB), ms per exchange\n", cfg.label)
+		header := fmt.Sprintf("%8s %10s %10s %10s %10s", "sparsity", "AlltoAll", "AllReduce", "AllGather", "PS")
+		if cfg.topo.WorkersPerNode == 1 {
+			header += fmt.Sprintf(" %11s", "OmniReduce")
+		}
+		fmt.Fprintln(w, header)
+		for _, p := range points {
+			line := fmt.Sprintf("%7.0f%% %10.1f %10.1f %10.1f %10.1f",
+				p.Sparsity*100, p.AllToAllMS, p.AllReduceMS, p.AllGatherMS, p.PSMS)
+			if cfg.topo.WorkersPerNode == 1 {
+				line += fmt.Sprintf(" %11.1f", p.OmniReduceMS)
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+	return nil
+}
+
+// Figure6Timeline is the rendered task timeline of one scheduling mode.
+type Figure6Timeline struct {
+	Mode     string
+	Metrics  perfsim.StepMetrics
+	Timeline *perfsim.Timeline
+}
+
+// RunFigure6 simulates the GNMT-8 step timeline on 16 RTX3090 GPUs under
+// the three scheduling regimes of Figure 6: default FIFO, Block-level
+// Horizontal, and full 2D.
+func RunFigure6() ([]Figure6Timeline, error) {
+	m, err := modelzoo.ByName("GNMT-8")
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.MeasureGradStats(modelzoo.RTX3090, 10, 42)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := modelzoo.NewCluster(modelzoo.RTX3090, 16)
+	if err != nil {
+		return nil, err
+	}
+	est, err := cl.Estimator()
+	if err != nil {
+		return nil, err
+	}
+	spec := m.PerfSpec(modelzoo.RTX3090, st, true)
+	out := make([]Figure6Timeline, 0, 3)
+	for _, mode := range []struct {
+		name string
+		m    perfsim.SchedMode
+	}{
+		{"(a) default FIFO", perfsim.SchedDefault},
+		{"(b) horizontal", perfsim.SchedHorizontal},
+		{"(c) 2D", perfsim.Sched2D},
+	} {
+		met, tl, err := perfsim.RunJob(spec, perfsim.StratEmbRace, mode.m, est, 5)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Figure6Timeline{Mode: mode.name, Metrics: met, Timeline: tl})
+	}
+	return out, nil
+}
+
+// RenderFigure6 prints one steady-state step of each timeline, one line per
+// task, with stream and interval.
+func RenderFigure6(w io.Writer) error {
+	tls, err := RunFigure6()
+	if err != nil {
+		return err
+	}
+	for _, tl := range tls {
+		fmt.Fprintf(w, "%s — step %.1fms, stall %.1fms\n", tl.Mode,
+			tl.Metrics.StepTime*1e3, tl.Metrics.Stall*1e3)
+		// Show the steady-state step (step 2).
+		var t0 float64 = -1
+		for _, task := range tl.Timeline.Tasks {
+			if task.Step != 2 {
+				continue
+			}
+			if t0 < 0 {
+				t0 = task.Start
+			}
+			stream := "compute"
+			if task.Res == perfsim.Network {
+				stream = "network"
+			}
+			fmt.Fprintf(w, "  %-7s %9.2f -> %9.2f ms  %s\n",
+				stream, (task.Start-t0)*1e3, (task.End-t0)*1e3, task.Name)
+		}
+		fmt.Fprintln(w, strings.Repeat("-", 56))
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"embrace/internal/modelzoo"
+	"embrace/internal/perfsim"
+)
+
+// strategyOrder is the presentation order of Figure 7's bars.
+var strategyOrder = []perfsim.Strategy{
+	perfsim.StratBytePS,
+	perfsim.StratAllReduce,
+	perfsim.StratAllGather,
+	perfsim.StratParallax,
+	perfsim.StratEmbRace,
+}
+
+// runStrategy simulates one (model, cluster, strategy) cell and returns its
+// steady-state metrics. EmbRace runs with full 2D scheduling unless a mode
+// override is given.
+func runStrategy(m *modelzoo.Model, gpu modelzoo.GPUKind, gpus int, strat perfsim.Strategy, mode perfsim.SchedMode) (perfsim.StepMetrics, error) {
+	st, err := m.MeasureGradStats(gpu, 10, 42)
+	if err != nil {
+		return perfsim.StepMetrics{}, err
+	}
+	cl, err := modelzoo.NewCluster(gpu, gpus)
+	if err != nil {
+		return perfsim.StepMetrics{}, err
+	}
+	est, err := cl.Estimator()
+	if err != nil {
+		return perfsim.StepMetrics{}, err
+	}
+	spec := m.PerfSpec(gpu, st, strat == perfsim.StratEmbRace)
+	met, _, err := perfsim.RunJob(spec, strat, mode, est, 6)
+	return met, err
+}
+
+// tokensPerStep returns the non-pad training tokens one step consumes
+// across all workers — the numerator of the paper's tokens/sec metric.
+func tokensPerStep(m *modelzoo.Model, gpu modelzoo.GPUKind, gpus int) (float64, error) {
+	st, err := m.MeasureGradStats(gpu, 10, 42)
+	if err != nil {
+		return 0, err
+	}
+	// RawRows counts tokens including padding; the non-pad share tracks
+	// the average sentence fill. Using raw rows keeps the metric
+	// proportional to true tokens/sec, which is all the normalized
+	// figures need.
+	return st.RawRows * float64(gpus), nil
+}
+
+// Figure7Cell is one bar of Figure 7.
+type Figure7Cell struct {
+	Strategy      perfsim.Strategy
+	StepSeconds   float64
+	TokensPerSec  float64
+	SpeedupVsBest float64 // filled on the EmbRace cell: EmbRace vs best baseline
+}
+
+// Figure7Group is one (model, cluster, GPU count) cluster of bars.
+type Figure7Group struct {
+	Model string
+	GPU   modelzoo.GPUKind
+	GPUs  int
+	Cells []Figure7Cell
+}
+
+// RunFigure7 simulates the full end-to-end grid: 4 models x 2 clusters x
+// {4, 8, 16} GPUs x 5 strategies.
+func RunFigure7() ([]Figure7Group, error) {
+	var out []Figure7Group
+	for _, gpu := range []modelzoo.GPUKind{modelzoo.RTX3090, modelzoo.RTX2080} {
+		for _, m := range modelzoo.All() {
+			for _, gpus := range []int{4, 8, 16} {
+				g := Figure7Group{Model: m.Name, GPU: gpu, GPUs: gpus}
+				toks, err := tokensPerStep(m, gpu, gpus)
+				if err != nil {
+					return nil, err
+				}
+				bestBaseline := 0.0
+				var embrace float64
+				for _, strat := range strategyOrder {
+					mode := perfsim.SchedDefault
+					if strat == perfsim.StratEmbRace {
+						mode = perfsim.Sched2D
+					}
+					met, err := runStrategy(m, gpu, gpus, strat, mode)
+					if err != nil {
+						return nil, err
+					}
+					tput := toks / met.StepTime
+					g.Cells = append(g.Cells, Figure7Cell{
+						Strategy:     strat,
+						StepSeconds:  met.StepTime,
+						TokensPerSec: tput,
+					})
+					if strat == perfsim.StratEmbRace {
+						embrace = tput
+					} else if tput > bestBaseline {
+						bestBaseline = tput
+					}
+				}
+				g.Cells[len(g.Cells)-1].SpeedupVsBest = embrace / bestBaseline
+				out = append(out, g)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure7 prints the throughput grid with EmbRace speedups.
+func RenderFigure7(w io.Writer) error {
+	groups, err := RunFigure7()
+	if err != nil {
+		return err
+	}
+	lastHeader := ""
+	for _, g := range groups {
+		header := fmt.Sprintf("%s on %s", g.Model, g.GPU)
+		if header != lastHeader {
+			fmt.Fprintf(w, "%s (tokens/sec):\n", header)
+			lastHeader = header
+		}
+		fmt.Fprintf(w, "  %2d GPUs:", g.GPUs)
+		for _, c := range g.Cells {
+			fmt.Fprintf(w, "  %s=%.0f", shortName(c.Strategy), c.TokensPerSec)
+		}
+		fmt.Fprintf(w, "  | EmbRace %.2fx over best baseline\n", g.Cells[len(g.Cells)-1].SpeedupVsBest)
+	}
+	return nil
+}
+
+func shortName(s perfsim.Strategy) string {
+	switch s {
+	case perfsim.StratBytePS:
+		return "BytePS"
+	case perfsim.StratAllReduce:
+		return "AllReduce"
+	case perfsim.StratAllGather:
+		return "AllGather"
+	case perfsim.StratParallax:
+		return "Parallax"
+	case perfsim.StratEmbRace:
+		return "EmbRace"
+	}
+	return "?"
+}
+
+// Figure8Row is one model's normalized computation-stall comparison on a
+// 16-GPU cluster.
+type Figure8Row struct {
+	Model string
+	GPU   modelzoo.GPUKind
+	// StallVsEmbRace maps strategy -> stall normalized by EmbRace's stall
+	// (EmbRace itself is 1.0).
+	StallVsEmbRace map[perfsim.Strategy]float64
+	EmbRaceStallMS float64
+}
+
+// RunFigure8 measures Computation Stall (§5.4) for every strategy on both
+// 16-GPU clusters and normalizes by EmbRace.
+func RunFigure8() ([]Figure8Row, error) {
+	var out []Figure8Row
+	for _, gpu := range []modelzoo.GPUKind{modelzoo.RTX3090, modelzoo.RTX2080} {
+		for _, m := range modelzoo.All() {
+			row := Figure8Row{Model: m.Name, GPU: gpu, StallVsEmbRace: map[perfsim.Strategy]float64{}}
+			embrace, err := runStrategy(m, gpu, 16, perfsim.StratEmbRace, perfsim.Sched2D)
+			if err != nil {
+				return nil, err
+			}
+			row.EmbRaceStallMS = embrace.Stall * 1e3
+			for _, strat := range strategyOrder {
+				if strat == perfsim.StratEmbRace {
+					row.StallVsEmbRace[strat] = 1
+					continue
+				}
+				met, err := runStrategy(m, gpu, 16, strat, perfsim.SchedDefault)
+				if err != nil {
+					return nil, err
+				}
+				row.StallVsEmbRace[strat] = met.Stall / embrace.Stall
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure8 prints normalized stalls per cluster.
+func RenderFigure8(w io.Writer) error {
+	rows, err := RunFigure8()
+	if err != nil {
+		return err
+	}
+	last := modelzoo.GPUKind(-1)
+	for _, r := range rows {
+		if r.GPU != last {
+			fmt.Fprintf(w, "16x %s — computation stall normalized by EmbRace:\n", r.GPU)
+			last = r.GPU
+		}
+		fmt.Fprintf(w, "  %-12s", r.Model)
+		for _, strat := range strategyOrder {
+			fmt.Fprintf(w, " %s=%.2f", shortName(strat), r.StallVsEmbRace[strat])
+		}
+		fmt.Fprintf(w, "  (EmbRace stall %.1fms)\n", r.EmbRaceStallMS)
+	}
+	return nil
+}
+
+// Figure9Row is one model's ablation bars, normalized by Horovod AllGather.
+type Figure9Row struct {
+	Model string
+	GPUs  int
+	// Normalized training speed (tokens/sec over AllGather's).
+	AllGather, AllReduce, NoSched, Horizontal, TwoD float64
+}
+
+// RunFigure9 runs the §5.5 ablation on RTX3090 clusters of the given size:
+// hybrid communication alone (EmbRace w/o scheduling), plus horizontal, plus
+// full 2D — all normalized by Horovod AllGather.
+func RunFigure9(gpus int) ([]Figure9Row, error) {
+	var out []Figure9Row
+	for _, m := range modelzoo.All() {
+		ag, err := runStrategy(m, modelzoo.RTX3090, gpus, perfsim.StratAllGather, perfsim.SchedDefault)
+		if err != nil {
+			return nil, err
+		}
+		ar, err := runStrategy(m, modelzoo.RTX3090, gpus, perfsim.StratAllReduce, perfsim.SchedDefault)
+		if err != nil {
+			return nil, err
+		}
+		noSched, err := runStrategy(m, modelzoo.RTX3090, gpus, perfsim.StratEmbRace, perfsim.SchedDefault)
+		if err != nil {
+			return nil, err
+		}
+		hor, err := runStrategy(m, modelzoo.RTX3090, gpus, perfsim.StratEmbRace, perfsim.SchedHorizontal)
+		if err != nil {
+			return nil, err
+		}
+		twoD, err := runStrategy(m, modelzoo.RTX3090, gpus, perfsim.StratEmbRace, perfsim.Sched2D)
+		if err != nil {
+			return nil, err
+		}
+		base := 1 / ag.StepTime
+		out = append(out, Figure9Row{
+			Model:      m.Name,
+			GPUs:       gpus,
+			AllGather:  1,
+			AllReduce:  (1 / ar.StepTime) / base,
+			NoSched:    (1 / noSched.StepTime) / base,
+			Horizontal: (1 / hor.StepTime) / base,
+			TwoD:       (1 / twoD.StepTime) / base,
+		})
+	}
+	return out, nil
+}
+
+// RenderFigure9 prints the ablation for 16 and 4 GPUs.
+func RenderFigure9(w io.Writer) error {
+	for _, gpus := range []int{16, 4} {
+		rows, err := RunFigure9(gpus)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%d RTX3090 GPUs — training speed normalized by Horovod AllGather:\n", gpus)
+		fmt.Fprintf(w, "  %-12s %9s %9s %12s %11s %8s\n",
+			"Model", "AllGather", "AllReduce", "EmbRace-w/o", "+Horizontal", "+2D")
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-12s %9.2f %9.2f %12.2f %11.2f %8.2f\n",
+				r.Model, r.AllGather, r.AllReduce, r.NoSched, r.Horizontal, r.TwoD)
+		}
+	}
+	return nil
+}
+
+// Figure10Row reports scaling from 4 to `GPUs` RTX3090s for EmbRace and the
+// best-scaling baseline, against ideal linear scaling.
+type Figure10Row struct {
+	Model    string
+	GPUs     int
+	Baseline perfsim.Strategy
+	// Throughputs normalized by the same strategy's 4-GPU throughput.
+	EmbRaceScale, BaselineScale, Ideal float64
+}
+
+// RunFigure10 reproduces the §5.6 scaling comparison: Horovod AllReduce is
+// the scalability competitor for GNMT-8/Transformer/BERT, Parallax for LM.
+func RunFigure10() ([]Figure10Row, error) {
+	var out []Figure10Row
+	for _, m := range modelzoo.All() {
+		baseline := perfsim.StratAllReduce
+		if m.Name == "LM" {
+			baseline = perfsim.StratParallax
+		}
+		base4E, err := runStrategy(m, modelzoo.RTX3090, 4, perfsim.StratEmbRace, perfsim.Sched2D)
+		if err != nil {
+			return nil, err
+		}
+		base4B, err := runStrategy(m, modelzoo.RTX3090, 4, baseline, perfsim.SchedDefault)
+		if err != nil {
+			return nil, err
+		}
+		for _, gpus := range []int{8, 16} {
+			e, err := runStrategy(m, modelzoo.RTX3090, gpus, perfsim.StratEmbRace, perfsim.Sched2D)
+			if err != nil {
+				return nil, err
+			}
+			b, err := runStrategy(m, modelzoo.RTX3090, gpus, baseline, perfsim.SchedDefault)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Figure10Row{
+				Model:         m.Name,
+				GPUs:          gpus,
+				Baseline:      baseline,
+				EmbRaceScale:  base4E.StepTime / e.StepTime * float64(gpus) / 4,
+				BaselineScale: base4B.StepTime / b.StepTime * float64(gpus) / 4,
+				Ideal:         float64(gpus) / 4,
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure10 prints the scaling table.
+func RenderFigure10(w io.Writer) error {
+	rows, err := RunFigure10()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "RTX3090 scaling vs ideal (throughput relative to own 4-GPU run):\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-12s %2d GPUs: EmbRace %.2fx, %s %.2fx, ideal %.1fx\n",
+			r.Model, r.GPUs, r.EmbRaceScale, shortName(r.Baseline), r.BaselineScale, r.Ideal)
+	}
+	return nil
+}

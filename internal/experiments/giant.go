@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"embrace/internal/modelzoo"
+	"embrace/internal/perfsim"
+)
+
+// GiantRow is one scale point of the giant-model extension experiment.
+type GiantRow struct {
+	GPUs          int
+	BestBaseline  perfsim.Strategy
+	BaselineStep  float64
+	EmbRaceStep   float64
+	SpeedupVsBest float64
+}
+
+// RunGiant extrapolates the end-to-end comparison to the LM-XL extension
+// model (12.4 GB of embeddings, conclusion's "giant NLP models") on RTX3090
+// clusters of 16, 32 and 64 GPUs. Every baseline must host the full
+// embedding replicas in CPU memory; EmbRace's 1/N column shards stay on
+// device, so its advantage should grow with scale.
+func RunGiant() ([]GiantRow, error) {
+	m := modelzoo.LMXL()
+	var out []GiantRow
+	for _, gpus := range []int{16, 32, 64} {
+		st, err := m.MeasureGradStats(modelzoo.RTX3090, 8, 42)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := modelzoo.NewCluster(modelzoo.RTX3090, gpus)
+		if err != nil {
+			return nil, err
+		}
+		est, err := cl.Estimator()
+		if err != nil {
+			return nil, err
+		}
+		row := GiantRow{GPUs: gpus, BaselineStep: -1}
+		for _, strat := range []perfsim.Strategy{perfsim.StratBytePS, perfsim.StratAllReduce, perfsim.StratAllGather, perfsim.StratParallax} {
+			met, _, err := perfsim.RunJob(m.PerfSpec(modelzoo.RTX3090, st, false), strat, perfsim.SchedDefault, est, 6)
+			if err != nil {
+				return nil, err
+			}
+			if row.BaselineStep < 0 || met.StepTime < row.BaselineStep {
+				row.BaselineStep = met.StepTime
+				row.BestBaseline = strat
+			}
+		}
+		met, _, err := perfsim.RunJob(m.PerfSpec(modelzoo.RTX3090, st, true), perfsim.StratEmbRace, perfsim.Sched2D, est, 6)
+		if err != nil {
+			return nil, err
+		}
+		row.EmbRaceStep = met.StepTime
+		row.SpeedupVsBest = row.BaselineStep / row.EmbRaceStep
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderGiant prints the giant-model scale sweep.
+func RenderGiant(w io.Writer) error {
+	rows, err := RunGiant()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "LM-XL (12.4 GB embeddings) on RTX3090 clusters — conclusion's giant-model claim:")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %2d GPUs: EmbRace %6.1fms vs best baseline (%s) %7.1fms -> %.2fx\n",
+			r.GPUs, r.EmbRaceStep*1e3, r.BestBaseline, r.BaselineStep*1e3, r.SpeedupVsBest)
+	}
+	return nil
+}

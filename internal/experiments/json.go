@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"embrace/internal/perfsim"
+)
+
+// structured maps experiment ids to runners returning marshalable results,
+// so downstream tooling (plotting scripts, CI dashboards) can consume the
+// same data the text renderers print.
+var structured = map[string]func() (any, error){
+	"table1": func() (any, error) { return RunTable1(), nil },
+	"table2": func() (any, error) { return RunTable2(), nil },
+	"table3": func() (any, error) { return RunTable3() },
+	"fig1":   func() (any, error) { return RunFigure1() },
+	"fig4": func() (any, error) {
+		a, b := Figure4Topologies()
+		pa, err := RunFigure4(a)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := RunFigure4(b)
+		if err != nil {
+			return nil, err
+		}
+		return map[string][]Figure4Point{"2x4": pa, "4x1": pb}, nil
+	},
+	"fig5": func() (any, error) { return RunFigure5() },
+	"fig6": func() (any, error) {
+		tls, err := RunFigure6()
+		if err != nil {
+			return nil, err
+		}
+		// Timelines carry internal pointers; export mode + metrics + tasks.
+		type task struct {
+			Name       string
+			Step       int
+			Network    bool
+			Start, End float64
+		}
+		type entry struct {
+			Mode    string
+			Metrics perfsim.StepMetrics
+			Tasks   []task
+		}
+		out := make([]entry, 0, len(tls))
+		for _, tl := range tls {
+			e := entry{Mode: tl.Mode, Metrics: tl.Metrics}
+			for _, t := range tl.Timeline.Tasks {
+				e.Tasks = append(e.Tasks, task{
+					Name: t.Name, Step: t.Step,
+					Network: t.Res == perfsim.Network,
+					Start:   t.Start, End: t.End,
+				})
+			}
+			out = append(out, e)
+		}
+		return out, nil
+	},
+	"fig7": func() (any, error) { return RunFigure7() },
+	"fig8": func() (any, error) { return RunFigure8() },
+	"fig9": func() (any, error) {
+		r16, err := RunFigure9(16)
+		if err != nil {
+			return nil, err
+		}
+		r4, err := RunFigure9(4)
+		if err != nil {
+			return nil, err
+		}
+		return map[string][]Figure9Row{"16": r16, "4": r4}, nil
+	},
+	"fig10":     func() (any, error) { return RunFigure10() },
+	"fig11":     func() (any, error) { return RunFigure11(60, 5) },
+	"partition": func() (any, error) { return RunPartitionAblation() },
+	"giant":     func() (any, error) { return RunGiant() },
+	"bandwidth": func() (any, error) { return RunBandwidth() },
+	"batch":     func() (any, error) { return RunBatch() },
+}
+
+// RunJSON executes the experiment and writes its structured results as
+// indented JSON.
+func RunJSON(id string, w io.Writer) error {
+	run, ok := structured[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	result, err := run()
+	if err != nil {
+		return fmt.Errorf("%s: %w", id, err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"experiment": id, "result": result})
+}

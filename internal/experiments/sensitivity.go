@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"embrace/internal/modelzoo"
+	"embrace/internal/perfsim"
+	"embrace/internal/simnet"
+)
+
+// BandwidthRow is one point of the network-bandwidth sensitivity sweep.
+type BandwidthRow struct {
+	InterGbps     float64
+	EmbRaceStep   float64
+	BaselineStep  float64
+	SpeedupVsBest float64
+}
+
+// RunBandwidth sweeps the inter-node bandwidth for GNMT-8 on 16 RTX3090s:
+// the slower the network, the more communication-bound training becomes and
+// the more EmbRace's traffic reduction matters. (Beyond the paper, which
+// fixes 100 Gbps; this quantifies the sensitivity of its conclusions.)
+func RunBandwidth() ([]BandwidthRow, error) {
+	m, err := modelzoo.ByName("GNMT-8")
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.MeasureGradStats(modelzoo.RTX3090, 8, 42)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := modelzoo.NewCluster(modelzoo.RTX3090, 16)
+	if err != nil {
+		return nil, err
+	}
+	var out []BandwidthRow
+	for _, gbps := range []float64{25, 50, 100, 200} {
+		topo := cl.Topology()
+		topo.InterBW = gbps / 8 * 1e9
+		est, err := simnet.NewEstimator(topo)
+		if err != nil {
+			return nil, err
+		}
+		best := -1.0
+		for _, strat := range []perfsim.Strategy{perfsim.StratBytePS, perfsim.StratAllReduce, perfsim.StratAllGather, perfsim.StratParallax} {
+			met, _, err := perfsim.RunJob(m.PerfSpec(modelzoo.RTX3090, st, false), strat, perfsim.SchedDefault, est, 6)
+			if err != nil {
+				return nil, err
+			}
+			if best < 0 || met.StepTime < best {
+				best = met.StepTime
+			}
+		}
+		met, _, err := perfsim.RunJob(m.PerfSpec(modelzoo.RTX3090, st, true), perfsim.StratEmbRace, perfsim.Sched2D, est, 6)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BandwidthRow{
+			InterGbps:     gbps,
+			EmbRaceStep:   met.StepTime,
+			BaselineStep:  best,
+			SpeedupVsBest: best / met.StepTime,
+		})
+	}
+	return out, nil
+}
+
+// RenderBandwidth prints the bandwidth sweep.
+func RenderBandwidth(w io.Writer) error {
+	rows, err := RunBandwidth()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "GNMT-8 @ 16x RTX3090, inter-node bandwidth sweep:")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %4.0f Gbps: EmbRace %6.1fms vs best baseline %6.1fms -> %.2fx\n",
+			r.InterGbps, r.EmbRaceStep*1e3, r.BaselineStep*1e3, r.SpeedupVsBest)
+	}
+	return nil
+}
+
+// BatchRow is one point of the batch-size sensitivity sweep.
+type BatchRow struct {
+	BatchSentences int
+	SpeedupVsBest  float64
+}
+
+// RunBatch sweeps BERT-base's per-worker batch on 16 RTX3090s. Larger
+// batches lengthen the backward pass, hiding more communication and
+// shrinking EmbRace's edge — the §5.3 explanation of why BERT gains little
+// on RTX3090 (batch 32) but much on RTX2080 (batch 4), isolated from the
+// GPU change.
+func RunBatch() ([]BatchRow, error) {
+	base, err := modelzoo.ByName("BERT-base")
+	if err != nil {
+		return nil, err
+	}
+	cl, err := modelzoo.NewCluster(modelzoo.RTX3090, 16)
+	if err != nil {
+		return nil, err
+	}
+	est, err := cl.Estimator()
+	if err != nil {
+		return nil, err
+	}
+	var out []BatchRow
+	for _, batch := range []int{4, 8, 16, 32} {
+		m, err := base.WithBatch(modelzoo.RTX3090, batch)
+		if err != nil {
+			return nil, err
+		}
+		st, err := m.MeasureGradStats(modelzoo.RTX3090, 8, 42)
+		if err != nil {
+			return nil, err
+		}
+		best := -1.0
+		for _, strat := range []perfsim.Strategy{perfsim.StratBytePS, perfsim.StratAllReduce, perfsim.StratAllGather, perfsim.StratParallax} {
+			met, _, err := perfsim.RunJob(m.PerfSpec(modelzoo.RTX3090, st, false), strat, perfsim.SchedDefault, est, 6)
+			if err != nil {
+				return nil, err
+			}
+			if best < 0 || met.StepTime < best {
+				best = met.StepTime
+			}
+		}
+		met, _, err := perfsim.RunJob(m.PerfSpec(modelzoo.RTX3090, st, true), perfsim.StratEmbRace, perfsim.Sched2D, est, 6)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BatchRow{BatchSentences: batch, SpeedupVsBest: best / met.StepTime})
+	}
+	return out, nil
+}
+
+// RenderBatch prints the batch sweep.
+func RenderBatch(w io.Writer) error {
+	rows, err := RunBatch()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "BERT-base @ 16x RTX3090, per-worker batch sweep (EmbRace vs best baseline):")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  batch %3d: %.2fx\n", r.BatchSentences, r.SpeedupVsBest)
+	}
+	return nil
+}

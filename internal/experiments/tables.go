@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"embrace/internal/modelzoo"
+	"embrace/internal/simnet"
+)
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Model        string
+	ModelMB      float64
+	EmbeddingMB  float64
+	RatioPercent float64
+}
+
+// RunTable1 computes model/embedding sizes from the model zoo.
+func RunTable1() []Table1Row {
+	models := modelzoo.All()
+	rows := make([]Table1Row, 0, len(models))
+	for _, m := range models {
+		rows = append(rows, Table1Row{
+			Model:        m.Name,
+			ModelMB:      m.TotalBytes() / 1e6,
+			EmbeddingMB:  m.EmbBytesTotal() / 1e6,
+			RatioPercent: m.EmbRatio() * 100,
+		})
+	}
+	return rows
+}
+
+// RenderTable1 prints Table 1 in the paper's layout.
+func RenderTable1(w io.Writer) error {
+	fmt.Fprintf(w, "%-12s %12s %14s %8s\n", "Model", "Model Size", "Embedding Size", "Ratio")
+	for _, r := range RunTable1() {
+		fmt.Fprintf(w, "%-12s %10.1fMB %12.1fMB %7.2f%%\n", r.Model, r.ModelMB, r.EmbeddingMB, r.RatioPercent)
+	}
+	return nil
+}
+
+// Table2Row pairs a communication approach with its analytic overhead
+// formula and a numeric evaluation at a reference configuration.
+type Table2Row struct {
+	Approach string
+	Formula  string
+	// Seconds at the reference point (α=0.1, M=252.5 MB, N=16, n=4,
+	// B=12.5 GB/s, β=15 µs) — the GNMT-8 embedding on the 16-GPU cluster.
+	Seconds float64
+}
+
+// RunTable2 evaluates the Table-2 cost formulas at the reference point.
+func RunTable2() []Table2Row {
+	const (
+		alpha = 0.1
+		m     = 252.5e6
+		n     = 16
+		nodes = 4
+		b     = 12.5e9
+		beta  = 15e-6
+	)
+	return []Table2Row{
+		{"AlltoAll", "2(N-1)(aM/(N*B)+b)", simnet.AllToAllCost(alpha, m, n, b, beta)},
+		{"AllReduce", "2(N-1)(M/(N*B)+b)", simnet.AllReduceCost(m, n, b, beta)},
+		{"PS", "2N(aM/(S*B)+b), S=n", simnet.PSCost(alpha, m, n, nodes, b, beta)},
+		{"AllGather", "(N-1)(aM/B+b)", simnet.AllGatherCost(alpha, m, n, b, beta)},
+	}
+}
+
+// RenderTable2 prints the formulas and their reference evaluations.
+func RenderTable2(w io.Writer) error {
+	fmt.Fprintf(w, "%-10s %-24s %14s\n", "Approach", "Overhead", "@reference")
+	for _, r := range RunTable2() {
+		fmt.Fprintf(w, "%-10s %-24s %12.2fms\n", r.Approach, r.Formula, r.Seconds*1e3)
+	}
+	fmt.Fprintln(w, "reference: a=0.1, M=252.5MB, N=16, n=S=4, B=12.5GB/s, b=15us")
+	return nil
+}
+
+// Table3Row is one row of the paper's Table 3: average sparse embedding
+// gradient sizes (MB) through Vertical Sparse Scheduling.
+type Table3Row struct {
+	Model                               string
+	OriginalMB, CoalescedMB, PriorityMB float64
+	SparsityPercent                     float64
+}
+
+// RunTable3 measures the Algorithm-1 gradient statistics of every model at
+// the RTX3090 batch sizes (the batch sizes Table 3 quotes).
+func RunTable3() ([]Table3Row, error) {
+	models := modelzoo.All()
+	rows := make([]Table3Row, 0, len(models))
+	for _, m := range models {
+		st, err := m.MeasureGradStats(modelzoo.RTX3090, 20, 42)
+		if err != nil {
+			return nil, err
+		}
+		k := float64(m.EmbTables)
+		rows = append(rows, Table3Row{
+			Model:           m.Name,
+			OriginalMB:      st.RawBytes * k / 1e6,
+			CoalescedMB:     st.CoalescedBytes * k / 1e6,
+			PriorityMB:      st.PriorBytes * k / 1e6,
+			SparsityPercent: (1 - st.Alpha) * 100,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable3 prints Table 3 in the paper's layout, plus the §4.1.2
+// per-model sparsity the same workload produces.
+func RenderTable3(w io.Writer) error {
+	rows, err := RunTable3()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %10s %11s %12s %10s\n", "Model", "Original", "Coalesced", "Prioritized", "Sparsity")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8.1fMB %9.1fMB %10.1fMB %9.1f%%\n",
+			r.Model, r.OriginalMB, r.CoalescedMB, r.PriorityMB, r.SparsityPercent)
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+// Package metrics instruments a comm.Transport with traffic and blocking
+// accounting. Wrapping a rank's transport costs nothing in the strategies —
+// they see the same interface — and yields the real-execution counterpart of
+// the paper's communication analysis: how many bytes each strategy actually
+// moved and how long each rank spent blocked in communication. The
+// cross-strategy byte comparisons (EmbRace's AlltoAll traffic vs AllGather's
+// N-fold payload) validate the Table-2 cost model with measured data.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+
+	"embrace/internal/comm"
+	"embrace/internal/nn"
+	"embrace/internal/tensor"
+)
+
+// Stats is a snapshot of one rank's communication counters.
+type Stats struct {
+	// SendSeconds and RecvSeconds are wall-clock time spent inside Send
+	// and Recv. Recv time is the real-mode analogue of communication
+	// stall: the rank had nothing to do but wait.
+	SendSeconds, RecvSeconds float64
+	// Messages counts Send calls.
+	Messages int64
+	// PayloadBytes estimates the bytes sent (tensor payloads and token
+	// batches; small control values count as zero).
+	PayloadBytes int64
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		SendSeconds:  s.SendSeconds + o.SendSeconds,
+		RecvSeconds:  s.RecvSeconds + o.RecvSeconds,
+		Messages:     s.Messages + o.Messages,
+		PayloadBytes: s.PayloadBytes + o.PayloadBytes,
+	}
+}
+
+// Transport decorates a comm.Transport with counters. Safe for concurrent
+// use, like the transport it wraps.
+type Transport struct {
+	inner comm.Transport
+
+	sendNS  atomic.Int64
+	recvNS  atomic.Int64
+	msgs    atomic.Int64
+	payload atomic.Int64
+}
+
+// Wrap instruments t.
+func Wrap(t comm.Transport) *Transport {
+	return &Transport{inner: t}
+}
+
+// Rank implements comm.Transport.
+func (m *Transport) Rank() int { return m.inner.Rank() }
+
+// Size implements comm.Transport.
+func (m *Transport) Size() int { return m.inner.Size() }
+
+// Send implements comm.Transport, recording duration and payload size.
+func (m *Transport) Send(to, tag int, payload any) error {
+	start := time.Now()
+	err := m.inner.Send(to, tag, payload)
+	m.sendNS.Add(time.Since(start).Nanoseconds())
+	m.msgs.Add(1)
+	m.payload.Add(PayloadSize(payload))
+	return err
+}
+
+// Recv implements comm.Transport, recording blocked time.
+func (m *Transport) Recv(from, tag int) (any, error) {
+	start := time.Now()
+	payload, err := m.inner.Recv(from, tag)
+	m.recvNS.Add(time.Since(start).Nanoseconds())
+	return payload, err
+}
+
+// Stats returns the counters accumulated so far.
+func (m *Transport) Stats() Stats {
+	return Stats{
+		SendSeconds:  float64(m.sendNS.Load()) / 1e9,
+		RecvSeconds:  float64(m.recvNS.Load()) / 1e9,
+		Messages:     m.msgs.Load(),
+		PayloadBytes: m.payload.Load(),
+	}
+}
+
+// PayloadSize estimates the wire size of the payload types the training
+// stack sends. Unknown types count as zero (control messages).
+func PayloadSize(payload any) int64 {
+	switch v := payload.(type) {
+	case []float32:
+		return int64(len(v) * tensor.BytesPerElem)
+	case *tensor.Dense:
+		return int64(v.SizeBytes())
+	case *tensor.Sparse:
+		return int64(v.SizeBytes())
+	case []*tensor.Dense:
+		var n int64
+		for _, d := range v {
+			n += int64(d.SizeBytes())
+		}
+		return n
+	case []*tensor.Sparse:
+		var n int64
+		for _, s := range v {
+			n += int64(s.SizeBytes())
+		}
+		return n
+	case []int64:
+		return int64(len(v) * 8)
+	case [][]int64:
+		var n int64
+		for _, row := range v {
+			n += int64(len(row) * 8)
+		}
+		return n
+	case nn.StepStats:
+		return 24
+	default:
+		return 0
+	}
+}
+
+// Compile-time check.
+var _ comm.Transport = (*Transport)(nil)

@@ -1,0 +1,328 @@
+package modelzoo
+
+import (
+	"math"
+	"testing"
+
+	"embrace/internal/perfsim"
+)
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / want }
+
+// Table 1 of the paper, in MB.
+var table1 = map[string]struct{ total, emb, ratio float64 }{
+	"LM":          {3186.5, 3099.5, 0.9727},
+	"GNMT-8":      {739.1, 252.5, 0.3416},
+	"Transformer": {1067.5, 263.4, 0.2467},
+	"BERT-base":   {417.7, 89.4, 0.2142},
+}
+
+func TestTable1ModelSizes(t *testing.T) {
+	for _, m := range All() {
+		want, ok := table1[m.Name]
+		if !ok {
+			t.Fatalf("unexpected model %q", m.Name)
+		}
+		if e := relErr(m.TotalBytes()/1e6, want.total); e > 0.01 {
+			t.Errorf("%s total = %.1f MB, want %.1f (err %.3f)", m.Name, m.TotalBytes()/1e6, want.total, e)
+		}
+		if e := relErr(m.EmbBytesTotal()/1e6, want.emb); e > 0.01 {
+			t.Errorf("%s emb = %.1f MB, want %.1f", m.Name, m.EmbBytesTotal()/1e6, want.emb)
+		}
+		if e := relErr(m.EmbRatio(), want.ratio); e > 0.01 {
+			t.Errorf("%s ratio = %.4f, want %.4f", m.Name, m.EmbRatio(), want.ratio)
+		}
+	}
+}
+
+// Table 3 of the paper (MB, per model aggregate over embedding tables) and
+// the §4.1.2 per-model gradient densities.
+var table3 = map[string]struct {
+	orig, coal, prior float64
+	alpha             float64
+}{
+	"LM":          {8.7, 6.9, 2.6, 0.003},
+	"GNMT-8":      {26.0, 12.2, 5.8, 0.103},
+	"Transformer": {35.2, 16.6, 8.9, 0.134},
+	"BERT-base":   {36.0, 5.5, 3.2, 0.403},
+}
+
+func TestTable3GradientSizes(t *testing.T) {
+	for _, m := range All() {
+		want := table3[m.Name]
+		st, err := m.MeasureGradStats(RTX3090, 20, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := float64(m.EmbTables)
+		if e := relErr(st.RawBytes*k/1e6, want.orig); e > 0.05 {
+			t.Errorf("%s original = %.1f MB, want %.1f", m.Name, st.RawBytes*k/1e6, want.orig)
+		}
+		if e := relErr(st.CoalescedBytes*k/1e6, want.coal); e > 0.10 {
+			t.Errorf("%s coalesced = %.1f MB, want %.1f", m.Name, st.CoalescedBytes*k/1e6, want.coal)
+		}
+		if e := relErr(st.PriorBytes*k/1e6, want.prior); e > 0.15 {
+			t.Errorf("%s prior = %.1f MB, want %.1f", m.Name, st.PriorBytes*k/1e6, want.prior)
+		}
+		if e := relErr(st.Alpha, want.alpha); e > 0.10 {
+			t.Errorf("%s alpha = %.4f, want %.4f", m.Name, st.Alpha, want.alpha)
+		}
+	}
+}
+
+func TestGradStatsInvariants(t *testing.T) {
+	for _, m := range All() {
+		for _, gpu := range []GPUKind{RTX3090, RTX2080} {
+			st, err := m.MeasureGradStats(gpu, 5, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.CoalescedRows > st.RawRows {
+				t.Errorf("%s@%s: coalesced %v > raw %v", m.Name, gpu, st.CoalescedRows, st.RawRows)
+			}
+			if st.PriorRows > st.CoalescedRows {
+				t.Errorf("%s@%s: prior %v > coalesced %v", m.Name, gpu, st.PriorRows, st.CoalescedRows)
+			}
+			if math.Abs(st.PriorBytes+st.DelayedBytes-st.CoalescedBytes) > 1 {
+				t.Errorf("%s@%s: prior+delayed != coalesced", m.Name, gpu)
+			}
+			if st.Alpha <= 0 || st.Alpha >= 1 {
+				t.Errorf("%s@%s: alpha = %v", m.Name, gpu, st.Alpha)
+			}
+		}
+	}
+}
+
+func TestMeasureGradStatsValidation(t *testing.T) {
+	if _, err := LM().MeasureGradStats(RTX3090, 0, 1); err == nil {
+		t.Fatal("expected samples error")
+	}
+}
+
+func TestNewCluster(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		c, err := NewCluster(RTX3090, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if c.N() != n {
+			t.Fatalf("n=%d: N() = %d", n, c.N())
+		}
+		if n >= 4 && c.WorkersPerNode != 4 {
+			t.Fatalf("n=%d: workers/node = %d", n, c.WorkersPerNode)
+		}
+		if err := c.Topology().Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := NewCluster(RTX3090, 0); err == nil {
+		t.Fatal("expected error for 0 GPUs")
+	}
+	if _, err := NewCluster(RTX3090, 6); err == nil {
+		t.Fatal("expected error for partial nodes")
+	}
+}
+
+func TestClusterEstimator(t *testing.T) {
+	c, _ := NewCluster(RTX2080, 8)
+	est, err := c.Estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Topo.Nodes != 2 || est.Topo.WorkersPerNode != 4 {
+		t.Fatalf("topology %+v", est.Topo)
+	}
+	if est.Topo.HostBW <= 0 || est.Topo.ShmBW <= 0 {
+		t.Fatal("host/shm bandwidths must be set")
+	}
+}
+
+func TestStepComputeScaling(t *testing.T) {
+	for _, m := range All() {
+		fast := m.StepCompute(RTX3090)
+		slow := m.StepCompute(RTX2080)
+		if fast <= 0 || slow <= 0 {
+			t.Fatalf("%s: non-positive compute", m.Name)
+		}
+		// The 2080 is slower per token; only models that also shrink the
+		// batch a lot can end up with a shorter absolute step.
+		if m.Batch(RTX2080) == m.Batch(RTX3090) && slow <= fast {
+			t.Errorf("%s: same batch but 2080 (%v) not slower than 3090 (%v)", m.Name, slow, fast)
+		}
+	}
+}
+
+func TestPerfSpecConstruction(t *testing.T) {
+	for _, m := range All() {
+		st, err := m.MeasureGradStats(RTX3090, 5, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec := m.PerfSpec(RTX3090, st, false)
+		emb, dense := 0, 0
+		for _, b := range spec.Blocks {
+			switch b.Kind {
+			case perfsim.EmbeddingBlock:
+				emb++
+				if b.GradBytes <= 0 || b.PriorBytes <= 0 || b.LookupBytes <= 0 {
+					t.Errorf("%s: embedding block %s missing stats", m.Name, b.Name)
+				}
+			case perfsim.DenseBlock:
+				dense++
+				if b.FwdDur <= 0 || b.BwdDur <= 0 {
+					t.Errorf("%s: dense block %s has non-positive compute", m.Name, b.Name)
+				}
+			}
+		}
+		if emb != m.EmbTables || dense != m.DenseBlocks {
+			t.Errorf("%s: spec has %d emb, %d dense blocks", m.Name, emb, dense)
+		}
+		if math.Abs(spec.UsefulCompute()-m.StepCompute(RTX3090)) > 1e-9 {
+			t.Errorf("%s: spec compute %v != step compute %v", m.Name, spec.UsefulCompute(), m.StepCompute(RTX3090))
+		}
+	}
+}
+
+func TestLMOnRTX2080CPUPenaltyOnlyForBaselines(t *testing.T) {
+	m := LM()
+	st, err := m.MeasureGradStats(RTX2080, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := m.PerfSpec(RTX2080, st, false)
+	embrace := m.PerfSpec(RTX2080, st, true)
+	if baseline.UsefulCompute() <= embrace.UsefulCompute() {
+		t.Fatal("CPU-hosted embeddings must slow the full-replica baselines")
+	}
+	if baseline.SparseApplyBW >= embrace.SparseApplyBW {
+		t.Fatal("host-resident apply must be slower than device apply")
+	}
+	// On the 3090 (everything fits), both layouts cost the same compute.
+	st3090, _ := m.MeasureGradStats(RTX3090, 5, 3)
+	b := m.PerfSpec(RTX3090, st3090, false)
+	e := m.PerfSpec(RTX3090, st3090, true)
+	if math.Abs(b.UsefulCompute()-e.UsefulCompute()) > 1e-12 {
+		t.Fatal("3090 compute must not depend on strategy")
+	}
+}
+
+// End-to-end shape check of the headline result: on every cluster and every
+// model, EmbRace (2D) must be the fastest strategy, and the speedup over the
+// best baseline must be largest for LM on RTX2080 and smallest for BERT-base
+// on RTX3090, as in Figure 7.
+func TestFigure7HeadlineShape(t *testing.T) {
+	speedup := func(m *Model, gpu GPUKind, gpus int) float64 {
+		st, err := m.MeasureGradStats(gpu, 8, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := NewCluster(gpu, gpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := cl.Estimator()
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0.0
+		for _, s := range []perfsim.Strategy{perfsim.StratBytePS, perfsim.StratAllReduce, perfsim.StratAllGather, perfsim.StratParallax} {
+			met, _, err := perfsim.RunJob(m.PerfSpec(gpu, st, false), s, perfsim.SchedDefault, est, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tput := 1 / met.StepTime; tput > best {
+				best = tput
+			}
+		}
+		met, _, err := perfsim.RunJob(m.PerfSpec(gpu, st, true), perfsim.StratEmbRace, perfsim.Sched2D, est, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return (1 / met.StepTime) / best
+	}
+
+	for _, gpu := range []GPUKind{RTX3090, RTX2080} {
+		for _, m := range All() {
+			s := speedup(m, gpu, 16)
+			if s < 1.0 {
+				t.Errorf("%s@%s: EmbRace slower than best baseline (%.3fx)", m.Name, gpu, s)
+			}
+		}
+	}
+	lm2080 := speedup(LM(), RTX2080, 16)
+	bert3090 := speedup(BERTBase(), RTX3090, 16)
+	if lm2080 < 1.8 {
+		t.Errorf("LM@RTX2080 speedup %.2fx, paper band is ~2x+", lm2080)
+	}
+	if bert3090 > 1.10 {
+		t.Errorf("BERT@RTX3090 speedup %.2fx, paper band is 1.02-1.06x", bert3090)
+	}
+	if lm2080 <= bert3090 {
+		t.Error("LM@2080 must gain more than BERT@3090")
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("GNMT-8")
+	if err != nil || m.Name != "GNMT-8" {
+		t.Fatalf("ByName: %v %v", m, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLMXLExtensionModel(t *testing.T) {
+	m := LMXL()
+	if m.EmbBytesTotal() < 12e9 {
+		t.Fatalf("LM-XL embeddings only %.1f GB", m.EmbBytesTotal()/1e9)
+	}
+	if m.EmbRatio() < 0.95 {
+		t.Fatalf("LM-XL must be embedding-dominated, ratio %.3f", m.EmbRatio())
+	}
+	// Giant model is an extension, not part of the paper's Table 1 set.
+	for _, paper := range All() {
+		if paper.Name == m.Name {
+			t.Fatal("LM-XL must not be in the paper model list")
+		}
+	}
+	st, err := m.MeasureGradStats(RTX3090, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Alpha >= 0.01 {
+		t.Fatalf("LM-XL alpha %.4f should be extremely sparse", st.Alpha)
+	}
+	// Full replicas exceed both GPUs; shards do not.
+	for _, gpu := range []GPUKind{RTX3090, RTX2080} {
+		baseline := m.PerfSpec(gpu, st, false)
+		shard := m.PerfSpec(gpu, st, true)
+		if baseline.SparseApplyBW >= shard.SparseApplyBW {
+			t.Fatalf("%s: baseline apply must be host-bound", gpu)
+		}
+	}
+}
+
+func TestWithBatch(t *testing.T) {
+	base := BERTBase()
+	scaled, err := base.WithBatch(RTX3090, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Batch(RTX3090) != 8 {
+		t.Fatalf("batch = %d", scaled.Batch(RTX3090))
+	}
+	if base.Batch(RTX3090) != 32 {
+		t.Fatal("WithBatch must not mutate the original")
+	}
+	if scaled.Batch(RTX2080) != base.Batch(RTX2080) {
+		t.Fatal("other GPU batches must be unchanged")
+	}
+	// Compute must scale with the batch.
+	if scaled.StepCompute(RTX3090) >= base.StepCompute(RTX3090) {
+		t.Fatal("smaller batch must shorten the step")
+	}
+	if _, err := base.WithBatch(RTX3090, 0); err == nil {
+		t.Fatal("expected batch validation error")
+	}
+}

@@ -1,0 +1,424 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"embrace/internal/tensor"
+)
+
+// GRU is a single-layer gated recurrent unit, the cell family GNMT stacks
+// eight deep. Unlike the pooled MLP (Trunk), a recurrent trunk consumes one
+// embedding vector per token position, so its embedding gradient has one
+// sparse row per token — the exact per-position gradient structure of the
+// paper's translation models. Backward is full backpropagation through time,
+// checked against finite differences.
+//
+// Cell equations (z: update gate, r: reset gate, c: candidate):
+//
+//	z_t = sigmoid(Wz x_t + Uz h_{t-1} + bz)
+//	r_t = sigmoid(Wr x_t + Ur h_{t-1} + br)
+//	c_t = tanh(Wc x_t + Uc (r_t ⊙ h_{t-1}) + bc)
+//	h_t = (1-z_t) ⊙ h_{t-1} + z_t ⊙ c_t
+type GRU struct {
+	In, Hidden int
+
+	Wz, Wr, Wc *tensor.Dense // [In x Hidden]
+	Uz, Ur, Uc *tensor.Dense // [Hidden x Hidden]
+	Bz, Br, Bc *tensor.Dense // [Hidden]
+}
+
+// NewGRU creates a GRU with Xavier-style init.
+func NewGRU(rng *rand.Rand, in, hidden int) *GRU {
+	sW := float32(math.Sqrt(6.0 / float64(in+hidden)))
+	sU := float32(math.Sqrt(6.0 / float64(2*hidden)))
+	return &GRU{
+		In: in, Hidden: hidden,
+		Wz: tensor.RandDense(rng, sW, in, hidden),
+		Wr: tensor.RandDense(rng, sW, in, hidden),
+		Wc: tensor.RandDense(rng, sW, in, hidden),
+		Uz: tensor.RandDense(rng, sU, hidden, hidden),
+		Ur: tensor.RandDense(rng, sU, hidden, hidden),
+		Uc: tensor.RandDense(rng, sU, hidden, hidden),
+		Bz: tensor.NewDense(hidden),
+		Br: tensor.NewDense(hidden),
+		Bc: tensor.NewDense(hidden),
+	}
+}
+
+// Params lists the GRU parameters with stable names.
+func (g *GRU) Params() []NamedParam {
+	return []NamedParam{
+		{"wz", g.Wz}, {"wr", g.Wr}, {"wc", g.Wc},
+		{"uz", g.Uz}, {"ur", g.Ur}, {"uc", g.Uc},
+		{"bz", g.Bz}, {"br", g.Br}, {"bc", g.Bc},
+	}
+}
+
+// GRUGrads holds parameter gradients plus the gradient of the input
+// sequence (per token position), in the same layout as the input.
+type GRUGrads struct {
+	Wz, Wr, Wc *tensor.Dense
+	Uz, Ur, Uc *tensor.Dense
+	Bz, Br, Bc *tensor.Dense
+	// X is dLoss/dInput, shape [batch*T x In] (row t*batch... see Forward).
+	X *tensor.Dense
+}
+
+// Params lists the gradients in the same order as GRU.Params.
+func (g *GRUGrads) Params() []NamedParam {
+	return []NamedParam{
+		{"wz", g.Wz}, {"wr", g.Wr}, {"wc", g.Wc},
+		{"uz", g.Uz}, {"ur", g.Ur}, {"uc", g.Uc},
+		{"bz", g.Bz}, {"br", g.Br}, {"bc", g.Bc},
+	}
+}
+
+// gruCache stores per-timestep activations for BPTT.
+type gruCache struct {
+	batch, T int
+	x        *tensor.Dense   // [batch*T x In], row i*T+t is sample i at time t
+	hs       []*tensor.Dense // h_0..h_T, each [batch x Hidden]
+	zs, rs   []*tensor.Dense // gate activations per t
+	cs       []*tensor.Dense // candidates per t
+}
+
+func sigmoid(v float32) float32 { return float32(1 / (1 + math.Exp(-float64(v)))) }
+
+// Forward runs the GRU over a [batch*T x In] input (sample-major: row
+// i*T+t is sample i's t-th token embedding) and returns the final hidden
+// states [batch x Hidden] plus the cache for Backward.
+func (g *GRU) Forward(x *tensor.Dense, batch, T int) (*tensor.Dense, *gruCache, error) {
+	if x.Dim(0) != batch*T || x.Dim(1) != g.In {
+		return nil, nil, fmt.Errorf("nn: gru input %v, want [%d x %d]", x.Shape(), batch*T, g.In)
+	}
+	c := &gruCache{batch: batch, T: T, x: x}
+	h := tensor.NewDense(batch, g.Hidden)
+	c.hs = append(c.hs, h.Clone())
+	for t := 0; t < T; t++ {
+		z := tensor.NewDense(batch, g.Hidden)
+		r := tensor.NewDense(batch, g.Hidden)
+		cd := tensor.NewDense(batch, g.Hidden)
+		hNew := tensor.NewDense(batch, g.Hidden)
+		for i := 0; i < batch; i++ {
+			xt := x.Row(i*T + t)
+			hPrev := h.Row(i)
+			zi, ri, ci, hi := z.Row(i), r.Row(i), cd.Row(i), hNew.Row(i)
+			for j := 0; j < g.Hidden; j++ {
+				var az, ar float32
+				for k := 0; k < g.In; k++ {
+					az += xt[k] * g.Wz.At(k, j)
+					ar += xt[k] * g.Wr.At(k, j)
+				}
+				for k := 0; k < g.Hidden; k++ {
+					az += hPrev[k] * g.Uz.At(k, j)
+					ar += hPrev[k] * g.Ur.At(k, j)
+				}
+				zi[j] = sigmoid(az + g.Bz.Data()[j])
+				ri[j] = sigmoid(ar + g.Br.Data()[j])
+			}
+			for j := 0; j < g.Hidden; j++ {
+				var ac float32
+				for k := 0; k < g.In; k++ {
+					ac += xt[k] * g.Wc.At(k, j)
+				}
+				for k := 0; k < g.Hidden; k++ {
+					ac += ri[k] * hPrev[k] * g.Uc.At(k, j)
+				}
+				ci[j] = float32(math.Tanh(float64(ac + g.Bc.Data()[j])))
+				hi[j] = (1-zi[j])*hPrev[j] + zi[j]*ci[j]
+			}
+		}
+		h = hNew
+		c.zs = append(c.zs, z)
+		c.rs = append(c.rs, r)
+		c.cs = append(c.cs, cd)
+		c.hs = append(c.hs, h.Clone())
+	}
+	return h, c, nil
+}
+
+// Backward runs BPTT: given dLoss/dh_T it produces all parameter gradients
+// and the input gradient.
+func (g *GRU) Backward(c *gruCache, dHT *tensor.Dense) *GRUGrads {
+	batch, T := c.batch, c.T
+	out := &GRUGrads{
+		Wz: tensor.NewDense(g.In, g.Hidden), Wr: tensor.NewDense(g.In, g.Hidden), Wc: tensor.NewDense(g.In, g.Hidden),
+		Uz: tensor.NewDense(g.Hidden, g.Hidden), Ur: tensor.NewDense(g.Hidden, g.Hidden), Uc: tensor.NewDense(g.Hidden, g.Hidden),
+		Bz: tensor.NewDense(g.Hidden), Br: tensor.NewDense(g.Hidden), Bc: tensor.NewDense(g.Hidden),
+		X: tensor.NewDense(batch*T, g.In),
+	}
+	dh := dHT.Clone() // dLoss/dh_t, updated as t decreases
+	for t := T - 1; t >= 0; t-- {
+		dhPrev := tensor.NewDense(batch, g.Hidden)
+		for i := 0; i < batch; i++ {
+			hPrev := c.hs[t].Row(i)
+			z, r, cd := c.zs[t].Row(i), c.rs[t].Row(i), c.cs[t].Row(i)
+			dhi := dh.Row(i)
+			xt := c.x.Row(i*T + t)
+			dxi := out.X.Row(i*T + t)
+			dhp := dhPrev.Row(i)
+
+			// Per-gate pre-activation gradients.
+			dz := make([]float32, g.Hidden)
+			dc := make([]float32, g.Hidden)
+			for j := 0; j < g.Hidden; j++ {
+				// h = (1-z)h_prev + z c
+				dz[j] = dhi[j] * (cd[j] - hPrev[j]) * z[j] * (1 - z[j])
+				dc[j] = dhi[j] * z[j] * (1 - cd[j]*cd[j])
+				dhp[j] += dhi[j] * (1 - z[j])
+			}
+			// dc flows into Uc(r ⊙ h_prev): compute d(r⊙h_prev) first.
+			drh := make([]float32, g.Hidden)
+			for k := 0; k < g.Hidden; k++ {
+				var acc float32
+				for j := 0; j < g.Hidden; j++ {
+					acc += g.Uc.At(k, j) * dc[j]
+				}
+				drh[k] = acc
+			}
+			dr := make([]float32, g.Hidden)
+			for k := 0; k < g.Hidden; k++ {
+				dr[k] = drh[k] * hPrev[k] * r[k] * (1 - r[k])
+				dhp[k] += drh[k] * r[k]
+			}
+			// Parameter grads and upstream flows.
+			bz, br, bc := out.Bz.Data(), out.Br.Data(), out.Bc.Data()
+			for j := 0; j < g.Hidden; j++ {
+				bz[j] += dz[j]
+				br[j] += dr[j]
+				bc[j] += dc[j]
+			}
+			for k := 0; k < g.In; k++ {
+				wz, wr, wc := out.Wz.Row(k), out.Wr.Row(k), out.Wc.Row(k)
+				gwz, gwr, gwc := g.Wz.Row(k), g.Wr.Row(k), g.Wc.Row(k)
+				var dx float32
+				for j := 0; j < g.Hidden; j++ {
+					wz[j] += xt[k] * dz[j]
+					wr[j] += xt[k] * dr[j]
+					wc[j] += xt[k] * dc[j]
+					dx += gwz[j]*dz[j] + gwr[j]*dr[j] + gwc[j]*dc[j]
+				}
+				dxi[k] = dx
+			}
+			for k := 0; k < g.Hidden; k++ {
+				uz, ur, uc := out.Uz.Row(k), out.Ur.Row(k), out.Uc.Row(k)
+				guz, gur := g.Uz.Row(k), g.Ur.Row(k)
+				var dhFromGates float32
+				for j := 0; j < g.Hidden; j++ {
+					uz[j] += hPrev[k] * dz[j]
+					ur[j] += hPrev[k] * dr[j]
+					uc[j] += r[k] * hPrev[k] * dc[j]
+					dhFromGates += guz[j]*dz[j] + gur[j]*dr[j]
+				}
+				dhp[k] += dhFromGates
+			}
+		}
+		dh = dhPrev
+	}
+	return out
+}
+
+// SeqModel is the recurrent counterpart of Model: per-token embedding lookup
+// feeds a GRU whose final hidden state predicts the next token through a
+// softmax projection. Its embedding gradients have one row per token
+// position, exactly like the translation models the paper evaluates.
+type SeqModel struct {
+	Emb  *Embedding
+	Cell *GRU
+	// Wo/Bo project the final hidden state to vocabulary logits.
+	Wo *tensor.Dense // [Hidden x Vocab]
+	Bo *tensor.Dense // [Vocab]
+}
+
+// NewSeqModel builds a deterministic SeqModel.
+func NewSeqModel(seed int64, vocab, embDim, hidden int) *SeqModel {
+	rng := rand.New(rand.NewSource(seed))
+	sO := float32(math.Sqrt(6.0 / float64(hidden+vocab)))
+	return &SeqModel{
+		Emb:  NewEmbedding(rng, vocab, embDim),
+		Cell: NewGRU(rng, embDim, hidden),
+		Wo:   tensor.RandDense(rng, sO, hidden, vocab),
+		Bo:   tensor.NewDense(vocab),
+	}
+}
+
+// Params lists every dense parameter (GRU + projection).
+func (m *SeqModel) Params() []NamedParam {
+	out := m.Cell.Params()
+	return append(out, NamedParam{"wo", m.Wo}, NamedParam{"bo", m.Bo})
+}
+
+// Step trains on one batch of equal-length token windows with next-token
+// targets, returning metrics, the (uncoalesced, per-token) sparse embedding
+// gradient and the dense gradients keyed like Params.
+func (m *SeqModel) Step(tokens [][]int64, targets []int64) (StepStats, *tensor.Sparse, map[string]*tensor.Dense, error) {
+	batch := len(tokens)
+	if batch == 0 || batch != len(targets) {
+		return StepStats{}, nil, nil, fmt.Errorf("nn: seq batch %d vs %d targets", batch, len(targets))
+	}
+	T := len(tokens[0])
+	for _, w := range tokens {
+		if len(w) != T {
+			return StepStats{}, nil, nil, fmt.Errorf("nn: seq windows must be equal length")
+		}
+	}
+	embDim := m.Emb.Dim()
+
+	// Per-token lookup, sample-major.
+	x := tensor.NewDense(batch*T, embDim)
+	for i, w := range tokens {
+		for t, tok := range w {
+			copy(x.Row(i*T+t), m.Emb.Table.Row(int(tok)))
+		}
+	}
+	h, cache, err := m.Cell.Forward(x, batch, T)
+	if err != nil {
+		return StepStats{}, nil, nil, err
+	}
+
+	// Softmax cross-entropy head.
+	vocab := m.Wo.Dim(1)
+	hidden := m.Wo.Dim(0)
+	probs := tensor.NewDense(batch, vocab)
+	var loss float64
+	correct := 0
+	for i := 0; i < batch; i++ {
+		hi := h.Row(i)
+		logits := probs.Row(i)
+		for v := 0; v < vocab; v++ {
+			acc := m.Bo.Data()[v]
+			for j := 0; j < hidden; j++ {
+				acc += hi[j] * m.Wo.At(j, v)
+			}
+			logits[v] = acc
+		}
+		maxL := logits[0]
+		best := 0
+		for v, l := range logits {
+			if l > maxL {
+				maxL = l
+			}
+			if l > logits[best] {
+				best = v
+			}
+		}
+		if int64(best) == targets[i] {
+			correct++
+		}
+		var sum float64
+		for v := range logits {
+			e := math.Exp(float64(logits[v] - maxL))
+			sum += e
+			logits[v] = float32(e)
+		}
+		inv := float32(1 / sum)
+		for v := range logits {
+			logits[v] *= inv
+		}
+		p := float64(logits[targets[i]])
+		if p < 1e-30 {
+			p = 1e-30
+		}
+		loss -= math.Log(p)
+	}
+	loss /= float64(batch)
+
+	// Backward: head, then BPTT, then embedding rows.
+	dWo := tensor.NewDense(hidden, vocab)
+	dBo := tensor.NewDense(vocab)
+	dH := tensor.NewDense(batch, hidden)
+	invB := 1 / float32(batch)
+	for i := 0; i < batch; i++ {
+		dLogits := append([]float32(nil), probs.Row(i)...)
+		dLogits[targets[i]] -= 1
+		for v := range dLogits {
+			dLogits[v] *= invB
+		}
+		hi := h.Row(i)
+		dhi := dH.Row(i)
+		bo := dBo.Data()
+		for j := 0; j < hidden; j++ {
+			wo := dWo.Row(j)
+			mwo := m.Wo.Row(j)
+			var acc float32
+			for v := 0; v < vocab; v++ {
+				wo[v] += hi[j] * dLogits[v]
+				acc += mwo[v] * dLogits[v]
+			}
+			dhi[j] = acc
+		}
+		for v := 0; v < vocab; v++ {
+			bo[v] += dLogits[v]
+		}
+	}
+	grads := m.Cell.Backward(cache, dH)
+
+	// Embedding gradient: one sparse row per token position.
+	idx := make([]int64, 0, batch*T)
+	vals := make([]float32, 0, batch*T*embDim)
+	for i, w := range tokens {
+		for t, tok := range w {
+			idx = append(idx, tok)
+			vals = append(vals, grads.X.Row(i*T+t)...)
+		}
+	}
+	embGrad, err := tensor.NewSparse(m.Emb.Vocab(), embDim, idx, vals)
+	if err != nil {
+		return StepStats{}, nil, nil, fmt.Errorf("nn: seq embedding grad: %w", err)
+	}
+
+	dense := map[string]*tensor.Dense{"wo": dWo, "bo": dBo}
+	for _, p := range grads.Params() {
+		dense[p.Name] = p.Tensor
+	}
+	return StepStats{Loss: loss, Correct: correct, Count: batch}, embGrad, dense, nil
+}
+
+// Generate greedily extends a seed window: the model repeatedly predicts the
+// most likely next token and slides the window forward. It is the smallest
+// useful inference path for a trained SeqModel (the sequence example decodes
+// the result back to text).
+func (m *SeqModel) Generate(seed []int64, steps int) ([]int64, error) {
+	if len(seed) == 0 {
+		return nil, fmt.Errorf("nn: empty seed")
+	}
+	if steps < 0 {
+		return nil, fmt.Errorf("nn: negative steps %d", steps)
+	}
+	vocab := m.Wo.Dim(1)
+	hidden := m.Wo.Dim(0)
+	embDim := m.Emb.Dim()
+	window := append([]int64(nil), seed...)
+	out := append([]int64(nil), seed...)
+	for s := 0; s < steps; s++ {
+		T := len(window)
+		x := tensor.NewDense(T, embDim)
+		for t, tok := range window {
+			if tok < 0 || tok >= int64(m.Emb.Vocab()) {
+				return nil, fmt.Errorf("nn: seed token %d out of vocabulary", tok)
+			}
+			copy(x.Row(t), m.Emb.Table.Row(int(tok)))
+		}
+		h, _, err := m.Cell.Forward(x, 1, T)
+		if err != nil {
+			return nil, err
+		}
+		best, bestV := 0, float32(0)
+		hi := h.Row(0)
+		for v := 0; v < vocab; v++ {
+			acc := m.Bo.Data()[v]
+			for j := 0; j < hidden; j++ {
+				acc += hi[j] * m.Wo.At(j, v)
+			}
+			if v == 0 || acc > bestV {
+				best, bestV = v, acc
+			}
+		}
+		next := int64(best)
+		out = append(out, next)
+		window = append(window[1:], next)
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"embrace/internal/tensor"
+)
+
+func tinySeq() (*SeqModel, [][]int64, []int64) {
+	m := NewSeqModel(5, 9, 3, 4)
+	tokens := [][]int64{{1, 2, 3}, {4, 4, 0}, {7, 8, 1}}
+	targets := []int64{5, 2, 8}
+	return m, tokens, targets
+}
+
+func TestGRUForwardShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGRU(rng, 3, 5)
+	x := tensor.RandDense(rng, 1, 2*4, 3) // batch 2, T 4
+	h, cache, err := g.Forward(x, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Dim(0) != 2 || h.Dim(1) != 5 {
+		t.Fatalf("h shape %v", h.Shape())
+	}
+	if len(cache.hs) != 5 || len(cache.zs) != 4 {
+		t.Fatalf("cache lengths %d %d", len(cache.hs), len(cache.zs))
+	}
+	if _, _, err := g.Forward(x, 3, 4); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestGRUHiddenBounded(t *testing.T) {
+	// GRU states are convex mixes of tanh outputs: |h| <= 1 always.
+	rng := rand.New(rand.NewSource(2))
+	g := NewGRU(rng, 4, 6)
+	x := tensor.RandDense(rng, 3, 5*8, 4)
+	h, _, err := g.Forward(x, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range h.Data() {
+		if v < -1 || v > 1 {
+			t.Fatalf("hidden %v out of [-1,1]", v)
+		}
+	}
+}
+
+func TestSeqModelStepBasics(t *testing.T) {
+	m, tokens, targets := tinySeq()
+	stats, embGrad, dense, err := m.Step(tokens, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loss <= 0 || math.IsNaN(stats.Loss) {
+		t.Fatalf("loss %v", stats.Loss)
+	}
+	if stats.Count != 3 {
+		t.Fatalf("count %d", stats.Count)
+	}
+	// One sparse row per token position.
+	if embGrad.NNZ() != 9 {
+		t.Fatalf("embedding grad rows = %d, want 9", embGrad.NNZ())
+	}
+	// All 11 dense gradients present.
+	if len(dense) != 11 {
+		t.Fatalf("dense grads = %d, want 11", len(dense))
+	}
+	for _, p := range m.Params() {
+		if dense[p.Name] == nil {
+			t.Fatalf("missing grad %s", p.Name)
+		}
+		if dense[p.Name].Len() != p.Tensor.Len() {
+			t.Fatalf("grad %s shape mismatch", p.Name)
+		}
+	}
+}
+
+func TestSeqModelValidation(t *testing.T) {
+	m, _, _ := tinySeq()
+	if _, _, _, err := m.Step(nil, nil); err == nil {
+		t.Fatal("expected empty-batch error")
+	}
+	if _, _, _, err := m.Step([][]int64{{1, 2}, {3}}, []int64{0, 0}); err == nil {
+		t.Fatal("expected unequal-length error")
+	}
+}
+
+// The BPTT correctness anchor: every parameter gradient and the embedding
+// gradient must match central finite differences.
+func TestSeqModelGradientsMatchFiniteDifferences(t *testing.T) {
+	m, tokens, targets := tinySeq()
+
+	lossAt := func() float64 {
+		stats, _, _, err := m.Step(tokens, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Loss
+	}
+
+	_, embGrad, dense, err := m.Step(tokens, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	embDense := embGrad.ToDense()
+
+	const eps = 1e-3
+	check := func(name string, param, analytic *tensor.Dense, idx int) {
+		t.Helper()
+		orig := param.Data()[idx]
+		param.Data()[idx] = orig + eps
+		up := lossAt()
+		param.Data()[idx] = orig - eps
+		down := lossAt()
+		param.Data()[idx] = orig
+		numeric := (up - down) / (2 * eps)
+		got := float64(analytic.Data()[idx])
+		if math.Abs(numeric-got) > 6e-3*math.Max(1, math.Abs(numeric)) {
+			t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, idx, got, numeric)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range m.Params() {
+		for i := 0; i < 5; i++ {
+			check(p.Name, p.Tensor, dense[p.Name], rng.Intn(p.Tensor.Len()))
+		}
+	}
+	for i := 0; i < 10; i++ {
+		check("emb", m.Emb.Table, embDense, rng.Intn(m.Emb.Table.Len()))
+	}
+}
+
+func TestSeqModelLearns(t *testing.T) {
+	// SGD on a fixed batch must drive the loss down sharply.
+	m, tokens, targets := tinySeq()
+	var first, last float64
+	for i := 0; i < 80; i++ {
+		stats, embGrad, dense, err := m.Step(tokens, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = stats.Loss
+		}
+		last = stats.Loss
+		const lr = 0.5
+		for _, p := range m.Params() {
+			if err := p.Tensor.AXPY(-lr, dense[p.Name]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		embGrad.AddToDense(m.Emb.Table, -lr)
+	}
+	if last > first/3 {
+		t.Fatalf("seq model did not learn: %v -> %v", first, last)
+	}
+}
+
+func TestSeqModelDeterministic(t *testing.T) {
+	a := NewSeqModel(7, 10, 4, 5)
+	b := NewSeqModel(7, 10, 4, 5)
+	if !a.Emb.Table.AllClose(b.Emb.Table, 0) || !a.Cell.Wz.AllClose(b.Cell.Wz, 0) || !a.Wo.AllClose(b.Wo, 0) {
+		t.Fatal("same seed must give identical models")
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	m, tokens, targets := tinySeq()
+	// Overfit one batch so generation becomes deterministic recall.
+	for i := 0; i < 150; i++ {
+		_, embGrad, dense, err := m.Step(tokens, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range m.Params() {
+			if err := p.Tensor.AXPY(-0.5, dense[p.Name]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		embGrad.AddToDense(m.Emb.Table, -0.5)
+	}
+	got, err := m.Generate(tokens[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tokens[0])+1 {
+		t.Fatalf("generated %d tokens", len(got))
+	}
+	if got[len(got)-1] != targets[0] {
+		t.Fatalf("overfit model predicted %d, want %d", got[len(got)-1], targets[0])
+	}
+	// Longer continuations keep the window sliding without error.
+	long, err := m.Generate(tokens[0], 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(long) != len(tokens[0])+10 {
+		t.Fatalf("long generation length %d", len(long))
+	}
+	if _, err := m.Generate(nil, 1); err == nil {
+		t.Fatal("expected empty-seed error")
+	}
+	if _, err := m.Generate([]int64{1}, -1); err == nil {
+		t.Fatal("expected negative-steps error")
+	}
+	if _, err := m.Generate([]int64{999}, 1); err == nil {
+		t.Fatal("expected out-of-vocab error")
+	}
+}

@@ -1,0 +1,250 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"embrace/internal/tensor"
+)
+
+func randSparse(rng *rand.Rand, rows, dim, nnz int) *tensor.Sparse {
+	idx := make([]int64, nnz)
+	vals := make([]float32, nnz*dim)
+	for i := range idx {
+		idx[i] = int64(rng.Intn(rows))
+	}
+	for i := range vals {
+		vals[i] = rng.Float32()*2 - 1
+	}
+	s, _ := tensor.NewSparse(rows, dim, idx, vals)
+	return s
+}
+
+func TestSGDDense(t *testing.T) {
+	p, _ := tensor.FromSlice([]float32{1, 2, 3}, 3)
+	g, _ := tensor.FromSlice([]float32{1, 1, 1}, 3)
+	o := NewSGD(p, 0.1)
+	if err := o.StepDense(g); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0.9, 1.9, 2.9}
+	for i, v := range p.Data() {
+		if math.Abs(float64(v-want[i])) > 1e-6 {
+			t.Fatalf("p[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	bad := tensor.NewDense(4)
+	if err := o.StepDense(bad); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestSGDSparseEqualsDense(t *testing.T) {
+	// A sparse update must equal the dense update of the scattered gradient.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, dim := 10, 3
+		pd := tensor.RandDense(rng, 1, rows, dim)
+		ps := pd.Clone()
+		g := randSparse(rng, rows, dim, 1+rng.Intn(15))
+		if err := NewSGD(pd, 0.05).StepDense(g.ToDense()); err != nil {
+			return false
+		}
+		if err := NewSGD(ps, 0.05).StepSparse(g); err != nil {
+			return false
+		}
+		return pd.AllClose(ps, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdagradAccumulates(t *testing.T) {
+	p := tensor.Full(1, 2)
+	o := NewAdagrad(p, 0.1, 1e-10)
+	g, _ := tensor.FromSlice([]float32{1, 0}, 2)
+	if err := o.StepDense(g); err != nil {
+		t.Fatal(err)
+	}
+	// First step with g=1: p -= 0.1*1/sqrt(1) = 0.1.
+	if math.Abs(float64(p.Data()[0])-0.9) > 1e-5 {
+		t.Fatalf("p[0] = %v", p.Data()[0])
+	}
+	if p.Data()[1] != 1 {
+		t.Fatal("zero gradient must not move the parameter")
+	}
+	if err := o.StepDense(g); err != nil {
+		t.Fatal(err)
+	}
+	// Second step: accum=2, update 0.1/sqrt(2) ≈ 0.0707.
+	if math.Abs(float64(p.Data()[0])-(0.9-0.1/math.Sqrt2)) > 1e-5 {
+		t.Fatalf("p[0] after 2 steps = %v", p.Data()[0])
+	}
+}
+
+func TestAdagradSparseEqualsDenseOnTouchedRows(t *testing.T) {
+	// Adagrad is element-wise, so sparse(rows) == dense(scattered) as long
+	// as untouched rows have zero gradient (which scattering guarantees).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, dim := 8, 2
+		pd := tensor.RandDense(rng, 1, rows, dim)
+		ps := pd.Clone()
+		od := NewAdagrad(pd, 0.1, 1e-10)
+		os := NewAdagrad(ps, 0.1, 1e-10)
+		for k := 0; k < 4; k++ {
+			g := randSparse(rng, rows, dim, 1+rng.Intn(10))
+			if err := od.StepDense(g.ToDense()); err != nil {
+				return false
+			}
+			if err := os.StepSparse(g); err != nil {
+				return false
+			}
+		}
+		return pd.AllClose(ps, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdamDenseMatchesReference(t *testing.T) {
+	// One Adam step from zero state with g: m=(1-β1)g, v=(1-β2)g².
+	// update = lr * sqrt(1-β2)/(1-β1) * m / (sqrt(v)+eps)
+	p := tensor.Full(0, 1)
+	o := NewAdam(p, 0.001, 0.9, 0.999, 1e-8)
+	g, _ := tensor.FromSlice([]float32{2}, 1)
+	if err := o.StepDense(g); err != nil {
+		t.Fatal(err)
+	}
+	m := 0.1 * 2.0
+	v := 0.001 * 4.0
+	lr := 0.001 * math.Sqrt(1-0.999) / (1 - 0.9)
+	want := -lr * m / (math.Sqrt(v) + 1e-8)
+	if math.Abs(float64(p.Data()[0])-want) > 1e-7 {
+		t.Fatalf("p = %v, want %v", p.Data()[0], want)
+	}
+	if o.Step() != 1 {
+		t.Fatalf("step = %d", o.Step())
+	}
+}
+
+func TestAdamSparseLazyRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := tensor.RandDense(rng, 1, 6, 2)
+	before := p.Clone()
+	o := NewAdamDefault(p, 0.01)
+	g, _ := tensor.NewSparse(6, 2, []int64{2}, []float32{1, -1})
+	if err := o.StepSparse(g); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 6; r++ {
+		changed := !pRowEqual(p, before, r)
+		if r == 2 && !changed {
+			t.Fatal("touched row must change")
+		}
+		if r != 2 && changed {
+			t.Fatalf("untouched row %d changed", r)
+		}
+	}
+}
+
+func pRowEqual(a, b *tensor.Dense, r int) bool {
+	ra, rb := a.Row(r), b.Row(r)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The §5.7 property: applying a coalesced gradient as disjoint prior and
+// delayed parts through StepSparsePartial must be bit-identical to applying
+// the whole gradient in a single StepSparse, across many iterations.
+func TestModifiedAdamSplitEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, dim := 12, 3
+		pWhole := tensor.RandDense(rng, 1, rows, dim)
+		pSplit := pWhole.Clone()
+		oWhole := NewAdamDefault(pWhole, 0.01)
+		oSplit := NewAdamDefault(pSplit, 0.01)
+		for it := 0; it < 6; it++ {
+			g := randSparse(rng, rows, dim, 1+rng.Intn(20)).Coalesce()
+			prior := make(map[int64]struct{})
+			for _, ix := range g.Indices {
+				if rng.Intn(2) == 0 {
+					prior[ix] = struct{}{}
+				}
+			}
+			gp, gd := g.Partition(prior)
+			if err := oWhole.StepSparse(g); err != nil {
+				return false
+			}
+			if err := oSplit.StepSparsePartial(gp, false); err != nil {
+				return false
+			}
+			if err := oSplit.StepSparsePartial(gd, true); err != nil {
+				return false
+			}
+			if oWhole.Step() != oSplit.Step() {
+				return false
+			}
+		}
+		return pWhole.AllClose(pSplit, 0) // bit-identical, not just close
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Without the modification (advancing the step on both parts), the split
+// diverges from the whole update — demonstrating why §5.7 is needed.
+func TestUnmodifiedSplitDiverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows, dim := 10, 2
+	pWhole := tensor.RandDense(rng, 1, rows, dim)
+	pSplit := pWhole.Clone()
+	oWhole := NewAdamDefault(pWhole, 0.01)
+	oSplit := NewAdamDefault(pSplit, 0.01)
+	for it := 0; it < 5; it++ {
+		g := randSparse(rng, rows, dim, 12).Coalesce()
+		prior := make(map[int64]struct{})
+		for i, ix := range g.Indices {
+			if i%2 == 0 {
+				prior[ix] = struct{}{}
+			}
+		}
+		gp, gd := g.Partition(prior)
+		if err := oWhole.StepSparse(g); err != nil {
+			t.Fatal(err)
+		}
+		// Naive: both parts advance the step (two optimizer calls).
+		if err := oSplit.StepSparse(gp); err != nil {
+			t.Fatal(err)
+		}
+		if err := oSplit.StepSparse(gd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pWhole.AllClose(pSplit, 1e-9) {
+		t.Fatal("naive split should diverge from whole update")
+	}
+}
+
+func TestAdamShapeValidation(t *testing.T) {
+	p := tensor.NewDense(4, 2)
+	o := NewAdamDefault(p, 0.01)
+	badDense := tensor.NewDense(5)
+	if err := o.StepDense(badDense); err == nil {
+		t.Fatal("expected dense shape error")
+	}
+	badSparse, _ := tensor.NewSparse(4, 3, []int64{0}, []float32{1, 2, 3})
+	if err := o.StepSparse(badSparse); err == nil {
+		t.Fatal("expected sparse shape error")
+	}
+}

@@ -1,0 +1,69 @@
+package optim
+
+import (
+	"fmt"
+
+	"embrace/internal/tensor"
+)
+
+// State is a serializable snapshot of one optimizer's internal state, used
+// by the checkpoint package. The parameter tensor itself is checkpointed
+// separately; State carries only what the optimizer adds.
+type State struct {
+	// Kind discriminates the optimizer type ("sgd", "adagrad", "adam").
+	Kind string
+	// Accum is Adagrad's squared-gradient accumulator.
+	Accum *tensor.Dense
+	// M and V are Adam's first and second moments; Step its counter.
+	M, V *tensor.Dense
+	Step int
+}
+
+// Snapshot captures an optimizer's state. The returned tensors are deep
+// copies, safe to serialize while training continues.
+func Snapshot(o Optimizer) (State, error) {
+	switch v := o.(type) {
+	case *SGD:
+		return State{Kind: "sgd"}, nil
+	case *Adagrad:
+		return State{Kind: "adagrad", Accum: v.accum.Clone()}, nil
+	case *Adam:
+		return State{Kind: "adam", M: v.m.Clone(), V: v.v.Clone(), Step: v.step}, nil
+	default:
+		return State{}, fmt.Errorf("optim: cannot snapshot %T", o)
+	}
+}
+
+// Restore loads a snapshot back into an optimizer of the matching kind and
+// shape. The optimizer must already be bound to its parameter tensor.
+func Restore(o Optimizer, s State) error {
+	switch v := o.(type) {
+	case *SGD:
+		if s.Kind != "sgd" {
+			return fmt.Errorf("optim: restoring %q state into SGD", s.Kind)
+		}
+		return nil
+	case *Adagrad:
+		if s.Kind != "adagrad" {
+			return fmt.Errorf("optim: restoring %q state into Adagrad", s.Kind)
+		}
+		if s.Accum == nil || s.Accum.Len() != v.accum.Len() {
+			return fmt.Errorf("optim: adagrad accumulator shape mismatch")
+		}
+		copy(v.accum.Data(), s.Accum.Data())
+		return nil
+	case *Adam:
+		if s.Kind != "adam" {
+			return fmt.Errorf("optim: restoring %q state into Adam", s.Kind)
+		}
+		if s.M == nil || s.V == nil || s.M.Len() != v.m.Len() || s.V.Len() != v.v.Len() {
+			return fmt.Errorf("optim: adam moment shape mismatch")
+		}
+		copy(v.m.Data(), s.M.Data())
+		copy(v.v.Data(), s.V.Data())
+		v.step = s.Step
+		return nil
+	default:
+		return fmt.Errorf("optim: cannot restore into %T", o)
+	}
+}

@@ -1,0 +1,147 @@
+// Package partition analyzes the embedding partitioning choice of §4.1.1.
+//
+// The paper argues: row-wise partitioning splits words (whole vectors), and
+// because word frequencies are Zipfian some shards are hit far more often,
+// unbalancing the AlltoAll; column-wise partitioning gives every shard the
+// whole vocabulary and a 1/N slice of every vector, so per-shard load equals
+// the batch size regardless of which words appear. This package quantifies
+// that argument on real batches: each scheme maps a batch of token lookups
+// to per-shard payloads, and the imbalance factor (max shard load over mean
+// shard load) bounds the AlltoAll slowdown, since the exchange completes
+// when the hottest shard finishes.
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scheme assigns embedding-lookup work to shards.
+type Scheme interface {
+	// Name identifies the scheme.
+	Name() string
+	// ShardLoads returns, for one batch of token ids, the lookup payload
+	// each of the n shards must serve, in units of full embedding rows
+	// (a column shard serving one token counts 1/n).
+	ShardLoads(tokens []int64, n int) []float64
+}
+
+// RowRange partitions rows into n contiguous vocabulary ranges — the
+// natural row-wise split. With frequency-sorted vocabularies (ids assigned
+// by descending frequency, as tokenizers do) the shard owning the head of
+// the vocabulary serves almost every lookup.
+type RowRange struct {
+	// Vocab is the vocabulary size the ranges divide.
+	Vocab int
+}
+
+// Name implements Scheme.
+func (RowRange) Name() string { return "row-range" }
+
+// ShardLoads implements Scheme.
+func (p RowRange) ShardLoads(tokens []int64, n int) []float64 {
+	loads := make([]float64, n)
+	per := (p.Vocab + n - 1) / n
+	for _, tok := range tokens {
+		shard := int(tok) / per
+		if shard >= n {
+			shard = n - 1
+		}
+		loads[shard]++
+	}
+	return loads
+}
+
+// RowHash partitions rows by token id modulo n — row-wise with hashing.
+// Hashing spreads the head across shards but cannot split a single hot
+// token (the pad token, "the", ...), so per-batch imbalance persists.
+type RowHash struct{}
+
+// Name implements Scheme.
+func (RowHash) Name() string { return "row-hash" }
+
+// ShardLoads implements Scheme.
+func (RowHash) ShardLoads(tokens []int64, n int) []float64 {
+	loads := make([]float64, n)
+	for _, tok := range tokens {
+		loads[int(tok)%n]++
+	}
+	return loads
+}
+
+// ColumnWise is EmbRace's choice: every shard holds every row's 1/n column
+// slice, so each lookup costs exactly 1/n on every shard.
+type ColumnWise struct{}
+
+// Name implements Scheme.
+func (ColumnWise) Name() string { return "column-wise" }
+
+// ShardLoads implements Scheme.
+func (ColumnWise) ShardLoads(tokens []int64, n int) []float64 {
+	loads := make([]float64, n)
+	per := float64(len(tokens)) / float64(n)
+	for i := range loads {
+		loads[i] = per
+	}
+	return loads
+}
+
+// Stats summarizes the load balance of one scheme over sampled batches.
+type Stats struct {
+	Scheme string
+	// Imbalance is max shard load over mean shard load, averaged over
+	// batches; 1.0 is perfect balance. The AlltoAll finishes when the
+	// hottest shard finishes, so this factor directly scales the sparse
+	// exchange time.
+	Imbalance float64
+	// MaxShare is the hottest shard's average fraction of total load
+	// (1/n under perfect balance).
+	MaxShare float64
+}
+
+// Measure evaluates a scheme over a series of batches on n shards.
+func Measure(s Scheme, batches [][]int64, n int) (Stats, error) {
+	if n <= 0 {
+		return Stats{}, fmt.Errorf("partition: shards must be positive, got %d", n)
+	}
+	if len(batches) == 0 {
+		return Stats{}, fmt.Errorf("partition: no batches")
+	}
+	st := Stats{Scheme: s.Name()}
+	for _, batch := range batches {
+		if len(batch) == 0 {
+			return Stats{}, fmt.Errorf("partition: empty batch")
+		}
+		loads := s.ShardLoads(batch, n)
+		var total, maxLoad float64
+		for _, l := range loads {
+			total += l
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		mean := total / float64(n)
+		st.Imbalance += maxLoad / mean
+		st.MaxShare += maxLoad / total
+	}
+	inv := 1 / float64(len(batches))
+	st.Imbalance *= inv
+	st.MaxShare *= inv
+	return st, nil
+}
+
+// Compare measures every scheme on the same batches and returns the stats
+// sorted by imbalance (best first).
+func Compare(batches [][]int64, vocab, n int) ([]Stats, error) {
+	schemes := []Scheme{ColumnWise{}, RowHash{}, RowRange{Vocab: vocab}}
+	out := make([]Stats, 0, len(schemes))
+	for _, s := range schemes {
+		st, err := Measure(s, batches, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Imbalance < out[j].Imbalance })
+	return out, nil
+}

@@ -1,0 +1,141 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"embrace/internal/data"
+)
+
+func zipfBatches(t *testing.T, vocab, batches, tokensPer int) [][]int64 {
+	t.Helper()
+	gen, err := data.NewGenerator(data.Config{
+		VocabSize:      vocab,
+		BatchSentences: tokensPer / 10,
+		MaxSeqLen:      10,
+		MinSeqLen:      10,
+		ZipfS:          1.8,
+		ZipfV:          2,
+	}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]int64, batches)
+	for i := range out {
+		out[i] = gen.NextBatch().Tokens()
+	}
+	return out
+}
+
+func TestColumnWisePerfectBalance(t *testing.T) {
+	batches := zipfBatches(t, 1000, 5, 200)
+	st, err := Measure(ColumnWise{}, batches, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Imbalance-1.0) > 1e-9 {
+		t.Fatalf("column-wise imbalance = %v, want exactly 1", st.Imbalance)
+	}
+	if math.Abs(st.MaxShare-1.0/8) > 1e-9 {
+		t.Fatalf("column-wise max share = %v, want 1/8", st.MaxShare)
+	}
+}
+
+func TestRowRangeSuffersOnFrequencySortedVocab(t *testing.T) {
+	// Our generator assigns low ids to frequent words (Zipf), matching
+	// frequency-sorted tokenizer vocabularies, so contiguous row ranges
+	// concentrate nearly all lookups on shard 0 — the §4.1.1 argument.
+	batches := zipfBatches(t, 1000, 5, 200)
+	st, err := Measure(RowRange{Vocab: 1000}, batches, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Imbalance < 4 {
+		t.Fatalf("row-range imbalance = %v, expected severe (>4x on 8 shards)", st.Imbalance)
+	}
+}
+
+func TestRowHashBetterThanRangeWorseThanColumn(t *testing.T) {
+	batches := zipfBatches(t, 1000, 5, 200)
+	rng, _ := Measure(RowRange{Vocab: 1000}, batches, 8)
+	hash, _ := Measure(RowHash{}, batches, 8)
+	col, _ := Measure(ColumnWise{}, batches, 8)
+	if !(col.Imbalance < hash.Imbalance && hash.Imbalance < rng.Imbalance) {
+		t.Fatalf("expected column (%v) < hash (%v) < range (%v)",
+			col.Imbalance, hash.Imbalance, rng.Imbalance)
+	}
+}
+
+func TestShardLoadsConserveWork(t *testing.T) {
+	// Property: every scheme distributes exactly len(tokens) row-units.
+	f := func(seed int64) bool {
+		n := int(seed%7+7)%7 + 2 // 2..8
+		tokens := make([]int64, 50+int(seed%50+50)%50)
+		for i := range tokens {
+			tokens[i] = int64((int(seed) + i*7) % 1000)
+			if tokens[i] < 0 {
+				tokens[i] += 1000
+			}
+		}
+		for _, s := range []Scheme{ColumnWise{}, RowHash{}, RowRange{Vocab: 1000}} {
+			loads := s.ShardLoads(tokens, n)
+			if len(loads) != n {
+				return false
+			}
+			var total float64
+			for _, l := range loads {
+				if l < 0 {
+					return false
+				}
+				total += l
+			}
+			if math.Abs(total-float64(len(tokens))) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	if _, err := Measure(ColumnWise{}, [][]int64{{1}}, 0); err == nil {
+		t.Fatal("expected shards error")
+	}
+	if _, err := Measure(ColumnWise{}, nil, 4); err == nil {
+		t.Fatal("expected empty-batches error")
+	}
+	if _, err := Measure(ColumnWise{}, [][]int64{{}}, 4); err == nil {
+		t.Fatal("expected empty-batch error")
+	}
+}
+
+func TestCompareSortsByImbalance(t *testing.T) {
+	batches := zipfBatches(t, 1000, 3, 200)
+	stats, err := Compare(batches, 1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("%d stats", len(stats))
+	}
+	if stats[0].Scheme != "column-wise" {
+		t.Fatalf("best scheme = %s, want column-wise", stats[0].Scheme)
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Imbalance < stats[i-1].Imbalance {
+			t.Fatal("not sorted by imbalance")
+		}
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	if ColumnWise.Name(ColumnWise{}) != "column-wise" ||
+		RowHash.Name(RowHash{}) != "row-hash" ||
+		(RowRange{}).Name() != "row-range" {
+		t.Fatal("unexpected scheme names")
+	}
+}

@@ -1,0 +1,398 @@
+package perfsim
+
+import (
+	"fmt"
+
+	"embrace/internal/sched"
+	"embrace/internal/simnet"
+)
+
+// BlockKind distinguishes embedding blocks from dense blocks.
+type BlockKind int
+
+// Block kinds.
+const (
+	DenseBlock BlockKind = iota
+	EmbeddingBlock
+)
+
+// BlockSpec describes one schedulable module of a model (§4.2.1 breaks
+// translation models into Encoder Embedding, Encoder Blocks, Decoder
+// Embedding, Decoder Blocks; each entry here is one of those units).
+type BlockSpec struct {
+	// Name identifies the block in timelines.
+	Name string
+	// Kind selects dense or embedding treatment.
+	Kind BlockKind
+	// ParamBytes is the dense parameter size M of the block.
+	ParamBytes float64
+	// FwdDur and BwdDur are the block's compute times on the target GPU.
+	FwdDur, BwdDur float64
+
+	// The remaining fields apply to embedding blocks only.
+
+	// LookupBytes is the per-step embedding activation payload (the
+	// "Emb Data" AlltoAll of Figure 5): batch tokens x row size.
+	LookupBytes float64
+	// GradBytes is the coalesced sparse gradient payload (Table 3,
+	// "Coalesced Grad Size").
+	GradBytes float64
+	// RawGradBytes is the uncoalesced gradient payload (Table 3,
+	// "Original Grad Size"); baselines that skip coalescing ship this.
+	RawGradBytes float64
+	// PriorBytes and DelayedBytes are the Algorithm-1 split (Table 3,
+	// "Prioritized" and the remainder).
+	PriorBytes, DelayedBytes float64
+}
+
+// ModelSpec describes a model for performance simulation.
+type ModelSpec struct {
+	// Name of the model (LM, GNMT-8, ...).
+	Name string
+	// Blocks in forward order.
+	Blocks []BlockSpec
+	// VSchedDur is the duration of the Vertical Sparse Scheduling
+	// computation (Algorithm 1) per step, charged to the compute stream
+	// in the GPU idle time after BP (§4.2.2).
+	VSchedDur float64
+	// SparseApplyBW is the rate (bytes/s) at which received sparse
+	// gradient rows can be scattered into the parameter table. AllGather
+	// receives (N-1)x its own payload and must apply all of it before the
+	// embedding FP — the per-worker cost that, together with its linear
+	// NIC traffic, destroys its scalability. Zero disables apply
+	// accounting.
+	SparseApplyBW float64
+}
+
+// UsefulCompute returns the per-step FP+BP compute time.
+func (m *ModelSpec) UsefulCompute() float64 {
+	var s float64
+	for _, b := range m.Blocks {
+		s += b.FwdDur + b.BwdDur
+	}
+	return s
+}
+
+// Strategy selects the communication strategy to simulate.
+type Strategy int
+
+// The five strategies of §5.2.3.
+const (
+	StratAllReduce Strategy = iota
+	StratAllGather
+	StratBytePS
+	StratParallax
+	StratEmbRace
+)
+
+// String returns the paper's name for the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StratAllReduce:
+		return "Horovod AllReduce"
+	case StratAllGather:
+		return "Horovod AllGather"
+	case StratBytePS:
+		return "BytePS"
+	case StratParallax:
+		return "Parallax"
+	case StratEmbRace:
+		return "EmbRace"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// SchedMode selects EmbRace's scheduling level; baselines ignore it except
+// BytePS, whose ByteScheduler always schedules with priorities (§5.2.3).
+type SchedMode int
+
+// Scheduling modes of the Figure-9 ablation.
+const (
+	// SchedDefault is the FIFO queue of Figure 6(a).
+	SchedDefault SchedMode = iota
+	// SchedHorizontal adds block-priority scheduling and embedding-FP
+	// hoisting, Figure 6(b).
+	SchedHorizontal
+	// Sched2D adds Vertical Sparse Scheduling on top, Figure 6(c).
+	Sched2D
+)
+
+// bytePSPartBytes is ByteScheduler's tensor partition size; large tensors
+// are split into parts this size so high-priority parts can preempt.
+const bytePSPartBytes = 4 << 20
+
+// BuildJob constructs the task graph of `steps` training iterations of the
+// model under the given strategy and scheduling mode on the topology behind
+// est. The returned policy is the queue discipline the strategy uses.
+func BuildJob(spec *ModelSpec, strat Strategy, mode SchedMode, est *simnet.Estimator, steps int) (*Graph, Policy, error) {
+	if len(spec.Blocks) == 0 {
+		return nil, FIFO, fmt.Errorf("perfsim: model %q has no blocks", spec.Name)
+	}
+	if steps < 1 {
+		return nil, FIFO, fmt.Errorf("perfsim: steps must be positive, got %d", steps)
+	}
+	policy := FIFO
+	if strat == StratBytePS || (strat == StratEmbRace && mode != SchedDefault) {
+		policy = Priority
+	}
+
+	g := NewGraph()
+	nb := len(spec.Blocks)
+
+	// Per step bookkeeping, indexed [step][block].
+	type stepState struct {
+		fpTasks  []*Task
+		bpTasks  []*Task
+		commDone [][]*Task // network tasks FP(s+1, block) must wait for
+		dataA2A  []*Task   // EmbRace: per-block embedding data exchange
+		delayed  []*Task   // EmbRace 2D: per-block delayed gradient ops
+	}
+	states := make([]*stepState, steps)
+
+	// fpOrder returns block indices in compute order for the forward pass.
+	// Horizontal scheduling hoists every embedding FP ahead of the dense
+	// blocks (§4.2.1: "perform embedding FP in advance").
+	fpOrder := func() []int {
+		order := make([]int, 0, nb)
+		if strat == StratEmbRace && mode != SchedDefault {
+			for i, b := range spec.Blocks {
+				if b.Kind == EmbeddingBlock {
+					order = append(order, i)
+				}
+			}
+			for i, b := range spec.Blocks {
+				if b.Kind == DenseBlock {
+					order = append(order, i)
+				}
+			}
+			return order
+		}
+		for i := range spec.Blocks {
+			order = append(order, i)
+		}
+		return order
+	}()
+
+	// densePrio maps block index -> priority for priority policies:
+	// forward-order bands (§4.2.1), embeddings in the prior band.
+	densePrio := make([]int, nb)
+	denseIdx := 0
+	for i, b := range spec.Blocks {
+		if b.Kind == DenseBlock {
+			densePrio[i] = sched.PriorityDenseBase + denseIdx
+			denseIdx++
+		} else {
+			densePrio[i] = sched.PriorityEmbeddingPrior
+		}
+	}
+
+	n := float64(est.Topo.N())
+
+	// applyTask charges the scatter-apply of received sparse rows to the
+	// compute stream; the next FP of the block waits on it.
+	applyTask := func(s int, name string, bytes float64, after *Task) *Task {
+		if spec.SparseApplyBW <= 0 || bytes <= 0 {
+			return after
+		}
+		t := g.Add(fmt.Sprintf("apply:%s", name), s, Compute, bytes/spec.SparseApplyBW, after)
+		t.AuxCompute = true
+		return t
+	}
+
+	// rawBytes is the payload baselines ship: autograd emits uncoalesced
+	// sparse gradients, and none of the baselines runs Algorithm 1.
+	rawBytes := func(b BlockSpec) float64 {
+		if b.RawGradBytes > 0 {
+			return b.RawGradBytes
+		}
+		return b.GradBytes
+	}
+
+	// commTasks builds the gradient-exchange ops for block i of step s and
+	// returns (tasksFPWaitsOn, delayedOps).
+	commTasks := func(s, i int, after *Task) (fpWait []*Task, delayedOps []*Task) {
+		b := spec.Blocks[i]
+		add := func(name string, dur float64, prio int, deps ...*Task) *Task {
+			t := g.Add(name, s, Network, dur, deps...)
+			t.Priority = prio
+			return t
+		}
+		switch strat {
+		case StratAllReduce:
+			t := add(fmt.Sprintf("allreduce:%s", b.Name), est.RingAllReduce(b.ParamBytes), 0, after)
+			return []*Task{t}, nil
+		case StratAllGather:
+			if b.Kind == EmbeddingBlock {
+				t := add(fmt.Sprintf("allgather:%s", b.Name), est.AllGather(rawBytes(b)), 0, after)
+				// Every worker receives (N-1) peers' rows and must
+				// scatter-add them all before the next lookup.
+				ap := applyTask(s, b.Name, (n-1)*rawBytes(b), t)
+				return []*Task{ap}, nil
+			}
+			t := add(fmt.Sprintf("allreduce:%s", b.Name), est.RingAllReduce(b.ParamBytes), 0, after)
+			return []*Task{t}, nil
+		case StratParallax:
+			if b.Kind == EmbeddingBlock {
+				t := add(fmt.Sprintf("ps-sparse:%s", b.Name), est.PS(rawBytes(b)), 0, after)
+				return []*Task{t}, nil
+			}
+			t := add(fmt.Sprintf("allreduce:%s", b.Name), est.RingAllReduce(b.ParamBytes), 0, after)
+			return []*Task{t}, nil
+		case StratBytePS:
+			// ByteScheduler: partition the tensor and schedule parts by
+			// forward-order priority through BytePS's shm-staged PS.
+			parts := int(b.ParamBytes/bytePSPartBytes) + 1
+			out := make([]*Task, 0, parts)
+			per := b.ParamBytes / float64(parts)
+			for p := 0; p < parts; p++ {
+				t := add(fmt.Sprintf("ps:%s.%d", b.Name, p), est.BytePSDense(per), densePrio[i], after)
+				out = append(out, t)
+			}
+			return out, nil
+		case StratEmbRace:
+			if b.Kind == DenseBlock {
+				prio := 0
+				if policy == Priority {
+					prio = densePrio[i]
+				}
+				t := add(fmt.Sprintf("allreduce:%s", b.Name), est.RingAllReduce(b.ParamBytes), prio, after)
+				return []*Task{t}, nil
+			}
+			if mode == Sched2D {
+				// Vertical Sparse Scheduling: coalesced gradient split
+				// into prior and delayed parts (Algorithm 1). Each shard
+				// receives only its own columns (payload/N in total), so
+				// the apply before the next FP covers the prior rows only.
+				prior := add(fmt.Sprintf("a2a-prior:%s", b.Name), est.AllToAll(b.PriorBytes), sched.PriorityEmbeddingPrior, after)
+				del := add(fmt.Sprintf("a2a-delayed:%s", b.Name), est.AllToAll(b.DelayedBytes), sched.PriorityEmbeddingDelayed, after)
+				ap := applyTask(s, b.Name, b.PriorBytes, prior)
+				return []*Task{ap}, []*Task{del}
+			}
+			// Without vertical scheduling the raw, uncoalesced gradient
+			// ships whole (coalescing is part of Algorithm 1).
+			prio := 0
+			if policy == Priority {
+				prio = sched.PriorityEmbeddingPrior
+			}
+			t := add(fmt.Sprintf("a2a-grad:%s", b.Name), est.AllToAll(rawBytes(b)), prio, after)
+			ap := applyTask(s, b.Name, rawBytes(b), t)
+			return []*Task{ap}, nil
+		}
+		return nil, nil
+	}
+
+	// Without a communication scheduler, DL frameworks let the next FP
+	// start only once ALL of the previous step's communication has finished
+	// (§2.3: "FP computations need to wait for the finish of all
+	// communications"). Only ByteScheduler (BytePS) and EmbRace's
+	// horizontal/2D modes relax this to per-block dependencies.
+	waitAll := strat == StratAllReduce || strat == StratAllGather ||
+		strat == StratParallax || (strat == StratEmbRace && mode == SchedDefault)
+
+	var prevComputeTail *Task
+	for s := 0; s < steps; s++ {
+		st := &stepState{
+			commDone: make([][]*Task, nb),
+			dataA2A:  make([]*Task, nb),
+			delayed:  make([]*Task, nb),
+		}
+		states[s] = st
+
+		// ---- forward pass ----
+		prevFP := prevComputeTail
+		st.fpTasks = make([]*Task, nb)
+		first := true
+		for _, i := range fpOrder {
+			b := spec.Blocks[i]
+			fp := g.Add(fmt.Sprintf("fp:%s", b.Name), s, Compute, b.FwdDur, prevFP)
+			// Parameter freshness: FP waits for the previous step's
+			// gradient exchange of this block — or, without a scheduler,
+			// the first FP waits for every exchange of the previous step.
+			if s > 0 {
+				if waitAll && first {
+					for j := range spec.Blocks {
+						for _, c := range states[s-1].commDone[j] {
+							g.AddDep(fp, c)
+						}
+					}
+				}
+				for _, c := range states[s-1].commDone[i] {
+					g.AddDep(fp, c)
+				}
+			}
+			first = false
+			// EmbRace embedding FP consumes the AlltoAll'd lookup results.
+			if strat == StratEmbRace && b.Kind == EmbeddingBlock {
+				deps := []*Task{}
+				if s > 0 {
+					deps = states[s-1].commDone[i] // shard update must land first
+					// Delayed gradients from two steps back must be
+					// applied before rows can be read again.
+					if s > 1 && states[s-2].delayed[i] != nil {
+						deps = append(deps, states[s-2].delayed[i])
+					}
+				}
+				data := g.Add(fmt.Sprintf("a2a-data:%s", b.Name), s, Network, est.AllToAll(b.LookupBytes), deps...)
+				data.Priority = sched.PriorityEmbeddingPrior
+				st.dataA2A[i] = data
+				g.AddDep(fp, data)
+			}
+			st.fpTasks[i] = fp
+			prevFP = fp
+		}
+
+		// ---- backward pass (reverse natural order) ----
+		prevBP := prevFP
+		st.bpTasks = make([]*Task, nb)
+		for i := nb - 1; i >= 0; i-- {
+			b := spec.Blocks[i]
+			bp := g.Add(fmt.Sprintf("bp:%s", b.Name), s, Compute, b.BwdDur, prevBP)
+			st.bpTasks[i] = bp
+			prevBP = bp
+		}
+		computeTail := prevBP
+
+		// EmbRace 2D: the Algorithm-1 computation occupies the compute
+		// stream right after BP and gates the embedding gradient ops.
+		var vsched *Task
+		if strat == StratEmbRace && mode == Sched2D && spec.VSchedDur > 0 {
+			vsched = g.Add("vsched:algorithm1", s, Compute, spec.VSchedDur, computeTail)
+			vsched.AuxCompute = true
+			computeTail = vsched
+		}
+
+		// ---- gradient communication ----
+		for i := nb - 1; i >= 0; i-- {
+			after := st.bpTasks[i]
+			if vsched != nil && spec.Blocks[i].Kind == EmbeddingBlock {
+				after = vsched // split computed before prior/delayed ship
+			}
+			fpWait, delayedOps := commTasks(s, i, after)
+			st.commDone[i] = fpWait
+			if len(delayedOps) > 0 {
+				st.delayed[i] = delayedOps[0]
+			}
+		}
+
+		prevComputeTail = computeTail
+	}
+	return g, policy, nil
+}
+
+// RunJob builds, simulates and measures a job in one call.
+func RunJob(spec *ModelSpec, strat Strategy, mode SchedMode, est *simnet.Estimator, steps int) (StepMetrics, *Timeline, error) {
+	g, policy, err := BuildJob(spec, strat, mode, est, steps)
+	if err != nil {
+		return StepMetrics{}, nil, err
+	}
+	tl, err := Simulate(g, policy)
+	if err != nil {
+		return StepMetrics{}, nil, err
+	}
+	m, err := tl.Measure(steps)
+	if err != nil {
+		return StepMetrics{}, nil, err
+	}
+	return m, tl, nil
+}

@@ -1,0 +1,333 @@
+// Package perfsim is the discrete-event performance simulator behind the
+// paper's timing experiments (Figures 6-10).
+//
+// The paper's clusters run N identical workers in lockstep; data-parallel
+// synchronous training therefore has a symmetric per-worker timeline, which
+// is exactly what the paper's own Figure 6 draws: one serial compute stream
+// (FP and BP kernels) and one serial communication stream (the NCCL channel
+// the communication thread feeds), with dependencies between them. This
+// package simulates that two-resource timeline: compute tasks run in the
+// program order the scheduling mode dictates, communication tasks are chosen
+// from the ready set by the queue discipline (FIFO for the baselines, the
+// priority queue for EmbRace and ByteScheduler), and collective durations
+// come from the topology-aware cost model in internal/simnet.
+package perfsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Resource identifies which serial execution stream a task occupies.
+type Resource int
+
+// The two streams of the Figure-6 timelines.
+const (
+	Compute Resource = iota
+	Network
+	numResources
+)
+
+// Task is one box on the timeline.
+type Task struct {
+	// Name identifies the task for timeline rendering.
+	Name string
+	// Step is the training iteration the task belongs to.
+	Step int
+	// Res is the stream the task occupies.
+	Res Resource
+	// Dur is the task duration in seconds.
+	Dur float64
+	// Priority orders ready network tasks under the Priority policy;
+	// lower runs first. Ignored for compute tasks and under FIFO.
+	Priority int
+	// AuxCompute marks compute work that is scheduling overhead rather
+	// than model math (the Vertical Sparse Scheduling computation); it
+	// counts toward Computation Stall per the paper's §5.4 definition.
+	AuxCompute bool
+
+	// Start and End are filled by Simulate.
+	Start, End float64
+
+	deps       []*Task
+	dependents []*Task
+	remaining  int
+	readyAt    float64
+	seq        int
+	done       bool
+}
+
+// Graph is a dependency DAG of tasks to simulate.
+type Graph struct {
+	tasks []*Task
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// Add creates a task that starts only after all deps complete.
+func (g *Graph) Add(name string, step int, res Resource, dur float64, deps ...*Task) *Task {
+	t := &Task{Name: name, Step: step, Res: res, Dur: dur, seq: len(g.tasks)}
+	for _, d := range deps {
+		if d != nil {
+			t.deps = append(t.deps, d)
+		}
+	}
+	g.tasks = append(g.tasks, t)
+	return t
+}
+
+// AddDep adds a dependency after creation (used to wire cross-step edges).
+func (g *Graph) AddDep(t, dep *Task) {
+	if dep != nil {
+		t.deps = append(t.deps, dep)
+	}
+}
+
+// Tasks returns all tasks in creation order.
+func (g *Graph) Tasks() []*Task { return g.tasks }
+
+// Policy selects the network queue discipline (§2.3).
+type Policy int
+
+// Queue disciplines.
+const (
+	// FIFO runs communication in ready order — default DL framework
+	// behaviour (Figure 6a).
+	FIFO Policy = iota
+	// Priority runs the lowest Priority value first among ready tasks —
+	// the scheduling of EmbRace and ByteScheduler (Figure 6b/6c).
+	Priority
+)
+
+// Timeline is a completed simulation.
+type Timeline struct {
+	// Tasks are the simulated tasks with Start/End populated, in start
+	// order.
+	Tasks []*Task
+	// Makespan is the completion time of the last task.
+	Makespan float64
+}
+
+// readyHeap orders ready network tasks per the policy.
+type readyHeap struct {
+	tasks  []*Task
+	policy Policy
+}
+
+func (h *readyHeap) Len() int { return len(h.tasks) }
+func (h *readyHeap) Less(i, j int) bool {
+	a, b := h.tasks[i], h.tasks[j]
+	if h.policy == Priority {
+		if a.Priority != b.Priority {
+			return a.Priority < b.Priority
+		}
+	} else if a.readyAt != b.readyAt {
+		return a.readyAt < b.readyAt
+	}
+	return a.seq < b.seq
+}
+func (h *readyHeap) Swap(i, j int) { h.tasks[i], h.tasks[j] = h.tasks[j], h.tasks[i] }
+func (h *readyHeap) Push(x any)    { h.tasks = append(h.tasks, x.(*Task)) }
+func (h *readyHeap) Pop() any {
+	old := h.tasks
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	h.tasks = old[:n-1]
+	return t
+}
+
+// completionHeap orders in-flight tasks by end time.
+type completionHeap []*Task
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].End < h[j].End }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(*Task)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Simulate runs the DAG to completion on one compute and one network stream
+// and returns the timeline. It returns an error if the graph can make no
+// progress (a dependency cycle).
+func Simulate(g *Graph, policy Policy) (*Timeline, error) {
+	ready := [numResources]*readyHeap{
+		{policy: FIFO},   // compute always runs in ready/program order
+		{policy: policy}, // network follows the requested discipline
+	}
+	busy := [numResources]bool{}
+	var inflight completionHeap
+
+	for _, t := range g.tasks {
+		t.remaining = len(t.deps)
+		t.done = false
+		for _, d := range t.deps {
+			d.dependents = append(d.dependents, t)
+		}
+	}
+	pending := len(g.tasks)
+	for _, t := range g.tasks {
+		if t.remaining == 0 {
+			t.readyAt = 0
+			heap.Push(ready[t.Res], t)
+		}
+	}
+
+	now := 0.0
+	start := func(res Resource) {
+		if busy[res] || ready[res].Len() == 0 {
+			return
+		}
+		t := heap.Pop(ready[res]).(*Task)
+		t.Start = now
+		t.End = now + t.Dur
+		busy[res] = true
+		heap.Push(&inflight, t)
+	}
+
+	for pending > 0 {
+		start(Compute)
+		start(Network)
+		if inflight.Len() == 0 {
+			return nil, fmt.Errorf("perfsim: deadlock with %d tasks pending (dependency cycle?)", pending)
+		}
+		t := heap.Pop(&inflight).(*Task)
+		now = t.End
+		t.done = true
+		busy[t.Res] = false
+		pending--
+		for _, dep := range t.dependents {
+			dep.remaining--
+			if dep.remaining == 0 {
+				dep.readyAt = now
+				heap.Push(ready[dep.Res], dep)
+			}
+		}
+	}
+
+	tasks := append([]*Task(nil), g.tasks...)
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].Start != tasks[j].Start {
+			return tasks[i].Start < tasks[j].Start
+		}
+		return tasks[i].seq < tasks[j].seq
+	})
+	mk := 0.0
+	for _, t := range tasks {
+		if t.End > mk {
+			mk = t.End
+		}
+	}
+	return &Timeline{Tasks: tasks, Makespan: mk}, nil
+}
+
+// Validate checks the structural invariants every legal timeline satisfies:
+// durations are respected, no resource runs two tasks at once, and no task
+// starts before all of its dependencies have finished. The experiment tests
+// run it on every simulated timeline.
+func (tl *Timeline) Validate() error {
+	lastEnd := map[Resource]float64{}
+	for _, t := range tl.Tasks {
+		if t.End < t.Start {
+			return fmt.Errorf("perfsim: task %q ends before it starts", t.Name)
+		}
+		if math.Abs(t.End-t.Start-t.Dur) > 1e-9 {
+			return fmt.Errorf("perfsim: task %q has span %g, duration %g", t.Name, t.End-t.Start, t.Dur)
+		}
+		if t.Start < lastEnd[t.Res]-1e-9 {
+			return fmt.Errorf("perfsim: task %q overlaps a previous task on its stream", t.Name)
+		}
+		if t.End > lastEnd[t.Res] {
+			lastEnd[t.Res] = t.End
+		}
+		for _, d := range t.deps {
+			if t.Start < d.End-1e-9 {
+				return fmt.Errorf("perfsim: task %q starts at %g before dependency %q ends at %g",
+					t.Name, t.Start, d.Name, d.End)
+			}
+		}
+		if t.End > tl.Makespan+1e-9 {
+			return fmt.Errorf("perfsim: task %q ends after the makespan", t.Name)
+		}
+	}
+	return nil
+}
+
+// StepMetrics summarizes the steady-state behaviour of a multi-step
+// simulation.
+type StepMetrics struct {
+	// StepTime is the steady-state duration of one training iteration.
+	StepTime float64
+	// UsefulCompute is the FP+BP compute time per iteration (constant
+	// across strategies for a given model and cluster).
+	UsefulCompute float64
+	// Stall is the Computation Stall of §5.4: step time not covered by
+	// useful compute — communication waits plus scheduling computation.
+	Stall float64
+	// NetworkBusy is the fraction of the steady-state step the network
+	// stream spends transferring (1.0 = fully saturated).
+	NetworkBusy float64
+}
+
+// Measure extracts steady-state metrics from a timeline of `steps`
+// iterations. Boundaries are the completion times of each step's last
+// compute task; warm-up (first step) and cool-down (last step) are
+// discarded. It requires steps >= 3.
+func (tl *Timeline) Measure(steps int) (StepMetrics, error) {
+	if steps < 3 {
+		return StepMetrics{}, fmt.Errorf("perfsim: need >=3 steps for steady-state measurement, got %d", steps)
+	}
+	bounds := make([]float64, steps)
+	useful := make([]float64, steps)
+	network := make([]float64, steps)
+	for _, t := range tl.Tasks {
+		if t.Step < 0 || t.Step >= steps {
+			continue
+		}
+		if t.Res == Network {
+			network[t.Step] += t.Dur
+			continue
+		}
+		if t.End > bounds[t.Step] {
+			bounds[t.Step] = t.End
+		}
+		if !t.AuxCompute {
+			useful[t.Step] += t.Dur
+		}
+	}
+	stepTime := (bounds[steps-2] - bounds[0]) / float64(steps-2)
+	usefulMid := useful[1] // steady-state step
+	stall := stepTime - usefulMid
+	if stall < -1e-9 {
+		return StepMetrics{}, fmt.Errorf("perfsim: negative stall %g (step %g, useful %g)", stall, stepTime, usefulMid)
+	}
+	busy := 0.0
+	if stepTime > 0 {
+		busy = network[1] / stepTime
+	}
+	return StepMetrics{
+		StepTime:      stepTime,
+		UsefulCompute: usefulMid,
+		Stall:         math.Max(0, stall),
+		NetworkBusy:   busy,
+	}, nil
+}
+
+// DepsOf returns the names of t's direct dependencies, for graph inspection
+// and the Figure-5 module-dependency rendering.
+func (g *Graph) DepsOf(t *Task) []string {
+	out := make([]string, 0, len(t.deps))
+	for _, d := range t.deps {
+		out = append(out, d.Name)
+	}
+	return out
+}

@@ -1,0 +1,392 @@
+package perfsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"embrace/internal/simnet"
+)
+
+func TestSimulateSerialChain(t *testing.T) {
+	g := NewGraph()
+	a := g.Add("a", 0, Compute, 2)
+	b := g.Add("b", 0, Compute, 3, a)
+	tl, err := Simulate(g, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != 0 || a.End != 2 || b.Start != 2 || b.End != 5 {
+		t.Fatalf("chain times a=[%v,%v] b=[%v,%v]", a.Start, a.End, b.Start, b.End)
+	}
+	if tl.Makespan != 5 {
+		t.Fatalf("makespan = %v", tl.Makespan)
+	}
+}
+
+func TestSimulateResourcesOverlap(t *testing.T) {
+	// Independent compute and network tasks run concurrently.
+	g := NewGraph()
+	g.Add("c", 0, Compute, 4)
+	g.Add("n", 0, Network, 4)
+	tl, err := Simulate(g, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Makespan != 4 {
+		t.Fatalf("makespan = %v, want 4 (full overlap)", tl.Makespan)
+	}
+}
+
+func TestSimulateResourceExclusive(t *testing.T) {
+	// Two network tasks must serialize even without dependencies.
+	g := NewGraph()
+	g.Add("n1", 0, Network, 3)
+	g.Add("n2", 0, Network, 2)
+	tl, err := Simulate(g, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Makespan != 5 {
+		t.Fatalf("makespan = %v, want 5 (serialized)", tl.Makespan)
+	}
+}
+
+func TestSimulatePriorityPolicy(t *testing.T) {
+	// A compute gate releases three network ops at once; under Priority
+	// the lowest value must run first, under FIFO the enqueue order wins.
+	build := func() (*Graph, *Task, *Task, *Task) {
+		g := NewGraph()
+		gate := g.Add("gate", 0, Compute, 1)
+		n1 := g.Add("n-late", 0, Network, 1, gate)
+		n1.Priority = 9
+		n2 := g.Add("n-early", 0, Network, 1, gate)
+		n2.Priority = 1
+		n3 := g.Add("n-mid", 0, Network, 1, gate)
+		n3.Priority = 5
+		return g, n1, n2, n3
+	}
+	g, n1, n2, n3 := build()
+	if _, err := Simulate(g, Priority); err != nil {
+		t.Fatal(err)
+	}
+	if !(n2.Start < n3.Start && n3.Start < n1.Start) {
+		t.Fatalf("priority order violated: %v %v %v", n2.Start, n3.Start, n1.Start)
+	}
+	g, n1, n2, n3 = build()
+	if _, err := Simulate(g, FIFO); err != nil {
+		t.Fatal(err)
+	}
+	if !(n1.Start < n2.Start && n2.Start < n3.Start) {
+		t.Fatalf("FIFO order violated: %v %v %v", n1.Start, n2.Start, n3.Start)
+	}
+}
+
+func TestSimulateDetectsCycle(t *testing.T) {
+	g := NewGraph()
+	a := g.Add("a", 0, Compute, 1)
+	b := g.Add("b", 0, Compute, 1, a)
+	g.AddDep(a, b)
+	if _, err := Simulate(g, FIFO); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestMeasureStallAccounting(t *testing.T) {
+	// Three identical steps: compute 2s, then a 3s network op that blocks
+	// the next step's compute. Steady step time = 5s, useful = 2s, stall = 3s.
+	g := NewGraph()
+	var prevComm *Task
+	var prevCompute *Task
+	for s := 0; s < 3; s++ {
+		c := g.Add("fp+bp", s, Compute, 2, prevCompute, prevComm)
+		n := g.Add("comm", s, Network, 3, c)
+		prevComm, prevCompute = n, c
+	}
+	tl, err := Simulate(g, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tl.Measure(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.StepTime-5) > 1e-9 || math.Abs(m.UsefulCompute-2) > 1e-9 || math.Abs(m.Stall-3) > 1e-9 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestMeasureAuxComputeCountsAsStall(t *testing.T) {
+	g := NewGraph()
+	var prev *Task
+	for s := 0; s < 3; s++ {
+		c := g.Add("fp+bp", s, Compute, 2, prev)
+		aux := g.Add("vsched", s, Compute, 1, c)
+		aux.AuxCompute = true
+		prev = aux
+	}
+	tl, err := Simulate(g, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tl.Measure(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.StepTime-3) > 1e-9 || math.Abs(m.Stall-1) > 1e-9 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestMeasureRequiresThreeSteps(t *testing.T) {
+	g := NewGraph()
+	g.Add("a", 0, Compute, 1)
+	tl, _ := Simulate(g, FIFO)
+	if _, err := tl.Measure(2); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// BuildJob integration tests on a toy sparse model.
+// ---------------------------------------------------------------------------
+
+const testMB = 1e6
+
+func toySpec() *ModelSpec {
+	return &ModelSpec{
+		Name: "toy-translation",
+		Blocks: []BlockSpec{
+			{Name: "enc-emb", Kind: EmbeddingBlock, ParamBytes: 120 * testMB,
+				LookupBytes: 10 * testMB, GradBytes: 8 * testMB, RawGradBytes: 14 * testMB,
+				PriorBytes: 4 * testMB, DelayedBytes: 4 * testMB,
+				FwdDur: 0.001, BwdDur: 0.002},
+			{Name: "enc-block", Kind: DenseBlock, ParamBytes: 40 * testMB, FwdDur: 0.010, BwdDur: 0.020},
+			{Name: "dec-emb", Kind: EmbeddingBlock, ParamBytes: 120 * testMB,
+				LookupBytes: 10 * testMB, GradBytes: 8 * testMB, RawGradBytes: 14 * testMB,
+				PriorBytes: 4 * testMB, DelayedBytes: 4 * testMB,
+				FwdDur: 0.001, BwdDur: 0.002},
+			{Name: "dec-block", Kind: DenseBlock, ParamBytes: 40 * testMB, FwdDur: 0.010, BwdDur: 0.020},
+		},
+		VSchedDur: 0.0005,
+	}
+}
+
+func toyEstimator(t *testing.T) *simnet.Estimator {
+	t.Helper()
+	est, err := simnet.NewEstimator(simnet.Topology{
+		Nodes: 2, WorkersPerNode: 4,
+		IntraBW: 10e9, InterBW: 12.5e9, Latency: 10e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func runToy(t *testing.T, strat Strategy, mode SchedMode) StepMetrics {
+	t.Helper()
+	m, _, err := RunJob(toySpec(), strat, mode, toyEstimator(t), 6)
+	if err != nil {
+		t.Fatalf("%v/%v: %v", strat, mode, err)
+	}
+	return m
+}
+
+func TestBuildJobValidation(t *testing.T) {
+	est := toyEstimator(t)
+	if _, _, err := BuildJob(&ModelSpec{Name: "empty"}, StratAllReduce, SchedDefault, est, 3); err == nil {
+		t.Fatal("expected error for empty model")
+	}
+	if _, _, err := BuildJob(toySpec(), StratAllReduce, SchedDefault, est, 0); err == nil {
+		t.Fatal("expected error for zero steps")
+	}
+}
+
+func TestAllStrategiesSimulate(t *testing.T) {
+	for _, strat := range []Strategy{StratAllReduce, StratAllGather, StratBytePS, StratParallax, StratEmbRace} {
+		m := runToy(t, strat, SchedDefault)
+		if m.StepTime <= 0 || m.Stall < 0 {
+			t.Fatalf("%v: metrics %+v", strat, m)
+		}
+		if m.StepTime < m.UsefulCompute-1e-12 {
+			t.Fatalf("%v: step time below compute floor: %+v", strat, m)
+		}
+	}
+}
+
+func TestSparseStrategiesBeatDenseOnSparseModel(t *testing.T) {
+	dense := runToy(t, StratAllReduce, SchedDefault)
+	gather := runToy(t, StratAllGather, SchedDefault)
+	embrace := runToy(t, StratEmbRace, Sched2D)
+	if gather.StepTime >= dense.StepTime {
+		t.Fatalf("AllGather (%v) should beat dense AllReduce (%v) on a sparse model",
+			gather.StepTime, dense.StepTime)
+	}
+	if embrace.StepTime >= gather.StepTime {
+		t.Fatalf("EmbRace (%v) should beat AllGather (%v)", embrace.StepTime, gather.StepTime)
+	}
+}
+
+func TestSchedulingMonotonicallyHelps(t *testing.T) {
+	def := runToy(t, StratEmbRace, SchedDefault)
+	hor := runToy(t, StratEmbRace, SchedHorizontal)
+	twoD := runToy(t, StratEmbRace, Sched2D)
+	const tol = 1e-12
+	if hor.StepTime > def.StepTime+tol {
+		t.Fatalf("horizontal (%v) slower than default (%v)", hor.StepTime, def.StepTime)
+	}
+	if twoD.StepTime > hor.StepTime+tol {
+		t.Fatalf("2D (%v) slower than horizontal (%v)", twoD.StepTime, hor.StepTime)
+	}
+	if twoD.StepTime >= def.StepTime {
+		t.Fatalf("2D (%v) should strictly beat default (%v) on this comm-bound model",
+			twoD.StepTime, def.StepTime)
+	}
+}
+
+func TestEmbRaceReducesStall(t *testing.T) {
+	gather := runToy(t, StratAllGather, SchedDefault)
+	embrace := runToy(t, StratEmbRace, Sched2D)
+	if embrace.Stall >= gather.Stall {
+		t.Fatalf("EmbRace stall (%v) should be below AllGather stall (%v)",
+			embrace.Stall, gather.Stall)
+	}
+}
+
+func TestUsefulComputeIndependentOfStrategy(t *testing.T) {
+	spec := toySpec()
+	want := spec.UsefulCompute()
+	for _, strat := range []Strategy{StratAllReduce, StratAllGather, StratEmbRace} {
+		m := runToy(t, strat, Sched2D)
+		if math.Abs(m.UsefulCompute-want) > 1e-12 {
+			t.Fatalf("%v: useful compute %v, want %v", strat, m.UsefulCompute, want)
+		}
+	}
+}
+
+func TestTimelineContainsExpectedOps(t *testing.T) {
+	_, tl, err := RunJob(toySpec(), StratEmbRace, Sched2D, toyEstimator(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawPrior, sawDelayed, sawData, sawVsched, sawAllReduce bool
+	for _, task := range tl.Tasks {
+		switch {
+		case strings.HasPrefix(task.Name, "a2a-prior:"):
+			sawPrior = true
+		case strings.HasPrefix(task.Name, "a2a-delayed:"):
+			sawDelayed = true
+		case strings.HasPrefix(task.Name, "a2a-data:"):
+			sawData = true
+		case strings.HasPrefix(task.Name, "vsched:"):
+			sawVsched = true
+		case strings.HasPrefix(task.Name, "allreduce:"):
+			sawAllReduce = true
+		}
+	}
+	if !sawPrior || !sawDelayed || !sawData || !sawVsched || !sawAllReduce {
+		t.Fatalf("missing ops: prior=%v delayed=%v data=%v vsched=%v allreduce=%v",
+			sawPrior, sawDelayed, sawData, sawVsched, sawAllReduce)
+	}
+}
+
+func TestDelayedGradsDoNotBlockNextFP(t *testing.T) {
+	// In the 2D timeline, the embedding FP of step s+1 must be able to
+	// start before the delayed ops of step s have finished.
+	_, tl, err := RunJob(toySpec(), StratEmbRace, Sched2D, toyEstimator(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fpStart, delayedEnd float64
+	for _, task := range tl.Tasks {
+		if task.Step == 2 && task.Name == "fp:enc-emb" {
+			fpStart = task.Start
+		}
+		if task.Step == 1 && task.Name == "a2a-delayed:enc-emb" {
+			delayedEnd = task.End
+		}
+	}
+	if fpStart == 0 || delayedEnd == 0 {
+		t.Fatal("marker tasks not found")
+	}
+	if fpStart >= delayedEnd {
+		t.Fatalf("fp waited for delayed grads: fp@%v delayed-end@%v", fpStart, delayedEnd)
+	}
+}
+
+// Property: every (strategy, mode) timeline on the toy model satisfies the
+// structural invariants — durations respected, streams exclusive, no task
+// ahead of its dependencies.
+func TestTimelinesValidate(t *testing.T) {
+	for _, strat := range []Strategy{StratAllReduce, StratAllGather, StratBytePS, StratParallax, StratEmbRace} {
+		for _, mode := range []SchedMode{SchedDefault, SchedHorizontal, Sched2D} {
+			_, tl, err := RunJob(toySpec(), strat, mode, toyEstimator(t), 5)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", strat, mode, err)
+			}
+			if err := tl.Validate(); err != nil {
+				t.Fatalf("%v/%v: %v", strat, mode, err)
+			}
+		}
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	g := NewGraph()
+	a := g.Add("a", 0, Compute, 2)
+	b := g.Add("b", 0, Compute, 2)
+	tl, err := Simulate(g, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the timeline: force overlap on the compute stream.
+	b.Start, b.End = a.Start, a.Start+b.Dur
+	if err := tl.Validate(); err == nil {
+		t.Fatal("expected overlap error")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	names := map[Strategy]string{
+		StratAllReduce: "Horovod AllReduce",
+		StratAllGather: "Horovod AllGather",
+		StratBytePS:    "BytePS",
+		StratParallax:  "Parallax",
+		StratEmbRace:   "EmbRace",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Strategy(99).String() == "" {
+		t.Fatal("unknown strategy should still stringify")
+	}
+}
+
+func TestMeasureNetworkBusy(t *testing.T) {
+	// Per step: compute 2s then a 2s network op blocking the next compute.
+	// Steady step = 4s with the network busy half the time.
+	g := NewGraph()
+	var prevComm, prevCompute *Task
+	for s := 0; s < 3; s++ {
+		c := g.Add("fp+bp", s, Compute, 2, prevCompute, prevComm)
+		n := g.Add("comm", s, Network, 2, c)
+		prevComm, prevCompute = n, c
+	}
+	tl, err := Simulate(g, FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tl.Measure(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.NetworkBusy-0.5) > 1e-9 {
+		t.Fatalf("NetworkBusy = %v, want 0.5", m.NetworkBusy)
+	}
+}

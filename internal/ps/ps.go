@@ -1,0 +1,188 @@
+// Package ps implements the parameter-server substrate behind the BytePS
+// and Parallax baselines (§5.2.3).
+//
+// A server owns the authoritative copy of one parameter tensor and an
+// optimizer bound to it. Workers push gradients and pull fresh parameters;
+// a round completes when all N workers have pushed, at which point the
+// server applies the aggregated (summed) gradient — synchronous training,
+// like the paper's baselines. Dense servers serve whole tensors (BytePS
+// treats even embeddings as dense); Sparse servers serve row-sparse
+// embeddings and answer row-subset pulls (Parallax).
+//
+// In the paper the servers are separate processes reached over the network;
+// here they are monitors shared by the worker goroutines. The number of
+// server shards S affects only communication cost, which the performance
+// simulator (internal/perfsim) models via simnet.PS; the arithmetic of a
+// sharded server is identical to this single monitor, so real-mode
+// correctness is unaffected.
+package ps
+
+import (
+	"fmt"
+	"sync"
+
+	"embrace/internal/optim"
+	"embrace/internal/tensor"
+)
+
+// Dense is a synchronous dense-parameter server for one tensor.
+type Dense struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	table   *tensor.Dense
+	opt     optim.Optimizer
+	workers int
+
+	round   int
+	pending *tensor.Dense
+	pushed  int
+	err     error
+}
+
+// NewDense creates a dense server owning table, updated by opt, serving
+// `workers` synchronous workers.
+func NewDense(table *tensor.Dense, opt optim.Optimizer, workers int) (*Dense, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("ps: workers must be positive, got %d", workers)
+	}
+	s := &Dense{table: table, opt: opt, workers: workers}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// PushAndWait contributes this worker's gradient to the current round and
+// blocks until the round's aggregated update has been applied. The gradient
+// sum (not mean) is applied, matching gradient aggregation in the paper's
+// synchronous baselines.
+func (s *Dense) PushAndWait(grad *tensor.Dense) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	myRound := s.round
+	if s.pending == nil {
+		s.pending = grad.Clone()
+	} else if err := s.pending.Add(grad); err != nil {
+		s.err = fmt.Errorf("ps: aggregating dense gradient: %w", err)
+		s.cond.Broadcast()
+		return s.err
+	}
+	s.pushed++
+	if s.pushed == s.workers {
+		if err := s.opt.StepDense(s.pending); err != nil {
+			s.err = fmt.Errorf("ps: applying dense update: %w", err)
+		}
+		s.pending = nil
+		s.pushed = 0
+		s.round++
+		s.cond.Broadcast()
+		return s.err
+	}
+	for s.round == myRound && s.err == nil {
+		s.cond.Wait()
+	}
+	return s.err
+}
+
+// Pull copies the authoritative parameters into dst.
+func (s *Dense) Pull(dst *tensor.Dense) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dst.Len() != s.table.Len() {
+		return fmt.Errorf("ps: pull into shape %v, server has %v", dst.Shape(), s.table.Shape())
+	}
+	copy(dst.Data(), s.table.Data())
+	return nil
+}
+
+// Sparse is a synchronous row-sparse parameter server for an embedding
+// table, the Parallax configuration for sparse variables.
+type Sparse struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	table   *tensor.Dense // [vocab x dim], authoritative
+	opt     optim.Optimizer
+	workers int
+	servers int
+
+	round   int
+	pending []*tensor.Sparse
+	err     error
+}
+
+// NewSparse creates a sparse server owning table (shape [vocab x dim]),
+// updated by opt, serving `workers` workers across `servers` logical server
+// shards (S of the Table-2 PS cost model; arithmetic is shard-independent).
+func NewSparse(table *tensor.Dense, opt optim.Optimizer, workers, servers int) (*Sparse, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("ps: workers must be positive, got %d", workers)
+	}
+	if servers <= 0 {
+		return nil, fmt.Errorf("ps: servers must be positive, got %d", servers)
+	}
+	if table.Dims() != 2 {
+		return nil, fmt.Errorf("ps: sparse server wants a 2-D table, got %v", table.Shape())
+	}
+	s := &Sparse{table: table, opt: opt, workers: workers, servers: servers}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Servers returns the logical shard count S.
+func (s *Sparse) Servers() int { return s.servers }
+
+// PushAndWait contributes a row-sparse gradient and blocks until the round's
+// aggregated sparse update (the coalesced concatenation of all workers'
+// gradients) has been applied.
+func (s *Sparse) PushAndWait(grad *tensor.Sparse) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	myRound := s.round
+	s.pending = append(s.pending, grad)
+	if len(s.pending) == s.workers {
+		merged, err := tensor.Concat(s.pending...)
+		if err == nil {
+			err = s.opt.StepSparse(merged)
+		}
+		if err != nil {
+			s.err = fmt.Errorf("ps: applying sparse update: %w", err)
+		}
+		s.pending = nil
+		s.round++
+		s.cond.Broadcast()
+		return s.err
+	}
+	for s.round == myRound && s.err == nil {
+		s.cond.Wait()
+	}
+	return s.err
+}
+
+// PullRows returns the current values of the requested embedding rows. A
+// Parallax worker pulls exactly the rows its next batch needs.
+func (s *Sparse) PullRows(rows []int64) (*tensor.Sparse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range rows {
+		if r < 0 || r >= int64(s.table.Dim(0)) {
+			return nil, fmt.Errorf("ps: pull row %d out of range [0,%d)", r, s.table.Dim(0))
+		}
+	}
+	return tensor.FromDenseRows(s.table, rows), nil
+}
+
+// PullAll copies the whole table into dst, used to verify cross-strategy
+// equivalence at the end of training.
+func (s *Sparse) PullAll(dst *tensor.Dense) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dst.Len() != s.table.Len() {
+		return fmt.Errorf("ps: pull into shape %v, server has %v", dst.Shape(), s.table.Shape())
+	}
+	copy(dst.Data(), s.table.Data())
+	return nil
+}

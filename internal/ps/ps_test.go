@@ -1,0 +1,223 @@
+package ps
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"embrace/internal/optim"
+	"embrace/internal/tensor"
+)
+
+func TestNewDenseValidation(t *testing.T) {
+	table := tensor.NewDense(4)
+	if _, err := NewDense(table, optim.NewSGD(table, 0.1), 0); err == nil {
+		t.Fatal("expected error for zero workers")
+	}
+}
+
+func TestDenseSynchronousRound(t *testing.T) {
+	const workers = 4
+	table := tensor.Full(1, 3)
+	srv, err := NewDense(table, optim.NewSGD(table, 0.1), workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := tensor.Full(float32(w+1), 3) // sum across workers = 10
+			if err := srv.PushAndWait(g); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// p = 1 - 0.1*10 = 0.
+	dst := tensor.NewDense(3)
+	if err := srv.Pull(dst); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dst.Data() {
+		if v != 0 {
+			t.Fatalf("param = %v, want 0", v)
+		}
+	}
+}
+
+func TestDenseMultipleRounds(t *testing.T) {
+	const workers, rounds = 3, 5
+	table := tensor.Full(0, 2)
+	srv, _ := NewDense(table, optim.NewSGD(table, 1), workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				g := tensor.Full(1, 2)
+				if err := srv.PushAndWait(g); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	dst := tensor.NewDense(2)
+	_ = srv.Pull(dst)
+	// Each round applies sum=3 with lr 1: after 5 rounds p = -15.
+	if dst.Data()[0] != -15 {
+		t.Fatalf("param = %v, want -15", dst.Data()[0])
+	}
+}
+
+func TestDensePullShapeError(t *testing.T) {
+	table := tensor.NewDense(4)
+	srv, _ := NewDense(table, optim.NewSGD(table, 0.1), 1)
+	if err := srv.Pull(tensor.NewDense(5)); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestSparseValidation(t *testing.T) {
+	table := tensor.NewDense(4, 2)
+	opt := optim.NewSGD(table, 0.1)
+	if _, err := NewSparse(table, opt, 0, 1); err == nil {
+		t.Fatal("expected workers error")
+	}
+	if _, err := NewSparse(table, opt, 1, 0); err == nil {
+		t.Fatal("expected servers error")
+	}
+	if _, err := NewSparse(tensor.NewDense(8), opt, 1, 1); err == nil {
+		t.Fatal("expected 2-D table error")
+	}
+}
+
+func TestSparseRoundAggregatesAllWorkers(t *testing.T) {
+	const workers = 3
+	table := tensor.Full(1, 5, 2)
+	srv, err := NewSparse(table, optim.NewSGD(table, 1), workers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Servers() != 2 {
+		t.Fatalf("Servers = %d", srv.Servers())
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Every worker pushes a gradient of 1s on row w and row 4.
+			g, err := tensor.NewSparse(5, 2, []int64{int64(w), 4}, []float32{1, 1, 1, 1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := srv.PushAndWait(g); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	dst := tensor.NewDense(5, 2)
+	if err := srv.PullAll(dst); err != nil {
+		t.Fatal(err)
+	}
+	// Rows 0..2: one contribution each -> 1 - 1 = 0. Row 3: untouched = 1.
+	// Row 4: three contributions -> 1 - 3 = -2.
+	for w := 0; w < 3; w++ {
+		if dst.At(w, 0) != 0 {
+			t.Fatalf("row %d = %v, want 0", w, dst.At(w, 0))
+		}
+	}
+	if dst.At(3, 0) != 1 {
+		t.Fatalf("row 3 = %v, want 1", dst.At(3, 0))
+	}
+	if dst.At(4, 0) != -2 {
+		t.Fatalf("row 4 = %v, want -2", dst.At(4, 0))
+	}
+}
+
+func TestSparsePullRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	table := tensor.RandDense(rng, 1, 6, 3)
+	srv, _ := NewSparse(table, optim.NewSGD(table, 0.1), 1, 1)
+	got, err := srv.PullRows([]int64{4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", got.NNZ())
+	}
+	for d := 0; d < 3; d++ {
+		if got.Row(0)[d] != table.At(4, d) || got.Row(1)[d] != table.At(1, d) {
+			t.Fatal("pulled rows do not match table")
+		}
+	}
+	if _, err := srv.PullRows([]int64{6}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestSparseEqualsAllGatherSemantics(t *testing.T) {
+	// Training through the PS must produce the same table as worker-side
+	// aggregation (AllGather-then-update) given the same gradients — the
+	// synchronous-equivalence property all baselines share.
+	const workers, rounds = 4, 3
+	rng := rand.New(rand.NewSource(2))
+	init := tensor.RandDense(rng, 1, 8, 2)
+
+	psTable := init.Clone()
+	srv, _ := NewSparse(psTable, optim.NewSGD(psTable, 0.05), workers, 2)
+
+	refTable := init.Clone()
+	refOpt := optim.NewSGD(refTable, 0.05)
+
+	grads := make([][]*tensor.Sparse, rounds)
+	for r := range grads {
+		grads[r] = make([]*tensor.Sparse, workers)
+		for w := range grads[r] {
+			nnz := 1 + rng.Intn(5)
+			idx := make([]int64, nnz)
+			vals := make([]float32, nnz*2)
+			for i := range idx {
+				idx[i] = int64(rng.Intn(8))
+			}
+			for i := range vals {
+				vals[i] = rng.Float32()
+			}
+			g, _ := tensor.NewSparse(8, 2, idx, vals)
+			grads[r][w] = g
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if err := srv.PushAndWait(grads[r][w]); err != nil {
+					t.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		merged, err := tensor.Concat(grads[r]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := refOpt.StepSparse(merged); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := tensor.NewDense(8, 2)
+	_ = srv.PullAll(dst)
+	if !dst.AllClose(refTable, 1e-5) {
+		t.Fatalf("PS and reference diverged by %v", dst.MaxAbsDiff(refTable))
+	}
+}

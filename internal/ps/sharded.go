@@ -1,0 +1,176 @@
+package ps
+
+import (
+	"fmt"
+	"sync"
+
+	"embrace/internal/optim"
+	"embrace/internal/tensor"
+)
+
+// ShardedSparse is the row-sharded variant of Sparse: rows are assigned to S
+// independent server shards by `row % S` (hashing spreads the Zipf head, cf.
+// internal/partition), each shard with its own lock, pending list and
+// optimizer — so pushes against different shards proceed concurrently, as
+// Parallax's partitioned parameter servers do. Aggregation semantics are
+// identical to Sparse (synchronous rounds, gradient sums); the equivalence
+// is tested.
+type ShardedSparse struct {
+	vocab, dim int
+	shards     []*sparseShard
+}
+
+// sparseShard owns the rows r with r % S == index.
+type sparseShard struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	table   *tensor.Dense // [vocab x dim]; only this shard's rows are live
+	opt     optim.Optimizer
+	workers int
+
+	round   int
+	pending []*tensor.Sparse
+	err     error
+}
+
+// NewShardedSparse creates S server shards over a [vocab x dim] embedding.
+// The authoritative parameter values are copied out of `table` into each
+// shard; optFor builds one optimizer per shard (bound to that shard's
+// table copy), so optimizer state is sharded exactly like the parameters.
+func NewShardedSparse(table *tensor.Dense, optFor func(*tensor.Dense) optim.Optimizer, workers, servers int) (*ShardedSparse, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("ps: workers must be positive, got %d", workers)
+	}
+	if servers <= 0 {
+		return nil, fmt.Errorf("ps: servers must be positive, got %d", servers)
+	}
+	if table.Dims() != 2 {
+		return nil, fmt.Errorf("ps: sharded server wants a 2-D table, got %v", table.Shape())
+	}
+	s := &ShardedSparse{
+		vocab:  table.Dim(0),
+		dim:    table.Dim(1),
+		shards: make([]*sparseShard, servers),
+	}
+	for i := range s.shards {
+		sh := &sparseShard{
+			table:   table.Clone(),
+			opt:     nil,
+			workers: workers,
+		}
+		sh.opt = optFor(sh.table)
+		sh.cond = sync.NewCond(&sh.mu)
+		s.shards[i] = sh
+	}
+	return s, nil
+}
+
+// Servers returns the shard count S.
+func (s *ShardedSparse) Servers() int { return len(s.shards) }
+
+// shardOf maps a row to its owning shard.
+func (s *ShardedSparse) shardOf(row int64) int { return int(row) % len(s.shards) }
+
+// PushAndWait splits the gradient by owning shard, pushes each part, and
+// blocks until every shard has applied its round (all workers contributed).
+// Rows this worker has no gradient for still require an (empty) push so the
+// shard's round can complete — every worker pushes to every shard each
+// round, like Parallax clients do.
+func (s *ShardedSparse) PushAndWait(grad *tensor.Sparse) error {
+	if grad.NumRows != s.vocab || grad.Dim != s.dim {
+		return fmt.Errorf("ps: gradient [%d x %d] incompatible with table [%d x %d]",
+			grad.NumRows, grad.Dim, s.vocab, s.dim)
+	}
+	parts := make([][]int, len(s.shards)) // stored-row indices per shard
+	for i, ix := range grad.Indices {
+		sh := s.shardOf(ix)
+		parts[sh] = append(parts[sh], i)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.shards))
+	for shard := range s.shards {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			idx := make([]int64, 0, len(parts[shard]))
+			vals := make([]float32, 0, len(parts[shard])*s.dim)
+			for _, i := range parts[shard] {
+				idx = append(idx, grad.Indices[i])
+				vals = append(vals, grad.Row(i)...)
+			}
+			part, err := tensor.NewSparse(s.vocab, s.dim, idx, vals)
+			if err != nil {
+				errs[shard] = err
+				return
+			}
+			errs[shard] = s.shards[shard].pushAndWait(part)
+		}(shard)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sh *sparseShard) pushAndWait(part *tensor.Sparse) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.err != nil {
+		return sh.err
+	}
+	myRound := sh.round
+	sh.pending = append(sh.pending, part)
+	if len(sh.pending) == sh.workers {
+		// Apply even when the round's gradient is empty: Adam's step
+		// counter must advance once per round on every shard, matching a
+		// monolithic server's single update.
+		merged, err := tensor.Concat(sh.pending...)
+		if err == nil {
+			err = sh.opt.StepSparse(merged)
+		}
+		if err != nil {
+			sh.err = fmt.Errorf("ps: shard update: %w", err)
+		}
+		sh.pending = nil
+		sh.round++
+		sh.cond.Broadcast()
+		return sh.err
+	}
+	for sh.round == myRound && sh.err == nil {
+		sh.cond.Wait()
+	}
+	return sh.err
+}
+
+// PullRows returns current values of the requested rows, reading each from
+// its owning shard.
+func (s *ShardedSparse) PullRows(rows []int64) (*tensor.Sparse, error) {
+	vals := make([]float32, len(rows)*s.dim)
+	for i, r := range rows {
+		if r < 0 || r >= int64(s.vocab) {
+			return nil, fmt.Errorf("ps: pull row %d out of range [0,%d)", r, s.vocab)
+		}
+		sh := s.shards[s.shardOf(r)]
+		sh.mu.Lock()
+		copy(vals[i*s.dim:(i+1)*s.dim], sh.table.Row(int(r)))
+		sh.mu.Unlock()
+	}
+	return tensor.NewSparse(s.vocab, s.dim, append([]int64(nil), rows...), vals)
+}
+
+// PullAll assembles the authoritative table from the shards.
+func (s *ShardedSparse) PullAll(dst *tensor.Dense) error {
+	if dst.Dims() != 2 || dst.Dim(0) != s.vocab || dst.Dim(1) != s.dim {
+		return fmt.Errorf("ps: pull into %v, server has [%d x %d]", dst.Shape(), s.vocab, s.dim)
+	}
+	for r := 0; r < s.vocab; r++ {
+		sh := s.shards[s.shardOf(int64(r))]
+		sh.mu.Lock()
+		copy(dst.Row(r), sh.table.Row(r))
+		sh.mu.Unlock()
+	}
+	return nil
+}

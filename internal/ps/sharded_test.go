@@ -1,0 +1,183 @@
+package ps
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"embrace/internal/optim"
+	"embrace/internal/tensor"
+)
+
+func TestNewShardedSparseValidation(t *testing.T) {
+	table := tensor.NewDense(4, 2)
+	optFor := func(p *tensor.Dense) optim.Optimizer { return optim.NewSGD(p, 0.1) }
+	if _, err := NewShardedSparse(table, optFor, 0, 2); err == nil {
+		t.Fatal("expected workers error")
+	}
+	if _, err := NewShardedSparse(table, optFor, 2, 0); err == nil {
+		t.Fatal("expected servers error")
+	}
+	if _, err := NewShardedSparse(tensor.NewDense(8), optFor, 2, 2); err == nil {
+		t.Fatal("expected 2-D error")
+	}
+	s, err := NewShardedSparse(table, optFor, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Servers() != 3 {
+		t.Fatalf("Servers = %d", s.Servers())
+	}
+}
+
+func TestShardedSynchronousRound(t *testing.T) {
+	const workers, servers = 4, 3
+	table := tensor.Full(1, 10, 2)
+	srv, err := NewShardedSparse(table,
+		func(p *tensor.Dense) optim.Optimizer { return optim.NewSGD(p, 1) },
+		workers, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker touches a different row (spread over shards)
+			// plus a shared hot row 9.
+			g, err := tensor.NewSparse(10, 2, []int64{int64(w), 9}, []float32{1, 1, 1, 1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := srv.PushAndWait(g); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	dst := tensor.NewDense(10, 2)
+	if err := srv.PullAll(dst); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < workers; w++ {
+		if dst.At(w, 0) != 0 {
+			t.Fatalf("row %d = %v, want 0", w, dst.At(w, 0))
+		}
+	}
+	if dst.At(9, 0) != 1-4 {
+		t.Fatalf("hot row = %v, want -3", dst.At(9, 0))
+	}
+	if dst.At(5, 0) != 1 {
+		t.Fatalf("untouched row = %v, want 1", dst.At(5, 0))
+	}
+}
+
+// Sharded and monolithic servers must be numerically interchangeable.
+func TestShardedMatchesMonolithic(t *testing.T) {
+	const workers, rounds, vocab, dim = 3, 4, 12, 2
+	rng := rand.New(rand.NewSource(4))
+	init := tensor.RandDense(rng, 1, vocab, dim)
+
+	mono := init.Clone()
+	monoSrv, err := NewSparse(mono, optim.NewSGD(mono, 0.1), workers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardSrv, err := NewShardedSparse(init.Clone(),
+		func(p *tensor.Dense) optim.Optimizer { return optim.NewSGD(p, 0.1) },
+		workers, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grads := make([][]*tensor.Sparse, rounds)
+	for r := range grads {
+		grads[r] = make([]*tensor.Sparse, workers)
+		for w := range grads[r] {
+			nnz := 1 + rng.Intn(6)
+			idx := make([]int64, nnz)
+			vals := make([]float32, nnz*dim)
+			for i := range idx {
+				idx[i] = int64(rng.Intn(vocab))
+			}
+			for i := range vals {
+				vals[i] = rng.Float32()
+			}
+			g, _ := tensor.NewSparse(vocab, dim, idx, vals)
+			grads[r][w] = g
+		}
+	}
+
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if err := monoSrv.PushAndWait(grads[r][w]); err != nil {
+					t.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				if err := shardSrv.PushAndWait(grads[r][w]); err != nil {
+					t.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	a := tensor.NewDense(vocab, dim)
+	b := tensor.NewDense(vocab, dim)
+	if err := monoSrv.PullAll(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := shardSrv.PullAll(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.AllClose(b, 1e-5) {
+		t.Fatalf("sharded diverged from monolithic by %v", a.MaxAbsDiff(b))
+	}
+}
+
+func TestShardedPullRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	init := tensor.RandDense(rng, 1, 7, 3)
+	srv, err := NewShardedSparse(init.Clone(),
+		func(p *tensor.Dense) optim.Optimizer { return optim.NewSGD(p, 0.1) },
+		1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.PullRows([]int64{6, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := []int64{6, 0, 3}
+	for i, r := range wantRows {
+		for d := 0; d < 3; d++ {
+			if got.Row(i)[d] != init.At(int(r), d) {
+				t.Fatalf("row %d col %d mismatch", r, d)
+			}
+		}
+	}
+	if _, err := srv.PullRows([]int64{7}); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestShardedRejectsBadGradShape(t *testing.T) {
+	table := tensor.NewDense(4, 2)
+	srv, _ := NewShardedSparse(table,
+		func(p *tensor.Dense) optim.Optimizer { return optim.NewSGD(p, 0.1) }, 1, 2)
+	bad, _ := tensor.NewSparse(4, 3, []int64{0}, []float32{1, 2, 3})
+	if err := srv.PushAndWait(bad); err == nil {
+		t.Fatal("expected shape error")
+	}
+}

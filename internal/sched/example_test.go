@@ -1,0 +1,42 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"embrace/internal/sched"
+	"embrace/internal/tensor"
+)
+
+// VerticalSplit is Algorithm 1: coalesce the raw gradient, then split it
+// against the prefetched next batch.
+func ExampleVerticalSplit() {
+	raw, _ := tensor.NewSparse(100, 1,
+		[]int64{7, 7, 3, 9},
+		[]float32{1, 1, 5, 9})
+	current := raw.UniqueIndices()
+	next := []int64{7, 42} // prefetched next-batch tokens
+	prior, delayed := sched.VerticalSplit(raw, current, next)
+	fmt.Println("prior rows:", prior.Indices, "value:", prior.Vals)
+	fmt.Println("delayed rows:", delayed.Indices)
+	// Output:
+	// prior rows: [7] value: [2]
+	// delayed rows: [3 9]
+}
+
+// The priority queue drains embedding-prior traffic before dense blocks and
+// delayed traffic last — the §4.2 ordering.
+func ExamplePriorityQueue() {
+	q := sched.NewPriorityQueue()
+	q.Push(&sched.Op{Name: "dense-block-2", Priority: sched.PriorityDenseBase + 2})
+	q.Push(&sched.Op{Name: "emb-delayed", Priority: sched.PriorityEmbeddingDelayed})
+	q.Push(&sched.Op{Name: "emb-prior", Priority: sched.PriorityEmbeddingPrior})
+	q.Push(&sched.Op{Name: "dense-block-0", Priority: sched.PriorityDenseBase})
+	for q.Len() > 0 {
+		fmt.Println(q.Pop().Name)
+	}
+	// Output:
+	// emb-prior
+	// dense-block-0
+	// dense-block-2
+	// emb-delayed
+}

@@ -1,0 +1,26 @@
+package simnet_test
+
+import (
+	"fmt"
+
+	"embrace/internal/simnet"
+)
+
+// The Table-2 cost model: for a sparse tensor (α < 1) AlltoAll beats dense
+// AllReduce and scales better than AllGather.
+func ExampleAllToAllCost() {
+	const (
+		alpha = 0.1     // gradient density
+		m     = 252.5e6 // GNMT-8 embedding bytes
+		n     = 16      // workers
+		b     = 12.5e9  // bytes/sec
+		beta  = 15e-6   // message latency
+	)
+	fmt.Printf("AlltoAll  %.1fms\n", simnet.AllToAllCost(alpha, m, n, b, beta)*1e3)
+	fmt.Printf("AllReduce %.1fms\n", simnet.AllReduceCost(m, n, b, beta)*1e3)
+	fmt.Printf("AllGather %.1fms\n", simnet.AllGatherCost(alpha, m, n, b, beta)*1e3)
+	// Output:
+	// AlltoAll  4.2ms
+	// AllReduce 38.3ms
+	// AllGather 30.5ms
+}

@@ -1,0 +1,290 @@
+// Package simnet models the cluster network of the paper's testbed.
+//
+// Two levels are provided. The Table-2 analytic formulas assume a uniform
+// bandwidth B and startup latency β between any two workers, exactly as
+// §4.1.2 does. The topology-aware Estimator refines them with the structure
+// of the real clusters — n nodes × w workers, a fast intra-node path and a
+// node NIC shared by all of a node's workers — which is what makes the
+// Figure-4 crossovers appear at the sparsity the paper reports.
+//
+// All sizes are bytes, all rates bytes/second, all times seconds.
+package simnet
+
+import "fmt"
+
+// Topology describes a GPU cluster as the paper configures it: n server
+// nodes, w workers (GPUs) per node, 100 Gb/s InfiniBand between nodes and a
+// faster shared-memory/PCIe path inside a node.
+type Topology struct {
+	// Nodes is the number of server nodes (the paper's n).
+	Nodes int
+	// WorkersPerNode is the number of GPUs per node (the paper's w).
+	WorkersPerNode int
+	// IntraBW is the point-to-point bandwidth between two workers of the
+	// same node.
+	IntraBW float64
+	// InterBW is the node NIC bandwidth, shared by all the node's workers
+	// for off-node traffic.
+	InterBW float64
+	// Latency is the startup cost β of a single message.
+	Latency float64
+	// HostBW is the effective throughput of a CPU parameter-server
+	// process: RAM staging plus the server-side sparse update. The paper
+	// blames exactly this for Parallax underperforming ("frequent memory
+	// copy between GPU and CPU", §5.3). Zero disables host accounting
+	// (pure-NIC analysis).
+	HostBW float64
+	// ShmBW is the shared-memory staging bandwidth BytePS uses for its
+	// intra-node aggregation ("BytePS uses share memory to speed up
+	// communication. In our hardware environment, the speed of RAMs is
+	// slow and would damage the performance", §5.3). Zero disables it.
+	ShmBW float64
+}
+
+// N returns the total worker count N = n·w.
+func (t Topology) N() int { return t.Nodes * t.WorkersPerNode }
+
+// Validate reports configuration errors.
+func (t Topology) Validate() error {
+	if t.Nodes <= 0 || t.WorkersPerNode <= 0 {
+		return fmt.Errorf("simnet: need positive nodes (%d) and workers/node (%d)", t.Nodes, t.WorkersPerNode)
+	}
+	if t.IntraBW <= 0 || t.InterBW <= 0 {
+		return fmt.Errorf("simnet: bandwidths must be positive (intra %g, inter %g)", t.IntraBW, t.InterBW)
+	}
+	if t.Latency < 0 {
+		return fmt.Errorf("simnet: negative latency %g", t.Latency)
+	}
+	return nil
+}
+
+// String renders the topology like the paper's cluster captions, e.g.
+// "2 nodes x 4 workers".
+func (t Topology) String() string {
+	return fmt.Sprintf("%d nodes x %d workers", t.Nodes, t.WorkersPerNode)
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: analytic costs with uniform bandwidth B and latency β.
+// ---------------------------------------------------------------------------
+
+// AllToAllCost is the Table-2 AlltoAll overhead 2(N-1)(αM/(N·B)+β): the
+// EmbRace embedding exchange runs AlltoAll twice per step (lookup results
+// forward, gradients backward), each moving a 1/N slice of the αM sparse
+// payload to every peer.
+func AllToAllCost(alpha, m float64, n int, b, beta float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 2 * float64(n-1) * (alpha*m/(float64(n)*b) + beta)
+}
+
+// AllReduceCost is the Table-2 ring AllReduce overhead 2(N-1)(M/(N·B)+β).
+// AllReduce cannot exploit sparsity, so the full dense M travels.
+func AllReduceCost(m float64, n int, b, beta float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 2 * float64(n-1) * (m/(float64(n)*b) + beta)
+}
+
+// PSCost is the Table-2 parameter-server overhead 2N(αM/(S·B)+β) with S
+// servers; the paper's lower bound takes S = n (one server per node).
+func PSCost(alpha, m float64, n, servers int, b, beta float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	if servers < 1 {
+		servers = 1
+	}
+	return 2 * float64(n) * (alpha*m/(float64(servers)*b) + beta)
+}
+
+// AllGatherCost is the Table-2 AllGather overhead (N-1)(αM/B+β): every rank
+// ships its whole αM sparse gradient to every peer, so transfer time grows
+// linearly with N — the poor scalability §4.1.2 calls out.
+func AllGatherCost(alpha, m float64, n int, b, beta float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return float64(n-1) * (alpha*m/b + beta)
+}
+
+// ---------------------------------------------------------------------------
+// Topology-aware estimator.
+// ---------------------------------------------------------------------------
+
+// Estimator computes collective completion times on a concrete Topology.
+// The model charges each transfer pattern with its startup latencies plus
+// the busiest resource: a node NIC (egress, capacity InterBW, shared by the
+// node's w workers) or an intra-node link (capacity IntraBW).
+type Estimator struct {
+	Topo Topology
+}
+
+// NewEstimator validates the topology and returns an estimator over it.
+func NewEstimator(t Topology) (*Estimator, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &Estimator{Topo: t}, nil
+}
+
+// AllToAll returns the time for one AlltoAll in which every worker holds
+// sparseBytes of payload and exchanges a 1/N slice with each peer.
+//
+// Per node, the w local workers each push (N-w) remote slices of size
+// sparseBytes/N through the shared NIC; intra-node slices ride the faster
+// local path. With w=1 and IntraBW=InterBW this reduces to the Table-2 term
+// (N-1)(αM/(N·B)+β).
+func (e *Estimator) AllToAll(sparseBytes float64) float64 {
+	t := e.Topo
+	n := t.N()
+	if n <= 1 {
+		return 0
+	}
+	w := float64(t.WorkersPerNode)
+	slice := sparseBytes / float64(n)
+	interTime := 0.0
+	if t.Nodes > 1 {
+		nicBytes := w * float64(n-t.WorkersPerNode) * slice
+		interTime = nicBytes / t.InterBW
+	}
+	intraTime := float64(t.WorkersPerNode-1) * slice / t.IntraBW
+	return float64(n-1)*t.Latency + max(interTime, intraTime)
+}
+
+// AllToAllPair returns the per-step cost of EmbRace's two AlltoAll calls
+// (embedding data out, embedding gradients back).
+func (e *Estimator) AllToAllPair(sparseBytes float64) float64 {
+	return 2 * e.AllToAll(sparseBytes)
+}
+
+// RingAllReduce returns the time for a ring AllReduce of denseBytes. The
+// ring is laid out node-contiguously, so each of the 2(N-1) steps pushes one
+// M/N chunk across each node boundary; the NIC carries a single flow per
+// step and the ring therefore scales with N like Table 2 says.
+func (e *Estimator) RingAllReduce(denseBytes float64) float64 {
+	t := e.Topo
+	n := t.N()
+	if n <= 1 {
+		return 0
+	}
+	chunk := denseBytes / float64(n)
+	linkBW := t.IntraBW
+	if t.Nodes > 1 {
+		linkBW = min(t.IntraBW, t.InterBW)
+	}
+	return 2 * float64(n-1) * (chunk/linkBW + t.Latency)
+}
+
+// AllGather returns the time for a flat sparse AllGather in which every
+// worker ships sparseBytes to each of the N-1 peers. The node NIC must carry
+// w·(N-w)·sparseBytes, which is what destroys AllGather's scalability on
+// multi-GPU nodes (§4.1.2, Figure 4a).
+func (e *Estimator) AllGather(sparseBytes float64) float64 {
+	t := e.Topo
+	n := t.N()
+	if n <= 1 {
+		return 0
+	}
+	w := float64(t.WorkersPerNode)
+	interTime := 0.0
+	if t.Nodes > 1 {
+		nicBytes := w * float64(n-t.WorkersPerNode) * sparseBytes
+		interTime = nicBytes / t.InterBW
+	}
+	intraTime := float64(t.WorkersPerNode-1) * sparseBytes / t.IntraBW
+	return float64(n-1)*t.Latency + max(interTime, intraTime)
+}
+
+// PS returns the round-trip time of a sharded parameter-server exchange of
+// sparseBytes per worker with one server per node (S=n), the paper's
+// lower-bound configuration. Each server NIC absorbs pushes and serves pulls
+// from the N-w remote workers, plus message startup for the N/S clients it
+// talks to in each direction.
+func (e *Estimator) PS(sparseBytes float64) float64 {
+	t := e.Topo
+	n := t.N()
+	if n <= 1 {
+		return 0
+	}
+	s := float64(t.Nodes)
+	shard := sparseBytes / s
+	bw := t.InterBW
+	if t.Nodes == 1 {
+		bw = t.IntraBW
+	}
+	remote := float64(n - t.WorkersPerNode)
+	if t.Nodes == 1 {
+		remote = float64(n) // all workers hit the single local server
+	}
+	transfer := remote * shard / bw
+	startup := 2 * float64(n) / s * t.Latency
+	total := 2*transfer + startup
+	// CPU-hosted servers stage every pushed and pulled byte through host
+	// memory and run the sparse update there: 2 * N * (payload/S) bytes
+	// per server.
+	if t.HostBW > 0 {
+		total += 2 * float64(n) * shard / t.HostBW
+	}
+	return total
+}
+
+// BytePSDense returns the round-trip time of BytePS's dense push-pull for a
+// tensor of `bytes` per worker. BytePS first sums each node's w gradients in
+// shared memory, so only one aggregated copy per node crosses RAM and the
+// NIC; the shared-memory staging (2 shard-sized copies per server) is what
+// slow RAM throttles (§5.3).
+func (e *Estimator) BytePSDense(bytes float64) float64 {
+	t := e.Topo
+	n := t.N()
+	if n <= 1 {
+		return 0
+	}
+	s := float64(t.Nodes)
+	shard := bytes / s
+	bw := t.InterBW
+	if t.Nodes == 1 {
+		bw = t.IntraBW
+	}
+	// Each server exchanges its shard with the other n-1 node aggregates.
+	transfer := (s - 1) * shard / bw
+	startup := 2 * s * t.Latency
+	total := 2*transfer + startup
+	if t.ShmBW > 0 {
+		total += 2 * float64(t.Nodes) * shard / t.ShmBW
+	}
+	// Workers still move the full tensor to/from node shared memory.
+	total += 2 * bytes / t.IntraBW
+	return total
+}
+
+// omniReduceRefMsg is the message size at which OmniReduce's bandwidth
+// utilization reaches 50% in this model. OmniReduce ships only non-zero
+// blocks, so at high sparsity its messages shrink and the NIC is driven far
+// below line rate — the "insufficient bandwidth usage with excessive divided
+// messages" behaviour of §4.1.2.
+const omniReduceRefMsg = 1 << 20 // 1 MiB
+
+// OmniReduce returns the time of a sparsity-aware AllReduce of a dense
+// tensor of denseBytes with density alpha. Only the 1-GPU-per-node topology
+// is supported, mirroring the OmniReduce limitation the paper notes under
+// Figure 4.
+func (e *Estimator) OmniReduce(denseBytes, alpha float64) (float64, error) {
+	t := e.Topo
+	if t.WorkersPerNode != 1 {
+		return 0, fmt.Errorf("simnet: OmniReduce supports only 1 worker per node, topology has %d", t.WorkersPerNode)
+	}
+	n := t.N()
+	if n <= 1 {
+		return 0, nil
+	}
+	payload := alpha * denseBytes / float64(n)
+	util := payload / (payload + omniReduceRefMsg)
+	if util <= 0 {
+		util = 1e-6
+	}
+	bw := t.InterBW
+	return 2 * float64(n-1) * (payload/(bw*util) + t.Latency), nil
+}

@@ -1,0 +1,237 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	gb = 1e9
+	mb = 1e6
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol*math.Max(1, math.Abs(b)) }
+
+func TestTopologyValidate(t *testing.T) {
+	good := Topology{Nodes: 2, WorkersPerNode: 4, IntraBW: 10 * gb, InterBW: 12 * gb, Latency: 1e-5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.N() != 8 {
+		t.Fatalf("N = %d", good.N())
+	}
+	bad := []Topology{
+		{Nodes: 0, WorkersPerNode: 1, IntraBW: 1, InterBW: 1},
+		{Nodes: 1, WorkersPerNode: 0, IntraBW: 1, InterBW: 1},
+		{Nodes: 1, WorkersPerNode: 1, IntraBW: 0, InterBW: 1},
+		{Nodes: 1, WorkersPerNode: 1, IntraBW: 1, InterBW: 1, Latency: -1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+// Pin the Table-2 formulas at hand-computed values.
+func TestTable2FormulasPinned(t *testing.T) {
+	const (
+		alpha = 0.25
+		m     = 8000.0
+		n     = 4
+		b     = 1000.0
+		beta  = 0.001
+	)
+	// AlltoAll: 2*3*(0.25*8000/(4*1000)+0.001) = 6*(0.5+0.001) = 3.006
+	if got := AllToAllCost(alpha, m, n, b, beta); !approx(got, 3.006, 1e-9) {
+		t.Fatalf("AllToAllCost = %v", got)
+	}
+	// AllReduce: 2*3*(8000/4000+0.001) = 6*2.001 = 12.006
+	if got := AllReduceCost(m, n, b, beta); !approx(got, 12.006, 1e-9) {
+		t.Fatalf("AllReduceCost = %v", got)
+	}
+	// PS with S=2: 2*4*(2000/2000+0.001) = 8*1.001 = 8.008
+	if got := PSCost(alpha, m, n, 2, b, beta); !approx(got, 8.008, 1e-9) {
+		t.Fatalf("PSCost = %v", got)
+	}
+	// AllGather: 3*(2000/1000+0.001) = 3*2.001 = 6.003
+	if got := AllGatherCost(alpha, m, n, b, beta); !approx(got, 6.003, 1e-9) {
+		t.Fatalf("AllGatherCost = %v", got)
+	}
+}
+
+func TestCostsZeroForSingleWorker(t *testing.T) {
+	if AllToAllCost(0.5, 100, 1, 10, 1) != 0 ||
+		AllReduceCost(100, 1, 10, 1) != 0 ||
+		PSCost(0.5, 100, 1, 1, 10, 1) != 0 ||
+		AllGatherCost(0.5, 100, 1, 10, 1) != 0 {
+		t.Fatal("single-worker collectives must be free")
+	}
+}
+
+// Property (§4.1.2): for sparse tensors (α<1), N>1, AlltoAll beats AllReduce.
+func TestAllToAllBeatsAllReduceWhenSparse(t *testing.T) {
+	f := func(seed int64) bool {
+		// derive pseudo-random but valid parameters from the seed
+		alpha := 0.05 + float64((seed%89+89)%89)/100.0 // in (0, 0.95]
+		if alpha >= 1 {
+			alpha = 0.9
+		}
+		n := int(seed%14+14)%14 + 2 // 2..15
+		m := 1e6 + float64((seed%1000+1000)%1000)*1e4
+		b, beta := 1e9, 5e-6
+		return AllToAllCost(alpha, m, n, b, beta) <= AllReduceCost(m, n, b, beta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AllGather transfer time grows ~linearly in N while AlltoAll's is
+// ~flat, so for large N AlltoAll must win (the paper's scalability claim).
+func TestAllToAllScalesBetterThanAllGather(t *testing.T) {
+	const alpha, m, b, beta = 0.2, 250 * mb, 1e9, 5e-6
+	small := AllGatherCost(alpha, m, 2, b, beta) / AllToAllCost(alpha, m, 2, b, beta)
+	big := AllGatherCost(alpha, m, 16, b, beta) / AllToAllCost(alpha, m, 16, b, beta)
+	if big <= small {
+		t.Fatalf("AllGather/AlltoAll ratio must grow with N: %v -> %v", small, big)
+	}
+	if AllGatherCost(alpha, m, 16, b, beta) <= AllToAllCost(alpha, m, 16, b, beta) {
+		t.Fatal("at N=16 AlltoAll must beat AllGather")
+	}
+}
+
+func newTestEstimator(t *testing.T, topo Topology) *Estimator {
+	t.Helper()
+	e, err := NewEstimator(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEstimatorRejectsBadTopology(t *testing.T) {
+	if _, err := NewEstimator(Topology{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// With 1 worker/node and IntraBW == InterBW, the topology-aware model must
+// collapse to the Table-2 formulas.
+func TestEstimatorReducesToAnalyticOnFlatTopology(t *testing.T) {
+	topo := Topology{Nodes: 4, WorkersPerNode: 1, IntraBW: 1e9, InterBW: 1e9, Latency: 1e-5}
+	e := newTestEstimator(t, topo)
+	payload := 50 * mb // αM
+	gotA2A := 2 * e.AllToAll(payload)
+	wantA2A := AllToAllCost(1, payload, 4, 1e9, 1e-5)
+	if !approx(gotA2A, wantA2A, 1e-9) {
+		t.Fatalf("AllToAll %v vs Table-2 %v", gotA2A, wantA2A)
+	}
+	gotAG := e.AllGather(payload)
+	wantAG := AllGatherCost(1, payload, 4, 1e9, 1e-5)
+	if !approx(gotAG, wantAG, 1e-9) {
+		t.Fatalf("AllGather %v vs Table-2 %v", gotAG, wantAG)
+	}
+	gotAR := e.RingAllReduce(payload)
+	wantAR := AllReduceCost(payload, 4, 1e9, 1e-5)
+	if !approx(gotAR, wantAR, 1e-9) {
+		t.Fatalf("AllReduce %v vs Table-2 %v", gotAR, wantAR)
+	}
+}
+
+func TestEstimatorSingleWorkerFree(t *testing.T) {
+	e := newTestEstimator(t, Topology{Nodes: 1, WorkersPerNode: 1, IntraBW: 1e9, InterBW: 1e9})
+	if e.AllToAll(mb) != 0 || e.AllGather(mb) != 0 || e.RingAllReduce(mb) != 0 || e.PS(mb) != 0 {
+		t.Fatal("collectives on 1 worker must be free")
+	}
+}
+
+func TestAllGatherNICPenaltyOnMultiGPUNodes(t *testing.T) {
+	// Same N=8: 2 nodes x 4 GPUs vs 8 nodes x 1 GPU. The shared NIC must
+	// make AllGather slower per Figure 4a's story, while AlltoAll suffers
+	// much less (its per-peer slices are 1/N sized).
+	shared := newTestEstimator(t, Topology{Nodes: 2, WorkersPerNode: 4, IntraBW: 10e9, InterBW: 12.5e9, Latency: 5e-6})
+	flat := newTestEstimator(t, Topology{Nodes: 8, WorkersPerNode: 1, IntraBW: 10e9, InterBW: 12.5e9, Latency: 5e-6})
+	payload := 25 * mb
+	if shared.AllGather(payload) <= flat.AllGather(payload) {
+		t.Fatal("shared NIC must slow down AllGather")
+	}
+	ratioAG := shared.AllGather(payload) / flat.AllGather(payload)
+	ratioA2A := shared.AllToAll(payload) / flat.AllToAll(payload)
+	if ratioA2A >= ratioAG {
+		t.Fatalf("AlltoAll should degrade less than AllGather (%.3f vs %.3f)", ratioA2A, ratioAG)
+	}
+}
+
+func TestRingAllReduceUsesBottleneckLink(t *testing.T) {
+	fast := newTestEstimator(t, Topology{Nodes: 2, WorkersPerNode: 2, IntraBW: 50e9, InterBW: 12.5e9, Latency: 0})
+	// chunk = M/4 over bottleneck 12.5 GB/s, 2*(4-1) steps
+	m := 100 * mb
+	want := 2 * 3 * (m / 4 / 12.5e9)
+	if got := fast.RingAllReduce(m); !approx(got, want, 1e-9) {
+		t.Fatalf("RingAllReduce = %v, want %v", got, want)
+	}
+	single := newTestEstimator(t, Topology{Nodes: 1, WorkersPerNode: 4, IntraBW: 50e9, InterBW: 12.5e9, Latency: 0})
+	wantIntra := 2 * 3 * (m / 4 / 50e9)
+	if got := single.RingAllReduce(m); !approx(got, wantIntra, 1e-9) {
+		t.Fatalf("single-node RingAllReduce = %v, want %v", got, wantIntra)
+	}
+}
+
+func TestPSScalesWithServers(t *testing.T) {
+	two := newTestEstimator(t, Topology{Nodes: 2, WorkersPerNode: 4, IntraBW: 10e9, InterBW: 12.5e9, Latency: 5e-6})
+	four := newTestEstimator(t, Topology{Nodes: 4, WorkersPerNode: 2, IntraBW: 10e9, InterBW: 12.5e9, Latency: 5e-6})
+	payload := 25 * mb
+	if four.PS(payload) >= two.PS(payload) {
+		t.Fatal("more server nodes must not slow PS down")
+	}
+}
+
+func TestOmniReduceModel(t *testing.T) {
+	e := newTestEstimator(t, Topology{Nodes: 4, WorkersPerNode: 1, IntraBW: 10e9, InterBW: 12.5e9, Latency: 5e-6})
+	dense := 252.5 * mb
+	tDense, err := e.OmniReduce(dense, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tSparse, err := e.OmniReduce(dense, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tSparse >= tDense {
+		t.Fatal("OmniReduce must get faster as sparsity rises")
+	}
+	// ...but never faster than AlltoAll on the same payload (Figure 4b).
+	if tSparse <= 2*e.AllToAll(0.05*dense) {
+		t.Fatalf("OmniReduce (%v) should stay above AlltoAll pair (%v)", tSparse, 2*e.AllToAll(0.05*dense))
+	}
+	multi := newTestEstimator(t, Topology{Nodes: 2, WorkersPerNode: 4, IntraBW: 10e9, InterBW: 12.5e9})
+	if _, err := multi.OmniReduce(dense, 0.5); err == nil {
+		t.Fatal("OmniReduce must reject multi-GPU nodes")
+	}
+}
+
+// Property: all estimator times are non-negative and monotone in payload.
+func TestEstimatorMonotoneInPayload(t *testing.T) {
+	e := newTestEstimator(t, Topology{Nodes: 4, WorkersPerNode: 4, IntraBW: 10e9, InterBW: 12.5e9, Latency: 5e-6})
+	f := func(seed int64) bool {
+		s := float64((seed%1000+1000)%1000+1) * 1e4
+		bigger := s * 2
+		checks := []struct{ lo, hi float64 }{
+			{e.AllToAll(s), e.AllToAll(bigger)},
+			{e.AllGather(s), e.AllGather(bigger)},
+			{e.RingAllReduce(s), e.RingAllReduce(bigger)},
+			{e.PS(s), e.PS(bigger)},
+		}
+		for _, c := range checks {
+			if c.lo < 0 || c.hi < c.lo {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+package strategies
+
+import (
+	"fmt"
+
+	"embrace/internal/collective"
+	"embrace/internal/comm"
+	"embrace/internal/nn"
+	"embrace/internal/optim"
+	"embrace/internal/ps"
+	"embrace/internal/tensor"
+)
+
+// replicaWorker is the shared core of the data-parallel baselines: a full
+// model replica per rank plus worker-side optimizers. Only the gradient
+// exchange differs between them.
+type replicaWorker struct {
+	t         comm.Transport
+	cfg       Config
+	model     *nn.Model
+	trunkOpts map[string]optim.Optimizer
+	embOpt    optim.Optimizer
+}
+
+func newReplicaWorker(t comm.Transport, cfg Config) *replicaWorker {
+	m := newInitialModel(cfg)
+	return &replicaWorker{
+		t:         t,
+		cfg:       cfg,
+		model:     m,
+		trunkOpts: trunkOptimizers(cfg, m.Trunk),
+		embOpt:    newOptimizer(cfg, m.Emb.Table),
+	}
+}
+
+func (w *replicaWorker) Trunk() *nn.Trunk { return w.model.Trunk }
+
+func (w *replicaWorker) FullEmbedding() (*tensor.Dense, error) {
+	return w.model.Emb.Table, nil
+}
+
+// allReduceTrunk sums the trunk gradients across ranks in place and applies
+// them, the dense path every baseline except BytePS shares.
+func (w *replicaWorker) allReduceTrunk(step int, grads *nn.TrunkGrads) error {
+	tags := map[string]int{"w1": tagW1, "b1": tagB1, "w2": tagW2, "b2": tagB2}
+	for _, g := range grads.Dense() {
+		if err := collective.RingAllReduce(w.t, tag(step, tags[g.Name]), g.Tensor.Data()); err != nil {
+			return fmt.Errorf("trunk %s: %w", g.Name, err)
+		}
+		if err := w.trunkOpts[g.Name].StepDense(g.Tensor); err != nil {
+			return fmt.Errorf("trunk %s update: %w", g.Name, err)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Horovod AllReduce: sparse treated as dense (§5.2.3 baseline ii).
+// ---------------------------------------------------------------------------
+
+type allReduceWorker struct {
+	*replicaWorker
+}
+
+func newAllReduceWorker(t comm.Transport, cfg Config) *allReduceWorker {
+	return &allReduceWorker{newReplicaWorker(t, cfg)}
+}
+
+func (w *allReduceWorker) Strategy() Name { return HorovodAllReduce }
+
+func (w *allReduceWorker) Step(step int, windows [][]int64, targets []int64, _ []int64) (nn.StepStats, error) {
+	stats, embGrad, grads, err := w.model.Step(windows, targets)
+	if err != nil {
+		return nn.StepStats{}, err
+	}
+	// The embedding gradient is scattered to dense format and AllReduced
+	// whole — zeros included, the waste Figure 1(a) illustrates.
+	dense := embGrad.ToDense()
+	if err := collective.RingAllReduce(w.t, tag(step, tagEmbGrad), dense.Data()); err != nil {
+		return nn.StepStats{}, fmt.Errorf("embedding allreduce: %w", err)
+	}
+	if err := w.embOpt.StepDense(dense); err != nil {
+		return nn.StepStats{}, fmt.Errorf("embedding update: %w", err)
+	}
+	if err := w.allReduceTrunk(step, grads); err != nil {
+		return nn.StepStats{}, err
+	}
+	return stats, nil
+}
+
+// ---------------------------------------------------------------------------
+// Horovod AllGather: sparse embedding gradients, dense AllReduce
+// (§5.2.3 baseline iii).
+// ---------------------------------------------------------------------------
+
+type allGatherWorker struct {
+	*replicaWorker
+}
+
+func newAllGatherWorker(t comm.Transport, cfg Config) *allGatherWorker {
+	return &allGatherWorker{newReplicaWorker(t, cfg)}
+}
+
+func (w *allGatherWorker) Strategy() Name { return HorovodAllGather }
+
+func (w *allGatherWorker) Step(step int, windows [][]int64, targets []int64, _ []int64) (nn.StepStats, error) {
+	stats, embGrad, grads, err := w.model.Step(windows, targets)
+	if err != nil {
+		return nn.StepStats{}, err
+	}
+	merged, err := collective.SparseAllGather(w.t, tag(step, tagEmbGrad), embGrad)
+	if err != nil {
+		return nn.StepStats{}, fmt.Errorf("embedding allgather: %w", err)
+	}
+	if err := w.embOpt.StepSparse(merged); err != nil {
+		return nn.StepStats{}, fmt.Errorf("embedding update: %w", err)
+	}
+	if err := w.allReduceTrunk(step, grads); err != nil {
+		return nn.StepStats{}, err
+	}
+	return stats, nil
+}
+
+// ---------------------------------------------------------------------------
+// Parallax: sparse PS for embeddings + AllReduce for dense
+// (§5.2.3 baseline iv).
+// ---------------------------------------------------------------------------
+
+type parallaxWorker struct {
+	*replicaWorker
+	srv *ps.ShardedSparse
+}
+
+func newParallaxWorker(t comm.Transport, cfg Config, srv *ps.ShardedSparse) *parallaxWorker {
+	return &parallaxWorker{replicaWorker: newReplicaWorker(t, cfg), srv: srv}
+}
+
+func (w *parallaxWorker) Strategy() Name { return Parallax }
+
+func (w *parallaxWorker) Step(step int, windows [][]int64, targets []int64, _ []int64) (nn.StepStats, error) {
+	// Pull the authoritative values of exactly the rows this batch reads —
+	// the frequent GPU<->server row traffic §5.3 blames for Parallax's
+	// memory-copy overhead.
+	need := make([]int64, 0, len(windows)*4)
+	for _, win := range windows {
+		need = append(need, win...)
+	}
+	rows, err := w.srv.PullRows(tensor.UniqueInt64(need))
+	if err != nil {
+		return nn.StepStats{}, fmt.Errorf("embedding pull: %w", err)
+	}
+	for i, ix := range rows.Indices {
+		copy(w.model.Emb.Table.Row(int(ix)), rows.Row(i))
+	}
+
+	stats, embGrad, grads, err := w.model.Step(windows, targets)
+	if err != nil {
+		return nn.StepStats{}, err
+	}
+	if err := w.srv.PushAndWait(embGrad); err != nil {
+		return nn.StepStats{}, fmt.Errorf("embedding push: %w", err)
+	}
+	if err := w.allReduceTrunk(step, grads); err != nil {
+		return nn.StepStats{}, err
+	}
+	return stats, nil
+}
+
+func (w *parallaxWorker) FullEmbedding() (*tensor.Dense, error) {
+	dst := tensor.NewDense(w.cfg.Vocab, w.cfg.EmbDim)
+	if err := w.srv.PullAll(dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// ---------------------------------------------------------------------------
+// BytePS: everything through dense parameter servers (§5.2.3 baseline i).
+// ---------------------------------------------------------------------------
+
+type bytePSWorker struct {
+	*replicaWorker
+	embSrv    *ps.Dense
+	trunkSrvs map[string]*ps.Dense
+}
+
+func newBytePSWorker(t comm.Transport, cfg Config, sh *Shared) *bytePSWorker {
+	return &bytePSWorker{
+		replicaWorker: newReplicaWorker(t, cfg),
+		embSrv:        sh.denseEmb,
+		trunkSrvs:     sh.trunkSrvs,
+	}
+}
+
+func (w *bytePSWorker) Strategy() Name { return BytePS }
+
+func (w *bytePSWorker) Step(step int, windows [][]int64, targets []int64, _ []int64) (nn.StepStats, error) {
+	stats, embGrad, grads, err := w.model.Step(windows, targets)
+	if err != nil {
+		return nn.StepStats{}, err
+	}
+	// BytePS treats the sparse gradient as dense (§5.2.3).
+	if err := w.embSrv.PushAndWait(embGrad.ToDense()); err != nil {
+		return nn.StepStats{}, fmt.Errorf("embedding push: %w", err)
+	}
+	if err := w.embSrv.Pull(w.model.Emb.Table); err != nil {
+		return nn.StepStats{}, fmt.Errorf("embedding pull: %w", err)
+	}
+	for _, g := range grads.Dense() {
+		srv := w.trunkSrvs[g.Name]
+		if err := srv.PushAndWait(g.Tensor); err != nil {
+			return nn.StepStats{}, fmt.Errorf("trunk %s push: %w", g.Name, err)
+		}
+	}
+	for _, p := range w.model.Trunk.Params() {
+		if err := w.trunkSrvs[p.Name].Pull(p.Tensor); err != nil {
+			return nn.StepStats{}, fmt.Errorf("trunk %s pull: %w", p.Name, err)
+		}
+	}
+	return stats, nil
+}
+
+func (w *bytePSWorker) FullEmbedding() (*tensor.Dense, error) {
+	dst := tensor.NewDense(w.cfg.Vocab, w.cfg.EmbDim)
+	if err := w.embSrv.Pull(dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}

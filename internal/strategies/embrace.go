@@ -1,0 +1,276 @@
+package strategies
+
+import (
+	"fmt"
+
+	"embrace/internal/collective"
+	"embrace/internal/comm"
+	"embrace/internal/nn"
+	"embrace/internal/optim"
+	"embrace/internal/tensor"
+)
+
+// embraceWorker implements the paper's contribution in real-execution mode.
+//
+// The embedding table is column-wise partitioned (§4.1.1): rank s owns
+// columns [s*dim/N, (s+1)*dim/N) of every vocabulary row, so every shard
+// sees every word and load balance is batch-independent. One training step:
+//
+//  1. AllGather the token windows of every rank ("gathered training data",
+//     the D_cur of Algorithm 1).
+//  2. Each shard looks up its columns of the pooled embedding for every
+//     rank's batch, then the first AlltoAll routes the partial lookups so
+//     each rank assembles the full-width pooled activations of its own
+//     batch — embedding forward via model parallelism.
+//  3. The dense trunk runs forward/backward locally; its gradients use ring
+//     AllReduce like any dense model (the hybrid of §4.1.3).
+//  4. The pooled-activation gradient becomes per-token sparse rows,
+//     column-sliced per destination shard — the raw, uncoalesced gradient
+//     Algorithm 1 starts from.
+//  5. With Sched2D, each rank partitions its rows against the gathered next
+//     batch before communicating: the prior part travels through an
+//     immediate AlltoAll and is applied at once (modified optimizer,
+//     final=false); the delayed part travels through a background AlltoAll
+//     that overlaps subsequent work and is harvested — applied with
+//     final=true — at the start of the next step (§4.2.2, §5.7). Without
+//     Sched2D a single whole-gradient AlltoAll feeds a whole update.
+type embraceWorker struct {
+	t   comm.Transport
+	cfg Config
+
+	shard     *nn.Embedding // [vocab x dim/N], this rank's columns
+	trunk     *nn.Trunk
+	trunkOpts map[string]optim.Optimizer
+	embOpt    optim.Optimizer
+	dimShard  int
+
+	// delayed is the in-flight background exchange of the previous step's
+	// delayed gradients (§4.2.2: "the communications of delayed gradients
+	// could be performed later"). It is harvested — exchanged gradient
+	// applied with the modified optimizer's final call — at the start of
+	// the next step, before any of its rows can be read again.
+	delayed chan delayedResult
+}
+
+// delayedResult carries the background AlltoAll's outcome.
+type delayedResult struct {
+	grad *tensor.Sparse
+	err  error
+}
+
+func newEmbRaceWorker(t comm.Transport, cfg Config) *embraceWorker {
+	n := t.Size()
+	dimShard := cfg.EmbDim / n
+	// Build the same full model every baseline starts from (warm-start
+	// overrides included), then keep only this rank's column shard, so
+	// cross-strategy equivalence holds exactly.
+	full := newInitialModel(cfg)
+	shardTable := tensor.NewDense(cfg.Vocab, dimShard)
+	lo := t.Rank() * dimShard
+	for r := 0; r < cfg.Vocab; r++ {
+		copy(shardTable.Row(r), full.Emb.Table.Row(r)[lo:lo+dimShard])
+	}
+	return &embraceWorker{
+		t:         t,
+		cfg:       cfg,
+		shard:     &nn.Embedding{Table: shardTable},
+		trunk:     full.Trunk,
+		trunkOpts: trunkOptimizers(cfg, full.Trunk),
+		embOpt:    newOptimizer(cfg, shardTable),
+		dimShard:  dimShard,
+	}
+}
+
+func (w *embraceWorker) Strategy() Name { return EmbRace }
+
+func (w *embraceWorker) Trunk() *nn.Trunk { return w.trunk }
+
+// harvestDelayed joins the previous step's background delayed exchange and
+// applies it as the final part of that step's split update. It must run
+// before the optimizer's next logical step begins.
+func (w *embraceWorker) harvestDelayed() error {
+	if w.delayed == nil {
+		return nil
+	}
+	res := <-w.delayed
+	w.delayed = nil
+	if res.err != nil {
+		return fmt.Errorf("delayed exchange: %w", res.err)
+	}
+	if adam, ok := w.embOpt.(*optim.Adam); ok {
+		if err := adam.StepSparsePartial(res.grad, true); err != nil {
+			return fmt.Errorf("delayed update: %w", err)
+		}
+		return nil
+	}
+	if err := w.embOpt.StepSparse(res.grad); err != nil {
+		return fmt.Errorf("delayed update: %w", err)
+	}
+	return nil
+}
+
+func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextTokens []int64) (nn.StepStats, error) {
+	n := w.t.Size()
+
+	// (0) The previous step's delayed gradients have been traveling in the
+	// background; apply them before their rows can be read again.
+	if err := w.harvestDelayed(); err != nil {
+		return nn.StepStats{}, err
+	}
+
+	// (1) Gather every rank's token windows.
+	allWindows, err := collective.AllGather(w.t, tag(step, tagTokens), windows)
+	if err != nil {
+		return nn.StepStats{}, fmt.Errorf("token gather: %w", err)
+	}
+
+	// (2) Shard-side lookup for every rank, then AlltoAll the partial
+	// pooled activations (the "Emb Data" exchange of Figure 5).
+	partials := make([]*tensor.Dense, n)
+	for p := 0; p < n; p++ {
+		partials[p] = w.shard.PoolLookup(allWindows[p])
+	}
+	colParts, err := collective.AllToAll(w.t, tag(step, tagEmbData), partials)
+	if err != nil {
+		return nn.StepStats{}, fmt.Errorf("embedding data alltoall: %w", err)
+	}
+	pooled := tensor.NewDense(len(windows), w.cfg.EmbDim)
+	for s := 0; s < n; s++ {
+		part := colParts[s] // my batch's columns owned by shard s
+		if part.Dim(0) != len(windows) || part.Dim(1) != w.dimShard {
+			return nn.StepStats{}, fmt.Errorf("embrace: shard %d returned %v, want [%d x %d]",
+				s, part.Shape(), len(windows), w.dimShard)
+		}
+		lo := s * w.dimShard
+		for i := 0; i < len(windows); i++ {
+			copy(pooled.Row(i)[lo:lo+w.dimShard], part.Row(i))
+		}
+	}
+
+	// (3) Dense trunk forward/backward + ring AllReduce (hybrid comm).
+	loss, cache, err := w.trunk.Forward(pooled, targets)
+	if err != nil {
+		return nn.StepStats{}, err
+	}
+	stats := nn.StepStats{Loss: loss, Correct: cache.Correct(), Count: len(targets)}
+	grads := w.trunk.Backward(cache)
+	tags := map[string]int{"w1": tagW1, "b1": tagB1, "w2": tagW2, "b2": tagB2}
+	for _, g := range grads.Dense() {
+		if err := collective.RingAllReduce(w.t, tag(step, tags[g.Name]), g.Tensor.Data()); err != nil {
+			return nn.StepStats{}, fmt.Errorf("trunk %s: %w", g.Name, err)
+		}
+		if err := w.trunkOpts[g.Name].StepDense(g.Tensor); err != nil {
+			return nn.StepStats{}, fmt.Errorf("trunk %s update: %w", g.Name, err)
+		}
+	}
+
+	// (4) Convert the pooled gradient into per-token sparse rows and
+	// column-slice them per destination shard (the "Emb Grad" exchange of
+	// Figure 5). PoolBackward keeps one row per token occurrence, which is
+	// exactly the uncoalesced gradient Algorithm 1 starts from.
+	local := w.shardOf(windows, grads.Pooled) // my batch, sliced per shard
+
+	// (5a) Without vertical scheduling: one whole-gradient AlltoAll, then
+	// a whole update.
+	if w.cfg.Sched != Sched2D {
+		shards, err := collective.SparseAllToAll(w.t, tag(step, tagEmbGrad), local)
+		if err != nil {
+			return nn.StepStats{}, fmt.Errorf("embedding grad alltoall: %w", err)
+		}
+		raw, err := tensor.Concat(shards...)
+		if err != nil {
+			return nn.StepStats{}, fmt.Errorf("embrace: merging shard gradients: %w", err)
+		}
+		if err := w.embOpt.StepSparse(raw); err != nil {
+			return nn.StepStats{}, fmt.Errorf("embedding update: %w", err)
+		}
+		return stats, nil
+	}
+
+	// (5b) Vertical Sparse Scheduling, split BEFORE communication: rows of
+	// the prefetched next batch (gathered across ranks) form the prior
+	// part, exchanged and applied immediately; the rest is exchanged by a
+	// background goroutine and harvested at the start of the next step.
+	allNext, err := collective.AllGather(w.t, tag(step, tagNext), tensor.UniqueInt64(nextTokens))
+	if err != nil {
+		return nn.StepStats{}, fmt.Errorf("next-batch gather: %w", err)
+	}
+	var nextAll []int64
+	for _, ns := range allNext {
+		nextAll = append(nextAll, ns...)
+	}
+	nextSet := tensor.ToSet(nextAll)
+
+	priorSend := make([]*tensor.Sparse, n)
+	delayedSend := make([]*tensor.Sparse, n)
+	for s := 0; s < n; s++ {
+		priorSend[s], delayedSend[s] = local[s].Partition(nextSet)
+	}
+	priorShards, err := collective.SparseAllToAll(w.t, tag(step, tagEmbGrad), priorSend)
+	if err != nil {
+		return nn.StepStats{}, fmt.Errorf("prior grad alltoall: %w", err)
+	}
+	prior, err := tensor.Concat(priorShards...)
+	if err != nil {
+		return nn.StepStats{}, fmt.Errorf("embrace: merging prior gradients: %w", err)
+	}
+	if adam, ok := w.embOpt.(*optim.Adam); ok {
+		if err := adam.StepSparsePartial(prior.Coalesce(), false); err != nil {
+			return nn.StepStats{}, fmt.Errorf("prior update: %w", err)
+		}
+	} else if err := w.embOpt.StepSparse(prior); err != nil {
+		return nn.StepStats{}, fmt.Errorf("prior update: %w", err)
+	}
+
+	// Background delayed exchange, overlapping whatever comes next.
+	done := make(chan delayedResult, 1)
+	w.delayed = done
+	go func() {
+		shards, err := collective.SparseAllToAll(w.t, tag(step, tagDelayed), delayedSend)
+		if err != nil {
+			done <- delayedResult{err: err}
+			return
+		}
+		merged, err := tensor.Concat(shards...)
+		if err != nil {
+			done <- delayedResult{err: err}
+			return
+		}
+		done <- delayedResult{grad: merged.Coalesce()}
+	}()
+	return stats, nil
+}
+
+// shardOf converts this rank's pooled-activation gradient into the N
+// column-sliced sparse gradients the AlltoAll routes: slot s holds the rows
+// of this rank's tokens restricted to shard s's columns.
+func (w *embraceWorker) shardOf(windows [][]int64, gradPooled *tensor.Dense) []*tensor.Sparse {
+	n := w.t.Size()
+	rows := nn.PoolBackwardDims(w.cfg.Vocab, w.cfg.EmbDim, windows, gradPooled)
+	out := make([]*tensor.Sparse, n)
+	for s := 0; s < n; s++ {
+		out[s] = rows.ColumnSlice(s*w.dimShard, (s+1)*w.dimShard)
+	}
+	return out
+}
+
+// FullEmbedding reassembles the complete table from every rank's column
+// shard. All ranks must call it together (it is a collective). Any in-flight
+// delayed update is applied first so the gathered table is complete.
+func (w *embraceWorker) FullEmbedding() (*tensor.Dense, error) {
+	if err := w.harvestDelayed(); err != nil {
+		return nil, err
+	}
+	shards, err := collective.AllGather(w.t, tag(1<<20, tagGatherEmb), w.shard.Table)
+	if err != nil {
+		return nil, err
+	}
+	full := tensor.NewDense(w.cfg.Vocab, w.cfg.EmbDim)
+	for s, sh := range shards {
+		lo := s * w.dimShard
+		for r := 0; r < w.cfg.Vocab; r++ {
+			copy(full.Row(r)[lo:lo+w.dimShard], sh.Row(r))
+		}
+	}
+	return full, nil
+}

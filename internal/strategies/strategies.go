@@ -1,0 +1,283 @@
+// Package strategies implements the five distributed training strategies the
+// paper evaluates (§5.2.3), all in real-execution mode: every rank is a
+// goroutine holding real tensors, and gradients actually move through the
+// collective/PS substrates.
+//
+//   - HorovodAllReduce: every gradient, embeddings included, is aggregated
+//     densely with ring AllReduce.
+//   - HorovodAllGather: dense gradients use AllReduce; embedding gradients
+//     stay sparse and are aggregated with AllGather.
+//   - BytePS: every gradient goes through dense parameter servers (BytePS
+//     treats sparse tensors as dense; its ByteScheduler priority scheduling
+//     is a timing concern modeled by internal/perfsim).
+//   - Parallax: embedding gradients go to a sparse parameter server, dense
+//     gradients use AllReduce.
+//   - EmbRace: embeddings are column-wise partitioned across ranks (model
+//     parallelism); lookup results and gradients travel by AlltoAll, dense
+//     gradients by AllReduce (§4.1), optionally with Vertical Sparse
+//     Scheduling and the modified Adam (§4.2.2, §5.7).
+//
+// All strategies are synchronous, so with identical seeds and batches they
+// must produce identical parameters — the equivalence property the trainer
+// tests enforce.
+package strategies
+
+import (
+	"fmt"
+
+	"embrace/internal/comm"
+	"embrace/internal/nn"
+	"embrace/internal/optim"
+	"embrace/internal/ps"
+	"embrace/internal/tensor"
+)
+
+// Name identifies a strategy.
+type Name string
+
+// The strategy names, matching the paper's baseline list.
+const (
+	HorovodAllReduce Name = "horovod-allreduce"
+	HorovodAllGather Name = "horovod-allgather"
+	BytePS           Name = "byteps"
+	Parallax         Name = "parallax"
+	EmbRace          Name = "embrace"
+)
+
+// AllNames lists every strategy in the paper's comparison order.
+func AllNames() []Name {
+	return []Name{BytePS, HorovodAllReduce, HorovodAllGather, Parallax, EmbRace}
+}
+
+// SchedMode selects EmbRace's scheduling level for the ablation study
+// (Figure 9). Horizontal scheduling changes only timing, which the
+// performance simulator models; in real-execution mode the observable
+// difference is the vertical split and its modified-Adam update.
+type SchedMode int
+
+const (
+	// SchedNone applies each embedding gradient as one whole update
+	// ("EmbRace w/o Scheduling").
+	SchedNone SchedMode = iota
+	// Sched2D runs Algorithm 1: coalesce, split against the prefetched
+	// next batch, apply prior and delayed parts separately.
+	Sched2D
+)
+
+// OptimizerKind selects the parameter-update rule.
+type OptimizerKind string
+
+// Supported optimizers.
+const (
+	OptSGD  OptimizerKind = "sgd"
+	OptAdam OptimizerKind = "adam"
+)
+
+// Config describes one real-execution training job.
+type Config struct {
+	// Seed controls all parameter initialization; every rank derives the
+	// same initial model from it.
+	Seed int64
+	// Vocab, EmbDim, Hidden size the nn.Model.
+	Vocab, EmbDim, Hidden int
+	// Optimizer selects the update rule for every parameter.
+	Optimizer OptimizerKind
+	// LR is the learning rate.
+	LR float32
+	// Sched selects EmbRace's scheduling mode; ignored by baselines.
+	Sched SchedMode
+	// PSServers is the logical server shard count for PS strategies.
+	PSServers int
+	// InitEmbedding and InitTrunk, when set, override the seed-derived
+	// initial parameters — the warm-start hook checkpoint resume uses.
+	// InitTrunk keys follow Trunk.Params ("w1", "b1", "w2", "b2").
+	InitEmbedding *tensor.Dense
+	InitTrunk     map[string]*tensor.Dense
+}
+
+// Validate reports configuration errors. workers is the world size the
+// config will run under.
+func (c Config) Validate(workers int) error {
+	if c.Vocab < 2 || c.EmbDim < 1 || c.Hidden < 1 {
+		return fmt.Errorf("strategies: bad model dims vocab=%d emb=%d hidden=%d", c.Vocab, c.EmbDim, c.Hidden)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("strategies: learning rate must be positive, got %g", c.LR)
+	}
+	switch c.Optimizer {
+	case OptSGD, OptAdam:
+	default:
+		return fmt.Errorf("strategies: unknown optimizer %q", c.Optimizer)
+	}
+	if workers <= 0 {
+		return fmt.Errorf("strategies: workers must be positive, got %d", workers)
+	}
+	if c.EmbDim%workers != 0 {
+		return fmt.Errorf("strategies: EmbDim %d not divisible by %d workers (column-wise partitioning)", c.EmbDim, workers)
+	}
+	if c.PSServers < 0 {
+		return fmt.Errorf("strategies: negative PSServers %d", c.PSServers)
+	}
+	if c.InitEmbedding != nil &&
+		(c.InitEmbedding.Dims() != 2 || c.InitEmbedding.Dim(0) != c.Vocab || c.InitEmbedding.Dim(1) != c.EmbDim) {
+		return fmt.Errorf("strategies: InitEmbedding shape %v != [%d x %d]",
+			c.InitEmbedding.Shape(), c.Vocab, c.EmbDim)
+	}
+	return nil
+}
+
+// newInitialModel builds the starting model: seed-derived, with any
+// warm-start overrides applied. Every strategy (and the PS servers) uses it
+// so all replicas and shards begin identical.
+func newInitialModel(cfg Config) *nn.Model {
+	m := nn.NewModel(cfg.Seed, cfg.Vocab, cfg.EmbDim, cfg.Hidden)
+	if cfg.InitEmbedding != nil {
+		copy(m.Emb.Table.Data(), cfg.InitEmbedding.Data())
+	}
+	for _, p := range m.Trunk.Params() {
+		if init, ok := cfg.InitTrunk[p.Name]; ok && init.Len() == p.Tensor.Len() {
+			copy(p.Tensor.Data(), init.Data())
+		}
+	}
+	return m
+}
+
+// Worker is one rank's strategy instance.
+type Worker interface {
+	// Strategy returns the strategy name.
+	Strategy() Name
+	// Step trains on one batch: windows/targets are this rank's training
+	// pairs; nextTokens are the token ids of this rank's prefetched next
+	// batch (used only by EmbRace's vertical scheduling). Returns the
+	// rank-local batch metrics.
+	Step(step int, windows [][]int64, targets []int64, nextTokens []int64) (nn.StepStats, error)
+	// FullEmbedding returns this rank's view of the complete embedding
+	// table. Collective for EmbRace (shards are gathered), local otherwise.
+	FullEmbedding() (*tensor.Dense, error)
+	// Trunk returns the rank's dense trunk parameters.
+	Trunk() *nn.Trunk
+}
+
+// Shared holds state that must be created once per world and handed to all
+// ranks — the parameter servers of the PS strategies. Collective strategies
+// need no shared state beyond the transport.
+type Shared struct {
+	sparseEmb *ps.ShardedSparse
+	denseEmb  *ps.Dense
+	trunkSrvs map[string]*ps.Dense
+}
+
+// tag spaces: each logical operation of a step gets its own tag so several
+// collectives can be in flight concurrently without crosstalk.
+const (
+	tagW1 = iota + 1
+	tagB1
+	tagW2
+	tagB2
+	tagEmbGrad
+	tagEmbData
+	tagTokens
+	tagNext
+	tagDelayed
+	tagGatherEmb
+	tagLoss
+	tagCount
+)
+
+func tag(step, op int) int { return step*tagCount + op }
+
+// newOptimizer binds the configured optimizer kind to a parameter.
+func newOptimizer(cfg Config, param *tensor.Dense) optim.Optimizer {
+	switch cfg.Optimizer {
+	case OptAdam:
+		return optim.NewAdamDefault(param, cfg.LR)
+	default:
+		return optim.NewSGD(param, cfg.LR)
+	}
+}
+
+// trunkOptimizers builds one optimizer per trunk parameter.
+func trunkOptimizers(cfg Config, t *nn.Trunk) map[string]optim.Optimizer {
+	out := make(map[string]optim.Optimizer, 4)
+	for _, p := range t.Params() {
+		out[p.Name] = newOptimizer(cfg, p.Tensor)
+	}
+	return out
+}
+
+// NewShared creates the shared (server-side) state a strategy needs for a
+// world of `workers` ranks. The returned Shared is passed to every
+// NewWorker call of the job.
+func NewShared(name Name, cfg Config, workers int) (*Shared, error) {
+	if err := cfg.Validate(workers); err != nil {
+		return nil, err
+	}
+	servers := cfg.PSServers
+	if servers == 0 {
+		servers = 1
+	}
+	sh := &Shared{}
+	switch name {
+	case Parallax:
+		// The servers own the authoritative embedding, row-sharded across
+		// S concurrent shards, seeded identically to the workers' replicas.
+		m := newInitialModel(cfg)
+		srv, err := ps.NewShardedSparse(m.Emb.Table,
+			func(p *tensor.Dense) optim.Optimizer { return newOptimizer(cfg, p) },
+			workers, servers)
+		if err != nil {
+			return nil, err
+		}
+		sh.sparseEmb = srv
+	case BytePS:
+		m := newInitialModel(cfg)
+		srv, err := ps.NewDense(m.Emb.Table, newOptimizer(cfg, m.Emb.Table), workers)
+		if err != nil {
+			return nil, err
+		}
+		sh.denseEmb = srv
+		sh.trunkSrvs = make(map[string]*ps.Dense, 4)
+		for _, p := range m.Trunk.Params() {
+			ds, err := ps.NewDense(p.Tensor, newOptimizer(cfg, p.Tensor), workers)
+			if err != nil {
+				return nil, err
+			}
+			sh.trunkSrvs[p.Name] = ds
+		}
+	case HorovodAllReduce, HorovodAllGather, EmbRace:
+		// No server-side state.
+	default:
+		return nil, fmt.Errorf("strategies: unknown strategy %q", name)
+	}
+	return sh, nil
+}
+
+// NewWorker creates rank `t.Rank()`'s worker for the named strategy.
+func NewWorker(name Name, t comm.Transport, cfg Config, sh *Shared) (Worker, error) {
+	if err := cfg.Validate(t.Size()); err != nil {
+		return nil, err
+	}
+	if sh == nil {
+		sh = &Shared{}
+	}
+	switch name {
+	case HorovodAllReduce:
+		return newAllReduceWorker(t, cfg), nil
+	case HorovodAllGather:
+		return newAllGatherWorker(t, cfg), nil
+	case Parallax:
+		if sh.sparseEmb == nil {
+			return nil, fmt.Errorf("strategies: parallax needs shared sparse PS state")
+		}
+		return newParallaxWorker(t, cfg, sh.sparseEmb), nil
+	case BytePS:
+		if sh.denseEmb == nil || sh.trunkSrvs == nil {
+			return nil, fmt.Errorf("strategies: byteps needs shared dense PS state")
+		}
+		return newBytePSWorker(t, cfg, sh), nil
+	case EmbRace:
+		return newEmbRaceWorker(t, cfg), nil
+	default:
+		return nil, fmt.Errorf("strategies: unknown strategy %q", name)
+	}
+}

@@ -1,0 +1,220 @@
+package strategies
+
+import (
+	"sync"
+	"testing"
+
+	"embrace/internal/comm"
+)
+
+func validConfig() Config {
+	return Config{
+		Seed:      1,
+		Vocab:     30,
+		EmbDim:    8,
+		Hidden:    4,
+		Optimizer: OptSGD,
+		LR:        0.1,
+		PSServers: 1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := validConfig().Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		mutate  func(*Config)
+		workers int
+	}{
+		{func(c *Config) { c.Vocab = 1 }, 4},
+		{func(c *Config) { c.EmbDim = 0 }, 4},
+		{func(c *Config) { c.Hidden = 0 }, 4},
+		{func(c *Config) { c.LR = 0 }, 4},
+		{func(c *Config) { c.Optimizer = "rmsprop" }, 4},
+		{func(c *Config) {}, 0},
+		{func(c *Config) { c.EmbDim = 10 }, 4}, // not divisible
+		{func(c *Config) { c.PSServers = -1 }, 4},
+	}
+	for i, tc := range cases {
+		c := validConfig()
+		tc.mutate(&c)
+		if err := c.Validate(tc.workers); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestAllNamesCoverFiveStrategies(t *testing.T) {
+	names := AllNames()
+	if len(names) != 5 {
+		t.Fatalf("%d strategies", len(names))
+	}
+	seen := map[Name]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, want := range []Name{BytePS, HorovodAllReduce, HorovodAllGather, Parallax, EmbRace} {
+		if !seen[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestNewSharedPerStrategy(t *testing.T) {
+	cfg := validConfig()
+	for _, name := range AllNames() {
+		sh, err := NewShared(name, cfg, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		switch name {
+		case Parallax:
+			if sh.sparseEmb == nil {
+				t.Fatal("parallax needs a sparse server")
+			}
+		case BytePS:
+			if sh.denseEmb == nil || len(sh.trunkSrvs) != 4 {
+				t.Fatal("byteps needs dense servers")
+			}
+		default:
+			if sh.sparseEmb != nil || sh.denseEmb != nil {
+				t.Fatalf("%s should have no server state", name)
+			}
+		}
+	}
+	if _, err := NewShared("nope", cfg, 4); err == nil {
+		t.Fatal("expected unknown-strategy error")
+	}
+	bad := cfg
+	bad.EmbDim = 9
+	if _, err := NewShared(EmbRace, bad, 4); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestNewWorkerValidation(t *testing.T) {
+	cfg := validConfig()
+	err := comm.RunRanks(2, func(tr comm.Transport) error {
+		if _, err := NewWorker("nope", tr, cfg, nil); err == nil {
+			t.Error("expected unknown-strategy error")
+		}
+		// PS strategies need their shared state.
+		if _, err := NewWorker(Parallax, tr, cfg, nil); err == nil {
+			t.Error("parallax must demand shared state")
+		}
+		if _, err := NewWorker(BytePS, tr, cfg, &Shared{}); err == nil {
+			t.Error("byteps must demand shared state")
+		}
+		// Collective strategies tolerate nil shared state.
+		if _, err := NewWorker(HorovodAllGather, tr, cfg, nil); err != nil {
+			t.Errorf("allgather: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Drive a single EmbRace step directly (without the trainer) and verify the
+// assembled pooled activations equal a locally computed full-model lookup.
+func TestEmbRaceStepMatchesLocalModel(t *testing.T) {
+	cfg := validConfig()
+	const workers = 4
+	windows := map[int][][]int64{
+		0: {{1, 2, 3, 4}},
+		1: {{5, 6, 7, 8}},
+		2: {{9, 9, 1, 2}},
+		3: {{3, 3, 3, 3}},
+	}
+	targets := map[int][]int64{0: {5}, 1: {9}, 2: {4}, 3: {7}}
+
+	losses := make([]float64, workers)
+	var mu sync.Mutex
+	err := comm.RunRanks(workers, func(tr comm.Transport) error {
+		w, err := NewWorker(EmbRace, tr, cfg, nil)
+		if err != nil {
+			return err
+		}
+		stats, err := w.Step(0, windows[tr.Rank()], targets[tr.Rank()], []int64{1})
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		losses[tr.Rank()] = stats.Loss
+		mu.Unlock()
+		_, err = w.FullEmbedding() // collective; keeps ranks aligned
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each rank's loss must equal the loss a single-process model computes
+	// on that rank's batch from the same seed (the AlltoAll lookup is just
+	// a distributed implementation of the same forward pass).
+	for r := 0; r < workers; r++ {
+		err := comm.RunRanks(1, func(tr comm.Transport) error {
+			w, err := NewWorker(HorovodAllGather, tr, Config{
+				Seed: cfg.Seed, Vocab: cfg.Vocab, EmbDim: cfg.EmbDim, Hidden: cfg.Hidden,
+				Optimizer: OptSGD, LR: cfg.LR, PSServers: 1,
+			}, nil)
+			if err != nil {
+				return err
+			}
+			stats, err := w.Step(0, windows[r], targets[r], nil)
+			if err != nil {
+				return err
+			}
+			if diff := stats.Loss - losses[r]; diff > 1e-5 || diff < -1e-5 {
+				t.Errorf("rank %d: embrace loss %v vs local %v", r, losses[r], stats.Loss)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestWorkerStrategyNames(t *testing.T) {
+	cfg := validConfig()
+	for _, name := range AllNames() {
+		sh, err := NewShared(name, cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = comm.RunRanks(2, func(tr comm.Transport) error {
+			w, err := NewWorker(name, tr, cfg, sh)
+			if err != nil {
+				return err
+			}
+			if w.Strategy() != name {
+				t.Errorf("Strategy() = %s, want %s", w.Strategy(), name)
+			}
+			if w.Trunk() == nil {
+				t.Error("nil trunk")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTagSpacesDisjoint(t *testing.T) {
+	// Tags of different ops in the same step, and of adjacent steps, must
+	// never collide — that is what keeps concurrent collectives isolated.
+	seen := map[int]bool{}
+	for step := 0; step < 50; step++ {
+		for op := 1; op < tagCount; op++ {
+			tg := tag(step, op)
+			if seen[tg] {
+				t.Fatalf("tag collision at step %d op %d", step, op)
+			}
+			seen[tg] = true
+		}
+	}
+}

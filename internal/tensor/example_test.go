@@ -1,0 +1,43 @@
+package tensor_test
+
+import (
+	"fmt"
+
+	"embrace/internal/tensor"
+)
+
+// Coalescing merges duplicate gradient rows by summation — the first step
+// of the paper's Algorithm 1.
+func ExampleSparse_Coalesce() {
+	g, _ := tensor.NewSparse(10, 2,
+		[]int64{3, 1, 3},
+		[]float32{1, 1, 2, 2, 10, 10})
+	c := g.Coalesce()
+	fmt.Println("rows:", c.NNZ(), "indices:", c.Indices)
+	fmt.Println("row 3 summed:", c.Row(1))
+	// Output:
+	// rows: 2 indices: [1 3]
+	// row 3 summed: [11 11]
+}
+
+// Partition implements Algorithm 1's prior/delayed split: rows whose index
+// appears in the next batch ship first.
+func ExampleSparse_Partition() {
+	g, _ := tensor.NewSparse(10, 1, []int64{2, 5, 7}, []float32{20, 50, 70})
+	nextBatch := tensor.ToSet([]int64{5, 7})
+	prior, delayed := g.Partition(nextBatch)
+	fmt.Println("prior:", prior.Indices, "delayed:", delayed.Indices)
+	// Output:
+	// prior: [5 7] delayed: [2]
+}
+
+// Column slicing is §4.1.1's partitioning: shard k of N owns columns
+// [k*D/N, (k+1)*D/N) of every vocabulary row.
+func ExampleSparse_ColumnSlice() {
+	g, _ := tensor.NewSparse(4, 4, []int64{1}, []float32{1, 2, 3, 4})
+	shard0 := g.ColumnSlice(0, 2)
+	shard1 := g.ColumnSlice(2, 4)
+	fmt.Println(shard0.Row(0), shard1.Row(0))
+	// Output:
+	// [1 2] [3 4]
+}

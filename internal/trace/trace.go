@@ -1,0 +1,88 @@
+// Package trace exports perfsim timelines in the Chrome trace-event format
+// (the JSON consumed by chrome://tracing and Perfetto), turning the
+// Figure-6 execution timelines into interactive visualizations: one track
+// for the compute stream, one for the network stream, tasks colored by
+// category (forward, backward, communication, scheduling overhead).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"embrace/internal/perfsim"
+)
+
+// event is one Chrome trace "complete" (ph=X) event. Timestamps and
+// durations are microseconds.
+type event struct {
+	Name     string         `json:"name"`
+	Category string         `json:"cat"`
+	Phase    string         `json:"ph"`
+	TS       float64        `json:"ts"`
+	Dur      float64        `json:"dur"`
+	PID      int            `json:"pid"`
+	TID      int            `json:"tid"`
+	Args     map[string]any `json:"args,omitempty"`
+}
+
+// metadata names the process/thread tracks.
+type metadata struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args"`
+}
+
+// categoryOf buckets tasks for coloring and filtering in the viewer.
+func categoryOf(t *perfsim.Task) string {
+	switch {
+	case t.AuxCompute:
+		return "scheduling"
+	case strings.HasPrefix(t.Name, "fp:"):
+		return "forward"
+	case strings.HasPrefix(t.Name, "bp:"):
+		return "backward"
+	case t.Res == perfsim.Network:
+		return "communication"
+	default:
+		return "compute"
+	}
+}
+
+// Export writes tl as Chrome trace JSON. The title names the process track
+// (e.g. "GNMT-8 EmbRace 2D @ 16x RTX3090").
+func Export(w io.Writer, title string, tl *perfsim.Timeline) error {
+	if tl == nil {
+		return fmt.Errorf("trace: nil timeline")
+	}
+	var out struct {
+		TraceEvents []any  `json:"traceEvents"`
+		DisplayUnit string `json:"displayTimeUnit"`
+	}
+	out.DisplayUnit = "ms"
+	out.TraceEvents = append(out.TraceEvents,
+		metadata{Name: "process_name", Phase: "M", PID: 1, Args: map[string]any{"name": title}},
+		metadata{Name: "thread_name", Phase: "M", PID: 1, TID: int(perfsim.Compute), Args: map[string]any{"name": "compute stream"}},
+		metadata{Name: "thread_name", Phase: "M", PID: 1, TID: int(perfsim.Network), Args: map[string]any{"name": "network stream"}},
+	)
+	for _, t := range tl.Tasks {
+		out.TraceEvents = append(out.TraceEvents, event{
+			Name:     t.Name,
+			Category: categoryOf(t),
+			Phase:    "X",
+			TS:       t.Start * 1e6,
+			Dur:      t.Dur * 1e6,
+			PID:      1,
+			TID:      int(t.Res),
+			Args: map[string]any{
+				"step":     t.Step,
+				"priority": t.Priority,
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

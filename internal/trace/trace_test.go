@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"embrace/internal/perfsim"
+	"embrace/internal/simnet"
+)
+
+func simpleTimeline(t *testing.T) *perfsim.Timeline {
+	t.Helper()
+	g := perfsim.NewGraph()
+	fp := g.Add("fp:block", 0, perfsim.Compute, 0.010)
+	bp := g.Add("bp:block", 0, perfsim.Compute, 0.020, fp)
+	comm := g.Add("allreduce:block", 0, perfsim.Network, 0.015, bp)
+	aux := g.Add("vsched:algorithm1", 0, perfsim.Compute, 0.001, bp)
+	aux.AuxCompute = true
+	_ = comm
+	tl, err := perfsim.Simulate(g, perfsim.FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func TestExportStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Export(&buf, "test run", simpleTimeline(t)); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.DisplayUnit != "ms" {
+		t.Fatalf("display unit %q", parsed.DisplayUnit)
+	}
+	// 3 metadata + 4 task events.
+	if len(parsed.TraceEvents) != 7 {
+		t.Fatalf("%d events", len(parsed.TraceEvents))
+	}
+	cats := map[string]int{}
+	for _, e := range parsed.TraceEvents {
+		if e["ph"] == "X" {
+			cats[e["cat"].(string)]++
+			if e["dur"].(float64) <= 0 {
+				t.Fatalf("event %v has non-positive duration", e["name"])
+			}
+		}
+	}
+	for _, want := range []string{"forward", "backward", "communication", "scheduling"} {
+		if cats[want] != 1 {
+			t.Fatalf("category %q count %d, cats=%v", want, cats[want], cats)
+		}
+	}
+}
+
+func TestExportNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Export(&buf, "x", nil); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestExportRealStrategyTimeline(t *testing.T) {
+	est, err := simnet.NewEstimator(simnet.Topology{
+		Nodes: 2, WorkersPerNode: 4, IntraBW: 10e9, InterBW: 12.5e9, Latency: 1e-5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &perfsim.ModelSpec{
+		Name: "toy",
+		Blocks: []perfsim.BlockSpec{
+			{Name: "emb", Kind: perfsim.EmbeddingBlock, ParamBytes: 1e8,
+				LookupBytes: 1e7, GradBytes: 8e6, RawGradBytes: 1.4e7,
+				PriorBytes: 4e6, DelayedBytes: 4e6, FwdDur: 0.001, BwdDur: 0.002},
+			{Name: "block", Kind: perfsim.DenseBlock, ParamBytes: 4e7, FwdDur: 0.01, BwdDur: 0.02},
+		},
+		VSchedDur: 0.0005,
+	}
+	_, tl, err := perfsim.RunJob(spec, perfsim.StratEmbRace, perfsim.Sched2D, est, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Export(&buf, "embrace 2d", tl); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON")
+	}
+	if buf.Len() < 500 {
+		t.Fatalf("suspiciously small trace (%d bytes)", buf.Len())
+	}
+}

@@ -1,0 +1,277 @@
+package trainer
+
+import (
+	"fmt"
+	"sync"
+
+	"embrace/internal/collective"
+	"embrace/internal/comm"
+	"embrace/internal/data"
+	"embrace/internal/metrics"
+	"embrace/internal/nn"
+	"embrace/internal/optim"
+	"embrace/internal/sched"
+	"embrace/internal/tensor"
+)
+
+// SeqJob configures distributed training of the recurrent model
+// (nn.SeqModel): per-token embedding lookup into a GRU, the gradient
+// structure of the paper's translation models. Dense gradients ride ring
+// AllReduce; the per-token sparse embedding gradient is aggregated with
+// sparse AllGather, optionally through Algorithm 1's prior/delayed split
+// with the modified Adam.
+type SeqJob struct {
+	// Workers is the world size; Steps the iteration count; Window the
+	// BPTT length (each sentence contributes one window -> next-token
+	// pair).
+	Workers, Steps, Window int
+	// Vocab, EmbDim, Hidden size the model.
+	Vocab, EmbDim, Hidden int
+	// LR is the Adam learning rate.
+	LR float32
+	// Vertical enables Algorithm 1 (split sparse updates, modified Adam).
+	Vertical bool
+	// Seed initializes parameters; DataSeed the per-rank corpora.
+	Seed, DataSeed int64
+	// Data describes the synthetic corpus; VocabSize must equal Vocab and
+	// MinSeqLen must exceed Window. Ignored when Text is set.
+	Data data.Config
+	// Text, when non-empty, trains on real sentences instead of the
+	// synthetic corpus: a Tokenizer is built over all sentences (capped at
+	// Vocab ids), and rank r trains on every Workers-th sentence starting
+	// at r. Each sentence must have at least Window+1 tokens after
+	// truncation to Window+1.
+	Text []string
+	// TextBatch is the sentences per batch per worker for Text mode; zero
+	// picks 8.
+	TextBatch int
+	// OverTCP runs ranks over loopback TCP sockets.
+	OverTCP bool
+}
+
+// Validate reports configuration errors.
+func (j SeqJob) Validate() error {
+	if j.Workers <= 0 || j.Steps <= 0 {
+		return fmt.Errorf("trainer: seq job needs positive workers (%d) and steps (%d)", j.Workers, j.Steps)
+	}
+	if j.EmbDim <= 0 || j.Hidden <= 0 {
+		return fmt.Errorf("trainer: bad model dims emb=%d hidden=%d", j.EmbDim, j.Hidden)
+	}
+	if j.LR <= 0 {
+		return fmt.Errorf("trainer: learning rate must be positive, got %g", j.LR)
+	}
+	if j.Window <= 0 {
+		return fmt.Errorf("trainer: window %d must be positive", j.Window)
+	}
+	if len(j.Text) > 0 {
+		if j.Vocab < 3 {
+			return fmt.Errorf("trainer: text mode needs vocab >= 3, got %d", j.Vocab)
+		}
+		return nil
+	}
+	if j.Window >= j.Data.MinSeqLen {
+		return fmt.Errorf("trainer: window %d must be below MinSeqLen %d", j.Window, j.Data.MinSeqLen)
+	}
+	if j.Vocab != j.Data.VocabSize {
+		return fmt.Errorf("trainer: data vocab %d != model vocab %d", j.Data.VocabSize, j.Vocab)
+	}
+	return j.Data.Validate()
+}
+
+// batchStream is the prefetching contract both loaders satisfy.
+type batchStream interface {
+	Next() *data.Batch
+	Peek() *data.Batch
+}
+
+// newSeqStream builds rank `rank`'s data stream for the job. In text mode
+// the model's vocabulary is the tokenizer's (returned for model sizing).
+func newSeqStream(j SeqJob, rank int) (batchStream, int, error) {
+	if len(j.Text) == 0 {
+		gen, err := data.NewGenerator(j.Data, j.DataSeed+int64(rank))
+		if err != nil {
+			return nil, 0, err
+		}
+		return data.NewLoader(gen), j.Vocab, nil
+	}
+	tok, err := data.BuildTokenizer(joinSentences(j.Text), j.Vocab)
+	if err != nil {
+		return nil, 0, err
+	}
+	batch := j.TextBatch
+	if batch == 0 {
+		batch = 8
+	}
+	loader, err := data.NewTextLoader(tok, j.Text, batch, j.Window+1, rank, j.Workers)
+	if err != nil {
+		return nil, 0, err
+	}
+	return loader, tok.VocabSize(), nil
+}
+
+func joinSentences(ss []string) string {
+	total := 0
+	for _, s := range ss {
+		total += len(s) + 1
+	}
+	out := make([]byte, 0, total)
+	for _, s := range ss {
+		out = append(out, s...)
+		out = append(out, ' ')
+	}
+	return string(out)
+}
+
+// seq tag space (disjoint from the pooled trainer's small tags and lossTag).
+const seqTagBase = 1 << 22
+
+// RunSeq trains the recurrent model across the world and returns the
+// aggregated result.
+func RunSeq(job SeqJob) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Losses:     make([]float64, job.Steps),
+		Accuracies: make([]float64, job.Steps),
+	}
+	var mu sync.Mutex
+	runRanks := comm.RunRanks
+	if job.OverTCP {
+		runRanks = comm.RunRanksTCP
+	}
+	err := runRanks(job.Workers, func(raw comm.Transport) error {
+		return runSeqRank(job, raw, res, &mu)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runSeqRank(job SeqJob, raw comm.Transport, res *Result, mu *sync.Mutex) error {
+	t := metrics.Wrap(raw)
+	defer func() {
+		st := t.Stats()
+		mu.Lock()
+		res.Comm = res.Comm.Add(st)
+		mu.Unlock()
+	}()
+
+	loader, vocab, err := newSeqStream(job, t.Rank())
+	if err != nil {
+		return err
+	}
+	model := nn.NewSeqModel(job.Seed, vocab, job.EmbDim, job.Hidden)
+	opts := map[string]optim.Optimizer{}
+	for _, p := range model.Params() {
+		opts[p.Name] = optim.NewAdamDefault(p.Tensor, job.LR)
+	}
+	embOpt := optim.NewAdamDefault(model.Emb.Table, job.LR)
+
+	// Stable tag offsets per dense parameter.
+	paramTag := map[string]int{}
+	for i, p := range model.Params() {
+		paramTag[p.Name] = i + 1
+	}
+	const (
+		opSparse = 50
+		opPrior  = 51
+		opDelay  = 52
+		opStats  = 53
+		opNext   = 54
+	)
+	tagOf := func(step, op int) int { return seqTagBase + step*64 + op }
+
+	for step := 0; step < job.Steps; step++ {
+		batch := loader.Next()
+		next := loader.Peek()
+		windows, targets := WindowsTargets(batch, job.Window)
+
+		stats, embGrad, dense, err := model.Step(windows, targets)
+		if err != nil {
+			return fmt.Errorf("rank %d step %d: %w", t.Rank(), step, err)
+		}
+
+		for _, p := range model.Params() {
+			g := dense[p.Name]
+			if err := collective.RingAllReduce(t, tagOf(step, paramTag[p.Name]), g.Data()); err != nil {
+				return fmt.Errorf("dense %s: %w", p.Name, err)
+			}
+			if err := opts[p.Name].StepDense(g); err != nil {
+				return fmt.Errorf("dense %s update: %w", p.Name, err)
+			}
+		}
+
+		if !job.Vertical {
+			// Coalesce locally before shipping (as PyTorch does): fewer
+			// wire bytes, and the same per-rank summation grouping the
+			// vertical path uses, so both paths stay bit-identical.
+			merged, err := collective.SparseAllGather(t, tagOf(step, opSparse), embGrad.Coalesce())
+			if err != nil {
+				return fmt.Errorf("embedding allgather: %w", err)
+			}
+			if err := embOpt.StepSparse(merged); err != nil {
+				return fmt.Errorf("embedding update: %w", err)
+			}
+		} else {
+			// Algorithm 1 uses the GATHERED next batch: a row is "prior"
+			// only with the same verdict on every rank, keeping the
+			// merged prior and delayed parts disjoint (the modified-Adam
+			// exactness condition).
+			allNext, err := collective.AllGather(t, tagOf(step, opNext), tensor.UniqueInt64(next.Tokens()))
+			if err != nil {
+				return fmt.Errorf("next-batch gather: %w", err)
+			}
+			var nextAll []int64
+			for _, ns := range allNext {
+				nextAll = append(nextAll, ns...)
+			}
+			prior, delayed := sched.VerticalSplit(embGrad, embGrad.UniqueIndices(),
+				tensor.UniqueInt64(nextAll))
+			mergedPrior, err := collective.SparseAllGather(t, tagOf(step, opPrior), prior)
+			if err != nil {
+				return fmt.Errorf("prior allgather: %w", err)
+			}
+			if err := embOpt.StepSparsePartial(mergedPrior, false); err != nil {
+				return fmt.Errorf("prior update: %w", err)
+			}
+			mergedDelayed, err := collective.SparseAllGather(t, tagOf(step, opDelay), delayed)
+			if err != nil {
+				return fmt.Errorf("delayed allgather: %w", err)
+			}
+			if err := embOpt.StepSparsePartial(mergedDelayed, true); err != nil {
+				return fmt.Errorf("delayed update: %w", err)
+			}
+		}
+
+		all, err := collective.Gather(t, tagOf(step, opStats), 0, stats)
+		if err != nil {
+			return fmt.Errorf("stats gather: %w", err)
+		}
+		if t.Rank() == 0 {
+			var sum float64
+			correct, count := 0, 0
+			for _, s := range all {
+				sum += s.Loss
+				correct += s.Correct
+				count += s.Count
+			}
+			mu.Lock()
+			res.Losses[step] = sum / float64(len(all))
+			if count > 0 {
+				res.Accuracies[step] = float64(correct) / float64(count)
+			}
+			mu.Unlock()
+		}
+		mu.Lock()
+		res.TokensTrained += batch.NonPad
+		mu.Unlock()
+	}
+	if t.Rank() == 0 {
+		mu.Lock()
+		res.Embedding = model.Emb.Table
+		mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+// Package trainer runs real-execution distributed training jobs: N rank
+// goroutines, each owning a strategy worker and a deterministic data stream,
+// training the nn model with genuine arithmetic and genuine collective data
+// movement. It is the substrate of the convergence experiment (Figure 11)
+// and of the cross-strategy equivalence tests.
+package trainer
+
+import (
+	"fmt"
+	"sync"
+
+	"embrace/internal/collective"
+	"embrace/internal/comm"
+	"embrace/internal/data"
+	"embrace/internal/metrics"
+	"embrace/internal/nn"
+	"embrace/internal/strategies"
+	"embrace/internal/tensor"
+)
+
+// Job configures one training run.
+type Job struct {
+	// Strategy selects the communication strategy.
+	Strategy strategies.Name
+	// Workers is the world size N.
+	Workers int
+	// Steps is the number of training iterations.
+	Steps int
+	// Window is the context window length; each sentence contributes one
+	// (window -> next token) training pair.
+	Window int
+	// Model is the strategy/model configuration.
+	Model strategies.Config
+	// Data describes the synthetic corpus; VocabSize must match
+	// Model.Vocab.
+	Data data.Config
+	// DataSeed offsets the per-rank data streams; rank r draws from
+	// DataSeed + r. All strategies with the same DataSeed see identical
+	// batches, which the equivalence tests require.
+	DataSeed int64
+	// OverTCP runs the ranks over real loopback TCP sockets instead of
+	// the in-process mailbox fabric; the strategies are transport-
+	// agnostic, so results are identical either way.
+	OverTCP bool
+	// SkipBatches fast-forwards every rank's data stream before training —
+	// set to the number of already-trained steps when resuming from a
+	// checkpoint, so the resumed run sees the batches an uninterrupted run
+	// would.
+	SkipBatches int
+}
+
+// Validate reports configuration errors.
+func (j Job) Validate() error {
+	if j.Workers <= 0 {
+		return fmt.Errorf("trainer: workers must be positive, got %d", j.Workers)
+	}
+	if j.Steps <= 0 {
+		return fmt.Errorf("trainer: steps must be positive, got %d", j.Steps)
+	}
+	if j.Window <= 0 || j.Window >= j.Data.MinSeqLen {
+		return fmt.Errorf("trainer: window %d must be in [1, MinSeqLen-1=%d]", j.Window, j.Data.MinSeqLen-1)
+	}
+	if j.Data.VocabSize != j.Model.Vocab {
+		return fmt.Errorf("trainer: data vocab %d != model vocab %d", j.Data.VocabSize, j.Model.Vocab)
+	}
+	if err := j.Model.Validate(j.Workers); err != nil {
+		return err
+	}
+	return j.Data.Validate()
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Losses holds the mean (across ranks) training loss of each step.
+	Losses []float64
+	// Accuracies holds the per-step top-1 next-token accuracy across all
+	// ranks — the score metric of the Figure-11(b) convergence panel.
+	Accuracies []float64
+	// Embedding is the final full embedding table as seen from rank 0.
+	Embedding *tensor.Dense
+	// Trunk is rank 0's final dense parameters.
+	Trunk *nn.Trunk
+	// TokensTrained counts non-pad tokens consumed across all ranks, the
+	// numerator of the paper's tokens/sec metric.
+	TokensTrained int
+	// Comm aggregates measured communication counters over all ranks:
+	// the real-execution analogue of the paper's traffic analysis.
+	Comm metrics.Stats
+}
+
+// WindowsTargets converts a batch into training pairs: for every sentence,
+// the first `window` tokens form the context and token `window` is the
+// next-token target.
+func WindowsTargets(b *data.Batch, window int) ([][]int64, []int64) {
+	windows := make([][]int64, len(b.Sentences))
+	targets := make([]int64, len(b.Sentences))
+	for i, s := range b.Sentences {
+		windows[i] = s[:window]
+		targets[i] = s[window]
+	}
+	return windows, targets
+}
+
+// lossTag is the tag space for the per-step stats gather; it must not
+// collide with the strategy tag spaces, which are dense small integers.
+const lossTag = 1 << 24
+
+func init() {
+	// Per-step metrics cross the wire when training over TCP.
+	comm.RegisterWireType(nn.StepStats{})
+}
+
+// Run executes the job and returns its result.
+func Run(job Job) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	shared, err := strategies.NewShared(job.Strategy, job.Model, job.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Losses:     make([]float64, job.Steps),
+		Accuracies: make([]float64, job.Steps),
+	}
+	var mu sync.Mutex
+
+	runRanks := comm.RunRanks
+	if job.OverTCP {
+		runRanks = comm.RunRanksTCP
+	}
+	runErr := runRanks(job.Workers, func(raw comm.Transport) error {
+		return runRank(job, raw, shared, res, &mu)
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
+}
+
+// runRank executes one rank's training loop, folding its results into res
+// under mu.
+func runRank(job Job, raw comm.Transport, shared *strategies.Shared, res *Result, mu *sync.Mutex) error {
+	t := metrics.Wrap(raw)
+	defer func() {
+		st := t.Stats()
+		mu.Lock()
+		res.Comm = res.Comm.Add(st)
+		mu.Unlock()
+	}()
+	w, err := strategies.NewWorker(job.Strategy, t, job.Model, shared)
+	if err != nil {
+		return err
+	}
+	gen, err := data.NewGenerator(job.Data, job.DataSeed+int64(t.Rank()))
+	if err != nil {
+		return err
+	}
+	loader := data.NewLoader(gen)
+	for skip := 0; skip < job.SkipBatches; skip++ {
+		loader.Next()
+	}
+	for step := 0; step < job.Steps; step++ {
+		batch := loader.Next()
+		next := loader.Peek()
+		windows, targets := WindowsTargets(batch, job.Window)
+		stats, err := w.Step(step, windows, targets, next.Tokens())
+		if err != nil {
+			return fmt.Errorf("rank %d step %d: %w", t.Rank(), step, err)
+		}
+		all, err := collective.Gather(t, lossTag+step, 0, stats)
+		if err != nil {
+			return fmt.Errorf("rank %d stats gather: %w", t.Rank(), err)
+		}
+		if t.Rank() == 0 {
+			var sum float64
+			correct, count := 0, 0
+			for _, s := range all {
+				sum += s.Loss
+				correct += s.Correct
+				count += s.Count
+			}
+			mu.Lock()
+			res.Losses[step] = sum / float64(len(all))
+			if count > 0 {
+				res.Accuracies[step] = float64(correct) / float64(count)
+			}
+			mu.Unlock()
+		}
+		mu.Lock()
+		res.TokensTrained += batch.NonPad
+		mu.Unlock()
+	}
+	// Collect final state. FullEmbedding is collective for EmbRace, so
+	// every rank participates; rank 0 keeps the result.
+	emb, err := w.FullEmbedding()
+	if err != nil {
+		return fmt.Errorf("rank %d final embedding: %w", t.Rank(), err)
+	}
+	if t.Rank() == 0 {
+		mu.Lock()
+		res.Embedding = emb
+		res.Trunk = w.Trunk()
+		mu.Unlock()
+	}
+	return nil
+}
+
+// RunWorker runs one rank of a multi-process job over a caller-provided
+// transport (typically a comm.TCPNode in its own OS process, started by
+// cmd/embrace-worker). Parameter-server strategies need process-shared
+// server state and are rejected; the collective strategies (Horovod
+// AllReduce/AllGather, EmbRace) are fully peer-to-peer and supported. The
+// returned Result carries this rank's view: only rank 0 aggregates losses
+// and final parameters.
+func RunWorker(job Job, t comm.Transport) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Size() != job.Workers {
+		return nil, fmt.Errorf("trainer: transport world %d != job workers %d", t.Size(), job.Workers)
+	}
+	switch job.Strategy {
+	case strategies.Parallax, strategies.BytePS:
+		return nil, fmt.Errorf("trainer: %s needs process-shared parameter servers; use Run for single-process jobs", job.Strategy)
+	}
+	res := &Result{
+		Losses:     make([]float64, job.Steps),
+		Accuracies: make([]float64, job.Steps),
+	}
+	var mu sync.Mutex
+	if err := runRank(job, t, &strategies.Shared{}, res, &mu); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

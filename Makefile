@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check race bench-comm
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## check: vet the whole module and race-test the communication layers
+## (the Communicator's pooled buffers and pipelined ring segments are the
+## code most exposed to data races).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/collective/... ./internal/comm/...
+
+race: check
+
+bench-comm:
+	$(GO) test -run XXX -bench AllReduce64MB -benchtime 5x .

@@ -58,6 +58,73 @@ func BenchmarkRingAllReduce8x64K(b *testing.B) {
 	}
 }
 
+// benchAllReduce64MB times a 64 MB dense AllReduce across a persistent
+// 4-rank world. Each rank runs one untimed warm-up exchange, all ranks
+// rendezvous, and only then does the timed region begin — so allocs/op
+// reflects steady state, not world setup.
+func benchAllReduce64MB(b *testing.B, chunkBytes int, op func(t comm.Transport, cm *collective.Communicator, buf []float32) error) {
+	b.Helper()
+	const ranks = 4
+	const elems = (64 << 20) / tensor.BytesPerElem
+	b.SetBytes(64 << 20)
+	b.ReportAllocs()
+	ready := make(chan struct{}, ranks)
+	start := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- comm.RunRanks(ranks, func(t comm.Transport) error {
+			cm := collective.NewCommunicator(t, collective.WithChunkBytes(chunkBytes))
+			buf := make([]float32, elems)
+			if err := op(t, cm, buf); err != nil {
+				return err
+			}
+			ready <- struct{}{}
+			<-start
+			for i := 0; i < b.N; i++ {
+				if err := op(t, cm, buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}()
+	for i := 0; i < ranks; i++ {
+		<-ready
+	}
+	b.ResetTimer()
+	close(start)
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCommunicatorAllReduce64MB exercises the stateful Communicator
+// with pooled scratch buffers reused across calls, at the same message
+// framing as the legacy path (no chunking) so allocs/op isolates pooling.
+func BenchmarkCommunicatorAllReduce64MB(b *testing.B) {
+	benchAllReduce64MB(b, -1, func(_ comm.Transport, cm *collective.Communicator, buf []float32) error {
+		return cm.AllReduce("bench/allreduce", 0, buf)
+	})
+}
+
+// BenchmarkCommunicatorAllReduce64MBChunked adds 1 MB segment pipelining on
+// top of pooling: many more (boxed) messages per op, but segments overlap
+// combine with transfer.
+func BenchmarkCommunicatorAllReduce64MBChunked(b *testing.B) {
+	benchAllReduce64MB(b, 1<<20, func(_ comm.Transport, cm *collective.Communicator, buf []float32) error {
+		return cm.AllReduce("bench/allreduce", 0, buf)
+	})
+}
+
+// BenchmarkLegacyAllReduce64MB runs the identical exchange through the legacy
+// free function, which builds a throwaway Communicator (cold buffer pool) on
+// every call; compare allocs/op against BenchmarkCommunicatorAllReduce64MB.
+func BenchmarkLegacyAllReduce64MB(b *testing.B) {
+	benchAllReduce64MB(b, -1, func(t comm.Transport, _ *collective.Communicator, buf []float32) error {
+		return collective.RingAllReduce(t, 1, buf)
+	})
+}
+
 func BenchmarkAllToAll8Ranks(b *testing.B) {
 	const ranks, elems = 8, 8192
 	b.SetBytes(int64(elems * tensor.BytesPerElem))

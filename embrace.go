@@ -30,6 +30,7 @@ import (
 	"embrace/internal/checkpoint"
 	"embrace/internal/data"
 	"embrace/internal/experiments"
+	"embrace/internal/metrics"
 	"embrace/internal/modelzoo"
 	"embrace/internal/perfsim"
 	"embrace/internal/simnet"
@@ -285,6 +286,10 @@ type TrainConfig struct {
 	// resumed run is bit-identical to an uninterrupted one; Adam resumes
 	// parameters but starts with fresh moments.
 	ResumeFrom string
+	// ChunkBytes sets the Communicator's pipelining segment size for dense
+	// ring collectives: zero picks the trainer default, negative disables
+	// chunking. Any value yields bit-identical training results.
+	ChunkBytes int
 }
 
 // TrainResult reports a completed training run.
@@ -302,6 +307,31 @@ type TrainResult struct {
 	// the same job reproduces the paper's traffic analysis with real data.
 	CommBytes    int64
 	CommMessages int64
+	// CommPerOp breaks the traffic down by logical collective operation
+	// (summed over ranks): e.g. "emb/grad" vs "dense/w1" vs
+	// "trainer/stats". It shows WHERE a strategy's bytes go, the per-op
+	// refinement of CommBytes.
+	CommPerOp map[string]OpTraffic
+}
+
+// OpTraffic is the measured traffic of one logical collective operation.
+type OpTraffic struct {
+	// Messages counts point-to-point sends across all ranks.
+	Messages int64
+	// Bytes is the payload volume across all ranks.
+	Bytes int64
+}
+
+// perOpTraffic converts the trainer's per-op stats into the public form.
+func perOpTraffic(per map[string]metrics.OpStats) map[string]OpTraffic {
+	if len(per) == 0 {
+		return nil
+	}
+	out := make(map[string]OpTraffic, len(per))
+	for op, s := range per {
+		out[op] = OpTraffic{Messages: s.Messages, Bytes: s.PayloadBytes}
+	}
+	return out
 }
 
 func (c TrainConfig) job() (trainer.Job, error) {
@@ -371,8 +401,9 @@ func (c TrainConfig) job() (trainer.Job, error) {
 			ZipfS:          1.5,
 			ZipfV:          4,
 		},
-		DataSeed: c.Seed + 1,
-		OverTCP:  c.OverTCP,
+		DataSeed:   c.Seed + 1,
+		OverTCP:    c.OverTCP,
+		ChunkBytes: c.ChunkBytes,
 	}, nil
 }
 
@@ -400,6 +431,9 @@ type SeqTrainConfig struct {
 	Text []string
 	// OverTCP runs ranks over loopback TCP.
 	OverTCP bool
+	// ChunkBytes sets the Communicator's pipelining segment size (0 =
+	// trainer default, <0 = off); results are identical for any value.
+	ChunkBytes int
 }
 
 // TrainSeq runs real distributed training of the recurrent model.
@@ -449,7 +483,8 @@ func TrainSeq(cfg SeqTrainConfig) (*TrainResult, error) {
 			ZipfS:          1.6,
 			ZipfV:          3,
 		},
-		OverTCP: cfg.OverTCP,
+		OverTCP:    cfg.OverTCP,
+		ChunkBytes: cfg.ChunkBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -460,6 +495,7 @@ func TrainSeq(cfg SeqTrainConfig) (*TrainResult, error) {
 		TokensTrained: res.TokensTrained,
 		CommBytes:     res.Comm.PayloadBytes,
 		CommMessages:  res.Comm.Messages,
+		CommPerOp:     perOpTraffic(res.CommPerOp),
 	}
 	if n := len(res.Losses); n > 0 {
 		out.FinalPPL = perplexity(res.Losses[n-1])
@@ -509,6 +545,7 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		TokensTrained: res.TokensTrained,
 		CommBytes:     res.Comm.PayloadBytes,
 		CommMessages:  res.Comm.Messages,
+		CommPerOp:     perOpTraffic(res.CommPerOp),
 	}
 	if n := len(res.Losses); n > 0 {
 		out.FinalPPL = perplexity(res.Losses[n-1])

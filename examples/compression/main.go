@@ -42,8 +42,9 @@ func main() {
 
 	// Dense baseline.
 	err := comm.RunRanks(workers, func(t comm.Transport) error {
+		cm := collective.NewCommunicator(t)
 		buf := append([]float32(nil), inputs[t.Rank()]...)
-		if err := collective.RingAllReduce(t, 1, buf); err != nil {
+		if err := cm.AllReduce("dense/grad", 0, buf); err != nil {
 			return err
 		}
 		if t.Rank() == 0 {

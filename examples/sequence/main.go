@@ -38,6 +38,7 @@ func main() {
 	var rawRows, coalescedRows, priorRows int
 
 	err := comm.RunRanks(workers, func(t comm.Transport) error {
+		cm := collective.NewCommunicator(t)
 		model := nn.NewSeqModel(11, vocab, embDim, hidden)
 		opts := map[string]optim.Optimizer{}
 		for _, p := range model.Params() {
@@ -73,7 +74,7 @@ func main() {
 			// Dense gradients: ring AllReduce, like any dense model.
 			for _, p := range model.Params() {
 				g := dense[p.Name]
-				if err := collective.RingAllReduce(t, step*100+tagOf(p.Name), g.Data()); err != nil {
+				if err := cm.AllReduce("dense/"+p.Name, step, g.Data()); err != nil {
 					return err
 				}
 				if err := opts[p.Name].StepDense(g); err != nil {
@@ -92,14 +93,14 @@ func main() {
 				priorRows = prior.NNZ()
 				statsMu.Unlock()
 			}
-			mergedPrior, err := collective.SparseAllGather(t, step*100+90, prior)
+			mergedPrior, err := cm.SparseAllGather("emb/prior", step, prior)
 			if err != nil {
 				return err
 			}
 			if err := embOpt.StepSparsePartial(mergedPrior, false); err != nil {
 				return err
 			}
-			mergedDelayed, err := collective.SparseAllGather(t, step*100+91, delayed)
+			mergedDelayed, err := cm.SparseAllGather("emb/delayed", step, delayed)
 			if err != nil {
 				return err
 			}
@@ -107,7 +108,7 @@ func main() {
 				return err
 			}
 
-			all, err := collective.Gather(t, step*100+92, 0, stats.Loss)
+			all, err := collective.GatherVia(cm, "trainer/loss", step, 0, stats.Loss)
 			if err != nil {
 				return err
 			}
@@ -164,13 +165,4 @@ func main() {
 	fmt.Printf("\nreal text (%d sentences): loss %.3f -> %.3f, final next-word accuracy %.0f%%\n",
 		len(text), res.Losses[0], res.Losses[len(res.Losses)-1],
 		100*res.Accuracies[len(res.Accuracies)-1])
-}
-
-// tagOf gives each dense parameter a stable tag offset.
-func tagOf(name string) int {
-	tags := map[string]int{
-		"wz": 1, "wr": 2, "wc": 3, "uz": 4, "ur": 5, "uc": 6,
-		"bz": 7, "br": 8, "bc": 9, "wo": 10, "bo": 11,
-	}
-	return tags[name]
 }

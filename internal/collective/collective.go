@@ -3,16 +3,17 @@
 // for dense gradients, AllGather for sparse baselines, and AlltoAll for the
 // EmbRace embedding exchange (§2.2, §4.1).
 //
-// Every operation is SPMD: all ranks of a comm.Transport world call the same
-// function with the same tag, and the call returns on each rank once that
-// rank's part is complete. Distinct concurrent operations must use distinct
-// tags; the trainer derives tags from (step, tensor-id) so the communication
-// thread can keep several collectives in flight, as Horovod does.
+// The primary API is the stateful Communicator, which owns tag allocation
+// (collision-free per logical op name and step), chunked pipelining of dense
+// ring transfers, and pooled scratch buffers. The free functions in this file
+// are thin legacy wrappers over a throwaway Communicator: all ranks of a
+// comm.Transport world call the same function with the same hand-picked tag,
+// and the call returns on each rank once that rank's part is complete.
+// Distinct concurrent operations must use distinct tags. New code should use
+// a Communicator and logical op names instead.
 package collective
 
 import (
-	"fmt"
-
 	"embrace/internal/comm"
 	"embrace/internal/tensor"
 )
@@ -43,62 +44,13 @@ func chunkBounds(n, parts, i int) (lo, hi int) {
 // rank 0 followed by a fan-out, costing O(N) messages — fine for the handful
 // of per-step synchronization points the trainer needs.
 func Barrier(t comm.Transport, tag int) error {
-	n := t.Size()
-	if n == 1 {
-		return nil
-	}
-	if t.Rank() == 0 {
-		for p := 1; p < n; p++ {
-			if _, err := t.Recv(p, tag); err != nil {
-				return fmt.Errorf("barrier fan-in: %w", err)
-			}
-		}
-		for p := 1; p < n; p++ {
-			if err := t.Send(p, tag, struct{}{}); err != nil {
-				return fmt.Errorf("barrier fan-out: %w", err)
-			}
-		}
-		return nil
-	}
-	if err := t.Send(0, tag, struct{}{}); err != nil {
-		return fmt.Errorf("barrier fan-in: %w", err)
-	}
-	if _, err := t.Recv(0, tag); err != nil {
-		return fmt.Errorf("barrier fan-out: %w", err)
-	}
-	return nil
+	return barrierOn(NewCommunicator(t), "legacy/barrier", tag)
 }
 
 // Broadcast copies root's buf into every rank's buf. Buffers must have equal
 // length on all ranks.
 func Broadcast(t comm.Transport, tag, root int, buf []float32) error {
-	n := t.Size()
-	if n == 1 {
-		return nil
-	}
-	if t.Rank() == root {
-		// The payload is shared read-only by receivers, so send a copy once.
-		out := append([]float32(nil), buf...)
-		for p := 0; p < n; p++ {
-			if p == root {
-				continue
-			}
-			if err := t.Send(p, tag, out); err != nil {
-				return fmt.Errorf("broadcast send: %w", err)
-			}
-		}
-		return nil
-	}
-	payload, err := t.Recv(root, tag)
-	if err != nil {
-		return fmt.Errorf("broadcast recv: %w", err)
-	}
-	src := payload.([]float32)
-	if len(src) != len(buf) {
-		return fmt.Errorf("collective: broadcast length %d != local %d", len(src), len(buf))
-	}
-	copy(buf, src)
-	return nil
+	return broadcastOn(NewCommunicator(t), "legacy/broadcast", tag, root, buf)
 }
 
 // ReduceScatter performs the first phase of ring AllReduce: after it returns,
@@ -106,38 +58,7 @@ func Broadcast(t comm.Transport, tag, root int, buf []float32) error {
 // ranks. Other chunks hold partial garbage and must not be read. It returns
 // the [lo, hi) bounds of the rank's reduced chunk.
 func ReduceScatter(t comm.Transport, tag int, buf []float32) (lo, hi int, err error) {
-	n, r := t.Size(), t.Rank()
-	lo, hi = chunkBounds(len(buf), n, r)
-	if n == 1 {
-		return lo, hi, nil
-	}
-	right := (r + 1) % n
-	left := (r - 1 + n) % n
-	// At step s, rank r forwards chunk (r-s-1) mod n and accumulates into
-	// chunk (r-s-2) mod n; after n-1 steps its own chunk r is complete.
-	for s := 0; s < n-1; s++ {
-		sendChunk := ((r-s-1)%n + 2*n) % n
-		recvChunk := ((r-s-2)%n + 2*n) % n
-		slo, shi := chunkBounds(len(buf), n, sendChunk)
-		out := append([]float32(nil), buf[slo:shi]...)
-		if err := t.Send(right, tag, out); err != nil {
-			return 0, 0, fmt.Errorf("reduce-scatter send step %d: %w", s, err)
-		}
-		payload, err := t.Recv(left, tag)
-		if err != nil {
-			return 0, 0, fmt.Errorf("reduce-scatter recv step %d: %w", s, err)
-		}
-		in := payload.([]float32)
-		rlo, rhi := chunkBounds(len(buf), n, recvChunk)
-		if len(in) != rhi-rlo {
-			return 0, 0, fmt.Errorf("collective: reduce-scatter chunk size %d != %d", len(in), rhi-rlo)
-		}
-		dst := buf[rlo:rhi]
-		for i, v := range in {
-			dst[i] += v
-		}
-	}
-	return lo, hi, nil
+	return NewCommunicator(t).ringReduceScatter("legacy/reduce-scatter", tag, buf, Sum)
 }
 
 // RingAllReduce sums buf element-wise across all ranks in place, using the
@@ -146,38 +67,13 @@ func ReduceScatter(t comm.Transport, tag int, buf []float32) (lo, hi int, err er
 // 2(N-1)/N of the buffer, matching the Table-2 AllReduce cost
 // 2(N-1)(M/(N·B)+β).
 func RingAllReduce(t comm.Transport, tag int, buf []float32) error {
-	n, r := t.Size(), t.Rank()
-	if n == 1 {
-		return nil
-	}
-	if _, _, err := ReduceScatter(t, tag, buf); err != nil {
-		return err
-	}
-	// Phase 2: ring allgather of the reduced chunks. At step s, rank r sends
-	// chunk (r-s) mod n, which it completed in phase 1 (s=0) or just
-	// received (s>0), and receives chunk (r-s-1) mod n from the left.
-	right := (r + 1) % n
-	left := (r - 1 + n) % n
-	for s := 0; s < n-1; s++ {
-		sendChunk := ((r-s)%n + n) % n
-		recvChunk := ((r-s-1)%n + n) % n
-		slo, shi := chunkBounds(len(buf), n, sendChunk)
-		out := append([]float32(nil), buf[slo:shi]...)
-		if err := t.Send(right, tag, out); err != nil {
-			return fmt.Errorf("allreduce gather send step %d: %w", s, err)
-		}
-		payload, err := t.Recv(left, tag)
-		if err != nil {
-			return fmt.Errorf("allreduce gather recv step %d: %w", s, err)
-		}
-		in := payload.([]float32)
-		rlo, rhi := chunkBounds(len(buf), n, recvChunk)
-		if len(in) != rhi-rlo {
-			return fmt.Errorf("collective: allgather chunk size %d != %d", len(in), rhi-rlo)
-		}
-		copy(buf[rlo:rhi], in)
-	}
-	return nil
+	return NewCommunicator(t).ringAllReduce("legacy/allreduce", tag, buf, Sum)
+}
+
+// RingAllReduceOp is RingAllReduce generalized over the reduction operator.
+// Sum matches RingAllReduce exactly.
+func RingAllReduceOp(t comm.Transport, tag int, buf []float32, op ReduceOp) error {
+	return NewCommunicator(t).ringAllReduce("legacy/allreduce-op", tag, buf, op)
 }
 
 // AllGather collects one value from every rank and returns them indexed by
@@ -185,32 +81,7 @@ func RingAllReduce(t comm.Transport, tag int, buf []float32) error {
 // whose cost the paper models as (N-1)(αM/B+β), i.e. poor scalability in N
 // (§4.1.2). The local value is placed in the result without copying.
 func AllGather[T any](t comm.Transport, tag int, local T) ([]T, error) {
-	n, r := t.Size(), t.Rank()
-	out := make([]T, n)
-	out[r] = local
-	for p := 0; p < n; p++ {
-		if p == r {
-			continue
-		}
-		if err := t.Send(p, tag, local); err != nil {
-			return nil, fmt.Errorf("allgather send to %d: %w", p, err)
-		}
-	}
-	for p := 0; p < n; p++ {
-		if p == r {
-			continue
-		}
-		payload, err := t.Recv(p, tag)
-		if err != nil {
-			return nil, fmt.Errorf("allgather recv from %d: %w", p, err)
-		}
-		v, ok := payload.(T)
-		if !ok {
-			return nil, fmt.Errorf("collective: allgather type %T from rank %d", payload, p)
-		}
-		out[p] = v
-	}
-	return out, nil
+	return allGatherOn(NewCommunicator(t), "legacy/allgather", tag, local)
 }
 
 // AllToAll sends send[p] to rank p and returns the values received, indexed
@@ -219,64 +90,13 @@ func AllGather[T any](t comm.Transport, tag int, local T) ([]T, error) {
 // 2(N-1)(αM/(N·B)+β) for the paper's pair of embedding AlltoAlls. The local
 // slot transfers without communication.
 func AllToAll[T any](t comm.Transport, tag int, send []T) ([]T, error) {
-	n, r := t.Size(), t.Rank()
-	if len(send) != n {
-		return nil, fmt.Errorf("collective: alltoall wants %d send parts, got %d", n, len(send))
-	}
-	out := make([]T, n)
-	out[r] = send[r]
-	for p := 0; p < n; p++ {
-		if p == r {
-			continue
-		}
-		if err := t.Send(p, tag, send[p]); err != nil {
-			return nil, fmt.Errorf("alltoall send to %d: %w", p, err)
-		}
-	}
-	for p := 0; p < n; p++ {
-		if p == r {
-			continue
-		}
-		payload, err := t.Recv(p, tag)
-		if err != nil {
-			return nil, fmt.Errorf("alltoall recv from %d: %w", p, err)
-		}
-		v, ok := payload.(T)
-		if !ok {
-			return nil, fmt.Errorf("collective: alltoall type %T from rank %d", payload, p)
-		}
-		out[p] = v
-	}
-	return out, nil
+	return allToAllOn(NewCommunicator(t), "legacy/alltoall", tag, send)
 }
 
 // Gather collects one value from every rank at root; non-root ranks receive
 // a nil slice. Used for metric aggregation in the trainer.
 func Gather[T any](t comm.Transport, tag, root int, local T) ([]T, error) {
-	n, r := t.Size(), t.Rank()
-	if r != root {
-		if err := t.Send(root, tag, local); err != nil {
-			return nil, fmt.Errorf("gather send: %w", err)
-		}
-		return nil, nil
-	}
-	out := make([]T, n)
-	out[r] = local
-	for p := 0; p < n; p++ {
-		if p == r {
-			continue
-		}
-		payload, err := t.Recv(p, tag)
-		if err != nil {
-			return nil, fmt.Errorf("gather recv from %d: %w", p, err)
-		}
-		v, ok := payload.(T)
-		if !ok {
-			return nil, fmt.Errorf("collective: gather type %T from rank %d", payload, p)
-		}
-		out[p] = v
-	}
-	return out, nil
+	return gatherOn(NewCommunicator(t), "legacy/gather", tag, root, local)
 }
 
 // SparseAllGather aggregates a row-sparse gradient the way Horovod's
@@ -329,56 +149,4 @@ func (op ReduceOp) apply(dst []float32, src []float32) {
 			dst[i] += v
 		}
 	}
-}
-
-// RingAllReduceOp is RingAllReduce generalized over the reduction operator.
-// Sum matches RingAllReduce exactly.
-func RingAllReduceOp(t comm.Transport, tag int, buf []float32, op ReduceOp) error {
-	n, r := t.Size(), t.Rank()
-	if n == 1 {
-		return nil
-	}
-	right := (r + 1) % n
-	left := (r - 1 + n) % n
-	// Phase 1: reduce-scatter with op.
-	for s := 0; s < n-1; s++ {
-		sendChunk := ((r-s-1)%n + 2*n) % n
-		recvChunk := ((r-s-2)%n + 2*n) % n
-		slo, shi := chunkBounds(len(buf), n, sendChunk)
-		out := append([]float32(nil), buf[slo:shi]...)
-		if err := t.Send(right, tag, out); err != nil {
-			return fmt.Errorf("allreduce-op rs send step %d: %w", s, err)
-		}
-		payload, err := t.Recv(left, tag)
-		if err != nil {
-			return fmt.Errorf("allreduce-op rs recv step %d: %w", s, err)
-		}
-		in := payload.([]float32)
-		rlo, rhi := chunkBounds(len(buf), n, recvChunk)
-		if len(in) != rhi-rlo {
-			return fmt.Errorf("collective: allreduce-op chunk %d != %d", len(in), rhi-rlo)
-		}
-		op.apply(buf[rlo:rhi], in)
-	}
-	// Phase 2: allgather the reduced chunks.
-	for s := 0; s < n-1; s++ {
-		sendChunk := ((r-s)%n + n) % n
-		recvChunk := ((r-s-1)%n + n) % n
-		slo, shi := chunkBounds(len(buf), n, sendChunk)
-		out := append([]float32(nil), buf[slo:shi]...)
-		if err := t.Send(right, tag, out); err != nil {
-			return fmt.Errorf("allreduce-op ag send step %d: %w", s, err)
-		}
-		payload, err := t.Recv(left, tag)
-		if err != nil {
-			return fmt.Errorf("allreduce-op ag recv step %d: %w", s, err)
-		}
-		in := payload.([]float32)
-		rlo, rhi := chunkBounds(len(buf), n, recvChunk)
-		if len(in) != rhi-rlo {
-			return fmt.Errorf("collective: allreduce-op chunk %d != %d", len(in), rhi-rlo)
-		}
-		copy(buf[rlo:rhi], in)
-	}
-	return nil
 }

@@ -1,0 +1,633 @@
+package collective
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"embrace/internal/comm"
+	"embrace/internal/tensor"
+)
+
+// Communicator is a per-rank stateful endpoint for collective operations:
+// the architectural move Horovod-style frameworks converged on once per-call
+// tagging and per-call buffer allocation stopped scaling. It owns three
+// concerns the free functions used to push onto every caller:
+//
+//   - Tag allocation. Every collective is addressed by a logical operation
+//     name plus a step number; the Communicator maps (op, step) to a
+//     collision-free transport tag deterministically, so all ranks agree on
+//     the tag without negotiation and without hand-maintained tag constants.
+//     The mapping is order-independent (a stable hash of the op name), which
+//     makes it safe to allocate tags from concurrent goroutines — the hazard
+//     that hand-numbered tag spaces kept latent.
+//
+//   - Chunked pipelining. Dense ring operations split each ring chunk into
+//     ChunkBytes-sized segments and keep one segment in flight ahead of the
+//     reduction, so the transfer of segment k+1 overlaps the combine of
+//     segment k. The default (ChunkBytes == 0) sends each ring chunk whole,
+//     preserving the legacy single-message framing. Segmentation splits
+//     element ranges, never the per-element summation order, so results are
+//     bit-identical for every chunk size.
+//
+//   - Buffer pooling. Scratch buffers for ring sends are drawn from an
+//     internal sync.Pool and recycled when the received copy has been folded
+//     into the destination, eliminating the per-send make([]float32, ...) of
+//     the free-function paths. Ownership transfers with the message: the
+//     receiving rank returns the buffer to its own pool.
+//
+// A Communicator is safe for concurrent use by one rank's goroutines as long
+// as concurrent collectives use distinct op names (or distinct steps), the
+// same discipline MPI communicators require. All ranks of a world must issue
+// the same logical operations — the SPMD contract every collective already
+// has.
+type Communicator struct {
+	t          comm.Transport
+	chunkElems int
+	obs        Observer
+
+	mu      sync.Mutex
+	ops     map[string]int64 // op name -> slot in the tag space
+	byIndex map[int64]string // slot -> op name, for collision detection
+	tickets map[string]int   // out-of-band sequence numbers per op
+
+	pool   sync.Pool // *[]float32 holding scratch data
+	spares sync.Pool // *[]float32 holding empty containers
+}
+
+// Observer receives per-logical-operation traffic notifications from a
+// Communicator. metrics.OpRecorder implements it; the indirection keeps
+// collective free of a metrics dependency.
+type Observer interface {
+	// Sent is called after each point-to-point send of the operation.
+	Sent(op string, payload any, blocked time.Duration)
+	// Received is called after each point-to-point receive; blocked is the
+	// time spent waiting, the real-mode analogue of communication stall.
+	Received(op string, payload any, blocked time.Duration)
+}
+
+// Tag-space layout: tags are tagBase + opSlot<<stepBits + step. The base
+// keeps Communicator tags disjoint from every legacy hand-numbered tag space
+// (all below 1<<32); the per-op slot gives each logical operation 2^21
+// step values. Requires 64-bit ints (every supported platform).
+const (
+	stepBits = 21
+	// MaxStep is the largest step (or Ticket) value a tag can encode.
+	MaxStep = 1<<stepBits - 1
+	opSlots = 1 << 30
+	tagBase = 1 << 32
+)
+
+// Option configures a Communicator.
+type Option func(*Communicator)
+
+// WithChunkBytes sets the pipelining segment size for dense ring operations.
+// Zero or negative keeps the legacy whole-chunk framing.
+func WithChunkBytes(n int) Option {
+	return func(c *Communicator) {
+		if n > 0 {
+			c.chunkElems = max(1, n/tensor.BytesPerElem)
+		} else {
+			c.chunkElems = 0
+		}
+	}
+}
+
+// WithObserver installs a per-operation traffic observer.
+func WithObserver(o Observer) Option {
+	return func(c *Communicator) { c.obs = o }
+}
+
+// NewCommunicator creates the rank-local collective endpoint over t.
+func NewCommunicator(t comm.Transport, opts ...Option) *Communicator {
+	c := &Communicator{t: t}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Rank returns this participant's rank in [0, Size).
+func (c *Communicator) Rank() int { return c.t.Rank() }
+
+// Size returns the world size.
+func (c *Communicator) Size() int { return c.t.Size() }
+
+// Transport returns the underlying point-to-point fabric.
+func (c *Communicator) Transport() comm.Transport { return c.t }
+
+// opIndex resolves (registering on first use) the op's slot in the tag
+// space. The slot is a pure function of the name, so registration order —
+// and therefore goroutine interleaving — cannot desynchronize ranks.
+func (c *Communicator) opIndex(op string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx, ok := c.ops[op]; ok {
+		return idx, nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(op))
+	idx := int64(h.Sum64() % opSlots)
+	if prev, ok := c.byIndex[idx]; ok && prev != op {
+		return 0, fmt.Errorf("collective: op %q collides with %q in the tag space; rename one", op, prev)
+	}
+	if c.ops == nil {
+		c.ops = make(map[string]int64)
+		c.byIndex = make(map[int64]string)
+	}
+	c.ops[op] = idx
+	c.byIndex[idx] = op
+	return idx, nil
+}
+
+// Tag returns the transport tag of (op, step). Distinct (op, step) pairs map
+// to distinct tags; an unresolvable hash collision between op names is
+// reported as an error (astronomically unlikely with a 2^30 slot space).
+func (c *Communicator) Tag(op string, step int) (int, error) {
+	if step < 0 || step > MaxStep {
+		return 0, fmt.Errorf("collective: step %d outside [0, %d] for op %q", step, MaxStep, op)
+	}
+	idx, err := c.opIndex(op)
+	if err != nil {
+		return 0, err
+	}
+	return tagBase + int(idx)<<stepBits + step, nil
+}
+
+// Ops returns the op names registered so far, sorted.
+func (c *Communicator) Ops() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.ops))
+	for op := range c.ops {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ticket returns the next out-of-band sequence number for op, for
+// collectives that happen outside the training-step cadence (e.g. gathering
+// the final embedding table). All ranks must call it symmetrically — the
+// same SPMD contract as the collectives themselves — so every rank derives
+// the same tag without hand-picked magic step numbers.
+func (c *Communicator) Ticket(op string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tickets == nil {
+		c.tickets = make(map[string]int)
+	}
+	n := c.tickets[op]
+	c.tickets[op] = n + 1
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Pooled scratch buffers.
+// ---------------------------------------------------------------------------
+
+// getBuf returns a scratch buffer of length n, reusing pooled memory. The
+// container pointer is parked in the spares pool so putBuf can return
+// received buffers without allocating a new header.
+func (c *Communicator) getBuf(n int) []float32 {
+	v, _ := c.pool.Get().(*[]float32)
+	if v == nil {
+		v = new([]float32)
+	}
+	buf := *v
+	*v = nil
+	c.spares.Put(v)
+	if cap(buf) < n {
+		buf = make([]float32, n)
+	}
+	return buf[:n]
+}
+
+// putBuf recycles a buffer whose contents have been fully consumed. With the
+// in-process transport this is typically a buffer a peer's getBuf allocated;
+// ownership travels with the message.
+func (c *Communicator) putBuf(buf []float32) {
+	if cap(buf) == 0 {
+		return
+	}
+	v, _ := c.spares.Get().(*[]float32)
+	if v == nil {
+		v = new([]float32)
+	}
+	*v = buf[:cap(buf)]
+	c.pool.Put(v)
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented point-to-point.
+// ---------------------------------------------------------------------------
+
+func (c *Communicator) sendRaw(op string, to, tag int, payload any) error {
+	if c.obs == nil {
+		return c.t.Send(to, tag, payload)
+	}
+	start := time.Now()
+	err := c.t.Send(to, tag, payload)
+	c.obs.Sent(op, payload, time.Since(start))
+	return err
+}
+
+func (c *Communicator) recvRaw(op string, from, tag int) (any, error) {
+	if c.obs == nil {
+		return c.t.Recv(from, tag)
+	}
+	start := time.Now()
+	payload, err := c.t.Recv(from, tag)
+	c.obs.Received(op, payload, time.Since(start))
+	return payload, err
+}
+
+// Send delivers payload to rank `to` under the tag of (op, step) — the
+// point-to-point escape hatch for protocols (like coord's negotiation) that
+// need raw messaging inside a Communicator-allocated tag range.
+func (c *Communicator) Send(op string, step, to int, payload any) error {
+	tag, err := c.Tag(op, step)
+	if err != nil {
+		return err
+	}
+	return c.sendRaw(op, to, tag, payload)
+}
+
+// Recv blocks until rank `from`'s message under (op, step) arrives.
+func (c *Communicator) Recv(op string, step, from int) (any, error) {
+	tag, err := c.Tag(op, step)
+	if err != nil {
+		return nil, err
+	}
+	return c.recvRaw(op, from, tag)
+}
+
+// ---------------------------------------------------------------------------
+// Dense ring collectives: chunked, pipelined, pooled.
+// ---------------------------------------------------------------------------
+
+// segCount returns the number of pipelined segments an n-element ring chunk
+// is split into. Always at least one, so sender and receiver exchange a
+// message even for empty chunks (the legacy framing).
+func (c *Communicator) segCount(n int) int {
+	if c.chunkElems <= 0 || n <= c.chunkElems {
+		return 1
+	}
+	return (n + c.chunkElems - 1) / c.chunkElems
+}
+
+// ringExchange performs one ring step: it streams chunk [slo, shi) of buf to
+// `right` while receiving chunk [rlo, rhi) from `left`, both split into
+// pipelined segments. Segment k+1 is on the wire before segment k is
+// combined, so transfer overlaps reduction. combine folds each received
+// segment into its destination slice.
+func (c *Communicator) ringExchange(op string, tag, right, left int, buf []float32, slo, shi, rlo, rhi int, combine func(dst, src []float32)) error {
+	ss := c.segCount(shi - slo)
+	rs := c.segCount(rhi - rlo)
+	sent := 0
+	sendSeg := func() error {
+		a, b := chunkBounds(shi-slo, ss, sent)
+		seg := c.getBuf(b - a)
+		copy(seg, buf[slo+a:slo+b])
+		sent++
+		return c.sendRaw(op, right, tag, seg)
+	}
+	// Prime the pipeline before blocking on the first receive.
+	if err := sendSeg(); err != nil {
+		return fmt.Errorf("ring send: %w", err)
+	}
+	for k := 0; k < rs; k++ {
+		if sent < ss {
+			if err := sendSeg(); err != nil {
+				return fmt.Errorf("ring send: %w", err)
+			}
+		}
+		payload, err := c.recvRaw(op, left, tag)
+		if err != nil {
+			return fmt.Errorf("ring recv: %w", err)
+		}
+		in, ok := payload.([]float32)
+		if !ok {
+			return fmt.Errorf("collective: %s: unexpected payload %T", op, payload)
+		}
+		a, b := chunkBounds(rhi-rlo, rs, k)
+		if len(in) != b-a {
+			return fmt.Errorf("collective: %s: segment size %d != %d", op, len(in), b-a)
+		}
+		combine(buf[rlo+a:rlo+b], in)
+		c.putBuf(in)
+	}
+	for sent < ss {
+		if err := sendSeg(); err != nil {
+			return fmt.Errorf("ring send: %w", err)
+		}
+	}
+	return nil
+}
+
+// ringReduceScatter is phase 1 of ring AllReduce under an explicit tag:
+// after it returns, chunk `rank` of buf holds the op-reduction across all
+// ranks. Returns the [lo, hi) bounds of the rank's reduced chunk.
+func (c *Communicator) ringReduceScatter(op string, tag int, buf []float32, rop ReduceOp) (lo, hi int, err error) {
+	n, r := c.t.Size(), c.t.Rank()
+	lo, hi = chunkBounds(len(buf), n, r)
+	if n == 1 {
+		return lo, hi, nil
+	}
+	right := (r + 1) % n
+	left := (r - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		sendChunk := ((r-s-1)%n + 2*n) % n
+		recvChunk := ((r-s-2)%n + 2*n) % n
+		slo, shi := chunkBounds(len(buf), n, sendChunk)
+		rlo, rhi := chunkBounds(len(buf), n, recvChunk)
+		if err := c.ringExchange(op, tag, right, left, buf, slo, shi, rlo, rhi, rop.apply); err != nil {
+			return 0, 0, fmt.Errorf("reduce-scatter step %d: %w", s, err)
+		}
+	}
+	return lo, hi, nil
+}
+
+// ringAllReduce is the full two-phase ring under an explicit tag.
+func (c *Communicator) ringAllReduce(op string, tag int, buf []float32, rop ReduceOp) error {
+	n, r := c.t.Size(), c.t.Rank()
+	if n == 1 {
+		return nil
+	}
+	if _, _, err := c.ringReduceScatter(op, tag, buf, rop); err != nil {
+		return err
+	}
+	right := (r + 1) % n
+	left := (r - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		sendChunk := ((r-s)%n + n) % n
+		recvChunk := ((r-s-1)%n + n) % n
+		slo, shi := chunkBounds(len(buf), n, sendChunk)
+		rlo, rhi := chunkBounds(len(buf), n, recvChunk)
+		err := c.ringExchange(op, tag, right, left, buf, slo, shi, rlo, rhi,
+			func(dst, src []float32) { copy(dst, src) })
+		if err != nil {
+			return fmt.Errorf("allgather step %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// AllReduce sums buf element-wise across all ranks in place with the
+// bandwidth-optimal ring algorithm, chunk-pipelined per the Communicator's
+// ChunkBytes and drawing scratch buffers from the pool.
+func (c *Communicator) AllReduce(op string, step int, buf []float32) error {
+	return c.AllReduceWith(op, step, buf, Sum)
+}
+
+// AllReduceWith is AllReduce generalized over the reduction operator.
+func (c *Communicator) AllReduceWith(op string, step int, buf []float32, rop ReduceOp) error {
+	tag, err := c.Tag(op, step)
+	if err != nil {
+		return err
+	}
+	return c.ringAllReduce(op, tag, buf, rop)
+}
+
+// ReduceScatter runs phase 1 of ring AllReduce: after it returns, chunk
+// `rank` of buf holds the element-wise sum across all ranks; other chunks
+// hold partial garbage. Returns the rank's reduced chunk bounds.
+func (c *Communicator) ReduceScatter(op string, step int, buf []float32) (lo, hi int, err error) {
+	tag, err := c.Tag(op, step)
+	if err != nil {
+		return 0, 0, err
+	}
+	return c.ringReduceScatter(op, tag, buf, Sum)
+}
+
+// broadcastOn copies root's buf into every rank's buf under an explicit tag.
+// Unlike the legacy shared-payload broadcast, each receiver gets its own
+// pooled copy so buffers stay recyclable.
+func broadcastOn(c *Communicator, op string, tag, root int, buf []float32) error {
+	n := c.t.Size()
+	if n == 1 {
+		return nil
+	}
+	if c.t.Rank() == root {
+		for p := 0; p < n; p++ {
+			if p == root {
+				continue
+			}
+			out := c.getBuf(len(buf))
+			copy(out, buf)
+			if err := c.sendRaw(op, p, tag, out); err != nil {
+				return fmt.Errorf("broadcast send: %w", err)
+			}
+		}
+		return nil
+	}
+	payload, err := c.recvRaw(op, root, tag)
+	if err != nil {
+		return fmt.Errorf("broadcast recv: %w", err)
+	}
+	src, ok := payload.([]float32)
+	if !ok {
+		return fmt.Errorf("collective: broadcast payload %T", payload)
+	}
+	if len(src) != len(buf) {
+		return fmt.Errorf("collective: broadcast length %d != local %d", len(src), len(buf))
+	}
+	copy(buf, src)
+	c.putBuf(src)
+	return nil
+}
+
+// Broadcast copies root's buf into every rank's buf.
+func (c *Communicator) Broadcast(op string, step, root int, buf []float32) error {
+	tag, err := c.Tag(op, step)
+	if err != nil {
+		return err
+	}
+	return broadcastOn(c, op, tag, root, buf)
+}
+
+// barrierOn blocks until every rank has entered, under an explicit tag.
+func barrierOn(c *Communicator, op string, tag int) error {
+	n := c.t.Size()
+	if n == 1 {
+		return nil
+	}
+	if c.t.Rank() == 0 {
+		for p := 1; p < n; p++ {
+			if _, err := c.recvRaw(op, p, tag); err != nil {
+				return fmt.Errorf("barrier fan-in: %w", err)
+			}
+		}
+		for p := 1; p < n; p++ {
+			if err := c.sendRaw(op, p, tag, struct{}{}); err != nil {
+				return fmt.Errorf("barrier fan-out: %w", err)
+			}
+		}
+		return nil
+	}
+	if err := c.sendRaw(op, 0, tag, struct{}{}); err != nil {
+		return fmt.Errorf("barrier fan-in: %w", err)
+	}
+	if _, err := c.recvRaw(op, 0, tag); err != nil {
+		return fmt.Errorf("barrier fan-out: %w", err)
+	}
+	return nil
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Communicator) Barrier(op string, step int) error {
+	tag, err := c.Tag(op, step)
+	if err != nil {
+		return err
+	}
+	return barrierOn(c, op, tag)
+}
+
+// ---------------------------------------------------------------------------
+// Generic exchanges. Methods cannot be generic in Go, so these are package
+// functions taking the Communicator first.
+// ---------------------------------------------------------------------------
+
+// allGatherOn is the flat all-to-all-pairs gather under an explicit tag.
+func allGatherOn[T any](c *Communicator, op string, tag int, local T) ([]T, error) {
+	n, r := c.t.Size(), c.t.Rank()
+	out := make([]T, n)
+	out[r] = local
+	for p := 0; p < n; p++ {
+		if p == r {
+			continue
+		}
+		if err := c.sendRaw(op, p, tag, local); err != nil {
+			return nil, fmt.Errorf("allgather send to %d: %w", p, err)
+		}
+	}
+	for p := 0; p < n; p++ {
+		if p == r {
+			continue
+		}
+		payload, err := c.recvRaw(op, p, tag)
+		if err != nil {
+			return nil, fmt.Errorf("allgather recv from %d: %w", p, err)
+		}
+		v, ok := payload.(T)
+		if !ok {
+			return nil, fmt.Errorf("collective: allgather type %T from rank %d", payload, p)
+		}
+		out[p] = v
+	}
+	return out, nil
+}
+
+// AllGatherVia collects one value from every rank under (op, step) and
+// returns them indexed by rank.
+func AllGatherVia[T any](c *Communicator, op string, step int, local T) ([]T, error) {
+	tag, err := c.Tag(op, step)
+	if err != nil {
+		return nil, err
+	}
+	return allGatherOn(c, op, tag, local)
+}
+
+// allToAllOn routes send[p] to rank p under an explicit tag.
+func allToAllOn[T any](c *Communicator, op string, tag int, send []T) ([]T, error) {
+	n, r := c.t.Size(), c.t.Rank()
+	if len(send) != n {
+		return nil, fmt.Errorf("collective: alltoall wants %d send parts, got %d", n, len(send))
+	}
+	out := make([]T, n)
+	out[r] = send[r]
+	for p := 0; p < n; p++ {
+		if p == r {
+			continue
+		}
+		if err := c.sendRaw(op, p, tag, send[p]); err != nil {
+			return nil, fmt.Errorf("alltoall send to %d: %w", p, err)
+		}
+	}
+	for p := 0; p < n; p++ {
+		if p == r {
+			continue
+		}
+		payload, err := c.recvRaw(op, p, tag)
+		if err != nil {
+			return nil, fmt.Errorf("alltoall recv from %d: %w", p, err)
+		}
+		v, ok := payload.(T)
+		if !ok {
+			return nil, fmt.Errorf("collective: alltoall type %T from rank %d", payload, p)
+		}
+		out[p] = v
+	}
+	return out, nil
+}
+
+// AllToAllVia sends send[p] to rank p under (op, step) and returns the
+// received values indexed by sender.
+func AllToAllVia[T any](c *Communicator, op string, step int, send []T) ([]T, error) {
+	tag, err := c.Tag(op, step)
+	if err != nil {
+		return nil, err
+	}
+	return allToAllOn(c, op, tag, send)
+}
+
+// gatherOn collects one value per rank at root under an explicit tag.
+func gatherOn[T any](c *Communicator, op string, tag, root int, local T) ([]T, error) {
+	n, r := c.t.Size(), c.t.Rank()
+	if r != root {
+		if err := c.sendRaw(op, root, tag, local); err != nil {
+			return nil, fmt.Errorf("gather send: %w", err)
+		}
+		return nil, nil
+	}
+	out := make([]T, n)
+	out[r] = local
+	for p := 0; p < n; p++ {
+		if p == r {
+			continue
+		}
+		payload, err := c.recvRaw(op, p, tag)
+		if err != nil {
+			return nil, fmt.Errorf("gather recv from %d: %w", p, err)
+		}
+		v, ok := payload.(T)
+		if !ok {
+			return nil, fmt.Errorf("collective: gather type %T from rank %d", payload, p)
+		}
+		out[p] = v
+	}
+	return out, nil
+}
+
+// GatherVia collects one value from every rank at root under (op, step);
+// non-root ranks receive a nil slice.
+func GatherVia[T any](c *Communicator, op string, step, root int, local T) ([]T, error) {
+	tag, err := c.Tag(op, step)
+	if err != nil {
+		return nil, err
+	}
+	return gatherOn(c, op, tag, root, local)
+}
+
+// ---------------------------------------------------------------------------
+// Sparse collectives.
+// ---------------------------------------------------------------------------
+
+// SparseAllGather aggregates a row-sparse gradient: every rank contributes
+// its local sparse tensor and receives the concatenation of all of them.
+func (c *Communicator) SparseAllGather(op string, step int, local *tensor.Sparse) (*tensor.Sparse, error) {
+	parts, err := AllGatherVia(c, op, step, local)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Concat(parts...)
+}
+
+// SparseAllToAll routes sparse shards: shard[p] of the local gradient goes
+// to rank p, and the received shards are returned indexed by sender. The
+// shard count must equal the world size.
+func (c *Communicator) SparseAllToAll(op string, step int, shards []*tensor.Sparse) ([]*tensor.Sparse, error) {
+	return AllToAllVia(c, op, step, shards)
+}

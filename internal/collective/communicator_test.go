@@ -1,0 +1,451 @@
+package collective
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"embrace/internal/comm"
+	"embrace/internal/tensor"
+)
+
+func TestCommunicatorTagsDisjointAcrossOpsAndSteps(t *testing.T) {
+	w, err := comm.NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c := NewCommunicator(w.Rank(0))
+	seen := map[int]string{}
+	for _, op := range []string{"dense/w1", "dense/w2", "emb/grad", "emb/data", "stats"} {
+		for step := 0; step < 100; step++ {
+			tag, err := c.Tag(op, step)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev, ok := seen[tag]; ok {
+				t.Fatalf("tag %d assigned to both %q step and %q step %d", tag, prev, op, step)
+			}
+			seen[tag] = op
+			if tag < tagBase {
+				t.Fatalf("tag %d of %q below the Communicator tag base; would collide with legacy tags", tag, op)
+			}
+		}
+	}
+	if got := len(c.Ops()); got != 5 {
+		t.Fatalf("Ops() reports %d ops, want 5", got)
+	}
+}
+
+func TestCommunicatorTagDeterministicAcrossRanksAndOrder(t *testing.T) {
+	// Ranks may register ops in different orders (e.g. a background delayed
+	// exchange racing the foreground step); tags must still agree.
+	w, err := comm.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	a := NewCommunicator(w.Rank(0))
+	b := NewCommunicator(w.Rank(1))
+	ops := []string{"alpha", "beta", "gamma"}
+	tagsA := map[string]int{}
+	for _, op := range ops {
+		tag, err := a.Tag(op, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tagsA[op] = tag
+	}
+	for i := len(ops) - 1; i >= 0; i-- { // reverse registration order
+		tag, err := b.Tag(ops[i], 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag != tagsA[ops[i]] {
+			t.Fatalf("op %q: rank0 tag %d != rank1 tag %d", ops[i], tagsA[ops[i]], tag)
+		}
+	}
+}
+
+func TestCommunicatorTagStepRange(t *testing.T) {
+	w, err := comm.NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c := NewCommunicator(w.Rank(0))
+	if _, err := c.Tag("op", -1); err == nil {
+		t.Fatal("negative step must be rejected")
+	}
+	if _, err := c.Tag("op", MaxStep+1); err == nil {
+		t.Fatal("step beyond MaxStep must be rejected")
+	}
+	if _, err := c.Tag("op", MaxStep); err != nil {
+		t.Fatalf("MaxStep must be accepted: %v", err)
+	}
+}
+
+func TestCommunicatorTicketAdvancesPerOp(t *testing.T) {
+	w, err := comm.NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c := NewCommunicator(w.Rank(0))
+	if c.Ticket("gather-emb") != 0 || c.Ticket("gather-emb") != 1 {
+		t.Fatal("tickets must count from 0 per op")
+	}
+	if c.Ticket("other") != 0 {
+		t.Fatal("tickets must be independent per op")
+	}
+}
+
+func TestCommunicatorAllReduceMatchesLegacy(t *testing.T) {
+	const n, m = 4, 1003
+	want := make([]float32, m)
+	bufs := make([][]float32, n)
+	for r := 0; r < n; r++ {
+		rng := rand.New(rand.NewSource(int64(r + 1)))
+		bufs[r] = make([]float32, m)
+		for i := range bufs[r] {
+			bufs[r][i] = rng.Float32() - 0.5
+			want[i] += bufs[r][i]
+		}
+	}
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		c := NewCommunicator(tr)
+		return c.AllReduce("grad", 3, bufs[tr.Rank()])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		for i := range want {
+			if diff := bufs[r][i] - want[i]; diff > 1e-4 || diff < -1e-4 {
+				t.Fatalf("rank %d elem %d: got %g want %g", r, i, bufs[r][i], want[i])
+			}
+		}
+	}
+}
+
+// TestChunkedAllReduceEqualsUnchunked is the satellite property test: for
+// random world sizes, buffer lengths, and ChunkBytes from one element up to
+// the whole buffer, the chunk-pipelined ring AllReduce must produce exactly
+// the unchunked result on every rank. Chunking splits element ranges, never
+// the summation order, so the comparison is bitwise.
+func TestChunkedAllReduceEqualsUnchunked(t *testing.T) {
+	prop := func(seed int64, nRaw, mRaw, chunkRaw uint8) bool {
+		n := 2 + int(nRaw)%4       // world size 2..5
+		m := 1 + int(mRaw)%257     // buffer length 1..257
+		rng := rand.New(rand.NewSource(seed))
+		// ChunkBytes ∈ {1 element … whole buffer}.
+		chunkBytes := (1 + int(chunkRaw)%m) * tensor.BytesPerElem
+
+		ref := make([][]float32, n)
+		chunked := make([][]float32, n)
+		for r := 0; r < n; r++ {
+			ref[r] = make([]float32, m)
+			for i := range ref[r] {
+				ref[r][i] = rng.Float32()*2 - 1
+			}
+			chunked[r] = append([]float32(nil), ref[r]...)
+		}
+		if err := comm.RunRanks(n, func(tr comm.Transport) error {
+			return NewCommunicator(tr).AllReduce("prop", 0, ref[tr.Rank()])
+		}); err != nil {
+			t.Logf("unchunked: %v", err)
+			return false
+		}
+		if err := comm.RunRanks(n, func(tr comm.Transport) error {
+			c := NewCommunicator(tr, WithChunkBytes(chunkBytes))
+			return c.AllReduce("prop", 0, chunked[tr.Rank()])
+		}); err != nil {
+			t.Logf("chunked: %v", err)
+			return false
+		}
+		for r := 0; r < n; r++ {
+			for i := range ref[r] {
+				if ref[r][i] != chunked[r][i] {
+					t.Logf("n=%d m=%d chunkBytes=%d rank %d elem %d: %g != %g",
+						n, m, chunkBytes, r, i, chunked[r][i], ref[r][i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkedAllReduceWithMaxMin(t *testing.T) {
+	const n, m = 3, 37
+	for _, op := range []ReduceOp{Max, Min} {
+		bufs := make([][]float32, n)
+		want := make([]float32, m)
+		for r := 0; r < n; r++ {
+			rng := rand.New(rand.NewSource(int64(100*r) + int64(op)))
+			bufs[r] = make([]float32, m)
+			for i := range bufs[r] {
+				bufs[r][i] = rng.Float32()*10 - 5
+			}
+		}
+		copy(want, bufs[0])
+		for r := 1; r < n; r++ {
+			op.apply(want, bufs[r])
+		}
+		err := comm.RunRanks(n, func(tr comm.Transport) error {
+			c := NewCommunicator(tr, WithChunkBytes(2*tensor.BytesPerElem))
+			return c.AllReduceWith("metric", 0, bufs[tr.Rank()], op)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < n; r++ {
+			for i := range want {
+				if bufs[r][i] != want[i] {
+					t.Fatalf("op %d rank %d elem %d: got %g want %g", op, r, i, bufs[r][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCommunicatorBroadcastAndBarrier(t *testing.T) {
+	const n, m = 4, 65
+	bufs := make([][]float32, n)
+	for r := 0; r < n; r++ {
+		bufs[r] = make([]float32, m)
+		if r == 2 {
+			for i := range bufs[r] {
+				bufs[r][i] = float32(i) + 0.5
+			}
+		}
+	}
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		c := NewCommunicator(tr)
+		if err := c.Barrier("sync", 0); err != nil {
+			return err
+		}
+		return c.Broadcast("weights", 1, 2, bufs[tr.Rank()])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		for i := range bufs[r] {
+			if bufs[r][i] != float32(i)+0.5 {
+				t.Fatalf("rank %d elem %d: got %g", r, i, bufs[r][i])
+			}
+		}
+	}
+}
+
+func TestCommunicatorReduceScatterChunked(t *testing.T) {
+	const n, m = 4, 41
+	want := make([]float32, m)
+	bufs := make([][]float32, n)
+	for r := 0; r < n; r++ {
+		bufs[r] = make([]float32, m)
+		for i := range bufs[r] {
+			bufs[r][i] = float32(r*m + i)
+			want[i] += bufs[r][i]
+		}
+	}
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		c := NewCommunicator(tr, WithChunkBytes(3*tensor.BytesPerElem))
+		lo, hi, err := c.ReduceScatter("rs", 0, bufs[tr.Rank()])
+		if err != nil {
+			return err
+		}
+		for i := lo; i < hi; i++ {
+			if bufs[tr.Rank()][i] != want[i] {
+				t.Errorf("rank %d elem %d: got %g want %g", tr.Rank(), i, bufs[tr.Rank()][i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommunicatorSparseAllToAllShardMismatch is the satellite error-path
+// test: a shard slice whose length differs from the world size must be
+// rejected before any message is sent.
+func TestCommunicatorSparseAllToAllShardMismatch(t *testing.T) {
+	const n = 3
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		c := NewCommunicator(tr)
+		shards := make([]*tensor.Sparse, n-1) // one short
+		for i := range shards {
+			s, err := tensor.NewSparse(4, 2, []int64{0}, make([]float32, 2))
+			if err != nil {
+				return err
+			}
+			shards[i] = s
+		}
+		_, err := c.SparseAllToAll("emb/grad", 0, shards)
+		if err == nil {
+			t.Error("mismatched shard count must fail")
+			return nil
+		}
+		if !strings.Contains(err.Error(), "send parts") {
+			t.Errorf("unexpected error: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommunicatorSparseRoundTrip(t *testing.T) {
+	const n = 3
+	results := make([]*tensor.Sparse, n)
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		c := NewCommunicator(tr)
+		local, err := tensor.NewSparse(6, 2, []int64{int64(tr.Rank())},
+			[]float32{float32(tr.Rank()), 1})
+		if err != nil {
+			return err
+		}
+		got, err := c.SparseAllGather("emb/grad", 5, local)
+		if err != nil {
+			return err
+		}
+		results[tr.Rank()] = got
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, s := range results {
+		if s.NNZ() != n {
+			t.Fatalf("rank %d gathered %d rows, want %d", r, s.NNZ(), n)
+		}
+	}
+}
+
+func TestCommunicatorGenericExchanges(t *testing.T) {
+	const n = 4
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		c := NewCommunicator(tr)
+		r := tr.Rank()
+		gathered, err := AllGatherVia(c, "tokens", 0, []int64{int64(r)})
+		if err != nil {
+			return err
+		}
+		for p, v := range gathered {
+			if len(v) != 1 || v[0] != int64(p) {
+				t.Errorf("rank %d allgather slot %d = %v", r, p, v)
+			}
+		}
+		send := make([][]int64, n)
+		for p := range send {
+			send[p] = []int64{int64(r*10 + p)}
+		}
+		routed, err := AllToAllVia(c, "route", 0, send)
+		if err != nil {
+			return err
+		}
+		for p, v := range routed {
+			if len(v) != 1 || v[0] != int64(p*10+r) {
+				t.Errorf("rank %d alltoall slot %d = %v", r, p, v)
+			}
+		}
+		atRoot, err := GatherVia(c, "stats", 0, 0, int64(r))
+		if err != nil {
+			return err
+		}
+		if r == 0 {
+			for p, v := range atRoot {
+				if v != int64(p) {
+					t.Errorf("gather slot %d = %d", p, v)
+				}
+			}
+		} else if atRoot != nil {
+			t.Errorf("rank %d: non-root gather must return nil", r)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommunicatorConcurrentCollectives exercises the buffer pool from
+// concurrent goroutines per rank — the EmbRace pattern of a background
+// delayed exchange overlapping the foreground step. Run under -race this
+// also certifies the pool is race-clean (satellite CI target).
+func TestCommunicatorConcurrentCollectives(t *testing.T) {
+	const n, m, rounds = 3, 129, 8
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		c := NewCommunicator(tr, WithChunkBytes(16*tensor.BytesPerElem))
+		var wg sync.WaitGroup
+		errs := make(chan error, 2)
+		for _, op := range []string{"fg/grad", "bg/delayed"} {
+			wg.Add(1)
+			go func(op string) {
+				defer wg.Done()
+				for step := 0; step < rounds; step++ {
+					buf := make([]float32, m)
+					for i := range buf {
+						buf[i] = 1
+					}
+					if err := c.AllReduce(op, step, buf); err != nil {
+						errs <- err
+						return
+					}
+					for i := range buf {
+						if buf[i] != n {
+							errs <- errTest{op, step, i, buf[i]}
+							return
+						}
+					}
+				}
+			}(op)
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+type errTest struct {
+	op         string
+	step, elem int
+	got        float32
+}
+
+func (e errTest) Error() string {
+	return e.op + ": wrong sum"
+}
+
+func TestCommunicatorP2PSendRecv(t *testing.T) {
+	const n = 2
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		c := NewCommunicator(tr)
+		if tr.Rank() == 0 {
+			return c.Send("ctl", 4, 1, []int64{42})
+		}
+		payload, err := c.Recv("ctl", 4, 0)
+		if err != nil {
+			return err
+		}
+		v, ok := payload.([]int64)
+		if !ok || v[0] != 42 {
+			t.Errorf("payload = %v", payload)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

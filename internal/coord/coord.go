@@ -21,8 +21,10 @@ package coord
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 
+	"embrace/internal/collective"
 	"embrace/internal/comm"
 )
 
@@ -53,22 +55,18 @@ func init() {
 	comm.RegisterWireType(responseMsg{})
 }
 
-// tag subspaces.
-const (
-	tagBatch = iota
-	tagResponse
-	tagSpan
-)
-
 // Coordinator negotiates the execution order of `expected` operations per
 // rank. One instance exists per rank; rank 0 doubles as the server.
 //
 // Announce may be called from any goroutine (typically backward hooks); Next
 // must be called from a single consumer goroutine.
 type Coordinator struct {
-	t        comm.Transport
-	tag      int
-	expected int
+	cm *collective.Communicator
+	// opBatch and opResponse name the negotiation channels in the
+	// Communicator tag space. Rounds reuse the same pair: the transport's
+	// per-(sender, tag) FIFO keeps successive rounds ordered.
+	opBatch, opResponse string
+	expected            int
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -90,18 +88,32 @@ type pendingOp struct {
 	seq   int
 }
 
-// New creates the per-rank coordinator endpoint. Every rank will announce
-// exactly `expected` operations over the coordinator's lifetime.
-func New(t comm.Transport, tag, expected int) (*Coordinator, error) {
+// NewOn creates the per-rank coordinator endpoint on a Communicator. `name`
+// distinguishes concurrent coordinators (each gets its own pair of logical
+// ops in cm's tag space). Every rank will announce exactly `expected`
+// operations over the coordinator's lifetime.
+func NewOn(cm *collective.Communicator, name string, expected int) (*Coordinator, error) {
 	if expected < 0 {
 		return nil, fmt.Errorf("coord: negative expected count %d", expected)
 	}
-	c := &Coordinator{t: t, tag: tag, expected: expected}
+	c := &Coordinator{
+		cm:         cm,
+		opBatch:    "coord/" + name + "/batch",
+		opResponse: "coord/" + name + "/response",
+		expected:   expected,
+	}
 	c.cond = sync.NewCond(&c.mu)
-	if t.Rank() == 0 {
+	if cm.Rank() == 0 {
 		c.counts = make(map[string]*pendingOp, expected)
 	}
 	return c, nil
+}
+
+// New creates a coordinator endpoint directly over a transport, naming it
+// after the legacy integer tag. Kept for callers predating the Communicator;
+// new code should use NewOn.
+func New(t comm.Transport, tag, expected int) (*Coordinator, error) {
+	return NewOn(collective.NewCommunicator(t), strconv.Itoa(tag), expected)
 }
 
 // Announce registers a locally ready operation. It never blocks on the
@@ -110,7 +122,7 @@ func (c *Coordinator) Announce(op Op) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.announced >= c.expected {
-		return fmt.Errorf("coord: rank %d announced more than %d ops", c.t.Rank(), c.expected)
+		return fmt.Errorf("coord: rank %d announced more than %d ops", c.cm.Rank(), c.expected)
 	}
 	c.announced++
 	c.buffer = append(c.buffer, op)
@@ -154,11 +166,11 @@ func (c *Coordinator) Next() (string, bool, error) {
 // round runs one negotiation cycle.
 func (c *Coordinator) round() error {
 	batch := c.takeBatch()
-	if c.t.Rank() != 0 {
-		if err := c.t.Send(0, c.tag*tagSpan+tagBatch, batchMsg{Ops: batch}); err != nil {
+	if c.cm.Rank() != 0 {
+		if err := c.cm.Send(c.opBatch, 0, 0, batchMsg{Ops: batch}); err != nil {
 			return fmt.Errorf("coord: send batch: %w", err)
 		}
-		payload, err := c.t.Recv(0, c.tag*tagSpan+tagResponse)
+		payload, err := c.cm.Recv(c.opResponse, 0, 0)
 		if err != nil {
 			return fmt.Errorf("coord: await response: %w", err)
 		}
@@ -169,11 +181,11 @@ func (c *Coordinator) round() error {
 	}
 
 	// Rank 0: absorb own batch plus one batch from every peer.
-	n := c.t.Size()
+	n := c.cm.Size()
 	allEmpty := len(batch) == 0
 	c.note(batch)
 	for p := 1; p < n; p++ {
-		payload, err := c.t.Recv(p, c.tag*tagSpan+tagBatch)
+		payload, err := c.cm.Recv(c.opBatch, 0, p)
 		if err != nil {
 			return fmt.Errorf("coord: recv batch from %d: %w", p, err)
 		}
@@ -213,7 +225,7 @@ func (c *Coordinator) round() error {
 	}
 
 	for p := 1; p < n; p++ {
-		if err := c.t.Send(p, c.tag*tagSpan+tagResponse, resp); err != nil {
+		if err := c.cm.Send(c.opResponse, 0, p, resp); err != nil {
 			return fmt.Errorf("coord: send response to %d: %w", p, err)
 		}
 	}

@@ -42,7 +42,8 @@ func TestNegotiatedOrderDrivesRealCollectives(t *testing.T) {
 
 	sums := make([][]float32, n)
 	err := comm.RunRanks(n, func(tr comm.Transport) error {
-		c, err := New(tr, 1, len(ops))
+		cm := collective.NewCommunicator(tr)
+		c, err := NewOn(cm, "bp", len(ops))
 		if err != nil {
 			return err
 		}
@@ -58,16 +59,9 @@ func TestNegotiatedOrderDrivesRealCollectives(t *testing.T) {
 		}()
 
 		// Consumer: the "communication thread" executes each dispatched op
-		// as a real collective. Distinct tags per op id keep streams apart.
+		// as a real collective. The Communicator keeps streams apart by
+		// logical op name — no hand-numbered tags.
 		total := make([]float32, elems)
-		opTag := func(id string) int {
-			for i, g := range ops {
-				if g.op.ID == id {
-					return 100 + i
-				}
-			}
-			return -1
-		}
 		for {
 			id, ok, err := c.Next()
 			if err != nil {
@@ -83,7 +77,7 @@ func TestNegotiatedOrderDrivesRealCollectives(t *testing.T) {
 				for i := range buf {
 					buf[i] = float32(tr.Rank() + 1)
 				}
-				if err := collective.RingAllReduce(tr, opTag(id), buf); err != nil {
+				if err := cm.AllReduce("grad/"+id, 0, buf); err != nil {
 					return fmt.Errorf("%s: %w", id, err)
 				}
 				for i := range total {
@@ -94,7 +88,7 @@ func TestNegotiatedOrderDrivesRealCollectives(t *testing.T) {
 				for p := range send {
 					send[p] = []float32{float32(tr.Rank())}
 				}
-				got, err := collective.AllToAll(tr, opTag(id), send)
+				got, err := collective.AllToAllVia(cm, "grad/"+id, 0, send)
 				if err != nil {
 					return fmt.Errorf("%s: %w", id, err)
 				}
@@ -138,7 +132,7 @@ func TestNegotiatedOrderIdenticalOverTCP(t *testing.T) {
 	orders := make([][]string, n)
 	var mu sync.Mutex
 	err := comm.RunRanksTCP(n, func(tr comm.Transport) error {
-		c, err := New(tr, 2, len(ops))
+		c, err := NewOn(collective.NewCommunicator(tr), "tcp-order", len(ops))
 		if err != nil {
 			return err
 		}

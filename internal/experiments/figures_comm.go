@@ -71,11 +71,12 @@ func RunFigure1() (*Figure1Result, error) {
 
 	agree := true
 	err := comm.RunRanks(ranks, func(t comm.Transport) error {
+		cm := collective.NewCommunicator(t)
 		dense := locals[t.Rank()].ToDense()
-		if err := collective.RingAllReduce(t, 1, dense.Data()); err != nil {
+		if err := cm.AllReduce("fig1/dense", 0, dense.Data()); err != nil {
 			return err
 		}
-		gathered, err := collective.SparseAllGather(t, 2, locals[t.Rank()])
+		gathered, err := cm.SparseAllGather("fig1/sparse", 0, locals[t.Rank()])
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@
 package metrics
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -128,3 +129,94 @@ func PayloadSize(payload any) int64 {
 
 // Compile-time check.
 var _ comm.Transport = (*Transport)(nil)
+
+// OpStats is per-logical-operation traffic: what one rank sent and received
+// under a single Communicator op name.
+type OpStats struct {
+	// Messages counts sends of the op.
+	Messages int64
+	// PayloadBytes estimates the bytes this rank sent under the op.
+	PayloadBytes int64
+	// SendSeconds and RecvSeconds are wall-clock time inside Send/Recv for
+	// the op; RecvSeconds is the op's communication stall.
+	SendSeconds, RecvSeconds float64
+}
+
+// Add returns the element-wise sum of two per-op snapshots.
+func (s OpStats) Add(o OpStats) OpStats {
+	return OpStats{
+		Messages:     s.Messages + o.Messages,
+		PayloadBytes: s.PayloadBytes + o.PayloadBytes,
+		SendSeconds:  s.SendSeconds + o.SendSeconds,
+		RecvSeconds:  s.RecvSeconds + o.RecvSeconds,
+	}
+}
+
+// OpRecorder aggregates traffic per logical operation name. It satisfies
+// collective.Observer structurally, so a Communicator built with
+// collective.WithObserver(rec) attributes every byte to the op that moved it
+// — the per-op refinement of the transport-level Wrap counters. Safe for
+// concurrent use.
+type OpRecorder struct {
+	mu  sync.Mutex
+	ops map[string]*OpStats
+}
+
+// NewOpRecorder returns an empty per-op traffic recorder.
+func NewOpRecorder() *OpRecorder {
+	return &OpRecorder{ops: make(map[string]*OpStats)}
+}
+
+func (r *OpRecorder) get(op string) *OpStats {
+	s, ok := r.ops[op]
+	if !ok {
+		s = &OpStats{}
+		r.ops[op] = s
+	}
+	return s
+}
+
+// Sent implements collective.Observer.
+func (r *OpRecorder) Sent(op string, payload any, blocked time.Duration) {
+	size := PayloadSize(payload)
+	r.mu.Lock()
+	s := r.get(op)
+	s.Messages++
+	s.PayloadBytes += size
+	s.SendSeconds += blocked.Seconds()
+	r.mu.Unlock()
+}
+
+// Received implements collective.Observer.
+func (r *OpRecorder) Received(op string, payload any, blocked time.Duration) {
+	r.mu.Lock()
+	s := r.get(op)
+	s.RecvSeconds += blocked.Seconds()
+	r.mu.Unlock()
+}
+
+// PerOp returns a copy of the per-op counters accumulated so far.
+func (r *OpRecorder) PerOp() map[string]OpStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]OpStats, len(r.ops))
+	for op, s := range r.ops {
+		out[op] = *s
+	}
+	return out
+}
+
+// Total folds the per-op counters into one transport-level snapshot,
+// comparable with Wrap's Stats.
+func (r *OpRecorder) Total() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t Stats
+	for _, s := range r.ops {
+		t.Messages += s.Messages
+		t.PayloadBytes += s.PayloadBytes
+		t.SendSeconds += s.SendSeconds
+		t.RecvSeconds += s.RecvSeconds
+	}
+	return t
+}

@@ -100,3 +100,64 @@ func TestCollectivesThroughWrappedTransport(t *testing.T) {
 		}
 	}
 }
+
+func TestOpRecorderAttributesTrafficPerOp(t *testing.T) {
+	// OpRecorder must satisfy collective.Observer structurally.
+	var _ collective.Observer = NewOpRecorder()
+
+	const n, m = 4, 1000
+	recs := make([]*OpRecorder, n)
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		rec := NewOpRecorder()
+		recs[tr.Rank()] = rec
+		c := collective.NewCommunicator(tr, collective.WithObserver(rec))
+		if err := c.AllReduce("dense/w1", 0, make([]float32, m)); err != nil {
+			return err
+		}
+		s, err := tensor.NewSparse(8, 2, []int64{1}, make([]float32, 2))
+		if err != nil {
+			return err
+		}
+		_, err = c.SparseAllGather("emb/grad", 0, s)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rec := range recs {
+		per := rec.PerOp()
+		if len(per) != 2 {
+			t.Fatalf("rank %d recorded ops %v, want 2", r, per)
+		}
+		dense := per["dense/w1"]
+		// Ring allreduce: 2(N-1) sends of ~M/N elements per rank.
+		wantMsgs := int64(2 * (n - 1))
+		if dense.Messages != wantMsgs {
+			t.Fatalf("rank %d dense messages = %d, want %d", r, dense.Messages, wantMsgs)
+		}
+		wantBytes := int64(2 * (n - 1) * (m / n) * tensor.BytesPerElem)
+		if dense.PayloadBytes < wantBytes*9/10 || dense.PayloadBytes > wantBytes*11/10 {
+			t.Fatalf("rank %d dense bytes = %d, want ~%d", r, dense.PayloadBytes, wantBytes)
+		}
+		sparse := per["emb/grad"]
+		if sparse.Messages != n-1 {
+			t.Fatalf("rank %d sparse messages = %d, want %d", r, sparse.Messages, n-1)
+		}
+		total := rec.Total()
+		if total.Messages != dense.Messages+sparse.Messages {
+			t.Fatalf("rank %d total messages %d != sum of per-op", r, total.Messages)
+		}
+		if total.PayloadBytes != dense.PayloadBytes+sparse.PayloadBytes {
+			t.Fatalf("rank %d total bytes %d != sum of per-op", r, total.PayloadBytes)
+		}
+	}
+}
+
+func TestOpStatsAdd(t *testing.T) {
+	a := OpStats{Messages: 1, PayloadBytes: 2, SendSeconds: 3, RecvSeconds: 4}
+	b := OpStats{Messages: 10, PayloadBytes: 20, SendSeconds: 30, RecvSeconds: 40}
+	sum := a.Add(b)
+	if sum.Messages != 11 || sum.PayloadBytes != 22 || sum.SendSeconds != 33 || sum.RecvSeconds != 44 {
+		t.Fatalf("sum = %+v", sum)
+	}
+}

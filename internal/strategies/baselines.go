@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"embrace/internal/collective"
-	"embrace/internal/comm"
 	"embrace/internal/nn"
 	"embrace/internal/optim"
 	"embrace/internal/ps"
@@ -15,17 +14,17 @@ import (
 // model replica per rank plus worker-side optimizers. Only the gradient
 // exchange differs between them.
 type replicaWorker struct {
-	t         comm.Transport
+	cm        *collective.Communicator
 	cfg       Config
 	model     *nn.Model
 	trunkOpts map[string]optim.Optimizer
 	embOpt    optim.Optimizer
 }
 
-func newReplicaWorker(t comm.Transport, cfg Config) *replicaWorker {
+func newReplicaWorker(cm *collective.Communicator, cfg Config) *replicaWorker {
 	m := newInitialModel(cfg)
 	return &replicaWorker{
-		t:         t,
+		cm:        cm,
 		cfg:       cfg,
 		model:     m,
 		trunkOpts: trunkOptimizers(cfg, m.Trunk),
@@ -42,9 +41,8 @@ func (w *replicaWorker) FullEmbedding() (*tensor.Dense, error) {
 // allReduceTrunk sums the trunk gradients across ranks in place and applies
 // them, the dense path every baseline except BytePS shares.
 func (w *replicaWorker) allReduceTrunk(step int, grads *nn.TrunkGrads) error {
-	tags := map[string]int{"w1": tagW1, "b1": tagB1, "w2": tagW2, "b2": tagB2}
 	for _, g := range grads.Dense() {
-		if err := collective.RingAllReduce(w.t, tag(step, tags[g.Name]), g.Tensor.Data()); err != nil {
+		if err := w.cm.AllReduce(OpDense(g.Name), step, g.Tensor.Data()); err != nil {
 			return fmt.Errorf("trunk %s: %w", g.Name, err)
 		}
 		if err := w.trunkOpts[g.Name].StepDense(g.Tensor); err != nil {
@@ -62,8 +60,8 @@ type allReduceWorker struct {
 	*replicaWorker
 }
 
-func newAllReduceWorker(t comm.Transport, cfg Config) *allReduceWorker {
-	return &allReduceWorker{newReplicaWorker(t, cfg)}
+func newAllReduceWorker(cm *collective.Communicator, cfg Config) *allReduceWorker {
+	return &allReduceWorker{newReplicaWorker(cm, cfg)}
 }
 
 func (w *allReduceWorker) Strategy() Name { return HorovodAllReduce }
@@ -76,7 +74,7 @@ func (w *allReduceWorker) Step(step int, windows [][]int64, targets []int64, _ [
 	// The embedding gradient is scattered to dense format and AllReduced
 	// whole — zeros included, the waste Figure 1(a) illustrates.
 	dense := embGrad.ToDense()
-	if err := collective.RingAllReduce(w.t, tag(step, tagEmbGrad), dense.Data()); err != nil {
+	if err := w.cm.AllReduce(OpEmbGrad, step, dense.Data()); err != nil {
 		return nn.StepStats{}, fmt.Errorf("embedding allreduce: %w", err)
 	}
 	if err := w.embOpt.StepDense(dense); err != nil {
@@ -97,8 +95,8 @@ type allGatherWorker struct {
 	*replicaWorker
 }
 
-func newAllGatherWorker(t comm.Transport, cfg Config) *allGatherWorker {
-	return &allGatherWorker{newReplicaWorker(t, cfg)}
+func newAllGatherWorker(cm *collective.Communicator, cfg Config) *allGatherWorker {
+	return &allGatherWorker{newReplicaWorker(cm, cfg)}
 }
 
 func (w *allGatherWorker) Strategy() Name { return HorovodAllGather }
@@ -108,7 +106,7 @@ func (w *allGatherWorker) Step(step int, windows [][]int64, targets []int64, _ [
 	if err != nil {
 		return nn.StepStats{}, err
 	}
-	merged, err := collective.SparseAllGather(w.t, tag(step, tagEmbGrad), embGrad)
+	merged, err := w.cm.SparseAllGather(OpEmbGrad, step, embGrad)
 	if err != nil {
 		return nn.StepStats{}, fmt.Errorf("embedding allgather: %w", err)
 	}
@@ -131,8 +129,8 @@ type parallaxWorker struct {
 	srv *ps.ShardedSparse
 }
 
-func newParallaxWorker(t comm.Transport, cfg Config, srv *ps.ShardedSparse) *parallaxWorker {
-	return &parallaxWorker{replicaWorker: newReplicaWorker(t, cfg), srv: srv}
+func newParallaxWorker(cm *collective.Communicator, cfg Config, srv *ps.ShardedSparse) *parallaxWorker {
+	return &parallaxWorker{replicaWorker: newReplicaWorker(cm, cfg), srv: srv}
 }
 
 func (w *parallaxWorker) Strategy() Name { return Parallax }
@@ -184,9 +182,9 @@ type bytePSWorker struct {
 	trunkSrvs map[string]*ps.Dense
 }
 
-func newBytePSWorker(t comm.Transport, cfg Config, sh *Shared) *bytePSWorker {
+func newBytePSWorker(cm *collective.Communicator, cfg Config, sh *Shared) *bytePSWorker {
 	return &bytePSWorker{
-		replicaWorker: newReplicaWorker(t, cfg),
+		replicaWorker: newReplicaWorker(cm, cfg),
 		embSrv:        sh.denseEmb,
 		trunkSrvs:     sh.trunkSrvs,
 	}

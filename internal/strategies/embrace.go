@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"embrace/internal/collective"
-	"embrace/internal/comm"
 	"embrace/internal/nn"
 	"embrace/internal/optim"
 	"embrace/internal/tensor"
@@ -35,7 +34,7 @@ import (
 //     final=true — at the start of the next step (§4.2.2, §5.7). Without
 //     Sched2D a single whole-gradient AlltoAll feeds a whole update.
 type embraceWorker struct {
-	t   comm.Transport
+	cm  *collective.Communicator
 	cfg Config
 
 	shard     *nn.Embedding // [vocab x dim/N], this rank's columns
@@ -58,20 +57,20 @@ type delayedResult struct {
 	err  error
 }
 
-func newEmbRaceWorker(t comm.Transport, cfg Config) *embraceWorker {
-	n := t.Size()
+func newEmbRaceWorker(cm *collective.Communicator, cfg Config) *embraceWorker {
+	n := cm.Size()
 	dimShard := cfg.EmbDim / n
 	// Build the same full model every baseline starts from (warm-start
 	// overrides included), then keep only this rank's column shard, so
 	// cross-strategy equivalence holds exactly.
 	full := newInitialModel(cfg)
 	shardTable := tensor.NewDense(cfg.Vocab, dimShard)
-	lo := t.Rank() * dimShard
+	lo := cm.Rank() * dimShard
 	for r := 0; r < cfg.Vocab; r++ {
 		copy(shardTable.Row(r), full.Emb.Table.Row(r)[lo:lo+dimShard])
 	}
 	return &embraceWorker{
-		t:         t,
+		cm:        cm,
 		cfg:       cfg,
 		shard:     &nn.Embedding{Table: shardTable},
 		trunk:     full.Trunk,
@@ -110,7 +109,7 @@ func (w *embraceWorker) harvestDelayed() error {
 }
 
 func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextTokens []int64) (nn.StepStats, error) {
-	n := w.t.Size()
+	n := w.cm.Size()
 
 	// (0) The previous step's delayed gradients have been traveling in the
 	// background; apply them before their rows can be read again.
@@ -119,7 +118,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	}
 
 	// (1) Gather every rank's token windows.
-	allWindows, err := collective.AllGather(w.t, tag(step, tagTokens), windows)
+	allWindows, err := collective.AllGatherVia(w.cm, OpTokens, step, windows)
 	if err != nil {
 		return nn.StepStats{}, fmt.Errorf("token gather: %w", err)
 	}
@@ -130,7 +129,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	for p := 0; p < n; p++ {
 		partials[p] = w.shard.PoolLookup(allWindows[p])
 	}
-	colParts, err := collective.AllToAll(w.t, tag(step, tagEmbData), partials)
+	colParts, err := collective.AllToAllVia(w.cm, OpEmbData, step, partials)
 	if err != nil {
 		return nn.StepStats{}, fmt.Errorf("embedding data alltoall: %w", err)
 	}
@@ -154,9 +153,8 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	}
 	stats := nn.StepStats{Loss: loss, Correct: cache.Correct(), Count: len(targets)}
 	grads := w.trunk.Backward(cache)
-	tags := map[string]int{"w1": tagW1, "b1": tagB1, "w2": tagW2, "b2": tagB2}
 	for _, g := range grads.Dense() {
-		if err := collective.RingAllReduce(w.t, tag(step, tags[g.Name]), g.Tensor.Data()); err != nil {
+		if err := w.cm.AllReduce(OpDense(g.Name), step, g.Tensor.Data()); err != nil {
 			return nn.StepStats{}, fmt.Errorf("trunk %s: %w", g.Name, err)
 		}
 		if err := w.trunkOpts[g.Name].StepDense(g.Tensor); err != nil {
@@ -173,7 +171,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	// (5a) Without vertical scheduling: one whole-gradient AlltoAll, then
 	// a whole update.
 	if w.cfg.Sched != Sched2D {
-		shards, err := collective.SparseAllToAll(w.t, tag(step, tagEmbGrad), local)
+		shards, err := w.cm.SparseAllToAll(OpEmbGrad, step, local)
 		if err != nil {
 			return nn.StepStats{}, fmt.Errorf("embedding grad alltoall: %w", err)
 		}
@@ -191,7 +189,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	// the prefetched next batch (gathered across ranks) form the prior
 	// part, exchanged and applied immediately; the rest is exchanged by a
 	// background goroutine and harvested at the start of the next step.
-	allNext, err := collective.AllGather(w.t, tag(step, tagNext), tensor.UniqueInt64(nextTokens))
+	allNext, err := collective.AllGatherVia(w.cm, OpNextBatch, step, tensor.UniqueInt64(nextTokens))
 	if err != nil {
 		return nn.StepStats{}, fmt.Errorf("next-batch gather: %w", err)
 	}
@@ -206,7 +204,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	for s := 0; s < n; s++ {
 		priorSend[s], delayedSend[s] = local[s].Partition(nextSet)
 	}
-	priorShards, err := collective.SparseAllToAll(w.t, tag(step, tagEmbGrad), priorSend)
+	priorShards, err := w.cm.SparseAllToAll(OpEmbGrad, step, priorSend)
 	if err != nil {
 		return nn.StepStats{}, fmt.Errorf("prior grad alltoall: %w", err)
 	}
@@ -226,7 +224,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	done := make(chan delayedResult, 1)
 	w.delayed = done
 	go func() {
-		shards, err := collective.SparseAllToAll(w.t, tag(step, tagDelayed), delayedSend)
+		shards, err := w.cm.SparseAllToAll(OpEmbDelayed, step, delayedSend)
 		if err != nil {
 			done <- delayedResult{err: err}
 			return
@@ -245,7 +243,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 // column-sliced sparse gradients the AlltoAll routes: slot s holds the rows
 // of this rank's tokens restricted to shard s's columns.
 func (w *embraceWorker) shardOf(windows [][]int64, gradPooled *tensor.Dense) []*tensor.Sparse {
-	n := w.t.Size()
+	n := w.cm.Size()
 	rows := nn.PoolBackwardDims(w.cfg.Vocab, w.cfg.EmbDim, windows, gradPooled)
 	out := make([]*tensor.Sparse, n)
 	for s := 0; s < n; s++ {
@@ -256,12 +254,15 @@ func (w *embraceWorker) shardOf(windows [][]int64, gradPooled *tensor.Dense) []*
 
 // FullEmbedding reassembles the complete table from every rank's column
 // shard. All ranks must call it together (it is a collective). Any in-flight
-// delayed update is applied first so the gathered table is complete.
+// delayed update is applied first so the gathered table is complete. The tag
+// comes from a Communicator ticket — an out-of-band sequence number all
+// ranks advance symmetrically — rather than a magic step value, so repeated
+// gathers can never collide with training-step tags or each other.
 func (w *embraceWorker) FullEmbedding() (*tensor.Dense, error) {
 	if err := w.harvestDelayed(); err != nil {
 		return nil, err
 	}
-	shards, err := collective.AllGather(w.t, tag(1<<20, tagGatherEmb), w.shard.Table)
+	shards, err := collective.AllGatherVia(w.cm, OpGatherEmb, w.cm.Ticket(OpGatherEmb), w.shard.Table)
 	if err != nil {
 		return nil, err
 	}

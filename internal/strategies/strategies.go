@@ -25,7 +25,7 @@ package strategies
 import (
 	"fmt"
 
-	"embrace/internal/comm"
+	"embrace/internal/collective"
 	"embrace/internal/nn"
 	"embrace/internal/optim"
 	"embrace/internal/ps"
@@ -167,24 +167,37 @@ type Shared struct {
 	trunkSrvs map[string]*ps.Dense
 }
 
-// tag spaces: each logical operation of a step gets its own tag so several
-// collectives can be in flight concurrently without crosstalk.
+// Logical operation names: every collective of a step runs under one of
+// these through the Communicator, which allocates collision-free tag ranges
+// per (op, step). Several collectives can be in flight concurrently without
+// crosstalk, and traffic is attributed per logical op by the metrics
+// observer. The trainer and examples reuse the same names so the tag space
+// has a single owner.
 const (
-	tagW1 = iota + 1
-	tagB1
-	tagW2
-	tagB2
-	tagEmbGrad
-	tagEmbData
-	tagTokens
-	tagNext
-	tagDelayed
-	tagGatherEmb
-	tagLoss
-	tagCount
+	// OpTokens gathers every rank's token windows (EmbRace step 1).
+	OpTokens = "emb/tokens"
+	// OpEmbData is the pooled-activation AlltoAll ("Emb Data", Figure 5).
+	OpEmbData = "emb/data"
+	// OpEmbGrad is the embedding-gradient exchange — AlltoAll for EmbRace,
+	// AllGather/AllReduce for the Horovod baselines.
+	OpEmbGrad = "emb/grad"
+	// OpEmbDelayed is the background delayed-gradient AlltoAll (§4.2.2).
+	OpEmbDelayed = "emb/delayed"
+	// OpEmbPrior is the immediate prior-gradient exchange of Algorithm 1's
+	// split (used by the sequence trainer, where prior and delayed parts
+	// travel as separate AllGathers).
+	OpEmbPrior = "emb/prior"
+	// OpNextBatch gathers the prefetched next-batch token ids (Algorithm 1).
+	OpNextBatch = "emb/next-batch"
+	// OpGatherEmb reassembles the full embedding table from column shards;
+	// it runs out-of-band via Communicator tickets, not step numbers.
+	OpGatherEmb = "emb/gather-table"
+	// OpStats gathers per-rank step metrics at rank 0.
+	OpStats = "trainer/stats"
 )
 
-func tag(step, op int) int { return step*tagCount + op }
+// OpDense names the dense-gradient AllReduce of one trunk parameter.
+func OpDense(param string) string { return "dense/" + param }
 
 // newOptimizer binds the configured optimizer kind to a parameter.
 func newOptimizer(cfg Config, param *tensor.Dense) optim.Optimizer {
@@ -252,9 +265,11 @@ func NewShared(name Name, cfg Config, workers int) (*Shared, error) {
 	return sh, nil
 }
 
-// NewWorker creates rank `t.Rank()`'s worker for the named strategy.
-func NewWorker(name Name, t comm.Transport, cfg Config, sh *Shared) (Worker, error) {
-	if err := cfg.Validate(t.Size()); err != nil {
+// NewWorker creates rank `cm.Rank()`'s worker for the named strategy. All
+// collectives of the worker run through cm, which owns tag allocation (and,
+// when configured, chunked pipelining and per-op traffic attribution).
+func NewWorker(name Name, cm *collective.Communicator, cfg Config, sh *Shared) (Worker, error) {
+	if err := cfg.Validate(cm.Size()); err != nil {
 		return nil, err
 	}
 	if sh == nil {
@@ -262,21 +277,21 @@ func NewWorker(name Name, t comm.Transport, cfg Config, sh *Shared) (Worker, err
 	}
 	switch name {
 	case HorovodAllReduce:
-		return newAllReduceWorker(t, cfg), nil
+		return newAllReduceWorker(cm, cfg), nil
 	case HorovodAllGather:
-		return newAllGatherWorker(t, cfg), nil
+		return newAllGatherWorker(cm, cfg), nil
 	case Parallax:
 		if sh.sparseEmb == nil {
 			return nil, fmt.Errorf("strategies: parallax needs shared sparse PS state")
 		}
-		return newParallaxWorker(t, cfg, sh.sparseEmb), nil
+		return newParallaxWorker(cm, cfg, sh.sparseEmb), nil
 	case BytePS:
 		if sh.denseEmb == nil || sh.trunkSrvs == nil {
 			return nil, fmt.Errorf("strategies: byteps needs shared dense PS state")
 		}
-		return newBytePSWorker(t, cfg, sh), nil
+		return newBytePSWorker(cm, cfg, sh), nil
 	case EmbRace:
-		return newEmbRaceWorker(t, cfg), nil
+		return newEmbRaceWorker(cm, cfg), nil
 	default:
 		return nil, fmt.Errorf("strategies: unknown strategy %q", name)
 	}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"embrace/internal/collective"
 	"embrace/internal/comm"
 )
 
@@ -96,18 +97,18 @@ func TestNewSharedPerStrategy(t *testing.T) {
 func TestNewWorkerValidation(t *testing.T) {
 	cfg := validConfig()
 	err := comm.RunRanks(2, func(tr comm.Transport) error {
-		if _, err := NewWorker("nope", tr, cfg, nil); err == nil {
+		if _, err := NewWorker("nope", collective.NewCommunicator(tr), cfg, nil); err == nil {
 			t.Error("expected unknown-strategy error")
 		}
 		// PS strategies need their shared state.
-		if _, err := NewWorker(Parallax, tr, cfg, nil); err == nil {
+		if _, err := NewWorker(Parallax, collective.NewCommunicator(tr), cfg, nil); err == nil {
 			t.Error("parallax must demand shared state")
 		}
-		if _, err := NewWorker(BytePS, tr, cfg, &Shared{}); err == nil {
+		if _, err := NewWorker(BytePS, collective.NewCommunicator(tr), cfg, &Shared{}); err == nil {
 			t.Error("byteps must demand shared state")
 		}
 		// Collective strategies tolerate nil shared state.
-		if _, err := NewWorker(HorovodAllGather, tr, cfg, nil); err != nil {
+		if _, err := NewWorker(HorovodAllGather, collective.NewCommunicator(tr), cfg, nil); err != nil {
 			t.Errorf("allgather: %v", err)
 		}
 		return nil
@@ -133,7 +134,7 @@ func TestEmbRaceStepMatchesLocalModel(t *testing.T) {
 	losses := make([]float64, workers)
 	var mu sync.Mutex
 	err := comm.RunRanks(workers, func(tr comm.Transport) error {
-		w, err := NewWorker(EmbRace, tr, cfg, nil)
+		w, err := NewWorker(EmbRace, collective.NewCommunicator(tr), cfg, nil)
 		if err != nil {
 			return err
 		}
@@ -156,7 +157,7 @@ func TestEmbRaceStepMatchesLocalModel(t *testing.T) {
 	// a distributed implementation of the same forward pass).
 	for r := 0; r < workers; r++ {
 		err := comm.RunRanks(1, func(tr comm.Transport) error {
-			w, err := NewWorker(HorovodAllGather, tr, Config{
+			w, err := NewWorker(HorovodAllGather, collective.NewCommunicator(tr), Config{
 				Seed: cfg.Seed, Vocab: cfg.Vocab, EmbDim: cfg.EmbDim, Hidden: cfg.Hidden,
 				Optimizer: OptSGD, LR: cfg.LR, PSServers: 1,
 			}, nil)
@@ -186,7 +187,7 @@ func TestWorkerStrategyNames(t *testing.T) {
 			t.Fatal(err)
 		}
 		err = comm.RunRanks(2, func(tr comm.Transport) error {
-			w, err := NewWorker(name, tr, cfg, sh)
+			w, err := NewWorker(name, collective.NewCommunicator(tr), cfg, sh)
 			if err != nil {
 				return err
 			}
@@ -204,17 +205,76 @@ func TestWorkerStrategyNames(t *testing.T) {
 	}
 }
 
-func TestTagSpacesDisjoint(t *testing.T) {
-	// Tags of different ops in the same step, and of adjacent steps, must
-	// never collide — that is what keeps concurrent collectives isolated.
-	seen := map[int]bool{}
-	for step := 0; step < 50; step++ {
-		for op := 1; op < tagCount; op++ {
-			tg := tag(step, op)
-			if seen[tg] {
-				t.Fatalf("tag collision at step %d op %d", step, op)
+func TestNoTagCollisionsAcrossStrategies(t *testing.T) {
+	// Run every strategy for 3 real steps over shared per-rank Communicators
+	// (EmbRace with 2D scheduling, so the background delayed exchange and the
+	// out-of-band FullEmbedding ticket both register their ops), then verify
+	// that every (op, step) pair the run touched maps to a distinct tag.
+	// This is the regression test for the old hand-numbered tag spaces,
+	// where an out-of-band gather reused step arithmetic (tag(1<<20, ...))
+	// and could collide with a long enough training run.
+	const workers, steps = 2, 3
+	cfg := validConfig()
+	cfg.Sched = Sched2D
+	cms := make([]*collective.Communicator, workers)
+	windows := [][][]int64{{{1, 2, 3, 4}}, {{5, 6, 7, 8}}}
+	targets := [][]int64{{5}, {9}}
+
+	for _, name := range AllNames() {
+		sh, err := NewShared(name, cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = comm.RunRanks(workers, func(tr comm.Transport) error {
+			r := tr.Rank()
+			if cms[r] == nil {
+				cms[r] = collective.NewCommunicator(tr)
 			}
-			seen[tg] = true
+			// Communicators carry no transport-topology state beyond the
+			// rank, so reusing the tag table across worlds is safe here and
+			// is exactly what accumulates all strategies' ops into one space.
+			cm := collective.NewCommunicator(tr)
+			w, err := NewWorker(name, cm, cfg, sh)
+			if err != nil {
+				return err
+			}
+			for s := 0; s < steps; s++ {
+				if _, err := w.Step(s, windows[r], targets[r], []int64{1, 2}); err != nil {
+					return err
+				}
+				// Mirror the ops into the shared per-rank communicator.
+				for _, op := range cm.Ops() {
+					if _, err := cms[r].Tag(op, s); err != nil {
+						return err
+					}
+				}
+			}
+			_, err = w.FullEmbedding()
+			return err
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	for r, cm := range cms {
+		ops := cm.Ops()
+		if len(ops) == 0 {
+			t.Fatalf("rank %d registered no ops", r)
+		}
+		seen := map[int]string{}
+		for _, op := range ops {
+			for s := 0; s <= steps; s++ { // steps plus one ticket's worth
+				tg, err := cm.Tag(op, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				key := op + "@" + string(rune('0'+s))
+				if prev, ok := seen[tg]; ok {
+					t.Fatalf("rank %d: tag %d shared by %s and %s", r, tg, prev, key)
+				}
+				seen[tg] = key
+			}
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"embrace/internal/nn"
 	"embrace/internal/optim"
 	"embrace/internal/sched"
+	"embrace/internal/strategies"
 	"embrace/internal/tensor"
 )
 
@@ -47,6 +48,9 @@ type SeqJob struct {
 	TextBatch int
 	// OverTCP runs ranks over loopback TCP sockets.
 	OverTCP bool
+	// ChunkBytes is the Communicator pipelining segment size; same
+	// convention as Job.ChunkBytes (0 = DefaultChunkBytes, <0 = off).
+	ChunkBytes int
 }
 
 // Validate reports configuration errors.
@@ -122,9 +126,6 @@ func joinSentences(ss []string) string {
 	return string(out)
 }
 
-// seq tag space (disjoint from the pooled trainer's small tags and lossTag).
-const seqTagBase = 1 << 22
-
 // RunSeq trains the recurrent model across the world and returns the
 // aggregated result.
 func RunSeq(job SeqJob) (*Result, error) {
@@ -150,15 +151,18 @@ func RunSeq(job SeqJob) (*Result, error) {
 }
 
 func runSeqRank(job SeqJob, raw comm.Transport, res *Result, mu *sync.Mutex) error {
-	t := metrics.Wrap(raw)
+	rec := metrics.NewOpRecorder()
+	cm := collective.NewCommunicator(raw,
+		collective.WithChunkBytes(chunkBytesOf(job.ChunkBytes)),
+		collective.WithObserver(rec))
 	defer func() {
-		st := t.Stats()
 		mu.Lock()
-		res.Comm = res.Comm.Add(st)
+		res.Comm = res.Comm.Add(rec.Total())
+		res.addCommPerOp(rec.PerOp())
 		mu.Unlock()
 	}()
 
-	loader, vocab, err := newSeqStream(job, t.Rank())
+	loader, vocab, err := newSeqStream(job, cm.Rank())
 	if err != nil {
 		return err
 	}
@@ -169,20 +173,6 @@ func runSeqRank(job SeqJob, raw comm.Transport, res *Result, mu *sync.Mutex) err
 	}
 	embOpt := optim.NewAdamDefault(model.Emb.Table, job.LR)
 
-	// Stable tag offsets per dense parameter.
-	paramTag := map[string]int{}
-	for i, p := range model.Params() {
-		paramTag[p.Name] = i + 1
-	}
-	const (
-		opSparse = 50
-		opPrior  = 51
-		opDelay  = 52
-		opStats  = 53
-		opNext   = 54
-	)
-	tagOf := func(step, op int) int { return seqTagBase + step*64 + op }
-
 	for step := 0; step < job.Steps; step++ {
 		batch := loader.Next()
 		next := loader.Peek()
@@ -190,12 +180,12 @@ func runSeqRank(job SeqJob, raw comm.Transport, res *Result, mu *sync.Mutex) err
 
 		stats, embGrad, dense, err := model.Step(windows, targets)
 		if err != nil {
-			return fmt.Errorf("rank %d step %d: %w", t.Rank(), step, err)
+			return fmt.Errorf("rank %d step %d: %w", cm.Rank(), step, err)
 		}
 
 		for _, p := range model.Params() {
 			g := dense[p.Name]
-			if err := collective.RingAllReduce(t, tagOf(step, paramTag[p.Name]), g.Data()); err != nil {
+			if err := cm.AllReduce(strategies.OpDense(p.Name), step, g.Data()); err != nil {
 				return fmt.Errorf("dense %s: %w", p.Name, err)
 			}
 			if err := opts[p.Name].StepDense(g); err != nil {
@@ -207,7 +197,7 @@ func runSeqRank(job SeqJob, raw comm.Transport, res *Result, mu *sync.Mutex) err
 			// Coalesce locally before shipping (as PyTorch does): fewer
 			// wire bytes, and the same per-rank summation grouping the
 			// vertical path uses, so both paths stay bit-identical.
-			merged, err := collective.SparseAllGather(t, tagOf(step, opSparse), embGrad.Coalesce())
+			merged, err := cm.SparseAllGather(strategies.OpEmbGrad, step, embGrad.Coalesce())
 			if err != nil {
 				return fmt.Errorf("embedding allgather: %w", err)
 			}
@@ -219,7 +209,7 @@ func runSeqRank(job SeqJob, raw comm.Transport, res *Result, mu *sync.Mutex) err
 			// only with the same verdict on every rank, keeping the
 			// merged prior and delayed parts disjoint (the modified-Adam
 			// exactness condition).
-			allNext, err := collective.AllGather(t, tagOf(step, opNext), tensor.UniqueInt64(next.Tokens()))
+			allNext, err := collective.AllGatherVia(cm, strategies.OpNextBatch, step, tensor.UniqueInt64(next.Tokens()))
 			if err != nil {
 				return fmt.Errorf("next-batch gather: %w", err)
 			}
@@ -229,14 +219,14 @@ func runSeqRank(job SeqJob, raw comm.Transport, res *Result, mu *sync.Mutex) err
 			}
 			prior, delayed := sched.VerticalSplit(embGrad, embGrad.UniqueIndices(),
 				tensor.UniqueInt64(nextAll))
-			mergedPrior, err := collective.SparseAllGather(t, tagOf(step, opPrior), prior)
+			mergedPrior, err := cm.SparseAllGather(strategies.OpEmbPrior, step, prior)
 			if err != nil {
 				return fmt.Errorf("prior allgather: %w", err)
 			}
 			if err := embOpt.StepSparsePartial(mergedPrior, false); err != nil {
 				return fmt.Errorf("prior update: %w", err)
 			}
-			mergedDelayed, err := collective.SparseAllGather(t, tagOf(step, opDelay), delayed)
+			mergedDelayed, err := cm.SparseAllGather(strategies.OpEmbDelayed, step, delayed)
 			if err != nil {
 				return fmt.Errorf("delayed allgather: %w", err)
 			}
@@ -245,11 +235,11 @@ func runSeqRank(job SeqJob, raw comm.Transport, res *Result, mu *sync.Mutex) err
 			}
 		}
 
-		all, err := collective.Gather(t, tagOf(step, opStats), 0, stats)
+		all, err := collective.GatherVia(cm, strategies.OpStats, step, 0, stats)
 		if err != nil {
 			return fmt.Errorf("stats gather: %w", err)
 		}
-		if t.Rank() == 0 {
+		if cm.Rank() == 0 {
 			var sum float64
 			correct, count := 0, 0
 			for _, s := range all {
@@ -268,7 +258,7 @@ func runSeqRank(job SeqJob, raw comm.Transport, res *Result, mu *sync.Mutex) err
 		res.TokensTrained += batch.NonPad
 		mu.Unlock()
 	}
-	if t.Rank() == 0 {
+	if cm.Rank() == 0 {
 		mu.Lock()
 		res.Embedding = model.Emb.Table
 		mu.Unlock()

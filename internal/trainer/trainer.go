@@ -47,6 +47,27 @@ type Job struct {
 	// checkpoint, so the resumed run sees the batches an uninterrupted run
 	// would.
 	SkipBatches int
+	// ChunkBytes is the Communicator's pipelining segment size for dense
+	// ring collectives. Zero selects DefaultChunkBytes; negative disables
+	// chunking (whole-chunk messages). Results are bit-identical for every
+	// value — chunking splits element ranges, not summation order.
+	ChunkBytes int
+}
+
+// DefaultChunkBytes is the pipelining segment size training jobs use when
+// none is configured: small enough to overlap transfer with reduction on
+// multi-MB gradients, large enough to amortize per-message overhead.
+const DefaultChunkBytes = 256 << 10
+
+// chunkBytesOf resolves the ChunkBytes convention (0 = default, <0 = off).
+func chunkBytesOf(configured int) int {
+	if configured == 0 {
+		return DefaultChunkBytes
+	}
+	if configured < 0 {
+		return 0
+	}
+	return configured
 }
 
 // Validate reports configuration errors.
@@ -86,6 +107,20 @@ type Result struct {
 	// Comm aggregates measured communication counters over all ranks:
 	// the real-execution analogue of the paper's traffic analysis.
 	Comm metrics.Stats
+	// CommPerOp breaks Comm down by logical operation name (summed over
+	// ranks): which collective moved the bytes — the embedding AlltoAll,
+	// the dense AllReduces, the stats gather — not just how many moved.
+	CommPerOp map[string]metrics.OpStats
+}
+
+// addCommPerOp folds one rank's per-op counters into res under mu.
+func (r *Result) addCommPerOp(per map[string]metrics.OpStats) {
+	if r.CommPerOp == nil {
+		r.CommPerOp = make(map[string]metrics.OpStats, len(per))
+	}
+	for op, s := range per {
+		r.CommPerOp[op] = r.CommPerOp[op].Add(s)
+	}
 }
 
 // WindowsTargets converts a batch into training pairs: for every sentence,
@@ -100,10 +135,6 @@ func WindowsTargets(b *data.Batch, window int) ([][]int64, []int64) {
 	}
 	return windows, targets
 }
-
-// lossTag is the tag space for the per-step stats gather; it must not
-// collide with the strategy tag spaces, which are dense small integers.
-const lossTag = 1 << 24
 
 func init() {
 	// Per-step metrics cross the wire when training over TCP.
@@ -142,18 +173,21 @@ func Run(job Job) (*Result, error) {
 // runRank executes one rank's training loop, folding its results into res
 // under mu.
 func runRank(job Job, raw comm.Transport, shared *strategies.Shared, res *Result, mu *sync.Mutex) error {
-	t := metrics.Wrap(raw)
+	rec := metrics.NewOpRecorder()
+	cm := collective.NewCommunicator(raw,
+		collective.WithChunkBytes(chunkBytesOf(job.ChunkBytes)),
+		collective.WithObserver(rec))
 	defer func() {
-		st := t.Stats()
 		mu.Lock()
-		res.Comm = res.Comm.Add(st)
+		res.Comm = res.Comm.Add(rec.Total())
+		res.addCommPerOp(rec.PerOp())
 		mu.Unlock()
 	}()
-	w, err := strategies.NewWorker(job.Strategy, t, job.Model, shared)
+	w, err := strategies.NewWorker(job.Strategy, cm, job.Model, shared)
 	if err != nil {
 		return err
 	}
-	gen, err := data.NewGenerator(job.Data, job.DataSeed+int64(t.Rank()))
+	gen, err := data.NewGenerator(job.Data, job.DataSeed+int64(cm.Rank()))
 	if err != nil {
 		return err
 	}
@@ -167,13 +201,13 @@ func runRank(job Job, raw comm.Transport, shared *strategies.Shared, res *Result
 		windows, targets := WindowsTargets(batch, job.Window)
 		stats, err := w.Step(step, windows, targets, next.Tokens())
 		if err != nil {
-			return fmt.Errorf("rank %d step %d: %w", t.Rank(), step, err)
+			return fmt.Errorf("rank %d step %d: %w", cm.Rank(), step, err)
 		}
-		all, err := collective.Gather(t, lossTag+step, 0, stats)
+		all, err := collective.GatherVia(cm, strategies.OpStats, step, 0, stats)
 		if err != nil {
-			return fmt.Errorf("rank %d stats gather: %w", t.Rank(), err)
+			return fmt.Errorf("rank %d stats gather: %w", cm.Rank(), err)
 		}
-		if t.Rank() == 0 {
+		if cm.Rank() == 0 {
 			var sum float64
 			correct, count := 0, 0
 			for _, s := range all {
@@ -196,9 +230,9 @@ func runRank(job Job, raw comm.Transport, shared *strategies.Shared, res *Result
 	// every rank participates; rank 0 keeps the result.
 	emb, err := w.FullEmbedding()
 	if err != nil {
-		return fmt.Errorf("rank %d final embedding: %w", t.Rank(), err)
+		return fmt.Errorf("rank %d final embedding: %w", cm.Rank(), err)
 	}
-	if t.Rank() == 0 {
+	if cm.Rank() == 0 {
 		mu.Lock()
 		res.Embedding = emb
 		res.Trunk = w.Trunk()

@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: build test check race bench-comm
+# bench-comm benchmark filter; override with e.g. `make bench-comm BENCH=AllToAll`.
+BENCH ?= AllReduce64MB
+
+.PHONY: build test lint check race bench-comm
 
 build:
 	$(GO) build ./...
@@ -8,14 +11,20 @@ build:
 test:
 	$(GO) test ./...
 
-## check: vet the whole module and race-test the communication layers
-## (the Communicator's pooled buffers and pipelined ring segments are the
-## code most exposed to data races).
-check:
+## lint: go vet plus embracevet, the repo's own analyzers (tag discipline,
+## determinism, lock-over-send, slice aliasing contracts). See DESIGN.md
+## § Static analysis.
+lint:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/collective/... ./internal/comm/...
+	$(GO) run ./cmd/embracevet ./...
+
+## check: lint the whole module and race-test everything (the Communicator's
+## pooled buffers and pipelined ring segments are the code most exposed to
+## data races, but the trainer and scheduler fan out goroutines too).
+check: lint
+	$(GO) test -race ./...
 
 race: check
 
 bench-comm:
-	$(GO) test -run XXX -bench AllReduce64MB -benchtime 5x .
+	$(GO) test -run XXX -bench $(BENCH) -benchtime 5x .

@@ -50,7 +50,7 @@ func BenchmarkRingAllReduce8x64K(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		err := comm.RunRanks(ranks, func(t comm.Transport) error {
 			buf := make([]float32, elems)
-			return collective.RingAllReduce(t, 1, buf)
+			return collective.NewCommunicator(t).AllReduce("bench/allreduce", 0, buf)
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -116,12 +116,13 @@ func BenchmarkCommunicatorAllReduce64MBChunked(b *testing.B) {
 	})
 }
 
-// BenchmarkLegacyAllReduce64MB runs the identical exchange through the legacy
-// free function, which builds a throwaway Communicator (cold buffer pool) on
-// every call; compare allocs/op against BenchmarkCommunicatorAllReduce64MB.
-func BenchmarkLegacyAllReduce64MB(b *testing.B) {
+// BenchmarkColdCommunicatorAllReduce64MB runs the identical exchange through
+// a throwaway Communicator (cold buffer pool) built on every call — the cost
+// the deleted legacy free functions paid; compare allocs/op against
+// BenchmarkCommunicatorAllReduce64MB.
+func BenchmarkColdCommunicatorAllReduce64MB(b *testing.B) {
 	benchAllReduce64MB(b, -1, func(t comm.Transport, _ *collective.Communicator, buf []float32) error {
-		return collective.RingAllReduce(t, 1, buf)
+		return collective.NewCommunicator(t).AllReduce("bench/allreduce", 0, buf)
 	})
 }
 
@@ -134,7 +135,7 @@ func BenchmarkAllToAll8Ranks(b *testing.B) {
 			for p := range send {
 				send[p] = make([]float32, elems/ranks)
 			}
-			_, err := collective.AllToAll(t, 1, send)
+			_, err := collective.AllToAllVia(collective.NewCommunicator(t), "bench/alltoall", 0, send)
 			return err
 		})
 		if err != nil {
@@ -163,7 +164,7 @@ func BenchmarkSparseAllGather8Ranks(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		err := comm.RunRanks(ranks, func(t comm.Transport) error {
-			_, err := collective.SparseAllGather(t, 1, locals[t.Rank()])
+			_, err := collective.NewCommunicator(t).SparseAllGather("bench/sparse-ag", 0, locals[t.Rank()])
 			return err
 		})
 		if err != nil {
@@ -244,7 +245,7 @@ func BenchmarkHierarchicalAllReduce8x64K(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		err := comm.RunRanks(ranks, func(t comm.Transport) error {
 			buf := make([]float32, elems)
-			return collective.HierarchicalAllReduce(t, 1, 4, buf)
+			return collective.NewCommunicator(t).HierarchicalAllReduce("bench/hier", 0, 4, buf)
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -258,7 +259,7 @@ func BenchmarkTCPRingAllReduce4x16K(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		err := comm.RunRanksTCP(ranks, func(t comm.Transport) error {
 			buf := make([]float32, elems)
-			return collective.RingAllReduce(t, 1, buf)
+			return collective.NewCommunicator(t).AllReduce("bench/allreduce", 0, buf)
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -270,7 +271,7 @@ func BenchmarkCoordNegotiation(b *testing.B) {
 	const ranks, ops = 4, 16
 	for i := 0; i < b.N; i++ {
 		err := comm.RunRanks(ranks, func(t comm.Transport) error {
-			c, err := coord.New(t, 1, ops)
+			c, err := coord.NewOn(collective.NewCommunicator(t), "bench", ops)
 			if err != nil {
 				return err
 			}

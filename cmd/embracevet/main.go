@@ -1,0 +1,178 @@
+// Command embracevet runs the repo's custom static analyzers over the
+// module and reports violations of its concurrency, determinism, and
+// tag-discipline invariants.
+//
+// Usage:
+//
+//	go run ./cmd/embracevet ./...
+//	go run ./cmd/embracevet ./internal/collective ./internal/sched
+//
+// Each pattern is a directory path relative to the module root; a trailing
+// /... recurses. Findings print as file:line:col: message (analyzer) and the
+// exit status is 1 when any finding survives. A finding is suppressed by a
+// justified directive on its line or the line above:
+//
+//	//embrace:allow <analyzer> <why this exception is safe>
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"embrace/internal/analysis"
+	"embrace/internal/analysis/determinism"
+	"embrace/internal/analysis/locksend"
+	"embrace/internal/analysis/rawtag"
+	"embrace/internal/analysis/sliceret"
+)
+
+var analyzers = []*analysis.Analyzer{
+	rawtag.Analyzer,
+	determinism.Analyzer,
+	locksend.Analyzer,
+	sliceret.Analyzer,
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, module, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embracevet:", err)
+		os.Exit(2)
+	}
+	dirs, err := expand(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "embracevet:", err)
+		os.Exit(2)
+	}
+
+	loader := analysis.NewLoader([]analysis.Root{{Prefix: module, Dir: root}})
+	found := false
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "embracevet:", err)
+			os.Exit(2)
+		}
+		importPath := module
+		if rel != "." {
+			importPath = module + "/" + filepath.ToSlash(rel)
+		}
+		units, err := loader.LoadDir(dir, importPath, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "embracevet: %s: %v\n", importPath, err)
+			os.Exit(2)
+		}
+		for _, unit := range units {
+			diags, err := analysis.Run(analyzers, unit, loader.Fset)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "embracevet: %s: %v\n", unit.Path, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				pos := loader.Fset.Position(d.Pos)
+				file := pos.Filename
+				if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
+					file = r
+				}
+				fmt.Printf("%s:%d:%d: %s (%s)\n", file, pos.Line, pos.Column, d.Message, d.Analyzer)
+				found = true
+			}
+		}
+	}
+	if found {
+		os.Exit(1)
+	}
+}
+
+// moduleRoot finds the enclosing go.mod from the working directory and
+// returns its directory and module path.
+func moduleRoot() (dir, module string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+// expand resolves ./pkg and ./... style patterns to package directories,
+// skipping testdata fixtures, vendored code, and dot-directories.
+func expand(root string, patterns []string) ([]string, error) {
+	set := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if !recursive {
+			if hasGoFiles(base) {
+				set[base] = true
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				set[path] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	dirs := make([]string, 0, len(set))
+	for d := range set {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}

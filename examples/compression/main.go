@@ -59,8 +59,9 @@ func main() {
 	for _, c := range []compress.Compressor{compress.Q8{}, compress.TopK{K: elems / 8}} {
 		c := c
 		err := comm.RunRanks(workers, func(t comm.Transport) error {
+			cm := collective.NewCommunicator(t)
 			buf := append([]float32(nil), inputs[t.Rank()]...)
-			if err := compress.CompressedAllReduce(t, 1, buf, c, nil); err != nil {
+			if err := compress.CompressedAllReduce(cm, "compressed/grad", 0, buf, c, nil); err != nil {
 				return err
 			}
 			if t.Rank() == 0 {

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// AllowPrefix is the suppression directive: `//embrace:allow <analyzer>
+// <justification>` on the finding's line (or the line directly above)
+// silences that analyzer there. The justification is mandatory — an
+// unjustified directive is itself a finding.
+const AllowPrefix = "//embrace:allow"
+
+// directive is one parsed //embrace:allow comment.
+type directive struct {
+	pos       token.Pos
+	analyzers []string
+	justified bool
+}
+
+// parseDirectives extracts the allow directives of a file, keyed by the line
+// they appear on.
+func parseDirectives(fset *token.FileSet, file *ast.File) map[int]directive {
+	out := make(map[int]directive)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, AllowPrefix)
+			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			fields := strings.Fields(rest)
+			d := directive{pos: c.Pos()}
+			if len(fields) > 0 {
+				d.analyzers = strings.Split(fields[0], ",")
+				d.justified = len(fields) > 1
+			}
+			out[fset.Position(c.Pos()).Line] = d
+		}
+	}
+	return out
+}
+
+func (d directive) covers(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == analyzer || a == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over one package unit and returns the surviving
+// diagnostics sorted by position: suppressed findings are dropped, and
+// malformed or unjustified directives are reported.
+func Run(analyzers []*Analyzer, pkg *Package, fset *token.FileSet) ([]Diagnostic, error) {
+	allow := make(map[string]map[int]directive, len(pkg.Files))
+	for _, f := range pkg.Files {
+		name := fset.Position(f.Pos()).Filename
+		dirs := parseDirectives(fset, f)
+		allow[name] = dirs
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.report = func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if dirs, ok := allow[pos.Filename]; ok {
+				for _, line := range []int{pos.Line, pos.Line - 1} {
+					if dir, ok := dirs[line]; ok && dir.covers(a.Name) && dir.justified {
+						return
+					}
+				}
+			}
+			diags = append(diags, d)
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+
+	// Unjustified or unparseable directives defeat the audit trail the
+	// mechanism exists for; flag them wherever they appear.
+	for _, dirs := range allow {
+		for _, d := range dirs {
+			if len(d.analyzers) == 0 {
+				diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "allow",
+					Message: "embrace:allow directive names no analyzer"})
+			} else if !d.justified {
+				diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "allow",
+					Message: fmt.Sprintf("embrace:allow %s needs a justification", strings.Join(d.analyzers, ","))})
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

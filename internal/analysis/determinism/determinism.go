@@ -1,0 +1,94 @@
+// Package determinism enforces bit-reproducibility in the simulation and
+// model packages.
+//
+// The paper's experiment tables are regenerated from simulation; equivalence
+// tests assert that every strategy reaches bit-identical parameters given
+// the same seed. Both guarantees die the moment a deterministic package
+// reads the wall clock or draws from process-global randomness. This
+// analyzer forbids, inside the deterministic packages (simnet, perfsim,
+// sched, nn, data, tensor, strategies):
+//
+//   - time.Now and time.Since — wall-clock reads; simulated time must come
+//     from the simulation's own clock;
+//   - package-level math/rand draws (rand.Intn, rand.Float64, rand.Shuffle,
+//     ...) — global-generator state depends on whatever else ran first.
+//     Constructors (rand.New, rand.NewSource, rand.NewZipf, ...) are fine:
+//     plumbing an explicitly seeded *rand.Rand is exactly the approved
+//     pattern.
+//
+// Genuinely wall-clock code (metrics, the TCP transport) lives outside the
+// deterministic set and is untouched; within the set, a justified
+// //embrace:allow determinism directive documents any necessary exception.
+package determinism
+
+import (
+	"go/ast"
+	"strings"
+
+	"embrace/internal/analysis"
+)
+
+// deterministicPkgs are the import-path suffixes whose outputs must be pure
+// functions of their seeds.
+var deterministicPkgs = []string{
+	"internal/simnet",
+	"internal/perfsim",
+	"internal/sched",
+	"internal/nn",
+	"internal/data",
+	"internal/tensor",
+	"internal/strategies",
+}
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads and global math/rand draws in the deterministic simulation/model packages",
+	Run:  run,
+}
+
+// covered reports whether the unit must be deterministic.
+func covered(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, p := range deterministicPkgs {
+		if path == p || strings.HasSuffix(path, "/"+p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !covered(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || analysis.ReceiverType(fn) != nil {
+			return true
+		}
+		switch analysis.PkgPathOf(fn) {
+		case "time":
+			switch fn.Name() {
+			case "Now", "Since":
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock in deterministic package %s: plumb simulated time instead",
+					fn.Name(), pass.Pkg.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			// Constructors take explicit seeds and return plumbable
+			// generators; everything else draws from the global generator.
+			if !strings.HasPrefix(fn.Name(), "New") {
+				pass.Reportf(call.Pos(),
+					"global rand.%s in deterministic package %s: draw from a seeded *rand.Rand plumbed by the caller",
+					fn.Name(), pass.Pkg.Name())
+			}
+		}
+		return true
+	})
+	return nil, nil
+}

@@ -1,0 +1,16 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"embrace/internal/analysis/analysistest"
+	"embrace/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer,
+		"embrace/internal/simnet",
+		// A wall-clock package outside the deterministic set: no findings.
+		"embrace/internal/metrics",
+	)
+}

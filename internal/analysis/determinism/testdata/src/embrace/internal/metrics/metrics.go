@@ -1,0 +1,11 @@
+// Package metrics is a fixture standing in for genuinely wall-clock code:
+// it is outside the deterministic set, so nothing here is flagged.
+package metrics
+
+import "time"
+
+// Stamp reads the real clock — fine here.
+func Stamp() time.Time { return time.Now() }
+
+// Blocked measures a real wait — fine here.
+func Blocked(start time.Time) time.Duration { return time.Since(start) }

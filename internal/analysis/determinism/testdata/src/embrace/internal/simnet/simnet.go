@@ -1,0 +1,41 @@
+// Package simnet is a fixture standing in for a deterministic package: the
+// analyzer must flag wall-clock reads and global randomness here.
+package simnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Event is a simulated occurrence.
+type Event struct {
+	At     time.Duration
+	Jitter float64
+}
+
+func flagged() Event {
+	start := time.Now() // want `time\.Now reads the wall clock in deterministic package simnet`
+	e := Event{
+		Jitter: rand.Float64(), // want `global rand\.Float64 in deterministic package simnet`
+	}
+	rand.Shuffle(1, func(i, j int) {}) // want `global rand\.Shuffle in deterministic package simnet`
+	e.At = time.Since(start)           // want `time\.Since reads the wall clock in deterministic package simnet`
+	return e
+}
+
+// allowed shows the approved pattern: an explicitly seeded generator plumbed
+// in by the caller, and simulated time carried as plain durations.
+func allowed(rng *rand.Rand, now time.Duration) Event {
+	return Event{At: now + time.Duration(rng.Intn(100)), Jitter: rng.Float64()}
+}
+
+// seeded constructors are not draws; building a local generator is exactly
+// what the analyzer pushes callers toward.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func justified() time.Time {
+	//embrace:allow determinism fixture documents the escape hatch for genuinely wall-clock code
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+package locksend_test
+
+import (
+	"testing"
+
+	"embrace/internal/analysis/analysistest"
+	"embrace/internal/analysis/locksend"
+)
+
+func TestLockSend(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), locksend.Analyzer, "a")
+}

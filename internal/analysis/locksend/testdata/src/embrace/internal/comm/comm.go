@@ -1,0 +1,11 @@
+// Package comm is a fixture stub mirroring the Transport surface the
+// analyzer matches against.
+package comm
+
+// Transport moves byte payloads between ranks.
+type Transport interface {
+	Rank() int
+	Size() int
+	Send(to, tag int, payload []byte)
+	Recv(from, tag int) []byte
+}

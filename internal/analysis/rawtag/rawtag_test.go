@@ -1,0 +1,23 @@
+package rawtag_test
+
+import (
+	"testing"
+
+	"embrace/internal/analysis/analysistest"
+	"embrace/internal/analysis/rawtag"
+)
+
+func TestRawTag(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rawtag.Analyzer,
+		"a",
+		// The exempt package: raw tags inside internal/collective are the
+		// implementation, not a violation.
+		"embrace/internal/collective",
+	)
+}
+
+// TestMagicGatherTagRegression proves the analyzer would have caught the
+// PR-1 bug: two gathers sharing a hand-numbered tag.
+func TestMagicGatherTagRegression(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), rawtag.Analyzer, "regress")
+}

@@ -1,0 +1,11 @@
+// Package comm is a hermetic stub of the repo's transport package, just
+// enough surface for the rawtag fixtures to typecheck.
+package comm
+
+// Transport mirrors the real point-to-point interface.
+type Transport interface {
+	Rank() int
+	Size() int
+	Send(to, tag int, payload any) error
+	Recv(from, tag int) (any, error)
+}

@@ -1,0 +1,23 @@
+// Package regress reproduces the shape of the PR-1 "magic gather tag" bug:
+// two logically distinct gathers hand-numbered with the same tag, so their
+// messages crosstalk on the shared (sender, tag) envelope. rawtag must catch
+// both call sites — proving the lint would have caught the original bug at
+// `make check` time instead of in a flaky integration test.
+package regress
+
+import (
+	"embrace/internal/collective"
+	"embrace/internal/comm"
+)
+
+const magicGatherTag = 9999
+
+func collectFinalState(t comm.Transport, shard, stats []float32) error {
+	// Both gathers reuse magicGatherTag — rank 0 can receive a stats
+	// payload while assembling the embedding table.
+	if _, err := collective.Gather(t, magicGatherTag, 0, shard); err != nil { // want `legacy tag-based collective\.Gather`
+		return err
+	}
+	_, err := collective.Gather(t, magicGatherTag, 0, stats) // want `legacy tag-based collective\.Gather`
+	return err
+}

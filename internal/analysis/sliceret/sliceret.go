@@ -1,0 +1,107 @@
+// Package sliceret polices aliasing contracts on internal/tensor's exported
+// API.
+//
+// Tensor accessors that hand out internal backing storage are a real
+// performance feature — zero-copy row views are what make sparse gather
+// cheap — but an undocumented alias is how "mutate the result of Row and
+// corrupt the tensor" bugs are born. This analyzer flags exported functions
+// and methods in internal/tensor that return a slice aliasing an internal
+// field (a field selector like t.data, or a slice expression over one like
+// s.Vals[a:b]) unless the declaration's doc comment carries an explicit
+// `aliases:` contract telling callers the memory is shared. Returning a
+// fresh copy needs no contract.
+package sliceret
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"embrace/internal/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "sliceret",
+	Doc:  "require an `aliases:` doc contract on exported tensor functions returning internal backing slices",
+	Run:  run,
+}
+
+// covered reports whether the unit is internal/tensor (including its
+// in-package tests).
+func covered(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	return path == "internal/tensor" || strings.HasSuffix(path, "/internal/tensor")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !covered(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if hasContract(fd.Doc) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// hasContract reports whether the doc comment documents aliasing.
+func hasContract(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	return strings.Contains(doc.Text(), "aliases:")
+}
+
+// checkFunc flags returns in fd's body (excluding nested function literals,
+// which are not part of the exported surface) that alias a field.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if field, ok := aliasedField(pass, res); ok {
+				pass.Reportf(res.Pos(),
+					"%s returns internal backing slice %s without a copy: document the sharing with an `aliases:` doc contract or return a copy",
+					fd.Name.Name, field)
+			}
+		}
+		return true
+	})
+}
+
+// aliasedField reports whether expr evaluates to a slice that shares memory
+// with a struct field: the field itself (t.data) or a reslicing of one
+// (s.Vals[a:b]). Anything routed through append/make/copy produces fresh
+// storage and is not matched.
+func aliasedField(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	e := ast.Unparen(expr)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(sl.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	if _, ok := s.Type().Underlying().(*types.Slice); !ok {
+		return "", false
+	}
+	return types.ExprString(sel), true
+}

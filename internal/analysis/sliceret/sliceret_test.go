@@ -1,0 +1,12 @@
+package sliceret_test
+
+import (
+	"testing"
+
+	"embrace/internal/analysis/analysistest"
+	"embrace/internal/analysis/sliceret"
+)
+
+func TestSliceRet(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), sliceret.Analyzer, "embrace/internal/tensor")
+}

@@ -1,0 +1,56 @@
+// Package tensor is a fixture standing in for the real tensor package: the
+// analyzer must force exported accessors that hand out backing storage to
+// declare it.
+package tensor
+
+// Dense is a row-major matrix.
+type Dense struct {
+	shape []int
+	data  []float64
+}
+
+// Data returns the backing storage. Undocumented alias: flagged.
+func (t *Dense) Data() []float64 {
+	return t.data // want `Data returns internal backing slice t\.data without a copy`
+}
+
+// Row returns one row of the matrix. Reslicing a field is still an alias.
+func (t *Dense) Row(i int) []float64 {
+	n := t.shape[1]
+	return t.data[i*n : (i+1)*n] // want `Row returns internal backing slice t\.data without a copy`
+}
+
+// RawShape returns the shape slice.
+//
+// aliases: the returned slice is the tensor's own shape; callers must not
+// mutate it.
+func (t *Dense) RawShape() []int {
+	return t.shape
+}
+
+// ShapeCopy returns a fresh copy of the shape; no contract needed.
+func (t *Dense) ShapeCopy() []int {
+	return append([]int(nil), t.shape...)
+}
+
+// Zeros builds fresh storage; returning a local is no alias.
+func Zeros(n int) []float64 {
+	buf := make([]float64, n)
+	return buf
+}
+
+// Len returns a scalar; non-slice results are never flagged.
+func (t *Dense) Len() int {
+	return len(t.data)
+}
+
+// view is unexported: internal helpers may alias freely.
+func (t *Dense) view() []float64 {
+	return t.data
+}
+
+// Justified keeps the suppression mechanism honest for this analyzer too.
+func (t *Dense) Justified() []float64 {
+	//embrace:allow sliceret fixture exercises the directive path
+	return t.data
+}

@@ -3,14 +3,18 @@
 // for dense gradients, AllGather for sparse baselines, and AlltoAll for the
 // EmbRace embedding exchange (§2.2, §4.1).
 //
-// The primary API is the stateful Communicator, which owns tag allocation
+// The API is the stateful Communicator, which owns tag allocation
 // (collision-free per logical op name and step), chunked pipelining of dense
-// ring transfers, and pooled scratch buffers. The free functions in this file
-// are thin legacy wrappers over a throwaway Communicator: all ranks of a
-// comm.Transport world call the same function with the same hand-picked tag,
-// and the call returns on each rank once that rank's part is complete.
-// Distinct concurrent operations must use distinct tags. New code should use
-// a Communicator and logical op names instead.
+// ring transfers, and pooled scratch buffers. Every collective is addressed
+// by (op, step): all ranks of a comm.Transport world issue the same logical
+// operation with the same name and step, and the call returns on each rank
+// once that rank's part is complete. Concurrent collectives on one
+// Communicator must use distinct op names or distinct steps. Generic
+// exchanges (AllGatherVia, AllToAllVia, GatherVia) are package functions
+// taking the Communicator first, because Go methods cannot be generic.
+//
+// The pre-Communicator free functions that took hand-picked integer tags are
+// gone; the rawtag analyzer (cmd/embracevet) keeps them from coming back.
 package collective
 
 import (
@@ -38,85 +42,6 @@ func chunkBounds(n, parts, i int) (lo, hi int) {
 		hi++
 	}
 	return lo, hi
-}
-
-// Barrier blocks until every rank has entered it. It is a flat fan-in to
-// rank 0 followed by a fan-out, costing O(N) messages — fine for the handful
-// of per-step synchronization points the trainer needs.
-func Barrier(t comm.Transport, tag int) error {
-	return barrierOn(NewCommunicator(t), "legacy/barrier", tag)
-}
-
-// Broadcast copies root's buf into every rank's buf. Buffers must have equal
-// length on all ranks.
-func Broadcast(t comm.Transport, tag, root int, buf []float32) error {
-	return broadcastOn(NewCommunicator(t), "legacy/broadcast", tag, root, buf)
-}
-
-// ReduceScatter performs the first phase of ring AllReduce: after it returns,
-// every rank's chunk `rank` of buf holds the element-wise sum across all
-// ranks. Other chunks hold partial garbage and must not be read. It returns
-// the [lo, hi) bounds of the rank's reduced chunk.
-func ReduceScatter(t comm.Transport, tag int, buf []float32) (lo, hi int, err error) {
-	return NewCommunicator(t).ringReduceScatter("legacy/reduce-scatter", tag, buf, Sum)
-}
-
-// RingAllReduce sums buf element-wise across all ranks in place, using the
-// bandwidth-optimal two-phase ring algorithm (Patarasuk & Yuan), the same
-// algorithm NCCL and Horovod use for dense gradients. Each rank moves
-// 2(N-1)/N of the buffer, matching the Table-2 AllReduce cost
-// 2(N-1)(M/(N·B)+β).
-func RingAllReduce(t comm.Transport, tag int, buf []float32) error {
-	return NewCommunicator(t).ringAllReduce("legacy/allreduce", tag, buf, Sum)
-}
-
-// RingAllReduceOp is RingAllReduce generalized over the reduction operator.
-// Sum matches RingAllReduce exactly.
-func RingAllReduceOp(t comm.Transport, tag int, buf []float32, op ReduceOp) error {
-	return NewCommunicator(t).ringAllReduce("legacy/allreduce-op", tag, buf, op)
-}
-
-// AllGather collects one value from every rank and returns them indexed by
-// rank. Values are exchanged directly between every pair — the flat pattern
-// whose cost the paper models as (N-1)(αM/B+β), i.e. poor scalability in N
-// (§4.1.2). The local value is placed in the result without copying.
-func AllGather[T any](t comm.Transport, tag int, local T) ([]T, error) {
-	return allGatherOn(NewCommunicator(t), "legacy/allgather", tag, local)
-}
-
-// AllToAll sends send[p] to rank p and returns the values received, indexed
-// by sender. It is the redistribution primitive of §4.1.1: each rank
-// exchanges a 1/N-sized slice with every peer, so the total cost is
-// 2(N-1)(αM/(N·B)+β) for the paper's pair of embedding AlltoAlls. The local
-// slot transfers without communication.
-func AllToAll[T any](t comm.Transport, tag int, send []T) ([]T, error) {
-	return allToAllOn(NewCommunicator(t), "legacy/alltoall", tag, send)
-}
-
-// Gather collects one value from every rank at root; non-root ranks receive
-// a nil slice. Used for metric aggregation in the trainer.
-func Gather[T any](t comm.Transport, tag, root int, local T) ([]T, error) {
-	return gatherOn(NewCommunicator(t), "legacy/gather", tag, root, local)
-}
-
-// SparseAllGather aggregates a row-sparse gradient the way Horovod's
-// AllGather strategy does (§2.2): every rank contributes its local sparse
-// tensor, receives everyone else's, and concatenates them into one
-// (uncoalesced) gradient equivalent to the element-wise sum of all locals.
-func SparseAllGather(t comm.Transport, tag int, local *tensor.Sparse) (*tensor.Sparse, error) {
-	parts, err := AllGather(t, tag, local)
-	if err != nil {
-		return nil, err
-	}
-	return tensor.Concat(parts...)
-}
-
-// SparseAllToAll routes sparse shards: shard[p] of the local gradient goes to
-// rank p, and the received shards are returned indexed by sender. EmbRace
-// uses it with column-sliced gradients so each rank ends up with every
-// worker's contribution to its own embedding columns.
-func SparseAllToAll(t comm.Transport, tag int, shards []*tensor.Sparse) ([]*tensor.Sparse, error) {
-	return AllToAll(t, tag, shards)
 }
 
 // ReduceOp is an element-wise, associative, commutative reduction.

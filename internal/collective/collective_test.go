@@ -41,7 +41,7 @@ func TestBarrier(t *testing.T) {
 			mu.Lock()
 			arrived++
 			mu.Unlock()
-			if err := Barrier(tr, 1); err != nil {
+			if err := NewCommunicator(tr).Barrier("test/barrier", 0); err != nil {
 				return err
 			}
 			mu.Lock()
@@ -66,7 +66,7 @@ func TestBroadcast(t *testing.T) {
 				buf[i] = float32(i + 1)
 			}
 		}
-		if err := Broadcast(tr, 1, 2, buf); err != nil {
+		if err := NewCommunicator(tr).Broadcast("test/bcast", 0, 2, buf); err != nil {
 			return err
 		}
 		for i, v := range buf {
@@ -84,7 +84,7 @@ func TestBroadcast(t *testing.T) {
 func TestBroadcastSingleRank(t *testing.T) {
 	err := comm.RunRanks(1, func(tr comm.Transport) error {
 		buf := []float32{1, 2}
-		return Broadcast(tr, 1, 0, buf)
+		return NewCommunicator(tr).Broadcast("test/bcast", 0, 0, buf)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -102,7 +102,7 @@ func TestRingAllReduceSumsAcrossRanks(t *testing.T) {
 				for i := range buf {
 					buf[i] = float32(tr.Rank()*m + i)
 				}
-				if err := RingAllReduce(tr, 1, buf); err != nil {
+				if err := NewCommunicator(tr).AllReduce("test/allreduce", 0, buf); err != nil {
 					return err
 				}
 				for i, v := range buf {
@@ -139,7 +139,7 @@ func TestRingAllReduceMatchesSequentialSum(t *testing.T) {
 		}
 		err := comm.RunRanks(n, func(tr comm.Transport) error {
 			buf := append([]float32(nil), inputs[tr.Rank()]...)
-			if err := RingAllReduce(tr, 1, buf); err != nil {
+			if err := NewCommunicator(tr).AllReduce("test/allreduce", 0, buf); err != nil {
 				return err
 			}
 			for i, v := range buf {
@@ -163,7 +163,7 @@ func TestReduceScatterOwnChunk(t *testing.T) {
 		for i := range buf {
 			buf[i] = float32(tr.Rank() + 1) // sum across ranks = 1+2+3+4 = 10
 		}
-		lo, hi, err := ReduceScatter(tr, 1, buf)
+		lo, hi, err := NewCommunicator(tr).ReduceScatter("test/rs", 0, buf)
 		if err != nil {
 			return err
 		}
@@ -186,7 +186,7 @@ func TestReduceScatterOwnChunk(t *testing.T) {
 func TestAllGatherOrderAndValues(t *testing.T) {
 	const n = 5
 	err := comm.RunRanks(n, func(tr comm.Transport) error {
-		got, err := AllGather(tr, 1, fmt.Sprintf("rank-%d", tr.Rank()))
+		got, err := AllGatherVia(NewCommunicator(tr), "test/allgather", 0, fmt.Sprintf("rank-%d", tr.Rank()))
 		if err != nil {
 			return err
 		}
@@ -211,7 +211,7 @@ func TestAllToAllIsTransposition(t *testing.T) {
 		for p := range send {
 			send[p] = tr.Rank()*10 + p
 		}
-		got, err := AllToAll(tr, 1, send)
+		got, err := AllToAllVia(NewCommunicator(tr), "test/alltoall", 0, send)
 		if err != nil {
 			return err
 		}
@@ -240,11 +240,12 @@ func TestAllToAllInvolutionProperty(t *testing.T) {
 			}
 		}
 		err := comm.RunRanks(n, func(tr comm.Transport) error {
-			once, err := AllToAll(tr, 1, vals[tr.Rank()])
+			c := NewCommunicator(tr)
+			once, err := AllToAllVia(c, "test/alltoall", 0, vals[tr.Rank()])
 			if err != nil {
 				return err
 			}
-			twice, err := AllToAll(tr, 2, once)
+			twice, err := AllToAllVia(c, "test/alltoall", 1, once)
 			if err != nil {
 				return err
 			}
@@ -264,7 +265,7 @@ func TestAllToAllInvolutionProperty(t *testing.T) {
 
 func TestAllToAllSizeValidation(t *testing.T) {
 	err := comm.RunRanks(2, func(tr comm.Transport) error {
-		_, err := AllToAll(tr, 1, []int{1}) // wrong length on a 2-rank world
+		_, err := AllToAllVia(NewCommunicator(tr), "test/alltoall", 0, []int{1}) // wrong length on a 2-rank world
 		if err == nil {
 			return fmt.Errorf("expected size error")
 		}
@@ -278,7 +279,7 @@ func TestAllToAllSizeValidation(t *testing.T) {
 func TestGatherToRoot(t *testing.T) {
 	const n = 4
 	err := comm.RunRanks(n, func(tr comm.Transport) error {
-		got, err := Gather(tr, 1, 0, tr.Rank()*2)
+		got, err := GatherVia(NewCommunicator(tr), "test/gather", 0, 0, tr.Rank()*2)
 		if err != nil {
 			return err
 		}
@@ -327,7 +328,7 @@ func TestSparseAllGatherEqualsSum(t *testing.T) {
 		s.AddToDense(want, 1)
 	}
 	err := comm.RunRanks(n, func(tr comm.Transport) error {
-		got, err := SparseAllGather(tr, 1, locals[tr.Rank()])
+		got, err := NewCommunicator(tr).SparseAllGather("test/sparse-ag", 0, locals[tr.Rank()])
 		if err != nil {
 			return err
 		}
@@ -354,7 +355,7 @@ func TestSparseAllToAllRoutesShards(t *testing.T) {
 			}
 			shards[p] = s
 		}
-		got, err := SparseAllToAll(tr, 1, shards)
+		got, err := NewCommunicator(tr).SparseAllToAll("test/sparse-a2a", 0, shards)
 		if err != nil {
 			return err
 		}
@@ -373,10 +374,11 @@ func TestSparseAllToAllRoutesShards(t *testing.T) {
 }
 
 func TestConcurrentCollectivesDistinctTags(t *testing.T) {
-	// Two allreduces in flight on different tags must not interfere — the
+	// Two allreduces in flight on different op names must not interfere — the
 	// property the scheduler's communication thread relies on.
 	const n, m = 4, 32
 	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		c := NewCommunicator(tr)
 		a := make([]float32, m)
 		b := make([]float32, m)
 		for i := range a {
@@ -386,8 +388,8 @@ func TestConcurrentCollectivesDistinctTags(t *testing.T) {
 		var wg sync.WaitGroup
 		var errA, errB error
 		wg.Add(2)
-		go func() { defer wg.Done(); errA = RingAllReduce(tr, 100, a) }()
-		go func() { defer wg.Done(); errB = RingAllReduce(tr, 200, b) }()
+		go func() { defer wg.Done(); errA = c.AllReduce("test/concurrent-a", 0, a) }()
+		go func() { defer wg.Done(); errB = c.AllReduce("test/concurrent-b", 0, b) }()
 		wg.Wait()
 		if errA != nil || errB != nil {
 			return fmt.Errorf("errs: %v %v", errA, errB)
@@ -413,10 +415,11 @@ func TestRingAllReduceOpMaxMin(t *testing.T) {
 			mx[i] = float32(tr.Rank()*m + i)
 			mn[i] = float32(tr.Rank()*m + i)
 		}
-		if err := RingAllReduceOp(tr, 1, mx, Max); err != nil {
+		c := NewCommunicator(tr)
+		if err := c.AllReduceWith("test/max", 0, mx, Max); err != nil {
 			return err
 		}
-		if err := RingAllReduceOp(tr, 2, mn, Min); err != nil {
+		if err := c.AllReduceWith("test/min", 0, mn, Min); err != nil {
 			return err
 		}
 		for i := 0; i < m; i++ {
@@ -434,7 +437,7 @@ func TestRingAllReduceOpMaxMin(t *testing.T) {
 	}
 }
 
-// Property: RingAllReduceOp with Sum matches RingAllReduce bit-for-bit.
+// Property: AllReduceWith(Sum) matches AllReduce bit-for-bit.
 func TestRingAllReduceOpSumMatches(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -448,12 +451,13 @@ func TestRingAllReduceOpSumMatches(t *testing.T) {
 			}
 		}
 		err := comm.RunRanks(n, func(tr comm.Transport) error {
+			c := NewCommunicator(tr)
 			a := append([]float32(nil), inputs[tr.Rank()]...)
 			b := append([]float32(nil), inputs[tr.Rank()]...)
-			if err := RingAllReduce(tr, 1, a); err != nil {
+			if err := c.AllReduce("test/sum-plain", 0, a); err != nil {
 				return err
 			}
-			if err := RingAllReduceOp(tr, 2, b, Sum); err != nil {
+			if err := c.AllReduceWith("test/sum-op", 0, b, Sum); err != nil {
 				return err
 			}
 			for i := range a {

@@ -27,7 +27,7 @@ func TestHierarchicalAllReduceMatchesFlat(t *testing.T) {
 			}
 			err := comm.RunRanks(cfg.n, func(tr comm.Transport) error {
 				buf := append([]float32(nil), inputs[tr.Rank()]...)
-				if err := HierarchicalAllReduce(tr, 1, cfg.w, buf); err != nil {
+				if err := NewCommunicator(tr).HierarchicalAllReduce("test/hier", 0, cfg.w, buf); err != nil {
 					return err
 				}
 				for i, v := range buf {
@@ -48,10 +48,11 @@ func TestHierarchicalAllReduceMatchesFlat(t *testing.T) {
 func TestHierarchicalAllReduceValidation(t *testing.T) {
 	err := comm.RunRanks(4, func(tr comm.Transport) error {
 		buf := make([]float32, 4)
-		if err := HierarchicalAllReduce(tr, 1, 0, buf); err == nil {
+		c := NewCommunicator(tr)
+		if err := c.HierarchicalAllReduce("test/hier", 0, 0, buf); err == nil {
 			return fmt.Errorf("expected workersPerNode error")
 		}
-		if err := HierarchicalAllReduce(tr, 1, 3, buf); err == nil {
+		if err := c.HierarchicalAllReduce("test/hier", 0, 3, buf); err == nil {
 			return fmt.Errorf("expected divisibility error")
 		}
 		return nil
@@ -79,12 +80,13 @@ func TestHierarchicalEqualsRingProperty(t *testing.T) {
 		flat := make([][]float32, n)
 		hier := make([][]float32, n)
 		err := comm.RunRanks(n, func(tr comm.Transport) error {
+			c := NewCommunicator(tr)
 			a := append([]float32(nil), inputs[tr.Rank()]...)
-			if err := RingAllReduce(tr, 1, a); err != nil {
+			if err := c.AllReduce("test/flat", 0, a); err != nil {
 				return err
 			}
 			b := append([]float32(nil), inputs[tr.Rank()]...)
-			if err := HierarchicalAllReduce(tr, 2, w, b); err != nil {
+			if err := c.HierarchicalAllReduce("test/hier", 0, w, b); err != nil {
 				return err
 			}
 			flat[tr.Rank()], hier[tr.Rank()] = a, b
@@ -114,7 +116,7 @@ func TestHierarchicalOverTCP(t *testing.T) {
 		for i := range buf {
 			buf[i] = 1
 		}
-		if err := HierarchicalAllReduce(tr, 1, w, buf); err != nil {
+		if err := NewCommunicator(tr).HierarchicalAllReduce("tcp/hier", 0, w, buf); err != nil {
 			return err
 		}
 		for i, v := range buf {

@@ -18,7 +18,7 @@ func TestRingAllReduceOverTCP(t *testing.T) {
 		for i := range buf {
 			buf[i] = float32(tr.Rank() + 1)
 		}
-		if err := RingAllReduce(tr, 1, buf); err != nil {
+		if err := NewCommunicator(tr).AllReduce("tcp/allreduce", 0, buf); err != nil {
 			return err
 		}
 		want := float32(n * (n + 1) / 2)
@@ -41,7 +41,7 @@ func TestAllToAllOverTCP(t *testing.T) {
 		for p := range send {
 			send[p] = []float32{float32(tr.Rank()), float32(p)}
 		}
-		got, err := AllToAll(tr, 1, send)
+		got, err := AllToAllVia(NewCommunicator(tr), "tcp/alltoall", 0, send)
 		if err != nil {
 			return err
 		}
@@ -67,7 +67,7 @@ func TestSparseAllGatherOverTCP(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		got, err := SparseAllGather(tr, 1, local)
+		got, err := NewCommunicator(tr).SparseAllGather("tcp/sparse-ag", 0, local)
 		if err != nil {
 			return err
 		}
@@ -97,7 +97,7 @@ func TestDenseTensorPayloadOverTCP(t *testing.T) {
 		for p := range send {
 			send[p] = tensor.Full(float32(tr.Rank()*10+p), 2, 2)
 		}
-		got, err := AllToAll(tr, 1, send)
+		got, err := AllToAllVia(NewCommunicator(tr), "tcp/alltoall", 0, send)
 		if err != nil {
 			return err
 		}

@@ -218,9 +218,9 @@ func (r *Residual) Update(grad []float32, sent Payload) error {
 
 // CompressedAllReduce sums buf element-wise across all ranks, moving only
 // compressed payloads: each rank compresses its (residual-corrected) vector,
-// AllGathers the payloads, and sums the decompressed contributions. The
-// residual may be nil to disable error feedback.
-func CompressedAllReduce(t comm.Transport, tag int, buf []float32, c Compressor, res *Residual) error {
+// AllGathers the payloads under (op, step), and sums the decompressed
+// contributions. The residual may be nil to disable error feedback.
+func CompressedAllReduce(cm *collective.Communicator, op string, step int, buf []float32, c Compressor, res *Residual) error {
 	send := buf
 	if res != nil {
 		send = res.Apply(buf)
@@ -234,7 +234,7 @@ func CompressedAllReduce(t comm.Transport, tag int, buf []float32, c Compressor,
 			return err
 		}
 	}
-	gathered, err := collective.AllGather(t, tag, payload)
+	gathered, err := collective.AllGatherVia(cm, op, step, payload)
 	if err != nil {
 		return fmt.Errorf("compress: gathering payloads: %w", err)
 	}

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"embrace/internal/collective"
 	"embrace/internal/comm"
 )
 
@@ -121,7 +122,7 @@ func TestCompressedAllReduceQ8(t *testing.T) {
 	}
 	err := comm.RunRanks(n, func(tr comm.Transport) error {
 		buf := append([]float32(nil), inputs[tr.Rank()]...)
-		if err := CompressedAllReduce(tr, 1, buf, Q8{}, nil); err != nil {
+		if err := CompressedAllReduce(collective.NewCommunicator(tr), "test/q8", 0, buf, Q8{}, nil); err != nil {
 			return err
 		}
 		for i, v := range buf {
@@ -200,7 +201,7 @@ func TestCompressedAllReduceOverTCP(t *testing.T) {
 		for i := range buf {
 			buf[i] = 1
 		}
-		if err := CompressedAllReduce(tr, 1, buf, TopK{K: m}, nil); err != nil {
+		if err := CompressedAllReduce(collective.NewCommunicator(tr), "tcp/topk", 0, buf, TopK{K: m}, nil); err != nil {
 			return err
 		}
 		for i, v := range buf {

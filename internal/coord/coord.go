@@ -21,7 +21,6 @@ package coord
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"sync"
 
 	"embrace/internal/collective"
@@ -107,13 +106,6 @@ func NewOn(cm *collective.Communicator, name string, expected int) (*Coordinator
 		c.counts = make(map[string]*pendingOp, expected)
 	}
 	return c, nil
-}
-
-// New creates a coordinator endpoint directly over a transport, naming it
-// after the legacy integer tag. Kept for callers predating the Communicator;
-// new code should use NewOn.
-func New(t comm.Transport, tag, expected int) (*Coordinator, error) {
-	return NewOn(collective.NewCommunicator(t), strconv.Itoa(tag), expected)
 }
 
 // Announce registers a locally ready operation. It never blocks on the

@@ -8,8 +8,15 @@ import (
 	"testing/quick"
 	"time"
 
+	"embrace/internal/collective"
 	"embrace/internal/comm"
 )
+
+// newTest builds a coordinator endpoint over a throwaway Communicator, the
+// shape every production caller uses via NewOn.
+func newTest(tr comm.Transport, expected int) (*Coordinator, error) {
+	return NewOn(collective.NewCommunicator(tr), "test", expected)
+}
 
 // drain runs the consumer loop: collects the dispatched order.
 func drain(c *Coordinator) ([]string, error) {
@@ -28,7 +35,7 @@ func drain(c *Coordinator) ([]string, error) {
 
 func TestNewValidation(t *testing.T) {
 	err := comm.RunRanks(1, func(tr comm.Transport) error {
-		if _, err := New(tr, 1, -1); err == nil {
+		if _, err := newTest(tr, -1); err == nil {
 			return fmt.Errorf("expected error for negative expected")
 		}
 		return nil
@@ -48,7 +55,7 @@ func TestAllRanksSeeSameOrder(t *testing.T) {
 	}
 	orders := make([][]string, n)
 	err := comm.RunRanks(n, func(tr comm.Transport) error {
-		c, err := New(tr, 1, len(ops))
+		c, err := newTest(tr, len(ops))
 		if err != nil {
 			return err
 		}
@@ -95,7 +102,7 @@ func TestPriorityRespectedWhenAllReady(t *testing.T) {
 		{ID: "b", Priority: 20},
 	}
 	err := comm.RunRanks(n, func(tr comm.Transport) error {
-		c, err := New(tr, 1, len(ops))
+		c, err := newTest(tr, len(ops))
 		if err != nil {
 			return err
 		}
@@ -123,7 +130,7 @@ func TestPriorityRespectedWhenAllReady(t *testing.T) {
 
 func TestOverAnnounceRejected(t *testing.T) {
 	err := comm.RunRanks(1, func(tr comm.Transport) error {
-		c, err := New(tr, 1, 1)
+		c, err := newTest(tr, 1)
 		if err != nil {
 			return err
 		}
@@ -150,7 +157,7 @@ func TestOverAnnounceRejected(t *testing.T) {
 
 func TestZeroExpectedTerminatesImmediately(t *testing.T) {
 	err := comm.RunRanks(2, func(tr comm.Transport) error {
-		c, err := New(tr, 1, 0)
+		c, err := newTest(tr, 0)
 		if err != nil {
 			return err
 		}
@@ -185,7 +192,7 @@ func TestNegotiationConsistencyProperty(t *testing.T) {
 		orders := make([][]string, n)
 		var mu sync.Mutex
 		err := comm.RunRanks(n, func(tr comm.Transport) error {
-			c, err := New(tr, 7, k)
+			c, err := newTest(tr, k)
 			if err != nil {
 				return err
 			}
@@ -235,7 +242,7 @@ func TestNegotiationOverTCP(t *testing.T) {
 	const n = 3
 	ops := []Op{{ID: "g1", Priority: 2}, {ID: "g2", Priority: 1}}
 	err := comm.RunRanksTCP(n, func(tr comm.Transport) error {
-		c, err := New(tr, 1, len(ops))
+		c, err := newTest(tr, len(ops))
 		if err != nil {
 			return err
 		}
@@ -262,7 +269,7 @@ func TestMismatchedIDsDetected(t *testing.T) {
 	// Ranks announce different op ids: the negotiation can never complete,
 	// and the coordinator must detect it instead of hanging.
 	err := comm.RunRanks(2, func(tr comm.Transport) error {
-		c, err := New(tr, 1, 1)
+		c, err := newTest(tr, 1)
 		if err != nil {
 			return err
 		}
@@ -289,7 +296,7 @@ func TestRoundsPipelineEarlyOps(t *testing.T) {
 	// later — the consumer can start executing while producers continue.
 	const n = 2
 	err := comm.RunRanks(n, func(tr comm.Transport) error {
-		c, err := New(tr, 1, 2)
+		c, err := newTest(tr, 2)
 		if err != nil {
 			return err
 		}
@@ -321,7 +328,7 @@ func TestRoundsPipelineEarlyOps(t *testing.T) {
 func TestRunExecutesAllInOrder(t *testing.T) {
 	ops := []Op{{ID: "b", Priority: 2}, {ID: "a", Priority: 1}}
 	err := comm.RunRanks(2, func(tr comm.Transport) error {
-		c, err := New(tr, 1, len(ops))
+		c, err := newTest(tr, len(ops))
 		if err != nil {
 			return err
 		}
@@ -349,7 +356,7 @@ func TestRunExecutesAllInOrder(t *testing.T) {
 
 func TestRunStopsOnExecError(t *testing.T) {
 	err := comm.RunRanks(1, func(tr comm.Transport) error {
-		c, err := New(tr, 1, 1)
+		c, err := newTest(tr, 1)
 		if err != nil {
 			return err
 		}

@@ -83,7 +83,7 @@ func TestCollectivesThroughWrappedTransport(t *testing.T) {
 	err := comm.RunRanks(n, func(raw comm.Transport) error {
 		tr := Wrap(raw)
 		buf := make([]float32, m)
-		if err := collective.RingAllReduce(tr, 1, buf); err != nil {
+		if err := collective.NewCommunicator(tr).AllReduce("test/allreduce", 0, buf); err != nil {
 			return err
 		}
 		totals[tr.Rank()] = tr.Stats().PayloadBytes

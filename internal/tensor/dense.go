@@ -74,7 +74,10 @@ func RandDense(rng *rand.Rand, scale float32, shape ...int) *Dense {
 	return t
 }
 
-// Shape returns the tensor's shape. The returned slice must not be mutated.
+// Shape returns the tensor's shape.
+//
+// aliases: the returned slice is the tensor's own shape descriptor and must
+// not be mutated.
 func (t *Dense) Shape() []int { return t.shape }
 
 // Dims returns the number of dimensions.
@@ -90,8 +93,10 @@ func (t *Dense) Len() int { return len(t.data) }
 // communication cost model denotes M.
 func (t *Dense) SizeBytes() int { return len(t.data) * BytesPerElem }
 
-// Data returns the underlying flat buffer. Mutations are visible to the
-// tensor; this is how collectives operate on tensors without copying.
+// Data returns the underlying flat buffer.
+//
+// aliases: the returned slice is the tensor's storage — mutations are visible
+// to the tensor; this is how collectives operate on tensors without copying.
 func (t *Dense) Data() []float32 { return t.data }
 
 // At returns the element at the given multi-dimensional index.
@@ -114,8 +119,10 @@ func (t *Dense) offset(idx []int) int {
 	return off
 }
 
-// Row returns a view of row r of a 2-D tensor. The returned slice aliases the
-// tensor's storage.
+// Row returns a view of row r of a 2-D tensor.
+//
+// aliases: the returned slice is a window into the tensor's storage —
+// mutations are visible to the tensor.
 func (t *Dense) Row(r int) []float32 {
 	if len(t.shape) != 2 {
 		panic("tensor: Row requires a 2-D tensor")

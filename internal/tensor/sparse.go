@@ -72,6 +72,9 @@ func (s *Sparse) Density() float64 {
 }
 
 // Row returns a view of the i-th stored row.
+//
+// aliases: the returned slice is a window into Vals — mutations are visible
+// to the sparse tensor.
 func (s *Sparse) Row(i int) []float32 { return s.Vals[i*s.Dim : (i+1)*s.Dim] }
 
 // Clone returns a deep copy.

@@ -3,7 +3,10 @@ GO ?= go
 # bench-comm benchmark filter; override with e.g. `make bench-comm BENCH=AllToAll`.
 BENCH ?= AllReduce64MB
 
-.PHONY: build test lint check race bench-comm
+# chaos seed sweep offset; override with e.g. `make chaos CHAOS_SEED=20260806`.
+CHAOS_SEED ?= 1
+
+.PHONY: build test lint check race bench-comm chaos
 
 build:
 	$(GO) build ./...
@@ -28,3 +31,13 @@ race: check
 
 bench-comm:
 	$(GO) test -run XXX -bench $(BENCH) -benchtime 5x .
+
+## chaos: the deterministic fault-injection suite (DESIGN.md §8) under the
+## race detector — every collective and an end-to-end training job must be
+## bit-identical to the fault-free run while the chaos transport delays,
+## duplicates, reorders and drops their messages. CHAOS_SEED offsets the
+## seed sweep so CI shards cover disjoint fault schedules.
+chaos:
+	EMBRACE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -timeout 5m -count=1 \
+		-run 'Chaos|Maskable|Crash|Fault' \
+		./internal/comm ./internal/collective ./internal/trainer

@@ -327,6 +327,27 @@ func BenchmarkQ8Compress(b *testing.B) {
 	}
 }
 
+// The chaos wrapper's ping-pong overhead benchmarks
+// (BenchmarkChaosOverheadBare / BenchmarkChaosOverheadEmptyPlan) live in
+// internal/comm, next to the transport they price.
+
+// BenchmarkChaosOverheadMaskedAllReduce prices the full self-healing stack
+// under active fault injection: an 8-rank AllReduce over the standard
+// maskable plan, faults masked by retry and sequence framing.
+func BenchmarkChaosOverheadMaskedAllReduce(b *testing.B) {
+	const ranks, elems = 8, 65536
+	b.SetBytes(int64(elems * tensor.BytesPerElem))
+	for i := 0; i < b.N; i++ {
+		err := comm.RunRanksChaos(ranks, comm.MaskableChaosPlan(int64(i+1)), func(t comm.Transport) error {
+			buf := make([]float32, elems)
+			return collective.NewCommunicator(t).AllReduce("bench/allreduce", 0, buf)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkBandwidthSensitivity(b *testing.B) { benchExperiment(b, "bandwidth") }
 
 func BenchmarkBatchSensitivity(b *testing.B) { benchExperiment(b, "batch") }

@@ -28,6 +28,7 @@ import (
 	"math"
 
 	"embrace/internal/checkpoint"
+	"embrace/internal/comm"
 	"embrace/internal/data"
 	"embrace/internal/experiments"
 	"embrace/internal/metrics"
@@ -290,6 +291,13 @@ type TrainConfig struct {
 	// ring collectives: zero picks the trainer default, negative disables
 	// chunking. Any value yields bit-identical training results.
 	ChunkBytes int
+	// ChaosSeed, when non-zero, trains over a deterministic fault-injecting
+	// transport (comm.MaskableChaosPlan: message delay, duplication,
+	// reordering and transient send failures, all drawn from this seed).
+	// The self-healing collectives mask every injected fault, so results
+	// are bit-identical to ChaosSeed == 0; the fault counts land in
+	// TrainResult. Incompatible with OverTCP.
+	ChaosSeed int64
 }
 
 // TrainResult reports a completed training run.
@@ -312,6 +320,10 @@ type TrainResult struct {
 	// "trainer/stats". It shows WHERE a strategy's bytes go, the per-op
 	// refinement of CommBytes.
 	CommPerOp map[string]OpTraffic
+	// FaultsMasked counts communication faults the self-healing collectives
+	// absorbed (non-zero only under ChaosSeed); FaultsFatal counts faults
+	// that surfaced as errors (always zero when Train returns nil error).
+	FaultsMasked, FaultsFatal int64
 }
 
 // OpTraffic is the measured traffic of one logical collective operation.
@@ -378,7 +390,7 @@ func (c TrainConfig) job() (trainer.Job, error) {
 	if lr == 0 {
 		lr = 0.01
 	}
-	return trainer.Job{
+	job := trainer.Job{
 		Strategy: name,
 		Workers:  c.Workers,
 		Steps:    c.Steps,
@@ -404,7 +416,12 @@ func (c TrainConfig) job() (trainer.Job, error) {
 		DataSeed:   c.Seed + 1,
 		OverTCP:    c.OverTCP,
 		ChunkBytes: c.ChunkBytes,
-	}, nil
+	}
+	if c.ChaosSeed != 0 {
+		plan := comm.MaskableChaosPlan(c.ChaosSeed)
+		job.Chaos = &plan
+	}
+	return job, nil
 }
 
 // SeqTrainConfig describes distributed training of the recurrent model
@@ -546,6 +563,8 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		CommBytes:     res.Comm.PayloadBytes,
 		CommMessages:  res.Comm.Messages,
 		CommPerOp:     perOpTraffic(res.CommPerOp),
+		FaultsMasked:  res.Comm.FaultsMasked,
+		FaultsFatal:   res.Comm.FaultsFatal,
 	}
 	if n := len(res.Losses); n > 0 {
 		out.FinalPPL = perplexity(res.Losses[n-1])

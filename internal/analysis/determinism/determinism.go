@@ -6,7 +6,8 @@
 // the same seed. Both guarantees die the moment a deterministic package
 // reads the wall clock or draws from process-global randomness. This
 // analyzer forbids, inside the deterministic packages (simnet, perfsim,
-// sched, nn, data, tensor, strategies):
+// sched, nn, data, tensor, strategies, and — since the chaos fault injector
+// made its replay-from-seed promise — comm):
 //
 //   - time.Now and time.Since — wall-clock reads; simulated time must come
 //     from the simulation's own clock;
@@ -16,9 +17,9 @@
 //     plumbing an explicitly seeded *rand.Rand is exactly the approved
 //     pattern.
 //
-// Genuinely wall-clock code (metrics, the TCP transport) lives outside the
-// deterministic set and is untouched; within the set, a justified
-// //embrace:allow determinism directive documents any necessary exception.
+// Genuinely wall-clock code (metrics) lives outside the deterministic set
+// and is untouched; within the set, a justified //embrace:allow determinism
+// directive documents any necessary exception.
 package determinism
 
 import (
@@ -38,6 +39,12 @@ var deterministicPkgs = []string{
 	"internal/data",
 	"internal/tensor",
 	"internal/strategies",
+	// The transport layer joined the set with the chaos injector: its fault
+	// schedules must be pure functions of the plan seed, so its replay
+	// guarantee dies with the first wall-clock read or global rand draw.
+	// (time.Sleep is not a read and stays legal — timers bound how long an
+	// already-decided fault holds a message, they never decide one.)
+	"internal/comm",
 }
 
 // Analyzer implements the check.

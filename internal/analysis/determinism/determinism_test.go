@@ -10,6 +10,10 @@ import (
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer,
 		"embrace/internal/simnet",
+		// The transport layer: deterministic since the chaos injector's
+		// replay-from-seed guarantee. Seeded stream generators and sleeps
+		// pass; clock reads and global draws are flagged.
+		"embrace/internal/comm",
 		// A wall-clock package outside the deterministic set: no findings.
 		"embrace/internal/metrics",
 	)

@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -47,11 +48,16 @@ type Communicator struct {
 	t          comm.Transport
 	chunkElems int
 	obs        Observer
+	faults     FaultObserver // c.obs, when it also counts faults
 
 	mu      sync.Mutex
 	ops     map[string]int64 // op name -> slot in the tag space
 	byIndex map[int64]string // slot -> op name, for collision detection
 	tickets map[string]int   // out-of-band sequence numbers per op
+
+	streamMu sync.Mutex
+	sends    map[streamKey]*sendStream
+	recvs    map[streamKey]*recvStream
 
 	pool   sync.Pool // *[]float32 holding scratch data
 	spares sync.Pool // *[]float32 holding empty containers
@@ -66,6 +72,19 @@ type Observer interface {
 	// Received is called after each point-to-point receive; blocked is the
 	// time spent waiting, the real-mode analogue of communication stall.
 	Received(op string, payload any, blocked time.Duration)
+}
+
+// FaultObserver is the optional extension of Observer for fault accounting.
+// When the installed Observer also implements it, the Communicator reports
+// every communication fault it sees: masked faults (duplicates dropped,
+// reordered frames buffered, transient send failures retried away) and fatal
+// ones (dead peers, timeouts, exhausted retry budgets). metrics.OpRecorder
+// implements it.
+type FaultObserver interface {
+	// Fault is called once per fault event on op; masked reports whether the
+	// Communicator absorbed it (true) or surfaced an error (false). kind is
+	// one of "duplicate", "reorder", "transient", "peer-down", "timeout".
+	Fault(op string, kind string, masked bool)
 }
 
 // Tag-space layout: tags are tagBase + opSlot<<stepBits + step. The base
@@ -106,6 +125,7 @@ func NewCommunicator(t comm.Transport, opts ...Option) *Communicator {
 	for _, o := range opts {
 		o(c)
 	}
+	c.faults, _ = c.obs.(FaultObserver)
 	return c
 }
 
@@ -221,27 +241,199 @@ func (c *Communicator) putBuf(buf []float32) {
 }
 
 // ---------------------------------------------------------------------------
-// Instrumented point-to-point.
+// Instrumented, self-healing point-to-point.
+//
+// Every message a Communicator sends is wrapped in a comm.SeqFrame carrying a
+// per-(peer, tag) sequence number. The receiver uses it to drop duplicated
+// frames and to buffer frames that arrive ahead of their turn, so a fabric
+// that duplicates, delays or reorders within a stream (comm.WrapChaos, or a
+// real retransmitting network) still yields bit-identical collective results.
+// Transient send failures (comm.ErrTransient) are retried with exponential
+// backoff up to sendAttempts; everything else surfaces immediately with the
+// op name attached.
 // ---------------------------------------------------------------------------
 
-func (c *Communicator) sendRaw(op string, to, tag int, payload any) error {
+const (
+	// sendAttempts bounds the retry loop for transient send failures. The
+	// chaos transport guarantees bursts no longer than its MaxBurst (default
+	// 3) followed by a guaranteed-good send, so this budget masks every
+	// transient plan it can generate.
+	sendAttempts = 8
+	// retryBackoff is the initial sleep between attempts; it doubles each try.
+	retryBackoff = 100 * time.Microsecond
+)
+
+// streamKey identifies one directed per-tag message stream.
+type streamKey struct{ peer, tag int }
+
+// sendStream numbers outgoing frames.
+type sendStream struct {
+	mu   sync.Mutex
+	next int64
+}
+
+// recvStream tracks the next expected frame and parks early arrivals.
+type recvStream struct {
+	mu   sync.Mutex
+	next int64
+	held map[int64]any // seq -> payload, frames that arrived ahead of turn
+}
+
+func (c *Communicator) sendStream(to, tag int) *sendStream {
+	c.streamMu.Lock()
+	defer c.streamMu.Unlock()
+	k := streamKey{to, tag}
+	s, ok := c.sends[k]
+	if !ok {
+		if c.sends == nil {
+			c.sends = make(map[streamKey]*sendStream)
+		}
+		s = &sendStream{}
+		c.sends[k] = s
+	}
+	return s
+}
+
+func (c *Communicator) recvStream(from, tag int) *recvStream {
+	c.streamMu.Lock()
+	defer c.streamMu.Unlock()
+	k := streamKey{from, tag}
+	s, ok := c.recvs[k]
+	if !ok {
+		if c.recvs == nil {
+			c.recvs = make(map[streamKey]*recvStream)
+		}
+		s = &recvStream{}
+		c.recvs[k] = s
+	}
+	return s
+}
+
+// fault reports a fault event to the observer, when it cares.
+func (c *Communicator) fault(op, kind string, masked bool) {
+	if c.faults != nil {
+		c.faults.Fault(op, kind, masked)
+	}
+}
+
+// faultKindOf classifies a transport error for fault accounting.
+func faultKindOf(err error) string {
+	switch {
+	case errors.Is(err, comm.ErrPeerDown):
+		return "peer-down"
+	case errors.Is(err, comm.ErrTimeout):
+		return "timeout"
+	case errors.Is(err, comm.ErrTransient):
+		return "transient"
+	default:
+		return ""
+	}
+}
+
+// rawSendOnce performs one framed transport send with observer timing. The
+// observer sees the inner payload, not the frame, so byte accounting matches
+// what the caller handed over.
+func (c *Communicator) rawSendOnce(op string, to, tag int, frame comm.SeqFrame) error {
 	if c.obs == nil {
-		return c.t.Send(to, tag, payload)
+		return c.t.Send(to, tag, frame)
 	}
 	start := time.Now()
-	err := c.t.Send(to, tag, payload)
-	c.obs.Sent(op, payload, time.Since(start))
+	err := c.t.Send(to, tag, frame)
+	c.obs.Sent(op, frame.Payload, time.Since(start))
 	return err
 }
 
-func (c *Communicator) recvRaw(op string, from, tag int) (any, error) {
-	if c.obs == nil {
-		return c.t.Recv(from, tag)
+func (c *Communicator) sendRaw(op string, to, tag int, payload any) error {
+	ss := c.sendStream(to, tag)
+	ss.mu.Lock()
+	seq := ss.next
+	ss.next++
+	ss.mu.Unlock()
+	frame := comm.SeqFrame{Seq: seq, Payload: payload}
+
+	backoff := retryBackoff
+	for attempt := 1; ; attempt++ {
+		err := c.rawSendOnce(op, to, tag, frame)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, comm.ErrTransient) {
+			if kind := faultKindOf(err); kind != "" {
+				c.fault(op, kind, false)
+			}
+			return fmt.Errorf("collective: %s send to rank %d: %w", op, to, err)
+		}
+		if attempt >= sendAttempts {
+			c.fault(op, "transient", false)
+			return fmt.Errorf("collective: %s send to rank %d: %d attempts exhausted: %w", op, to, attempt, err)
+		}
+		c.fault(op, "transient", true)
+		time.Sleep(backoff)
+		backoff *= 2
 	}
-	start := time.Now()
-	payload, err := c.t.Recv(from, tag)
-	c.obs.Received(op, payload, time.Since(start))
-	return payload, err
+}
+
+// recvRaw returns the next in-order payload of the (from, tag) stream,
+// absorbing duplicated and early frames. Unframed payloads (from peers not
+// using a Communicator) pass through untouched.
+func (c *Communicator) recvRaw(op string, from, tag int) (any, error) {
+	rs := c.recvStream(from, tag)
+	for {
+		rs.mu.Lock()
+		if v, ok := rs.held[rs.next]; ok {
+			delete(rs.held, rs.next)
+			rs.next++
+			rs.mu.Unlock()
+			return v, nil
+		}
+		rs.mu.Unlock()
+
+		// The transport call happens with no lock held: a blocked receive
+		// must never pin stream state.
+		var payload any
+		var err error
+		if c.obs == nil {
+			payload, err = c.t.Recv(from, tag)
+		} else {
+			start := time.Now()
+			payload, err = c.t.Recv(from, tag)
+			if f, ok := payload.(comm.SeqFrame); ok {
+				c.obs.Received(op, f.Payload, time.Since(start))
+			} else {
+				c.obs.Received(op, payload, time.Since(start))
+			}
+		}
+		if err != nil {
+			if kind := faultKindOf(err); kind != "" {
+				c.fault(op, kind, false)
+			}
+			return nil, fmt.Errorf("collective: %s recv from rank %d: %w", op, from, err)
+		}
+		f, ok := payload.(comm.SeqFrame)
+		if !ok {
+			return payload, nil
+		}
+
+		rs.mu.Lock()
+		switch {
+		case f.Seq < rs.next:
+			// Already delivered: a duplicated frame. Drop it.
+			rs.mu.Unlock()
+			c.fault(op, "duplicate", true)
+		case f.Seq > rs.next:
+			// Ahead of turn: park it and keep receiving.
+			if rs.held == nil {
+				rs.held = make(map[int64]any)
+			}
+			rs.held[f.Seq] = f.Payload
+			rs.mu.Unlock()
+			c.fault(op, "reorder", true)
+		default:
+			rs.next++
+			rs.mu.Unlock()
+			return f.Payload, nil
+		}
+	}
 }
 
 // Send delivers payload to rank `to` under the tag of (op, step) — the

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Transport is the point-to-point fabric a single rank uses. Implementations
@@ -39,6 +40,49 @@ var ErrClosed = errors.New("comm: world closed")
 // ErrRank is returned when a peer rank is out of range.
 var ErrRank = errors.New("comm: rank out of range")
 
+// ErrPeerDown is returned when the counterpart of an operation is known to
+// be dead: its process crashed, its connection broke, or it left the world
+// after a failure. Unlike ErrClosed (the local world was shut down), the
+// rest of the world is still alive, so callers can attribute the failure to
+// the specific peer carried in the error message.
+var ErrPeerDown = errors.New("comm: peer down")
+
+// ErrTimeout is returned by Recv when a RecvTimeout is configured and no
+// message arrived in time. It is the detector of last resort for peers that
+// die without the transport noticing.
+var ErrTimeout = errors.New("comm: receive timed out")
+
+// ErrTransient is a retryable send failure: the message was not delivered,
+// but an identical re-send may succeed. The chaos transport injects it;
+// resilient senders (collective.Communicator) retry with backoff.
+var ErrTransient = errors.New("comm: transient send failure")
+
+// TimeoutSetter is implemented by transports whose blocking receives can be
+// bounded. A zero duration disables the timeout (block forever).
+type TimeoutSetter interface {
+	SetRecvTimeout(d time.Duration)
+}
+
+// Leaver is implemented by transports that can announce their own departure:
+// Leave marks this rank down for every peer, so receivers blocked on it fail
+// fast with ErrPeerDown instead of hanging until the whole world closes.
+// A rank that aborts a collective mid-protocol should Leave so the failure
+// cascades cleanly instead of deadlocking the survivors.
+type Leaver interface {
+	Leave(reason error)
+}
+
+// SeqFrame is the ordered-delivery envelope resilient senders wrap payloads
+// in: a per-(sender, tag) sequence number plus the payload. The transport
+// treats it as an opaque payload; the receiving Communicator uses Seq to
+// drop duplicated frames and reorder delayed ones, and metrics unwraps it
+// when sizing traffic. Exported so every layer (and gob) agrees on the one
+// envelope type.
+type SeqFrame struct {
+	Seq     int64
+	Payload any
+}
+
 // mailboxBuffer is the per-(sender, tag) channel capacity. Collectives never
 // have more than a few in-flight messages per edge, but a generous buffer
 // keeps senders from blocking on slow receivers.
@@ -50,14 +94,33 @@ type mailboxKey struct {
 
 // mailboxSet is the demultiplexer shared by every transport implementation:
 // messages are delivered per (sender, tag) channel in FIFO order, and
-// receivers block on exactly their envelope.
+// receivers block on exactly their envelope. It also carries the local
+// failure model: per-peer down markers (set when a peer is known dead) and
+// an optional receive timeout, so a blocked receiver fails with ErrPeerDown
+// or ErrTimeout instead of hanging until the whole world closes.
 type mailboxSet struct {
 	mu    sync.Mutex
 	boxes map[mailboxKey]chan any
+	peers map[int]*peerState
+
+	// timeoutNS is the receive timeout in nanoseconds; zero blocks forever.
+	timeoutNS atomic.Int64
+}
+
+// peerState tracks one sender's liveness as seen by this receiver. downCh is
+// closed (after reason is set under the set's mutex) when the peer is marked
+// down; the channel-close ordering makes reason safe to read afterwards.
+type peerState struct {
+	downCh chan struct{}
+	down   bool
+	reason error
 }
 
 func newMailboxSet() *mailboxSet {
-	return &mailboxSet{boxes: make(map[mailboxKey]chan any)}
+	return &mailboxSet{
+		boxes: make(map[mailboxKey]chan any),
+		peers: make(map[int]*peerState),
+	}
 }
 
 // box returns (creating if needed) the channel for (from, tag), or nil if
@@ -89,17 +152,103 @@ func (m *mailboxSet) deliver(from, tag int, payload any) bool {
 	return true
 }
 
-// receive blocks until a payload for (from, tag) arrives.
+// peer returns (creating if needed) the liveness record for `from`, or nil
+// if the set has been closed.
+func (m *mailboxSet) peer(from int) *peerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.peers == nil {
+		return nil
+	}
+	ps, ok := m.peers[from]
+	if !ok {
+		ps = &peerState{downCh: make(chan struct{})}
+		m.peers[from] = ps
+	}
+	return ps
+}
+
+// markDown records that `from` is dead for the given reason, waking every
+// receiver blocked on it. Idempotent; the first reason wins.
+func (m *mailboxSet) markDown(from int, reason error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.peers == nil {
+		return // closed; receivers already unblocked with ErrClosed
+	}
+	ps, ok := m.peers[from]
+	if !ok {
+		ps = &peerState{downCh: make(chan struct{})}
+		m.peers[from] = ps
+	}
+	if ps.down {
+		return
+	}
+	ps.down = true
+	if reason == nil {
+		reason = ErrPeerDown
+	} else if !errors.Is(reason, ErrPeerDown) {
+		reason = fmt.Errorf("%w: %v", ErrPeerDown, reason)
+	}
+	ps.reason = reason
+	close(ps.downCh)
+}
+
+// setTimeout bounds every subsequent blocking receive; zero disables.
+func (m *mailboxSet) setTimeout(d time.Duration) {
+	m.timeoutNS.Store(int64(d))
+}
+
+// receive blocks until a payload for (from, tag) arrives, the sender is
+// marked down (ErrPeerDown), the configured timeout elapses (ErrTimeout),
+// or the set is closed (ErrClosed). Messages already queued are always
+// drained before a down marker is honored, so a peer's final sends are
+// never lost to its own death notice.
 func (m *mailboxSet) receive(from, tag int) (any, error) {
 	ch := m.box(from, tag)
 	if ch == nil {
 		return nil, ErrClosed
 	}
-	payload, ok := <-ch
-	if !ok {
+	// Fast path: queued messages win over down markers and timeouts.
+	select {
+	case payload, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return payload, nil
+	default:
+	}
+	ps := m.peer(from)
+	if ps == nil {
 		return nil, ErrClosed
 	}
-	return payload, nil
+	var timeC <-chan time.Time
+	if d := time.Duration(m.timeoutNS.Load()); d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeC = timer.C
+	}
+	select {
+	case payload, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return payload, nil
+	case <-ps.downCh:
+		// A message may have raced in just before the down marker; prefer it.
+		select {
+		case payload, ok := <-ch:
+			if ok {
+				return payload, nil
+			}
+			return nil, ErrClosed
+		default:
+		}
+		return nil, fmt.Errorf("recv from rank %d: %w", from, ps.reason)
+	case <-timeC:
+		return nil, fmt.Errorf("%w: nothing from rank %d under tag %d within %v",
+			ErrTimeout, from, tag, time.Duration(m.timeoutNS.Load()))
+	}
 }
 
 // closeAll closes every mailbox, unblocking receivers with ErrClosed.
@@ -110,6 +259,7 @@ func (m *mailboxSet) closeAll() {
 		close(ch)
 	}
 	m.boxes = nil
+	m.peers = nil
 }
 
 // World is a set of N in-process ranks wired all-to-all.
@@ -161,6 +311,27 @@ func (w *World) Close() {
 	}
 }
 
+// SetRecvTimeout bounds every rank's blocking receives; zero disables.
+func (w *World) SetRecvTimeout(d time.Duration) {
+	for _, r := range w.ranks {
+		r.mail.setTimeout(d)
+	}
+}
+
+// markPeerDown records `peer` as dead (for the given reason) in every other
+// rank's mailboxes, waking their blocked receives with ErrPeerDown.
+func (w *World) markPeerDown(peer int, reason error) {
+	if peer < 0 || peer >= w.size {
+		return
+	}
+	for i, r := range w.ranks {
+		if i == peer {
+			continue
+		}
+		r.mail.markDown(peer, reason)
+	}
+}
+
 func (r *rank) Rank() int { return r.id }
 func (r *rank) Size() int { return r.world.size }
 
@@ -182,6 +353,16 @@ func (r *rank) Recv(from, tag int) (any, error) {
 		return nil, fmt.Errorf("%w: recv from %d in world of %d", ErrRank, from, r.world.size)
 	}
 	return r.mail.receive(from, tag)
+}
+
+// SetRecvTimeout implements TimeoutSetter for this rank alone.
+func (r *rank) SetRecvTimeout(d time.Duration) { r.mail.setTimeout(d) }
+
+// Leave implements Leaver: it marks this rank down for every peer, so their
+// blocked receives fail fast with ErrPeerDown instead of deadlocking on a
+// participant that has abandoned the protocol.
+func (r *rank) Leave(reason error) {
+	r.world.markPeerDown(r.id, fmt.Errorf("rank %d left the world: %v", r.id, reason))
 }
 
 // RunRanks runs fn concurrently on every rank of a fresh world of size n and

@@ -52,6 +52,7 @@ func init() {
 	RegisterWireType(0.0)
 	RegisterWireType("")
 	RegisterWireType(struct{}{})
+	RegisterWireType(SeqFrame{})
 }
 
 // TCPWorld is a set of ranks connected all-to-all over loopback TCP. It is
@@ -70,6 +71,11 @@ type tcpRank struct {
 	mail *mailboxSet
 
 	listener net.Listener
+
+	// shutdown distinguishes a local Close (readers stay quiet, receivers
+	// get ErrClosed) from a peer dying underneath us (readers mark the peer
+	// down, receivers get ErrPeerDown).
+	shutdown atomic.Bool
 
 	mu    sync.Mutex
 	conns []*tcpConn // indexed by peer rank; nil for self
@@ -224,8 +230,14 @@ func (r *tcpRank) startReaders() {
 			for {
 				var f wireFrame
 				if err := c.dec.Decode(&f); err != nil {
-					// Connection closed (shutdown) or broken; receivers
-					// are unblocked when the world closes the mailboxes.
+					// Connection closed or broken. During a local shutdown
+					// the mailboxes are about to deliver ErrClosed; a peer
+					// dying on its own is a single-link failure the blocked
+					// receivers must hear about now, not when the whole
+					// world eventually closes.
+					if !r.shutdown.Load() {
+						r.mail.markDown(peer, fmt.Errorf("rank %d connection lost: %v", peer, err))
+					}
 					return
 				}
 				if f.From != peer {
@@ -284,17 +296,47 @@ func (r *tcpRank) Recv(from, tag int) (any, error) {
 	return r.mail.receive(from, tag)
 }
 
+// SetRecvTimeout implements TimeoutSetter.
+func (r *tcpRank) SetRecvTimeout(d time.Duration) { r.mail.setTimeout(d) }
+
+// Leave implements Leaver: closing this rank's connections makes every
+// peer's reader observe the breakage and mark this rank down.
+func (r *tcpRank) Leave(reason error) {
+	r.shutdown.Store(true)
+	r.mu.Lock()
+	for _, c := range r.conns {
+		if c != nil {
+			c.conn.Close()
+		}
+	}
+	r.mu.Unlock()
+}
+
 // Size returns the number of ranks.
 func (w *TCPWorld) Size() int { return w.size }
 
 // Rank returns the transport endpoint for rank i.
 func (w *TCPWorld) Rank(i int) Transport { return w.ranks[i] }
 
+// SetRecvTimeout bounds every rank's blocking receives; zero disables.
+func (w *TCPWorld) SetRecvTimeout(d time.Duration) {
+	for _, r := range w.ranks {
+		if r != nil {
+			r.mail.setTimeout(d)
+		}
+	}
+}
+
 // Close shuts down listeners, connections and mailboxes. Blocked receivers
 // return ErrClosed.
 func (w *TCPWorld) Close() {
 	if w.closed.Swap(true) {
 		return
+	}
+	for _, r := range w.ranks {
+		if r != nil {
+			r.shutdown.Store(true)
+		}
 	}
 	for _, r := range w.ranks {
 		if r == nil {

@@ -7,6 +7,7 @@ package comm
 import (
 	"fmt"
 	"net"
+	"time"
 )
 
 // TCPNode is one process's rank endpoint in a multi-process TCP mesh. It
@@ -68,9 +69,20 @@ func (n *TCPNode) Send(to, tag int, payload any) error { return n.rank.Send(to, 
 // Recv implements Transport.
 func (n *TCPNode) Recv(from, tag int) (any, error) { return n.rank.Recv(from, tag) }
 
+// SetRecvTimeout bounds this node's blocking receives; zero disables. With a
+// timeout set, a receiver waiting on a silent peer returns ErrTimeout, and a
+// receiver whose peer's connection died returns ErrPeerDown — the node never
+// hangs until the whole mesh is torn down.
+func (n *TCPNode) SetRecvTimeout(d time.Duration) { n.rank.SetRecvTimeout(d) }
+
+// Leave announces this node's departure by closing its peer connections, so
+// every peer's blocked receives on this rank fail fast with ErrPeerDown.
+func (n *TCPNode) Leave(reason error) { n.rank.Leave(reason) }
+
 // Close shuts the node down: listener, peer connections, mailboxes.
 func (n *TCPNode) Close() {
 	r := n.rank
+	r.shutdown.Store(true)
 	if r.listener != nil {
 		r.listener.Close()
 	}

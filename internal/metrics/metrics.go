@@ -28,6 +28,10 @@ type Stats struct {
 	// PayloadBytes estimates the bytes sent (tensor payloads and token
 	// batches; small control values count as zero).
 	PayloadBytes int64
+	// FaultsMasked counts communication faults absorbed by the self-healing
+	// layer (duplicates dropped, reordered frames buffered, transient sends
+	// retried); FaultsFatal counts faults that surfaced as errors.
+	FaultsMasked, FaultsFatal int64
 }
 
 // Add returns the element-wise sum of two snapshots.
@@ -37,6 +41,8 @@ func (s Stats) Add(o Stats) Stats {
 		RecvSeconds:  s.RecvSeconds + o.RecvSeconds,
 		Messages:     s.Messages + o.Messages,
 		PayloadBytes: s.PayloadBytes + o.PayloadBytes,
+		FaultsMasked: s.FaultsMasked + o.FaultsMasked,
+		FaultsFatal:  s.FaultsFatal + o.FaultsFatal,
 	}
 }
 
@@ -94,6 +100,11 @@ func (m *Transport) Stats() Stats {
 // stack sends. Unknown types count as zero (control messages).
 func PayloadSize(payload any) int64 {
 	switch v := payload.(type) {
+	case comm.SeqFrame:
+		// Sequence envelope added by collective.Communicator: size the
+		// payload it carries (the 8-byte counter is framing overhead, like
+		// the tag, and deliberately excluded).
+		return PayloadSize(v.Payload)
 	case []float32:
 		return int64(len(v) * tensor.BytesPerElem)
 	case *tensor.Dense:
@@ -140,6 +151,9 @@ type OpStats struct {
 	// SendSeconds and RecvSeconds are wall-clock time inside Send/Recv for
 	// the op; RecvSeconds is the op's communication stall.
 	SendSeconds, RecvSeconds float64
+	// FaultsMasked and FaultsFatal count communication faults the op
+	// absorbed and surfaced, respectively (see Stats).
+	FaultsMasked, FaultsFatal int64
 }
 
 // Add returns the element-wise sum of two per-op snapshots.
@@ -149,6 +163,8 @@ func (s OpStats) Add(o OpStats) OpStats {
 		PayloadBytes: s.PayloadBytes + o.PayloadBytes,
 		SendSeconds:  s.SendSeconds + o.SendSeconds,
 		RecvSeconds:  s.RecvSeconds + o.RecvSeconds,
+		FaultsMasked: s.FaultsMasked + o.FaultsMasked,
+		FaultsFatal:  s.FaultsFatal + o.FaultsFatal,
 	}
 }
 
@@ -195,6 +211,20 @@ func (r *OpRecorder) Received(op string, payload any, blocked time.Duration) {
 	r.mu.Unlock()
 }
 
+// Fault implements collective.FaultObserver: kind is the fault class
+// ("duplicate", "reorder", "transient", ...) and masked reports whether the
+// Communicator absorbed it or surfaced an error.
+func (r *OpRecorder) Fault(op string, kind string, masked bool) {
+	r.mu.Lock()
+	s := r.get(op)
+	if masked {
+		s.FaultsMasked++
+	} else {
+		s.FaultsFatal++
+	}
+	r.mu.Unlock()
+}
+
 // PerOp returns a copy of the per-op counters accumulated so far.
 func (r *OpRecorder) PerOp() map[string]OpStats {
 	r.mu.Lock()
@@ -217,6 +247,8 @@ func (r *OpRecorder) Total() Stats {
 		t.PayloadBytes += s.PayloadBytes
 		t.SendSeconds += s.SendSeconds
 		t.RecvSeconds += s.RecvSeconds
+		t.FaultsMasked += s.FaultsMasked
+		t.FaultsFatal += s.FaultsFatal
 	}
 	return t
 }

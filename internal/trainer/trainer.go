@@ -6,8 +6,10 @@
 package trainer
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"embrace/internal/collective"
 	"embrace/internal/comm"
@@ -52,6 +54,15 @@ type Job struct {
 	// chunking (whole-chunk messages). Results are bit-identical for every
 	// value — chunking splits element ranges, not summation order.
 	ChunkBytes int
+	// Chaos, when non-nil, runs the job over a fault-injecting transport
+	// (comm.WrapChaos around the in-process fabric). Maskable plans leave
+	// results bit-identical to a fault-free run; unmaskable ones surface as
+	// FaultError. Incompatible with OverTCP.
+	Chaos *comm.FaultPlan
+	// RecvTimeout bounds every blocking receive (comm.ErrTimeout past it),
+	// the liveness backstop that turns a silently hung peer into an
+	// attributed error. Zero disables.
+	RecvTimeout time.Duration
 }
 
 // DefaultChunkBytes is the pipelining segment size training jobs use when
@@ -83,6 +94,9 @@ func (j Job) Validate() error {
 	}
 	if j.Data.VocabSize != j.Model.Vocab {
 		return fmt.Errorf("trainer: data vocab %d != model vocab %d", j.Data.VocabSize, j.Model.Vocab)
+	}
+	if j.Chaos != nil && j.OverTCP {
+		return fmt.Errorf("trainer: chaos injection runs over the in-process fabric; drop OverTCP")
 	}
 	if err := j.Model.Validate(j.Workers); err != nil {
 		return err
@@ -161,6 +175,12 @@ func Run(job Job) (*Result, error) {
 	if job.OverTCP {
 		runRanks = comm.RunRanksTCP
 	}
+	if job.Chaos != nil {
+		plan := *job.Chaos
+		runRanks = func(n int, fn func(t comm.Transport) error) error {
+			return comm.RunRanksChaos(n, plan, fn)
+		}
+	}
 	runErr := runRanks(job.Workers, func(raw comm.Transport) error {
 		return runRank(job, raw, shared, res, &mu)
 	})
@@ -170,9 +190,69 @@ func Run(job Job) (*Result, error) {
 	return res, nil
 }
 
+// FaultError attributes an unmaskable communication fault to where it
+// surfaced: which rank observed it, at which training step, in which phase of
+// the step. The underlying transport error (comm.ErrPeerDown, comm.ErrTimeout,
+// an exhausted retry budget) is reachable through errors.Is/As.
+type FaultError struct {
+	Rank  int
+	Step  int // -1 outside the step loop
+	Phase string
+	Err   error
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	if e.Step < 0 {
+		return fmt.Sprintf("trainer: rank %d: %s: %v", e.Rank, e.Phase, e.Err)
+	}
+	return fmt.Sprintf("trainer: rank %d step %d: %s: %v", e.Rank, e.Step, e.Phase, e.Err)
+}
+
+// Unwrap exposes the transport error.
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// isCommFault reports whether err is a transport-level fault worth
+// attributing (as opposed to a logic or configuration error).
+func isCommFault(err error) bool {
+	return errors.Is(err, comm.ErrPeerDown) ||
+		errors.Is(err, comm.ErrTimeout) ||
+		errors.Is(err, comm.ErrTransient) ||
+		errors.Is(err, comm.ErrClosed)
+}
+
+// attribute wraps a step-phase error: communication faults become clean
+// attributed FaultErrors; everything else keeps the plain wrapping.
+func attribute(rank, step int, phase string, err error) error {
+	if isCommFault(err) {
+		return &FaultError{Rank: rank, Step: step, Phase: phase, Err: err}
+	}
+	if step < 0 {
+		return fmt.Errorf("rank %d %s: %w", rank, phase, err)
+	}
+	return fmt.Errorf("rank %d step %d: %s: %w", rank, step, phase, err)
+}
+
 // runRank executes one rank's training loop, folding its results into res
-// under mu.
+// under mu. A rank that fails announces its departure (comm.Leaver) so peers
+// blocked on it fail fast with an attributed error instead of hanging until
+// their own timeouts.
 func runRank(job Job, raw comm.Transport, shared *strategies.Shared, res *Result, mu *sync.Mutex) error {
+	if job.RecvTimeout > 0 {
+		if ts, ok := raw.(comm.TimeoutSetter); ok {
+			ts.SetRecvTimeout(job.RecvTimeout)
+		}
+	}
+	err := runRankLoop(job, raw, shared, res, mu)
+	if err != nil {
+		if l, ok := raw.(comm.Leaver); ok {
+			l.Leave(err)
+		}
+	}
+	return err
+}
+
+func runRankLoop(job Job, raw comm.Transport, shared *strategies.Shared, res *Result, mu *sync.Mutex) error {
 	rec := metrics.NewOpRecorder()
 	cm := collective.NewCommunicator(raw,
 		collective.WithChunkBytes(chunkBytesOf(job.ChunkBytes)),
@@ -201,11 +281,11 @@ func runRank(job Job, raw comm.Transport, shared *strategies.Shared, res *Result
 		windows, targets := WindowsTargets(batch, job.Window)
 		stats, err := w.Step(step, windows, targets, next.Tokens())
 		if err != nil {
-			return fmt.Errorf("rank %d step %d: %w", cm.Rank(), step, err)
+			return attribute(cm.Rank(), step, "train step", err)
 		}
 		all, err := collective.GatherVia(cm, strategies.OpStats, step, 0, stats)
 		if err != nil {
-			return fmt.Errorf("rank %d stats gather: %w", cm.Rank(), err)
+			return attribute(cm.Rank(), step, "stats gather", err)
 		}
 		if cm.Rank() == 0 {
 			var sum float64
@@ -230,7 +310,7 @@ func runRank(job Job, raw comm.Transport, shared *strategies.Shared, res *Result
 	// every rank participates; rank 0 keeps the result.
 	emb, err := w.FullEmbedding()
 	if err != nil {
-		return fmt.Errorf("rank %d final embedding: %w", cm.Rank(), err)
+		return attribute(cm.Rank(), -1, "final embedding", err)
 	}
 	if cm.Rank() == 0 {
 		mu.Lock()

@@ -6,7 +6,7 @@ BENCH ?= AllReduce64MB
 # chaos seed sweep offset; override with e.g. `make chaos CHAOS_SEED=20260806`.
 CHAOS_SEED ?= 1
 
-.PHONY: build test lint check race bench-comm chaos
+.PHONY: build test lint check race bench-comm chaos trace-demo
 
 build:
 	$(GO) build ./...
@@ -41,3 +41,10 @@ chaos:
 	EMBRACE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -timeout 5m -count=1 \
 		-run 'Chaos|Maskable|Crash|Fault' \
 		./internal/comm ./internal/collective ./internal/trainer
+
+## trace-demo: trace a real 4-rank EmbRace training run and write trace.json
+## (Chrome trace-event format; open in Perfetto or chrome://tracing). The
+## delayed-gradient AlltoAll appears on its own background lane, overlapping
+## the next step's compute — §4.2.2 measured rather than simulated.
+trace-demo:
+	$(GO) run ./cmd/embrace-bench -traceout trace.json

@@ -16,6 +16,7 @@ import (
 	"embrace/internal/coord"
 	"embrace/internal/sched"
 	"embrace/internal/tensor"
+	"embrace/internal/trace"
 )
 
 // benchExperiment runs one experiment harness per iteration.
@@ -232,6 +233,35 @@ func BenchmarkRealTrainingStepEmbRace(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTraceRecorderSpan measures the cost of one Begin/End pair on a
+// live recorder — the per-span overhead tracing adds to an instrumented
+// phase.
+func BenchmarkTraceRecorderSpan(b *testing.B) {
+	r := trace.NewRecorder(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Begin(trace.TrackCompute, "fp", i).End()
+		if i%(1<<16) == 0 {
+			b.StopTimer()
+			r.Reset() // bound the span slice so memory doesn't skew timing
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkTraceRecorderDisabled measures the same pair on a nil recorder —
+// the cost a tracing-off run pays at every instrumentation point, which must
+// stay at pointer-check noise level.
+func BenchmarkTraceRecorderDisabled(b *testing.B) {
+	var r *trace.Recorder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Begin(trace.TrackCompute, "fp", i).End()
 	}
 }
 

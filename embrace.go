@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 
 	"embrace/internal/checkpoint"
 	"embrace/internal/comm"
@@ -298,6 +299,11 @@ type TrainConfig struct {
 	// are bit-identical to ChaosSeed == 0; the fault counts land in
 	// TrainResult. Incompatible with OverTCP.
 	ChaosSeed int64
+	// TracePath, when set, records per-rank execution spans during the run
+	// and writes them there as Chrome trace-event JSON (open in Perfetto or
+	// chrome://tracing). The per-phase time breakdown lands in
+	// TrainResult.PhaseSeconds.
+	TracePath string
 }
 
 // TrainResult reports a completed training run.
@@ -324,6 +330,10 @@ type TrainResult struct {
 	// absorbed (non-zero only under ChaosSeed); FaultsFatal counts faults
 	// that surfaced as errors (always zero when Train returns nil error).
 	FaultsMasked, FaultsFatal int64
+	// PhaseSeconds sums measured span durations by phase name across all
+	// ranks (only when TracePath was set): e.g. "fp+bp" vs "xchg/prior" vs
+	// "xchg/delayed" — where the run's wall time went.
+	PhaseSeconds map[string]float64
 }
 
 // OpTraffic is the measured traffic of one logical collective operation.
@@ -540,9 +550,24 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		}
 		job.SkipBatches = ckpt.Step
 	}
+	job.Trace = cfg.TracePath != ""
 	res, err := trainer.Run(job)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.TracePath != "" {
+		f, err := os.Create(cfg.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("embrace: trace output: %w", err)
+		}
+		title := fmt.Sprintf("%s (%d workers, real execution)", job.Strategy, job.Workers)
+		if err := trace.ExportRecorders(f, title, res.Traces); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.CheckpointPath != "" {
 		ckpt := &checkpoint.Checkpoint{
@@ -565,6 +590,7 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		CommPerOp:     perOpTraffic(res.CommPerOp),
 		FaultsMasked:  res.Comm.FaultsMasked,
 		FaultsFatal:   res.Comm.FaultsFatal,
+		PhaseSeconds:  res.PhaseSeconds,
 	}
 	if n := len(res.Losses); n > 0 {
 		out.FinalPPL = perplexity(res.Losses[n-1])

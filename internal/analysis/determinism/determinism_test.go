@@ -14,6 +14,9 @@ func TestDeterminism(t *testing.T) {
 		// replay-from-seed guarantee. Seeded stream generators and sleeps
 		// pass; clock reads and global draws are flagged.
 		"embrace/internal/comm",
+		// The trainer: span-instrumented code must reach the clock only
+		// through an injected trace.Clock, never time.Now directly.
+		"embrace/internal/trainer",
 		// A wall-clock package outside the deterministic set: no findings.
 		"embrace/internal/metrics",
 	)

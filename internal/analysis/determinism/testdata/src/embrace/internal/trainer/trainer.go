@@ -1,0 +1,31 @@
+// Package trainer is a fixture standing in for the span-instrumented
+// trainer: recording spans through an injected clock is the approved
+// pattern; reading the wall clock directly is the leak the analyzer exists
+// to catch.
+package trainer
+
+import "time"
+
+// Clock mirrors trace.Clock: the single injection point instrumented code
+// may obtain time through.
+type Clock func() time.Duration
+
+// Span is a recorded phase.
+type Span struct {
+	Name string
+	Dur  time.Duration
+}
+
+// timed shows the approved instrumentation shape: durations come from the
+// injected clock, never from the package's own wall-clock reads.
+func timed(clock Clock, name string, fn func()) Span {
+	start := clock()
+	fn()
+	return Span{Name: name, Dur: clock() - start}
+}
+
+func flagged(name string, fn func()) Span {
+	start := time.Now() // want `time\.Now reads the wall clock in deterministic package trainer`
+	fn()
+	return Span{Name: name, Dur: time.Since(start)} // want `time\.Since reads the wall clock in deterministic package trainer`
+}

@@ -41,9 +41,16 @@ func (RowRange) Name() string { return "row-range" }
 // ShardLoads implements Scheme.
 func (p RowRange) ShardLoads(tokens []int64, n int) []float64 {
 	loads := make([]float64, n)
-	per := (p.Vocab + n - 1) / n
+	per := int64(p.Vocab+n-1) / int64(n)
 	for _, tok := range tokens {
-		shard := int(tok) / per
+		// Divide in int64 (an id above MaxInt32 must not wrap on 32-bit
+		// ints) and clamp out-of-vocabulary ids — negative sentinels to the
+		// first shard, oversized ids to the last — instead of indexing out
+		// of range.
+		shard := int(tok / per)
+		if shard < 0 {
+			shard = 0
+		}
 		if shard >= n {
 			shard = n - 1
 		}
@@ -64,9 +71,21 @@ func (RowHash) Name() string { return "row-hash" }
 func (RowHash) ShardLoads(tokens []int64, n int) []float64 {
 	loads := make([]float64, n)
 	for _, tok := range tokens {
-		loads[int(tok)%n]++
+		loads[hashShard(tok, n)]++
 	}
 	return loads
+}
+
+// hashShard maps a token id to a shard in [0, n). Go's % keeps the
+// dividend's sign, so negative ids (padding sentinels, masked positions)
+// need normalizing — a bare loads[int(tok)%n] panics on them. The modulus
+// runs in int64 so ids past MaxInt32 don't wrap on 32-bit ints either.
+func hashShard(tok int64, n int) int {
+	s := int(tok % int64(n))
+	if s < 0 {
+		s += n
+	}
+	return s
 }
 
 // ColumnWise is EmbRace's choice: every shard holds every row's 1/n column

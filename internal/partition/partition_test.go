@@ -101,6 +101,56 @@ func TestShardLoadsConserveWork(t *testing.T) {
 	}
 }
 
+func TestShardLoadsHostileTokenIDs(t *testing.T) {
+	// Regression: RowHash indexed loads[int(tok)%n], which is negative for
+	// negative ids (padding sentinels, masked positions) and panicked;
+	// RowRange divided the raw id the same way. Both must tolerate any
+	// int64 id, including ones past MaxInt32.
+	schemes := []Scheme{RowHash{}, RowRange{Vocab: 1000}, ColumnWise{}}
+	cases := []struct {
+		name   string
+		tokens []int64
+		n      int
+	}{
+		{"negative ids", []int64{-1, -2, -7, 3}, 4},
+		{"most negative id", []int64{math.MinInt64}, 3},
+		{"past MaxInt32", []int64{1 << 40, (1 << 40) + 1}, 4},
+		{"mixed extremes", []int64{math.MinInt64, -1, 0, 5, math.MaxInt64}, 5},
+	}
+	for _, c := range cases {
+		for _, s := range schemes {
+			loads := s.ShardLoads(c.tokens, c.n) // must not panic
+			if len(loads) != c.n {
+				t.Fatalf("%s/%s: %d shards, want %d", s.Name(), c.name, len(loads), c.n)
+			}
+			var total float64
+			for i, l := range loads {
+				if l < 0 {
+					t.Fatalf("%s/%s: negative load %f on shard %d", s.Name(), c.name, l, i)
+				}
+				total += l
+			}
+			if math.Abs(total-float64(len(c.tokens))) > 1e-9 {
+				t.Fatalf("%s/%s: total load %f, want %d", s.Name(), c.name, total, len(c.tokens))
+			}
+		}
+	}
+	// Hashing must still agree with the plain modulus on ordinary ids.
+	loads := RowHash{}.ShardLoads([]int64{0, 1, 2, 5, 9}, 4)
+	want := []float64{1, 3, 1, 0}
+	for i := range want {
+		if loads[i] != want[i] {
+			t.Fatalf("RowHash loads = %v, want %v", loads, want)
+		}
+	}
+	// A negative id and its normalized counterpart land on the same shard:
+	// -3 mod 4 == 1.
+	loads = RowHash{}.ShardLoads([]int64{-3}, 4)
+	if loads[1] != 1 {
+		t.Fatalf("RowHash(-3) loads = %v, want shard 1", loads)
+	}
+}
+
 func TestMeasureValidation(t *testing.T) {
 	if _, err := Measure(ColumnWise{}, [][]int64{{1}}, 0); err == nil {
 		t.Fatal("expected shards error")

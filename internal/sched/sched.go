@@ -57,7 +57,14 @@ func (q *FIFO) Pop() *Op {
 		return nil
 	}
 	op := q.ops[0]
+	// Nil the vacated slot: reslicing alone keeps the popped op — and the
+	// gradient tensors its Execute closure captures — reachable through the
+	// backing array for as long as the queue lives.
+	q.ops[0] = nil
 	q.ops = q.ops[1:]
+	if len(q.ops) == 0 {
+		q.ops = nil // release the fully drained backing array too
+	}
 	return op
 }
 

@@ -29,6 +29,36 @@ func TestFIFOOrder(t *testing.T) {
 	}
 }
 
+func TestFIFOPopReleasesSlot(t *testing.T) {
+	// Regression: Pop used to reslice without clearing the vacated slot, so
+	// the backing array kept every popped op — and the gradient tensors its
+	// Execute closure captures — alive until the queue itself was collected.
+	q := NewFIFO()
+	for i := 0; i < 4; i++ {
+		q.Push(&Op{Name: fmt.Sprint(i)})
+	}
+	backing := q.ops[:cap(q.ops)]
+	for i := 0; i < 3; i++ {
+		if op := q.Pop(); op == nil || op.Name != fmt.Sprint(i) {
+			t.Fatalf("pop %d = %v", i, op)
+		}
+		if backing[i] != nil {
+			t.Fatalf("pop %d left the op pinned in the backing array", i)
+		}
+	}
+	if q.Pop() == nil {
+		t.Fatal("pop 3")
+	}
+	if q.ops != nil {
+		t.Fatal("draining the queue must release the backing array")
+	}
+	// The queue stays usable after the nil reset.
+	q.Push(&Op{Name: "again"})
+	if op := q.Pop(); op == nil || op.Name != "again" {
+		t.Fatalf("post-drain pop = %v", op)
+	}
+}
+
 func TestPriorityQueueOrder(t *testing.T) {
 	q := NewPriorityQueue()
 	q.Push(&Op{Name: "dense-late", Priority: PriorityDenseBase + 5})

@@ -8,6 +8,7 @@ import (
 	"embrace/internal/optim"
 	"embrace/internal/ps"
 	"embrace/internal/tensor"
+	"embrace/internal/trace"
 )
 
 // replicaWorker is the shared core of the data-parallel baselines: a full
@@ -16,20 +17,30 @@ import (
 type replicaWorker struct {
 	cm        *collective.Communicator
 	cfg       Config
+	rec       *trace.Recorder // per-rank span recorder; nil disables tracing
 	model     *nn.Model
 	trunkOpts map[string]optim.Optimizer
 	embOpt    optim.Optimizer
 }
 
-func newReplicaWorker(cm *collective.Communicator, cfg Config) *replicaWorker {
+func newReplicaWorker(cm *collective.Communicator, cfg Config, rec *trace.Recorder) *replicaWorker {
 	m := newInitialModel(cfg)
 	return &replicaWorker{
 		cm:        cm,
 		cfg:       cfg,
+		rec:       rec,
 		model:     m,
 		trunkOpts: trunkOptimizers(cfg, m.Trunk),
 		embOpt:    newOptimizer(cfg, m.Emb.Table),
 	}
+}
+
+// modelStep runs the replica's fused forward/backward under a span.
+func (w *replicaWorker) modelStep(step int, windows [][]int64, targets []int64) (nn.StepStats, *tensor.Sparse, *nn.TrunkGrads, error) {
+	sp := w.rec.Begin(trace.TrackCompute, SpanFPBP, step)
+	stats, embGrad, grads, err := w.model.Step(windows, targets)
+	sp.End()
+	return stats, embGrad, grads, err
 }
 
 func (w *replicaWorker) Trunk() *nn.Trunk { return w.model.Trunk }
@@ -39,15 +50,19 @@ func (w *replicaWorker) FullEmbedding() (*tensor.Dense, error) {
 }
 
 // allReduceTrunk sums the trunk gradients across ranks in place and applies
-// them, the dense path every baseline except BytePS shares.
+// them, the dense path every baseline except BytePS shares. Each block's
+// exchange-and-update is one span, so the per-block AllReduce cadence of
+// §4.2.1 is visible on the timeline.
 func (w *replicaWorker) allReduceTrunk(step int, grads *nn.TrunkGrads) error {
 	for _, g := range grads.Dense() {
+		sp := w.rec.Begin(trace.TrackCompute, SpanDense(g.Name), step)
 		if err := w.cm.AllReduce(OpDense(g.Name), step, g.Tensor.Data()); err != nil {
 			return fmt.Errorf("trunk %s: %w", g.Name, err)
 		}
 		if err := w.trunkOpts[g.Name].StepDense(g.Tensor); err != nil {
 			return fmt.Errorf("trunk %s update: %w", g.Name, err)
 		}
+		sp.End()
 	}
 	return nil
 }
@@ -60,26 +75,30 @@ type allReduceWorker struct {
 	*replicaWorker
 }
 
-func newAllReduceWorker(cm *collective.Communicator, cfg Config) *allReduceWorker {
-	return &allReduceWorker{newReplicaWorker(cm, cfg)}
+func newAllReduceWorker(cm *collective.Communicator, cfg Config, rec *trace.Recorder) *allReduceWorker {
+	return &allReduceWorker{newReplicaWorker(cm, cfg, rec)}
 }
 
 func (w *allReduceWorker) Strategy() Name { return HorovodAllReduce }
 
 func (w *allReduceWorker) Step(step int, windows [][]int64, targets []int64, _ []int64) (nn.StepStats, error) {
-	stats, embGrad, grads, err := w.model.Step(windows, targets)
+	stats, embGrad, grads, err := w.modelStep(step, windows, targets)
 	if err != nil {
 		return nn.StepStats{}, err
 	}
 	// The embedding gradient is scattered to dense format and AllReduced
 	// whole — zeros included, the waste Figure 1(a) illustrates.
+	sp := w.rec.Begin(trace.TrackCompute, SpanEmbExchange, step)
 	dense := embGrad.ToDense()
 	if err := w.cm.AllReduce(OpEmbGrad, step, dense.Data()); err != nil {
 		return nn.StepStats{}, fmt.Errorf("embedding allreduce: %w", err)
 	}
+	sp.End()
+	sp = w.rec.Begin(trace.TrackCompute, SpanEmbUpdate, step)
 	if err := w.embOpt.StepDense(dense); err != nil {
 		return nn.StepStats{}, fmt.Errorf("embedding update: %w", err)
 	}
+	sp.End()
 	if err := w.allReduceTrunk(step, grads); err != nil {
 		return nn.StepStats{}, err
 	}
@@ -95,24 +114,28 @@ type allGatherWorker struct {
 	*replicaWorker
 }
 
-func newAllGatherWorker(cm *collective.Communicator, cfg Config) *allGatherWorker {
-	return &allGatherWorker{newReplicaWorker(cm, cfg)}
+func newAllGatherWorker(cm *collective.Communicator, cfg Config, rec *trace.Recorder) *allGatherWorker {
+	return &allGatherWorker{newReplicaWorker(cm, cfg, rec)}
 }
 
 func (w *allGatherWorker) Strategy() Name { return HorovodAllGather }
 
 func (w *allGatherWorker) Step(step int, windows [][]int64, targets []int64, _ []int64) (nn.StepStats, error) {
-	stats, embGrad, grads, err := w.model.Step(windows, targets)
+	stats, embGrad, grads, err := w.modelStep(step, windows, targets)
 	if err != nil {
 		return nn.StepStats{}, err
 	}
+	sp := w.rec.Begin(trace.TrackCompute, SpanEmbExchange, step)
 	merged, err := w.cm.SparseAllGather(OpEmbGrad, step, embGrad)
 	if err != nil {
 		return nn.StepStats{}, fmt.Errorf("embedding allgather: %w", err)
 	}
+	sp.End()
+	sp = w.rec.Begin(trace.TrackCompute, SpanEmbUpdate, step)
 	if err := w.embOpt.StepSparse(merged); err != nil {
 		return nn.StepStats{}, fmt.Errorf("embedding update: %w", err)
 	}
+	sp.End()
 	if err := w.allReduceTrunk(step, grads); err != nil {
 		return nn.StepStats{}, err
 	}
@@ -129,8 +152,8 @@ type parallaxWorker struct {
 	srv *ps.ShardedSparse
 }
 
-func newParallaxWorker(cm *collective.Communicator, cfg Config, srv *ps.ShardedSparse) *parallaxWorker {
-	return &parallaxWorker{replicaWorker: newReplicaWorker(cm, cfg), srv: srv}
+func newParallaxWorker(cm *collective.Communicator, cfg Config, srv *ps.ShardedSparse, rec *trace.Recorder) *parallaxWorker {
+	return &parallaxWorker{replicaWorker: newReplicaWorker(cm, cfg, rec), srv: srv}
 }
 
 func (w *parallaxWorker) Strategy() Name { return Parallax }
@@ -139,6 +162,7 @@ func (w *parallaxWorker) Step(step int, windows [][]int64, targets []int64, _ []
 	// Pull the authoritative values of exactly the rows this batch reads —
 	// the frequent GPU<->server row traffic §5.3 blames for Parallax's
 	// memory-copy overhead.
+	sp := w.rec.Begin(trace.TrackCompute, SpanPSPull, step)
 	need := make([]int64, 0, len(windows)*4)
 	for _, win := range windows {
 		need = append(need, win...)
@@ -150,14 +174,17 @@ func (w *parallaxWorker) Step(step int, windows [][]int64, targets []int64, _ []
 	for i, ix := range rows.Indices {
 		copy(w.model.Emb.Table.Row(int(ix)), rows.Row(i))
 	}
+	sp.End()
 
-	stats, embGrad, grads, err := w.model.Step(windows, targets)
+	stats, embGrad, grads, err := w.modelStep(step, windows, targets)
 	if err != nil {
 		return nn.StepStats{}, err
 	}
+	sp = w.rec.Begin(trace.TrackCompute, SpanPSPush, step)
 	if err := w.srv.PushAndWait(embGrad); err != nil {
 		return nn.StepStats{}, fmt.Errorf("embedding push: %w", err)
 	}
+	sp.End()
 	if err := w.allReduceTrunk(step, grads); err != nil {
 		return nn.StepStats{}, err
 	}
@@ -182,9 +209,9 @@ type bytePSWorker struct {
 	trunkSrvs map[string]*ps.Dense
 }
 
-func newBytePSWorker(cm *collective.Communicator, cfg Config, sh *Shared) *bytePSWorker {
+func newBytePSWorker(cm *collective.Communicator, cfg Config, sh *Shared, rec *trace.Recorder) *bytePSWorker {
 	return &bytePSWorker{
-		replicaWorker: newReplicaWorker(cm, cfg),
+		replicaWorker: newReplicaWorker(cm, cfg, rec),
 		embSrv:        sh.denseEmb,
 		trunkSrvs:     sh.trunkSrvs,
 	}
@@ -193,16 +220,14 @@ func newBytePSWorker(cm *collective.Communicator, cfg Config, sh *Shared) *byteP
 func (w *bytePSWorker) Strategy() Name { return BytePS }
 
 func (w *bytePSWorker) Step(step int, windows [][]int64, targets []int64, _ []int64) (nn.StepStats, error) {
-	stats, embGrad, grads, err := w.model.Step(windows, targets)
+	stats, embGrad, grads, err := w.modelStep(step, windows, targets)
 	if err != nil {
 		return nn.StepStats{}, err
 	}
 	// BytePS treats the sparse gradient as dense (§5.2.3).
+	sp := w.rec.Begin(trace.TrackCompute, SpanPSPush, step)
 	if err := w.embSrv.PushAndWait(embGrad.ToDense()); err != nil {
 		return nn.StepStats{}, fmt.Errorf("embedding push: %w", err)
-	}
-	if err := w.embSrv.Pull(w.model.Emb.Table); err != nil {
-		return nn.StepStats{}, fmt.Errorf("embedding pull: %w", err)
 	}
 	for _, g := range grads.Dense() {
 		srv := w.trunkSrvs[g.Name]
@@ -210,11 +235,17 @@ func (w *bytePSWorker) Step(step int, windows [][]int64, targets []int64, _ []in
 			return nn.StepStats{}, fmt.Errorf("trunk %s push: %w", g.Name, err)
 		}
 	}
+	sp.End()
+	sp = w.rec.Begin(trace.TrackCompute, SpanPSPull, step)
+	if err := w.embSrv.Pull(w.model.Emb.Table); err != nil {
+		return nn.StepStats{}, fmt.Errorf("embedding pull: %w", err)
+	}
 	for _, p := range w.model.Trunk.Params() {
 		if err := w.trunkSrvs[p.Name].Pull(p.Tensor); err != nil {
 			return nn.StepStats{}, fmt.Errorf("trunk %s pull: %w", p.Name, err)
 		}
 	}
+	sp.End()
 	return stats, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"embrace/internal/nn"
 	"embrace/internal/optim"
 	"embrace/internal/tensor"
+	"embrace/internal/trace"
 )
 
 // embraceWorker implements the paper's contribution in real-execution mode.
@@ -36,6 +37,7 @@ import (
 type embraceWorker struct {
 	cm  *collective.Communicator
 	cfg Config
+	rec *trace.Recorder // per-rank span recorder; nil disables tracing
 
 	shard     *nn.Embedding // [vocab x dim/N], this rank's columns
 	trunk     *nn.Trunk
@@ -57,7 +59,7 @@ type delayedResult struct {
 	err  error
 }
 
-func newEmbRaceWorker(cm *collective.Communicator, cfg Config) *embraceWorker {
+func newEmbRaceWorker(cm *collective.Communicator, cfg Config, rec *trace.Recorder) *embraceWorker {
 	n := cm.Size()
 	dimShard := cfg.EmbDim / n
 	// Build the same full model every baseline starts from (warm-start
@@ -72,6 +74,7 @@ func newEmbRaceWorker(cm *collective.Communicator, cfg Config) *embraceWorker {
 	return &embraceWorker{
 		cm:        cm,
 		cfg:       cfg,
+		rec:       rec,
 		shard:     &nn.Embedding{Table: shardTable},
 		trunk:     full.Trunk,
 		trunkOpts: trunkOptimizers(cfg, full.Trunk),
@@ -86,11 +89,14 @@ func (w *embraceWorker) Trunk() *nn.Trunk { return w.trunk }
 
 // harvestDelayed joins the previous step's background delayed exchange and
 // applies it as the final part of that step's split update. It must run
-// before the optimizer's next logical step begins.
-func (w *embraceWorker) harvestDelayed() error {
+// before the optimizer's next logical step begins. step labels the span of
+// the step doing the harvesting (pass -1 outside the step loop).
+func (w *embraceWorker) harvestDelayed(step int) error {
 	if w.delayed == nil {
 		return nil
 	}
+	sp := w.rec.Begin(trace.TrackCompute, SpanHarvestDelayed, step)
+	defer sp.End()
 	res := <-w.delayed
 	w.delayed = nil
 	if res.err != nil {
@@ -113,7 +119,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 
 	// (0) The previous step's delayed gradients have been traveling in the
 	// background; apply them before their rows can be read again.
-	if err := w.harvestDelayed(); err != nil {
+	if err := w.harvestDelayed(step); err != nil {
 		return nn.StepStats{}, err
 	}
 
@@ -125,10 +131,13 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 
 	// (2) Shard-side lookup for every rank, then AlltoAll the partial
 	// pooled activations (the "Emb Data" exchange of Figure 5).
+	sp := w.rec.Begin(trace.TrackCompute, SpanLookup, step)
 	partials := make([]*tensor.Dense, n)
 	for p := 0; p < n; p++ {
 		partials[p] = w.shard.PoolLookup(allWindows[p])
 	}
+	sp.End()
+	sp = w.rec.Begin(trace.TrackCompute, SpanEmbExchange, step)
 	colParts, err := collective.AllToAllVia(w.cm, OpEmbData, step, partials)
 	if err != nil {
 		return nn.StepStats{}, fmt.Errorf("embedding data alltoall: %w", err)
@@ -145,21 +154,28 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 			copy(pooled.Row(i)[lo:lo+w.dimShard], part.Row(i))
 		}
 	}
+	sp.End()
 
 	// (3) Dense trunk forward/backward + ring AllReduce (hybrid comm).
+	sp = w.rec.Begin(trace.TrackCompute, SpanFP, step)
 	loss, cache, err := w.trunk.Forward(pooled, targets)
 	if err != nil {
 		return nn.StepStats{}, err
 	}
+	sp.End()
 	stats := nn.StepStats{Loss: loss, Correct: cache.Correct(), Count: len(targets)}
+	sp = w.rec.Begin(trace.TrackCompute, SpanBP, step)
 	grads := w.trunk.Backward(cache)
+	sp.End()
 	for _, g := range grads.Dense() {
+		sp := w.rec.Begin(trace.TrackCompute, SpanDense(g.Name), step)
 		if err := w.cm.AllReduce(OpDense(g.Name), step, g.Tensor.Data()); err != nil {
 			return nn.StepStats{}, fmt.Errorf("trunk %s: %w", g.Name, err)
 		}
 		if err := w.trunkOpts[g.Name].StepDense(g.Tensor); err != nil {
 			return nn.StepStats{}, fmt.Errorf("trunk %s update: %w", g.Name, err)
 		}
+		sp.End()
 	}
 
 	// (4) Convert the pooled gradient into per-token sparse rows and
@@ -171,6 +187,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	// (5a) Without vertical scheduling: one whole-gradient AlltoAll, then
 	// a whole update.
 	if w.cfg.Sched != Sched2D {
+		sp = w.rec.Begin(trace.TrackCompute, SpanEmbExchange, step)
 		shards, err := w.cm.SparseAllToAll(OpEmbGrad, step, local)
 		if err != nil {
 			return nn.StepStats{}, fmt.Errorf("embedding grad alltoall: %w", err)
@@ -179,9 +196,12 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 		if err != nil {
 			return nn.StepStats{}, fmt.Errorf("embrace: merging shard gradients: %w", err)
 		}
+		sp.End()
+		sp = w.rec.Begin(trace.TrackCompute, SpanEmbUpdate, step)
 		if err := w.embOpt.StepSparse(raw); err != nil {
 			return nn.StepStats{}, fmt.Errorf("embedding update: %w", err)
 		}
+		sp.End()
 		return stats, nil
 	}
 
@@ -199,11 +219,14 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	}
 	nextSet := tensor.ToSet(nextAll)
 
+	sp = w.rec.Begin(trace.TrackCompute, SpanVSplit, step)
 	priorSend := make([]*tensor.Sparse, n)
 	delayedSend := make([]*tensor.Sparse, n)
 	for s := 0; s < n; s++ {
 		priorSend[s], delayedSend[s] = local[s].Partition(nextSet)
 	}
+	sp.End()
+	sp = w.rec.Begin(trace.TrackCompute, SpanPriorExchange, step)
 	priorShards, err := w.cm.SparseAllToAll(OpEmbGrad, step, priorSend)
 	if err != nil {
 		return nn.StepStats{}, fmt.Errorf("prior grad alltoall: %w", err)
@@ -212,6 +235,8 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	if err != nil {
 		return nn.StepStats{}, fmt.Errorf("embrace: merging prior gradients: %w", err)
 	}
+	sp.End()
+	sp = w.rec.Begin(trace.TrackCompute, SpanPriorUpdate, step)
 	if adam, ok := w.embOpt.(*optim.Adam); ok {
 		if err := adam.StepSparsePartial(prior.Coalesce(), false); err != nil {
 			return nn.StepStats{}, fmt.Errorf("prior update: %w", err)
@@ -219,22 +244,31 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	} else if err := w.embOpt.StepSparse(prior); err != nil {
 		return nn.StepStats{}, fmt.Errorf("prior update: %w", err)
 	}
+	sp.End()
 
-	// Background delayed exchange, overlapping whatever comes next.
+	// Background delayed exchange, overlapping whatever comes next. Its span
+	// lives on the background track so it cannot interleave with the
+	// foreground lanes' events — this is the overlap §4.2.2 promises, visible
+	// directly on the timeline.
 	done := make(chan delayedResult, 1)
 	w.delayed = done
 	go func() {
+		bg := w.rec.Begin(trace.TrackBackground, SpanDelayedExchange, step)
 		shards, err := w.cm.SparseAllToAll(OpEmbDelayed, step, delayedSend)
 		if err != nil {
+			bg.End()
 			done <- delayedResult{err: err}
 			return
 		}
 		merged, err := tensor.Concat(shards...)
 		if err != nil {
+			bg.End()
 			done <- delayedResult{err: err}
 			return
 		}
-		done <- delayedResult{grad: merged.Coalesce()}
+		grad := merged.Coalesce()
+		bg.End()
+		done <- delayedResult{grad: grad}
 	}()
 	return stats, nil
 }
@@ -259,7 +293,7 @@ func (w *embraceWorker) shardOf(windows [][]int64, gradPooled *tensor.Dense) []*
 // ranks advance symmetrically — rather than a magic step value, so repeated
 // gathers can never collide with training-step tags or each other.
 func (w *embraceWorker) FullEmbedding() (*tensor.Dense, error) {
-	if err := w.harvestDelayed(); err != nil {
+	if err := w.harvestDelayed(-1); err != nil {
 		return nil, err
 	}
 	shards, err := collective.AllGatherVia(w.cm, OpGatherEmb, w.cm.Ticket(OpGatherEmb), w.shard.Table)

@@ -30,6 +30,7 @@ import (
 	"embrace/internal/optim"
 	"embrace/internal/ps"
 	"embrace/internal/tensor"
+	"embrace/internal/trace"
 )
 
 // Name identifies a strategy.
@@ -199,6 +200,64 @@ const (
 // OpDense names the dense-gradient AllReduce of one trunk parameter.
 func OpDense(param string) string { return "dense/" + param }
 
+// Span names: the phases every worker marks on its per-rank trace.Recorder
+// (compute track unless noted). Stable strings, because PhaseSeconds
+// aggregates by them and the trace tests assert ordering between them.
+// All timing flows through the recorder's injected clock — this package
+// stays inside the embracevet determinism analyzer's coverage and never
+// reads the wall clock itself.
+const (
+	// SpanFP / SpanBP are the dense trunk's forward and backward passes;
+	// SpanFPBP is the fused step of workers whose model runs both in one
+	// call (the data-parallel baselines).
+	SpanFP   = "fp"
+	SpanBP   = "bp"
+	SpanFPBP = "fp+bp"
+	// SpanLookup is EmbRace's shard-side embedding lookup plus the
+	// assembly of the pooled activations from the AlltoAll'd columns.
+	SpanLookup = "emb/lookup"
+	// SpanEmbExchange is the blocking embedding-gradient exchange (whole
+	// gradient for the baselines and un-scheduled EmbRace).
+	SpanEmbExchange = "xchg/emb"
+	// SpanPriorExchange / SpanDelayedExchange are Algorithm 1's two
+	// exchanges: prior blocks the step loop, delayed runs on its own
+	// goroutine and lands on trace.TrackBackground — the overlap §4.2.2
+	// claims, now visible.
+	SpanPriorExchange   = "xchg/prior"
+	SpanDelayedExchange = "xchg/delayed"
+	// SpanHarvestDelayed is the wait-and-apply of the previous step's
+	// delayed exchange at the top of a step.
+	SpanHarvestDelayed = "sched/harvest-delayed"
+	// SpanVSplit is the prior/delayed partition of Algorithm 1.
+	SpanVSplit = "sched/vsplit"
+	// SpanEmbUpdate / SpanPriorUpdate are the embedding optimizer calls.
+	SpanEmbUpdate   = "opt/emb"
+	SpanPriorUpdate = "opt/prior"
+	// SpanPSPush / SpanPSPull are the parameter-server round trips of the
+	// PS strategies.
+	SpanPSPush = "ps/push"
+	SpanPSPull = "ps/pull"
+)
+
+// SpanDense names the blocking AllReduce-and-update of one trunk parameter.
+func SpanDense(param string) string { return "xchg/dense:" + param }
+
+// WorkerOption configures a strategy worker beyond its Config.
+type WorkerOption func(*workerExtras)
+
+// workerExtras holds the per-rank extras threaded into workers.
+type workerExtras struct {
+	rec *trace.Recorder
+}
+
+// WithRecorder threads a per-rank span recorder through the worker: every
+// step phase (FP/BP, embedding exchanges, prior/delayed scheduling, PS
+// round trips) is marked on it. A nil recorder disables tracing at the
+// cost of one pointer compare per phase.
+func WithRecorder(rec *trace.Recorder) WorkerOption {
+	return func(e *workerExtras) { e.rec = rec }
+}
+
 // newOptimizer binds the configured optimizer kind to a parameter.
 func newOptimizer(cfg Config, param *tensor.Dense) optim.Optimizer {
 	switch cfg.Optimizer {
@@ -268,30 +327,37 @@ func NewShared(name Name, cfg Config, workers int) (*Shared, error) {
 // NewWorker creates rank `cm.Rank()`'s worker for the named strategy. All
 // collectives of the worker run through cm, which owns tag allocation (and,
 // when configured, chunked pipelining and per-op traffic attribution).
-func NewWorker(name Name, cm *collective.Communicator, cfg Config, sh *Shared) (Worker, error) {
+// Options thread per-rank extras — a trace.Recorder via WithRecorder — that
+// cannot live in the job-wide Config.
+func NewWorker(name Name, cm *collective.Communicator, cfg Config, sh *Shared, opts ...WorkerOption) (Worker, error) {
 	if err := cfg.Validate(cm.Size()); err != nil {
 		return nil, err
 	}
 	if sh == nil {
 		sh = &Shared{}
 	}
+	var extras workerExtras
+	for _, o := range opts {
+		o(&extras)
+	}
+	rec := extras.rec
 	switch name {
 	case HorovodAllReduce:
-		return newAllReduceWorker(cm, cfg), nil
+		return newAllReduceWorker(cm, cfg, rec), nil
 	case HorovodAllGather:
-		return newAllGatherWorker(cm, cfg), nil
+		return newAllGatherWorker(cm, cfg, rec), nil
 	case Parallax:
 		if sh.sparseEmb == nil {
 			return nil, fmt.Errorf("strategies: parallax needs shared sparse PS state")
 		}
-		return newParallaxWorker(cm, cfg, sh.sparseEmb), nil
+		return newParallaxWorker(cm, cfg, sh.sparseEmb, rec), nil
 	case BytePS:
 		if sh.denseEmb == nil || sh.trunkSrvs == nil {
 			return nil, fmt.Errorf("strategies: byteps needs shared dense PS state")
 		}
-		return newBytePSWorker(cm, cfg, sh), nil
+		return newBytePSWorker(cm, cfg, sh, rec), nil
 	case EmbRace:
-		return newEmbRaceWorker(cm, cfg), nil
+		return newEmbRaceWorker(cm, cfg, rec), nil
 	default:
 		return nil, fmt.Errorf("strategies: unknown strategy %q", name)
 	}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// chromeTrace accumulates trace events and writes the Chrome trace-event
+// JSON envelope — the emitter shared by the perfsim exporter (Export) and
+// the real-execution exporter (ExportRecorders).
+type chromeTrace struct {
+	events []any
+}
+
+func (c *chromeTrace) add(ev any) { c.events = append(c.events, ev) }
+
+// process emits the metadata records naming one process track and its
+// threads. sortIndex orders processes top-to-bottom in the viewer.
+func (c *chromeTrace) process(pid int, name string, threads map[int]string) {
+	c.add(metadata{Name: "process_name", Phase: "M", PID: pid, Args: map[string]any{"name": name}})
+	c.add(metadata{Name: "process_sort_index", Phase: "M", PID: pid, Args: map[string]any{"sort_index": pid}})
+	for tid := 0; tid < len(threads); tid++ {
+		tname, ok := threads[tid]
+		if !ok {
+			continue
+		}
+		c.add(metadata{Name: "thread_name", Phase: "M", PID: pid, TID: tid, Args: map[string]any{"name": tname}})
+		c.add(metadata{Name: "thread_sort_index", Phase: "M", PID: pid, TID: tid, Args: map[string]any{"sort_index": tid}})
+	}
+}
+
+func (c *chromeTrace) write(w io.Writer) error {
+	out := struct {
+		TraceEvents []any  `json:"traceEvents"`
+		DisplayUnit string `json:"displayTimeUnit"`
+	}{TraceEvents: c.events, DisplayUnit: "ms"}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// categoryOfSpan buckets recorded spans for coloring and filtering, the
+// real-execution counterpart of categoryOf. Network-lane spans and explicit
+// exchange phases are communication; scheduling machinery (Algorithm 1
+// splits, the delayed-gradient harvest) is scheduling overhead, mirroring
+// perfsim's AuxCompute.
+func categoryOfSpan(s Span) string {
+	switch {
+	case s.Name == "fp" || strings.HasPrefix(s.Name, "fp:"):
+		return "forward"
+	case s.Name == "bp" || strings.HasPrefix(s.Name, "bp:"):
+		return "backward"
+	case s.Track != TrackCompute || strings.HasPrefix(s.Name, "xchg/") || strings.HasPrefix(s.Name, "ps/"):
+		return "communication"
+	case strings.HasPrefix(s.Name, "sched/"):
+		return "scheduling"
+	default:
+		return "compute"
+	}
+}
+
+// ExportRecorders writes the spans of a real-execution run as Chrome trace
+// JSON: one process per rank (pid = rank+1, so multi-rank timelines never
+// collapse onto one process track) with compute, network and background-
+// exchange threads — the same track structure the perfsim exporter emits,
+// so a measured run and its simulated prediction open side-by-side in
+// Perfetto. Nil recorders are skipped.
+func ExportRecorders(w io.Writer, title string, recs []*Recorder) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("trace: no recorders")
+	}
+	var ct chromeTrace
+	wrote := false
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		wrote = true
+		pid := r.Rank() + 1
+		ct.process(pid, fmt.Sprintf("rank %d — %s", r.Rank(), title), map[int]string{
+			int(TrackCompute):    trackNames[TrackCompute],
+			int(TrackNetwork):    trackNames[TrackNetwork],
+			int(TrackBackground): trackNames[TrackBackground],
+		})
+		for _, s := range r.Spans() {
+			args := map[string]any{}
+			if s.Step >= 0 {
+				args["step"] = s.Step
+			}
+			ct.add(event{
+				Name:     s.Name,
+				Category: categoryOfSpan(s),
+				Phase:    "X",
+				TS:       float64(s.Start.Nanoseconds()) / 1e3,
+				Dur:      max(float64(s.Dur.Nanoseconds())/1e3, 0.001),
+				PID:      pid,
+				TID:      int(s.Track),
+				Args:     args,
+			})
+		}
+	}
+	if !wrote {
+		return fmt.Errorf("trace: no recorders")
+	}
+	return ct.write(w)
+}

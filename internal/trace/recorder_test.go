@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tickClock returns a deterministic Clock advancing one microsecond per
+// call, plus access to the tick count.
+func tickClock() (Clock, *atomic.Int64) {
+	var n atomic.Int64
+	return func() time.Duration {
+		return time.Duration(n.Add(1)) * time.Microsecond
+	}, &n
+}
+
+func TestRecorderSpans(t *testing.T) {
+	clock, _ := tickClock()
+	r := NewRecorder(3, WithClock(clock))
+	if r.Rank() != 3 {
+		t.Fatalf("rank %d", r.Rank())
+	}
+	sp := r.Begin(TrackCompute, "fp", 7)
+	sp.End()
+	r.Record(TrackNetwork, "emb/grad", -1, 5*time.Microsecond)
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	if spans[0].Name != "fp" || spans[0].Step != 7 || spans[0].Track != TrackCompute {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[0].Dur != time.Microsecond { // ticks 1 -> 2
+		t.Fatalf("span 0 dur %v", spans[0].Dur)
+	}
+	if spans[1].Dur != 5*time.Microsecond || spans[1].Start != spans[1].End()-5*time.Microsecond {
+		t.Fatalf("span 1 = %+v", spans[1])
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Begin(TrackCompute, "fp", 0).End() // must not panic
+	r.Record(TrackNetwork, "x", 1, time.Second)
+	r.RouteOp("op", TrackBackground)
+	r.Sent("op", nil, time.Second)
+	r.Received("op", nil, time.Second)
+	r.Reset()
+	if r.Spans() != nil || r.PhaseSeconds() != nil || r.Rank() != -1 {
+		t.Fatal("nil recorder must report nothing")
+	}
+}
+
+func TestRecorderObserverBridgeRouting(t *testing.T) {
+	clock, _ := tickClock()
+	r := NewRecorder(0, WithClock(clock))
+	r.RouteOp("emb/delayed", TrackBackground)
+	r.Sent("emb/delayed", nil, time.Microsecond)
+	r.Received("emb/grad", nil, time.Microsecond)
+	spans := r.Spans()
+	if spans[0].Track != TrackBackground {
+		t.Fatalf("routed span on track %d", spans[0].Track)
+	}
+	if spans[1].Track != TrackNetwork {
+		t.Fatalf("default span on track %d", spans[1].Track)
+	}
+	if spans[0].Step != -1 || spans[1].Step != -1 {
+		t.Fatal("observer spans must carry step -1")
+	}
+}
+
+func TestRecorderClampsNonPositiveDurations(t *testing.T) {
+	// A frozen clock yields zero-length spans; they must still export with
+	// positive width.
+	r := NewRecorder(0, WithClock(func() time.Duration { return time.Millisecond }))
+	r.Begin(TrackCompute, "fp", 0).End()
+	if d := r.Spans()[0].Dur; d <= 0 {
+		t.Fatalf("dur %v", d)
+	}
+}
+
+func TestRecorderPhaseSeconds(t *testing.T) {
+	clock, _ := tickClock()
+	r := NewRecorder(0, WithClock(clock))
+	r.Record(TrackCompute, "fp", 0, 3*time.Microsecond)
+	r.Record(TrackCompute, "fp", 1, 2*time.Microsecond)
+	r.Record(TrackNetwork, "emb/grad", -1, 10*time.Microsecond)
+	ph := r.PhaseSeconds()
+	if got := ph["fp"]; math.Abs(got-5e-6) > 1e-12 {
+		t.Fatalf("fp seconds %g", got)
+	}
+	if got := ph["emb/grad"]; math.Abs(got-10e-6) > 1e-12 {
+		t.Fatalf("emb/grad seconds %g", got)
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := NewRecorder(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Begin(TrackBackground, "xchg/delayed", i).End()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(r.Spans()); n != 8*200 {
+		t.Fatalf("%d spans", n)
+	}
+}
+
+func TestSpanOverlaps(t *testing.T) {
+	a := Span{Start: 0, Dur: 10}
+	b := Span{Start: 5, Dur: 10}
+	c := Span{Start: 10, Dur: 10}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("a and b overlap")
+	}
+	if a.Overlaps(c) || c.Overlaps(a) {
+		t.Fatal("touching endpoints is not overlap")
+	}
+}
+
+func TestExportRecordersMultiProcess(t *testing.T) {
+	clock, _ := tickClock()
+	recs := []*Recorder{
+		NewRecorder(0, WithClock(clock)),
+		NewRecorder(1, WithClock(clock)),
+	}
+	for step := 0; step < 2; step++ {
+		for _, r := range recs {
+			r.Begin(TrackCompute, "fp", step).End()
+			r.Record(TrackNetwork, "emb/grad", -1, time.Microsecond)
+			r.Record(TrackBackground, "xchg/delayed", step, time.Microsecond)
+		}
+	}
+	var buf bytes.Buffer
+	if err := ExportRecorders(&buf, "unit", recs); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		DisplayUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.DisplayUnit != "ms" {
+		t.Fatalf("display unit %q", parsed.DisplayUnit)
+	}
+	pids := map[float64]bool{}
+	procNames := 0
+	for _, e := range parsed.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "process_name" {
+				procNames++
+			}
+		case "X":
+			pids[e["pid"].(float64)] = true
+			if e["dur"].(float64) <= 0 {
+				t.Fatalf("non-positive duration in %v", e)
+			}
+		}
+	}
+	// One process per rank: distinct pids, one process_name record each.
+	if len(pids) != 2 || !pids[1] || !pids[2] {
+		t.Fatalf("pids %v, want {1,2}", pids)
+	}
+	if procNames != 2 {
+		t.Fatalf("%d process_name records", procNames)
+	}
+}
+
+func TestExportRecordersRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportRecorders(&buf, "x", nil); err == nil {
+		t.Fatal("expected error for no recorders")
+	}
+	if err := ExportRecorders(&buf, "x", []*Recorder{nil, nil}); err == nil {
+		t.Fatal("expected error for all-nil recorders")
+	}
+}
+
+func TestCategoryOfSpan(t *testing.T) {
+	cases := []struct {
+		span Span
+		want string
+	}{
+		{Span{Name: "fp", Track: TrackCompute}, "forward"},
+		{Span{Name: "bp", Track: TrackCompute}, "backward"},
+		{Span{Name: "emb/grad", Track: TrackNetwork}, "communication"},
+		{Span{Name: "xchg/prior", Track: TrackCompute}, "communication"},
+		{Span{Name: "ps/push", Track: TrackCompute}, "communication"},
+		{Span{Name: "sched/harvest-delayed", Track: TrackCompute}, "scheduling"},
+		{Span{Name: "step", Track: TrackCompute}, "compute"},
+		{Span{Name: "xchg/delayed", Track: TrackBackground}, "communication"},
+	}
+	for _, c := range cases {
+		if got := categoryOfSpan(c.span); got != c.want {
+			t.Fatalf("categoryOfSpan(%q on %d) = %q, want %q", c.span.Name, c.span.Track, got, c.want)
+		}
+	}
+}

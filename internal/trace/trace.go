@@ -1,12 +1,19 @@
-// Package trace exports perfsim timelines in the Chrome trace-event format
-// (the JSON consumed by chrome://tracing and Perfetto), turning the
-// Figure-6 execution timelines into interactive visualizations: one track
-// for the compute stream, one for the network stream, tasks colored by
-// category (forward, backward, communication, scheduling overhead).
+// Package trace turns execution timelines into Chrome trace-event JSON
+// (the format consumed by chrome://tracing and Perfetto) — both halves of
+// the Figure-6 story:
+//
+//   - Export renders a *simulated* perfsim.Timeline: one process, compute
+//     and network tracks, tasks colored by category (forward, backward,
+//     communication, scheduling overhead).
+//   - Recorder + ExportRecorders capture a *measured* real-execution run:
+//     one Recorder per rank collects begin/end spans from the trainer and
+//     strategy workers (plus automatic per-message network spans via the
+//     collective Observer bridge), and the exporter emits one process per
+//     rank with the same track/category vocabulary, so prediction and
+//     measurement open side-by-side in the same viewer.
 package trace
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -53,23 +60,20 @@ func categoryOf(t *perfsim.Task) string {
 }
 
 // Export writes tl as Chrome trace JSON. The title names the process track
-// (e.g. "GNMT-8 EmbRace 2D @ 16x RTX3090").
+// (e.g. "GNMT-8 EmbRace 2D @ 16x RTX3090"). The perfsim timeline models one
+// representative rank of a lockstep world, so it stays a single process
+// (pid 1); real multi-rank runs go through ExportRecorders, which gives
+// every rank its own process track.
 func Export(w io.Writer, title string, tl *perfsim.Timeline) error {
 	if tl == nil {
 		return fmt.Errorf("trace: nil timeline")
 	}
-	var out struct {
-		TraceEvents []any  `json:"traceEvents"`
-		DisplayUnit string `json:"displayTimeUnit"`
-	}
-	out.DisplayUnit = "ms"
-	out.TraceEvents = append(out.TraceEvents,
-		metadata{Name: "process_name", Phase: "M", PID: 1, Args: map[string]any{"name": title}},
-		metadata{Name: "thread_name", Phase: "M", PID: 1, TID: int(perfsim.Compute), Args: map[string]any{"name": "compute stream"}},
-		metadata{Name: "thread_name", Phase: "M", PID: 1, TID: int(perfsim.Network), Args: map[string]any{"name": "network stream"}},
-	)
+	var ct chromeTrace
+	ct.add(metadata{Name: "process_name", Phase: "M", PID: 1, Args: map[string]any{"name": title}})
+	ct.add(metadata{Name: "thread_name", Phase: "M", PID: 1, TID: int(perfsim.Compute), Args: map[string]any{"name": "compute stream"}})
+	ct.add(metadata{Name: "thread_name", Phase: "M", PID: 1, TID: int(perfsim.Network), Args: map[string]any{"name": "network stream"}})
 	for _, t := range tl.Tasks {
-		out.TraceEvents = append(out.TraceEvents, event{
+		ct.add(event{
 			Name:     t.Name,
 			Category: categoryOf(t),
 			Phase:    "X",
@@ -83,6 +87,5 @@ func Export(w io.Writer, title string, tl *perfsim.Timeline) error {
 			},
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	return ct.write(w)
 }

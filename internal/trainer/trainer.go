@@ -18,6 +18,7 @@ import (
 	"embrace/internal/nn"
 	"embrace/internal/strategies"
 	"embrace/internal/tensor"
+	"embrace/internal/trace"
 )
 
 // Job configures one training run.
@@ -63,6 +64,15 @@ type Job struct {
 	// the liveness backstop that turns a silently hung peer into an
 	// attributed error. Zero disables.
 	RecvTimeout time.Duration
+	// Trace records per-rank execution spans (step phases, exchanges, the
+	// background delayed AlltoAll) into Result.Traces for Chrome trace
+	// export. Off by default: the step loop then carries zero tracing
+	// overhead beyond nil-recorder pointer checks.
+	Trace bool
+	// TraceClock overrides the recorders' time source — tests inject a
+	// deterministic clock; nil uses the wall clock (confined to the trace
+	// package, so instrumented code stays free of time.Now).
+	TraceClock trace.Clock
 }
 
 // DefaultChunkBytes is the pipelining segment size training jobs use when
@@ -125,6 +135,13 @@ type Result struct {
 	// ranks): which collective moved the bytes — the embedding AlltoAll,
 	// the dense AllReduces, the stats gather — not just how many moved.
 	CommPerOp map[string]metrics.OpStats
+	// Traces holds each rank's span recorder when Job.Trace is set, indexed
+	// by rank (nil entries for ranks this process did not run). Feed to
+	// trace.ExportRecorders for a Chrome/Perfetto timeline.
+	Traces []*trace.Recorder
+	// PhaseSeconds sums span durations by phase name across ranks when
+	// tracing — the measured per-phase time breakdown.
+	PhaseSeconds map[string]float64
 }
 
 // addCommPerOp folds one rank's per-op counters into res under mu.
@@ -134,6 +151,20 @@ func (r *Result) addCommPerOp(per map[string]metrics.OpStats) {
 	}
 	for op, s := range per {
 		r.CommPerOp[op] = r.CommPerOp[op].Add(s)
+	}
+}
+
+// addTrace folds one rank's recorder into res under mu.
+func (r *Result) addTrace(tr *trace.Recorder) {
+	for len(r.Traces) <= tr.Rank() {
+		r.Traces = append(r.Traces, nil)
+	}
+	r.Traces[tr.Rank()] = tr
+	if r.PhaseSeconds == nil {
+		r.PhaseSeconds = make(map[string]float64)
+	}
+	for name, sec := range tr.PhaseSeconds() {
+		r.PhaseSeconds[name] += sec
 	}
 }
 
@@ -254,16 +285,29 @@ func runRank(job Job, raw comm.Transport, shared *strategies.Shared, res *Result
 
 func runRankLoop(job Job, raw comm.Transport, shared *strategies.Shared, res *Result, mu *sync.Mutex) error {
 	rec := metrics.NewOpRecorder()
+	obs := collective.Observer(rec)
+	var tr *trace.Recorder
+	if job.Trace {
+		tr = trace.NewRecorder(raw.Rank(), trace.WithClock(job.TraceClock))
+		// The delayed exchange runs in a background goroutine; route its
+		// wire events to the background lane so the overlap with the next
+		// step's foreground spans is visible instead of interleaved.
+		tr.RouteOp(strategies.OpEmbDelayed, trace.TrackBackground)
+		obs = collective.MultiObserver(rec, tr)
+	}
 	cm := collective.NewCommunicator(raw,
 		collective.WithChunkBytes(chunkBytesOf(job.ChunkBytes)),
-		collective.WithObserver(rec))
+		collective.WithObserver(obs))
 	defer func() {
 		mu.Lock()
 		res.Comm = res.Comm.Add(rec.Total())
 		res.addCommPerOp(rec.PerOp())
+		if tr != nil {
+			res.addTrace(tr)
+		}
 		mu.Unlock()
 	}()
-	w, err := strategies.NewWorker(job.Strategy, cm, job.Model, shared)
+	w, err := strategies.NewWorker(job.Strategy, cm, job.Model, shared, strategies.WithRecorder(tr))
 	if err != nil {
 		return err
 	}
@@ -279,7 +323,9 @@ func runRankLoop(job Job, raw comm.Transport, shared *strategies.Shared, res *Re
 		batch := loader.Next()
 		next := loader.Peek()
 		windows, targets := WindowsTargets(batch, job.Window)
+		sp := tr.Begin(trace.TrackCompute, "step", step)
 		stats, err := w.Step(step, windows, targets, next.Tokens())
+		sp.End()
 		if err != nil {
 			return attribute(cm.Rank(), step, "train step", err)
 		}

@@ -6,7 +6,7 @@ BENCH ?= AllReduce64MB
 # chaos seed sweep offset; override with e.g. `make chaos CHAOS_SEED=20260806`.
 CHAOS_SEED ?= 1
 
-.PHONY: build test lint check race bench-comm chaos trace-demo
+.PHONY: build test lint check race bench-comm chaos trace-demo serve-demo
 
 build:
 	$(GO) build ./...
@@ -48,3 +48,14 @@ chaos:
 ## the next step's compute — §4.2.2 measured rather than simulated.
 trace-demo:
 	$(GO) run ./cmd/embrace-bench -traceout trace.json
+
+## serve-demo: train a checkpoint, boot a 4-rank sharded inference
+## deployment from it, and run the cache-on vs cache-off Zipf comparison
+## (DESIGN.md §10). Cache-on must win p50 — the hot-row LRU turns the Zipf
+## head into front-end-local reads.
+serve-demo:
+	$(GO) run ./cmd/embrace-train -steps 20 -workers 4 -vocab 1000 -dim 16 \
+		-hidden 16 -checkpoint serve-demo.ckpt
+	$(GO) run ./cmd/embrace-serve -checkpoint serve-demo.ckpt -ranks 4 \
+		-cache 512 -clients 8 -requests 500 -zipf-s 1.6 -compare
+	rm -f serve-demo.ckpt

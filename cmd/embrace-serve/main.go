@@ -1,0 +1,132 @@
+// Command embrace-serve boots a sharded inference deployment from a
+// checkpoint written by embrace-train, fires a closed-loop Zipf load at it,
+// and prints throughput, latency percentiles, and cache effectiveness.
+//
+// Usage:
+//
+//	embrace-train -steps 30 -checkpoint /tmp/model.ckpt
+//	embrace-serve -checkpoint /tmp/model.ckpt -ranks 4 -cache 256
+//
+// With -compare it runs the identical workload twice — hot-row cache on,
+// then off — and prints both reports side by side.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"embrace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("embrace-serve: ")
+
+	var (
+		ckpt    = flag.String("checkpoint", "", "checkpoint file to serve (required)")
+		ranks   = flag.Int("ranks", 4, "number of serving ranks")
+		part    = flag.String("partition", embrace.ServeRowHash, "embedding partition: row-hash | column")
+		cache   = flag.Int("cache", 256, "hot-row LRU cache capacity (0 disables)")
+		batch   = flag.Int("batch", 32, "max requests coalesced per micro-batch")
+		window  = flag.Duration("window", 200*time.Microsecond, "micro-batch collection window")
+		queue   = flag.Int("queue", 256, "admission queue depth")
+		reload  = flag.String("reload", "", "checkpoint to hot-swap in halfway through the load run")
+		compare = flag.Bool("compare", false, "run the workload with cache on then off and compare")
+
+		clients = flag.Int("clients", 8, "closed-loop load clients")
+		reqs    = flag.Int("requests", 500, "requests per client")
+		perReq  = flag.Int("ids", 4, "ids per lookup / predict window size")
+		predict = flag.Bool("predict", false, "issue Predict requests instead of Lookup")
+		zipfS   = flag.Float64("zipf-s", 1.3, "Zipf skew exponent (s > 1)")
+		zipfV   = flag.Float64("zipf-v", 2, "Zipf offset (v >= 1)")
+		seed    = flag.Int64("seed", 1, "load-generator seed")
+		timeout = flag.Duration("timeout", 0, "per-request deadline (0 = none)")
+	)
+	flag.Parse()
+
+	if *ckpt == "" {
+		log.Fatal("-checkpoint is required (write one with embrace-train -checkpoint)")
+	}
+
+	cfg := embrace.ServeConfig{
+		Ranks:       *ranks,
+		Partition:   *part,
+		CacheRows:   *cache,
+		MaxBatch:    *batch,
+		BatchWindow: *window,
+		QueueDepth:  *queue,
+	}
+	spec := embrace.LoadSpec{
+		Clients:       *clients,
+		Requests:      *reqs,
+		IDsPerRequest: *perReq,
+		Predict:       *predict,
+		ZipfS:         *zipfS,
+		ZipfV:         *zipfV,
+		Seed:          *seed,
+		Timeout:       *timeout,
+	}
+
+	if *compare {
+		on := runOnce(*ckpt, cfg, spec, "")
+		off := cfg
+		off.CacheRows = 0
+		offRes := runOnce(*ckpt, off, spec, "")
+		fmt.Printf("\n%-10s %10s %12s %12s %12s %10s\n",
+			"cache", "qps", "p50", "p99", "max", "hit-rate")
+		fmt.Printf("%-10s %10.0f %12s %12s %12s %9.1f%%\n",
+			fmt.Sprintf("on(%d)", cfg.CacheRows), on.load.QPS, on.load.P50, on.load.P99, on.load.Max,
+			100*on.stats.CacheHitRate)
+		fmt.Printf("%-10s %10.0f %12s %12s %12s %9.1f%%\n",
+			"off", offRes.load.QPS, offRes.load.P50, offRes.load.P99, offRes.load.Max,
+			100*offRes.stats.CacheHitRate)
+		return
+	}
+
+	runOnce(*ckpt, cfg, spec, *reload)
+}
+
+type result struct {
+	load  embrace.LoadResult
+	stats embrace.ServeStats
+}
+
+func runOnce(ckpt string, cfg embrace.ServeConfig, spec embrace.LoadSpec, reload string) result {
+	srv, err := embrace.Serve(ckpt, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	fmt.Printf("serving %s: ranks=%d partition=%s cache=%d batch=%d/%s\n",
+		ckpt, cfg.Ranks, cfg.Partition, cfg.CacheRows, cfg.MaxBatch, cfg.BatchWindow)
+
+	done := make(chan struct{})
+	if reload != "" {
+		go func() {
+			defer close(done)
+			time.Sleep(50 * time.Millisecond)
+			if err := srv.Reload(reload); err != nil {
+				log.Printf("reload: %v", err)
+				return
+			}
+			fmt.Printf("hot-swapped %s with zero downtime\n", reload)
+		}()
+	} else {
+		close(done)
+	}
+
+	res := srv.RunLoad(spec)
+	<-done
+	st := srv.Stats()
+
+	fmt.Printf("load: %s\n", res)
+	fmt.Printf("serve: batches=%d exchanges=%d coalesced=%d overloaded=%d expired=%d reloads=%d\n",
+		st.Batches, st.Exchanges, st.Coalesced, st.Overloaded, st.Expired, st.Reloads)
+	fmt.Printf("cache: hits=%d misses=%d evictions=%d hit-rate=%.1f%%\n",
+		st.CacheHits, st.CacheMisses, st.CacheEvictions, 100*st.CacheHitRate)
+	fmt.Printf("latency: p50=%s p95=%s p99=%s\n", st.LatencyP50, st.LatencyP95, st.LatencyP99)
+	return result{load: res, stats: st}
+}

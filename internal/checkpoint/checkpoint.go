@@ -1,12 +1,17 @@
 // Package checkpoint serializes training state — parameters and optimizer
 // internals — so long sparse-model runs can stop and resume exactly. The
-// format is self-contained gob with a version header; a resumed run is
-// bit-identical to an uninterrupted one (tested).
+// format is self-contained gob with a version header and a CRC-sealed body;
+// a resumed run is bit-identical to an uninterrupted one (tested), and a
+// truncated or bit-flipped file is rejected with ErrCorrupt instead of
+// whatever confusion a raw gob decoder would produce.
 package checkpoint
 
 import (
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -14,11 +19,18 @@ import (
 	"embrace/internal/tensor"
 )
 
-// version is bumped on incompatible format changes.
-const version = 1
+// version is bumped on incompatible format changes. Version 2 seals the body
+// in a checksummed envelope (see sealed).
+const version = 2
 
 // magic guards against feeding arbitrary files to Load.
 const magic = "embrace-checkpoint"
+
+// ErrCorrupt marks a checkpoint file that is damaged — truncated, bit-flipped,
+// or structurally inconsistent. Callers distinguish it (errors.Is) from
+// "wrong file" or I/O errors to decide between falling back to an older
+// snapshot and failing loudly.
+var ErrCorrupt = errors.New("corrupt checkpoint")
 
 // Checkpoint is a complete training snapshot.
 type Checkpoint struct {
@@ -37,27 +49,45 @@ type header struct {
 	Version int
 }
 
+// sealed wraps the gob-encoded Checkpoint body with a checksum. Nesting the
+// body as one opaque byte field keeps the outer decoder from over-reading the
+// stream and lets Load verify integrity before interpreting a single field —
+// a flipped bit fails the CRC instead of surfacing as a cryptic gob error or,
+// worse, silently corrupted weights.
+type sealed struct {
+	Body []byte
+	CRC  uint32
+}
+
 // Save writes the checkpoint to w.
 func Save(w io.Writer, c *Checkpoint) error {
 	if c == nil {
 		return fmt.Errorf("checkpoint: nil checkpoint")
 	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(c); err != nil {
+		return fmt.Errorf("checkpoint: encoding body: %w", err)
+	}
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(header{Magic: magic, Version: version}); err != nil {
 		return fmt.Errorf("checkpoint: writing header: %w", err)
 	}
-	if err := enc.Encode(c); err != nil {
+	env := sealed{Body: body.Bytes(), CRC: crc32.ChecksumIEEE(body.Bytes())}
+	if err := enc.Encode(env); err != nil {
 		return fmt.Errorf("checkpoint: writing body: %w", err)
 	}
 	return nil
 }
 
-// Load reads a checkpoint from r, validating the header.
+// Load reads a checkpoint from r, verifying the header, the body checksum,
+// and the structural consistency of the snapshot (see Validate). Damage is
+// reported as an error wrapping ErrCorrupt with a description of what failed,
+// never a raw gob decode error.
 func Load(r io.Reader) (*Checkpoint, error) {
 	dec := gob.NewDecoder(r)
 	var h header
 	if err := dec.Decode(&h); err != nil {
-		return nil, fmt.Errorf("checkpoint: reading header: %w", err)
+		return nil, fmt.Errorf("checkpoint: %w: unreadable header (truncated or not a checkpoint): %v", ErrCorrupt, err)
 	}
 	if h.Magic != magic {
 		return nil, fmt.Errorf("checkpoint: not a checkpoint file (magic %q)", h.Magic)
@@ -65,11 +95,73 @@ func Load(r io.Reader) (*Checkpoint, error) {
 	if h.Version != version {
 		return nil, fmt.Errorf("checkpoint: version %d unsupported (want %d)", h.Version, version)
 	}
+	var env sealed
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w: body truncated: %v", ErrCorrupt, err)
+	}
+	if got := crc32.ChecksumIEEE(env.Body); got != env.CRC {
+		return nil, fmt.Errorf("checkpoint: %w: body checksum mismatch (got %08x, want %08x)", ErrCorrupt, got, env.CRC)
+	}
 	var c Checkpoint
-	if err := dec.Decode(&c); err != nil {
-		return nil, fmt.Errorf("checkpoint: reading body: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(env.Body)).Decode(&c); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w: undecodable body: %v", ErrCorrupt, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
 	}
 	return &c, nil
+}
+
+// Validate checks the snapshot's internal consistency: every parameter tensor
+// is present and non-empty, and every optimizer-state entry names an existing
+// parameter whose shape agrees with the state it carries (Adam moments and
+// Adagrad accumulators must match their parameter element-for-element).
+// Load calls this; Reload paths that receive an in-memory Checkpoint should
+// too, before swapping it in.
+func (c *Checkpoint) Validate() error {
+	if c == nil {
+		return fmt.Errorf("checkpoint: nil checkpoint")
+	}
+	for name, p := range c.Params {
+		if p == nil {
+			return fmt.Errorf("checkpoint: %w: param %q is nil", ErrCorrupt, name)
+		}
+	}
+	for name, st := range c.Optim {
+		p, ok := c.Params[name]
+		if !ok {
+			return fmt.Errorf("checkpoint: %w: optimizer state for %q has no matching param", ErrCorrupt, name)
+		}
+		switch st.Kind {
+		case "sgd":
+			// Stateless; nothing to check.
+		case "adagrad":
+			if st.Accum == nil || st.Accum.Len() != p.Len() {
+				return fmt.Errorf("checkpoint: %w: adagrad accumulator for %q has %d elems, param has %d",
+					ErrCorrupt, name, accLen(st.Accum), p.Len())
+			}
+		case "adam":
+			if st.M == nil || st.M.Len() != p.Len() {
+				return fmt.Errorf("checkpoint: %w: adam first moment for %q has %d elems, param has %d",
+					ErrCorrupt, name, accLen(st.M), p.Len())
+			}
+			if st.V == nil || st.V.Len() != p.Len() {
+				return fmt.Errorf("checkpoint: %w: adam second moment for %q has %d elems, param has %d",
+					ErrCorrupt, name, accLen(st.V), p.Len())
+			}
+		default:
+			return fmt.Errorf("checkpoint: %w: unknown optimizer kind %q for %q", ErrCorrupt, st.Kind, name)
+		}
+	}
+	return nil
+}
+
+// accLen is Len tolerant of nil, for error messages.
+func accLen(d *tensor.Dense) int {
+	if d == nil {
+		return 0
+	}
+	return d.Len()
 }
 
 // SaveFile writes the checkpoint to path atomically (write to a temp file in

@@ -151,18 +151,27 @@ type OpStats struct {
 	// SendSeconds and RecvSeconds are wall-clock time inside Send/Recv for
 	// the op; RecvSeconds is the op's communication stall.
 	SendSeconds, RecvSeconds float64
+	// SendBlocked and RecvBlocked hold the per-message blocked-time
+	// distributions behind the totals above, so a report can state p50/p99
+	// stall per op instead of only its sum — the tail is what a synchronous
+	// step actually waits on. Nil when the op recorded no traffic.
+	SendBlocked, RecvBlocked *Histogram
 	// FaultsMasked and FaultsFatal count communication faults the op
 	// absorbed and surfaced, respectively (see Stats).
 	FaultsMasked, FaultsFatal int64
 }
 
-// Add returns the element-wise sum of two per-op snapshots.
+// Add returns the element-wise sum of two per-op snapshots. Blocked-time
+// histograms merge exactly (shared bucket layout), so cross-rank percentiles
+// are those of the pooled observations.
 func (s OpStats) Add(o OpStats) OpStats {
 	return OpStats{
 		Messages:     s.Messages + o.Messages,
 		PayloadBytes: s.PayloadBytes + o.PayloadBytes,
 		SendSeconds:  s.SendSeconds + o.SendSeconds,
 		RecvSeconds:  s.RecvSeconds + o.RecvSeconds,
+		SendBlocked:  MergeHistograms(s.SendBlocked, o.SendBlocked),
+		RecvBlocked:  MergeHistograms(s.RecvBlocked, o.RecvBlocked),
 		FaultsMasked: s.FaultsMasked + o.FaultsMasked,
 		FaultsFatal:  s.FaultsFatal + o.FaultsFatal,
 	}
@@ -200,6 +209,10 @@ func (r *OpRecorder) Sent(op string, payload any, blocked time.Duration) {
 	s.Messages++
 	s.PayloadBytes += size
 	s.SendSeconds += blocked.Seconds()
+	if s.SendBlocked == nil {
+		s.SendBlocked = NewHistogram()
+	}
+	s.SendBlocked.Observe(blocked.Seconds())
 	r.mu.Unlock()
 }
 
@@ -208,6 +221,10 @@ func (r *OpRecorder) Received(op string, payload any, blocked time.Duration) {
 	r.mu.Lock()
 	s := r.get(op)
 	s.RecvSeconds += blocked.Seconds()
+	if s.RecvBlocked == nil {
+		s.RecvBlocked = NewHistogram()
+	}
+	s.RecvBlocked.Observe(blocked.Seconds())
 	r.mu.Unlock()
 }
 
@@ -225,13 +242,18 @@ func (r *OpRecorder) Fault(op string, kind string, masked bool) {
 	r.mu.Unlock()
 }
 
-// PerOp returns a copy of the per-op counters accumulated so far.
+// PerOp returns a copy of the per-op counters accumulated so far. The
+// blocked-time histograms are deep-copied, so the snapshot is immune to
+// further recording.
 func (r *OpRecorder) PerOp() map[string]OpStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]OpStats, len(r.ops))
 	for op, s := range r.ops {
-		out[op] = *s
+		c := *s
+		c.SendBlocked = s.SendBlocked.Clone()
+		c.RecvBlocked = s.RecvBlocked.Clone()
+		out[op] = c
 	}
 	return out
 }

@@ -182,20 +182,20 @@ func (c *forwardCache) Correct() int {
 	return correct
 }
 
-// Forward computes mean cross-entropy loss of the batch. pooled has shape
-// [batch x embDim], targets one label per row.
-func (t *Trunk) Forward(pooled *tensor.Dense, targets []int64) (float64, *forwardCache, error) {
+// infer runs the trunk's forward arithmetic: pooled -> hidden (post-ReLU)
+// -> softmax probabilities. It is the single implementation behind both
+// Forward (training, which also needs hidden for Backward) and Infer
+// (serving), so a served prediction is bit-identical to what the training
+// path would compute from the same activations by construction.
+func (t *Trunk) infer(pooled *tensor.Dense) (hidden, probs *tensor.Dense, err error) {
 	batch := pooled.Dim(0)
-	if batch != len(targets) {
-		return 0, nil, fmt.Errorf("nn: %d pooled rows vs %d targets", batch, len(targets))
-	}
 	embDim, hiddenDim := t.W1.Dim(0), t.W1.Dim(1)
 	vocab := t.W2.Dim(1)
 	if pooled.Dim(1) != embDim {
-		return 0, nil, fmt.Errorf("nn: pooled width %d != embDim %d", pooled.Dim(1), embDim)
+		return nil, nil, fmt.Errorf("nn: pooled width %d != embDim %d", pooled.Dim(1), embDim)
 	}
 
-	hidden := tensor.NewDense(batch, hiddenDim)
+	hidden = tensor.NewDense(batch, hiddenDim)
 	for i := 0; i < batch; i++ {
 		x := pooled.Row(i)
 		h := hidden.Row(i)
@@ -211,8 +211,7 @@ func (t *Trunk) Forward(pooled *tensor.Dense, targets []int64) (float64, *forwar
 		}
 	}
 
-	probs := tensor.NewDense(batch, vocab)
-	var loss float64
+	probs = tensor.NewDense(batch, vocab)
 	for i := 0; i < batch; i++ {
 		h := hidden.Row(i)
 		logits := probs.Row(i)
@@ -240,7 +239,32 @@ func (t *Trunk) Forward(pooled *tensor.Dense, targets []int64) (float64, *forwar
 		for v := range logits {
 			logits[v] *= inv
 		}
-		p := float64(logits[targets[i]])
+	}
+	return hidden, probs, nil
+}
+
+// Infer returns the softmax probability distribution for each pooled row,
+// shape [batch x vocab] — the inference entry point, with no targets and no
+// gradient bookkeeping.
+func (t *Trunk) Infer(pooled *tensor.Dense) (*tensor.Dense, error) {
+	_, probs, err := t.infer(pooled)
+	return probs, err
+}
+
+// Forward computes mean cross-entropy loss of the batch. pooled has shape
+// [batch x embDim], targets one label per row.
+func (t *Trunk) Forward(pooled *tensor.Dense, targets []int64) (float64, *forwardCache, error) {
+	batch := pooled.Dim(0)
+	if batch != len(targets) {
+		return 0, nil, fmt.Errorf("nn: %d pooled rows vs %d targets", batch, len(targets))
+	}
+	hidden, probs, err := t.infer(pooled)
+	if err != nil {
+		return 0, nil, err
+	}
+	var loss float64
+	for i := 0; i < batch; i++ {
+		p := float64(probs.Row(i)[targets[i]])
 		if p < 1e-30 {
 			p = 1e-30
 		}

@@ -237,3 +237,41 @@ func TestTrunkParamsStableOrder(t *testing.T) {
 		}
 	}
 }
+
+// Infer must return exactly the probabilities Forward computes — serving
+// correctness rests on this identity.
+func TestInferMatchesForwardProbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	trunk := NewTrunk(rng, 6, 5, 12)
+	pooled := tensor.RandDense(rng, 1, 4, 6)
+	targets := []int64{3, 0, 11, 7}
+
+	_, cache, err := trunk.Forward(pooled.Clone(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := trunk.Infer(pooled.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probs.AllClose(cache.probs, 0) {
+		t.Fatalf("Infer diverged from Forward by %v", probs.MaxAbsDiff(cache.probs))
+	}
+	// Rows are distributions.
+	for i := 0; i < probs.Dim(0); i++ {
+		var sum float64
+		for _, p := range probs.Row(i) {
+			if p < 0 {
+				t.Fatal("negative probability")
+			}
+			sum += float64(p)
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+	// Shape validation still fires.
+	if _, err := trunk.Infer(tensor.NewDense(2, 3)); err == nil {
+		t.Fatal("expected width mismatch error")
+	}
+}

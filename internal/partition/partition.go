@@ -38,6 +38,20 @@ type RowRange struct {
 // Name implements Scheme.
 func (RowRange) Name() string { return "row-range" }
 
+// Owner returns the shard in [0, n) holding token tok's full embedding row,
+// clamping out-of-vocabulary ids the same way ShardLoads does.
+func (p RowRange) Owner(tok int64, n int) int {
+	per := int64(p.Vocab+n-1) / int64(n)
+	shard := int(tok / per)
+	if shard < 0 {
+		shard = 0
+	}
+	if shard >= n {
+		shard = n - 1
+	}
+	return shard
+}
+
 // ShardLoads implements Scheme.
 func (p RowRange) ShardLoads(tokens []int64, n int) []float64 {
 	loads := make([]float64, n)
@@ -67,6 +81,11 @@ type RowHash struct{}
 // Name implements Scheme.
 func (RowHash) Name() string { return "row-hash" }
 
+// Owner returns the shard in [0, n) holding token tok's full embedding row.
+// Serving uses this to route lookup requests; it is the same mapping
+// ShardLoads counts with, so measured imbalance predicts serving hotspots.
+func (RowHash) Owner(tok int64, n int) int { return hashShard(tok, n) }
+
 // ShardLoads implements Scheme.
 func (RowHash) ShardLoads(tokens []int64, n int) []float64 {
 	loads := make([]float64, n)
@@ -94,6 +113,21 @@ type ColumnWise struct{}
 
 // Name implements Scheme.
 func (ColumnWise) Name() string { return "column-wise" }
+
+// Range returns the half-open column interval [lo, hi) of a dim-wide
+// embedding vector that shard r of n owns. The first dim%n shards take one
+// extra column, so the intervals tile [0, dim) exactly and any two callers
+// (the shard slicing its table, the front-end reassembling a row) agree on
+// the layout by construction.
+func (ColumnWise) Range(dim, n, r int) (lo, hi int) {
+	per, extra := dim/n, dim%n
+	lo = r*per + min(r, extra)
+	hi = lo + per
+	if r < extra {
+		hi++
+	}
+	return lo, hi
+}
 
 // ShardLoads implements Scheme.
 func (ColumnWise) ShardLoads(tokens []int64, n int) []float64 {

@@ -189,3 +189,65 @@ func TestSchemeNames(t *testing.T) {
 		t.Fatal("unexpected scheme names")
 	}
 }
+
+func TestRowHashOwnerMatchesShardLoads(t *testing.T) {
+	// Owner is the routing twin of ShardLoads: summing Owner assignments must
+	// reproduce the load vector exactly, including for negative and huge ids.
+	tokens := []int64{0, 1, 2, 3, -1, -7, 1 << 40, 9999999999999}
+	for _, n := range []int{1, 2, 4, 7} {
+		loads := RowHash{}.ShardLoads(tokens, n)
+		counted := make([]float64, n)
+		for _, tok := range tokens {
+			o := RowHash{}.Owner(tok, n)
+			if o < 0 || o >= n {
+				t.Fatalf("Owner(%d, %d) = %d out of range", tok, n, o)
+			}
+			counted[o]++
+		}
+		for s := range loads {
+			if counted[s] != loads[s] {
+				t.Fatalf("n=%d shard %d: Owner count %v != ShardLoads %v", n, s, counted, loads)
+			}
+		}
+	}
+}
+
+func TestRowRangeOwnerMatchesShardLoads(t *testing.T) {
+	p := RowRange{Vocab: 100}
+	tokens := []int64{0, 1, 49, 50, 99, 100, 150, -3, 1 << 40}
+	for _, n := range []int{1, 3, 4} {
+		loads := p.ShardLoads(tokens, n)
+		counted := make([]float64, n)
+		for _, tok := range tokens {
+			o := p.Owner(tok, n)
+			if o < 0 || o >= n {
+				t.Fatalf("Owner(%d, %d) = %d out of range", tok, n, o)
+			}
+			counted[o]++
+		}
+		for s := range loads {
+			if counted[s] != loads[s] {
+				t.Fatalf("n=%d shard %d: Owner count %v != ShardLoads %v", n, s, counted, loads)
+			}
+		}
+	}
+}
+
+func TestColumnWiseRangeTiles(t *testing.T) {
+	for _, tc := range []struct{ dim, n int }{{8, 4}, {10, 4}, {7, 3}, {5, 8}, {1, 1}, {16, 1}} {
+		next := 0
+		for r := 0; r < tc.n; r++ {
+			lo, hi := ColumnWise{}.Range(tc.dim, tc.n, r)
+			if lo != next {
+				t.Fatalf("dim=%d n=%d r=%d: lo %d leaves gap after %d", tc.dim, tc.n, r, lo, next)
+			}
+			if hi < lo {
+				t.Fatalf("dim=%d n=%d r=%d: inverted range [%d,%d)", tc.dim, tc.n, r, lo, hi)
+			}
+			next = hi
+		}
+		if next != tc.dim {
+			t.Fatalf("dim=%d n=%d: ranges cover %d columns", tc.dim, tc.n, next)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"container/list"
+
+	"embrace/internal/metrics"
+)
+
+// lruCache is the front end's hot-row cache. Zipf-distributed workloads
+// concentrate lookups on a small head of the vocabulary (§2.1 — the same
+// skew that makes sparse gradients sparse), so a bounded LRU in front of the
+// shards absorbs most traffic without touching the fabric. It is accessed
+// only from the driver goroutine, so it needs no locking; the hit/miss/
+// eviction counters are atomics because Stats() reads them from outside.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[int64]*list.Element
+	ctr   *metrics.CacheCounters
+}
+
+// cacheEntry is one resident row. The row slice is owned by the cache;
+// readers must copy before handing it out.
+type cacheEntry struct {
+	id  int64
+	row []float32
+}
+
+func newLRUCache(capacity int, ctr *metrics.CacheCounters) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[int64]*list.Element, capacity),
+		ctr:   ctr,
+	}
+}
+
+// get returns the cached row and promotes it. Nil caches miss everything
+// silently (no counter noise from a disabled cache).
+func (c *lruCache) get(id int64) ([]float32, bool) {
+	if c == nil {
+		return nil, false
+	}
+	if el, ok := c.items[id]; ok {
+		c.ll.MoveToFront(el)
+		c.ctr.Hit()
+		return el.Value.(*cacheEntry).row, true
+	}
+	c.ctr.Miss()
+	return nil, false
+}
+
+// put inserts (or refreshes) a row, evicting the coldest entry when full.
+// The cache keeps its own copy so later reloads or caller mutations cannot
+// alias into it.
+func (c *lruCache) put(id int64, row []float32) {
+	if c == nil {
+		return
+	}
+	if el, ok := c.items[id]; ok {
+		el.Value.(*cacheEntry).row = append([]float32(nil), row...)
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).id)
+		c.ctr.Evict()
+	}
+	c.items[id] = c.ll.PushFront(&cacheEntry{id: id, row: append([]float32(nil), row...)})
+}
+
+// clear empties the cache — the reload invalidation.
+func (c *lruCache) clear() {
+	if c == nil {
+		return
+	}
+	c.ll.Init()
+	clear(c.items)
+}
+
+// len reports residency.
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	return c.ll.Len()
+}
+
+// Cache plumbing on the Router: the driver goroutine is the only caller of
+// cacheGet/cachePut/cacheClear, so the nil-safe lruCache needs no lock.
+
+func (r *Router) cacheGet(id int64) ([]float32, bool) { return r.cache.get(id) }
+func (r *Router) cachePut(id int64, row []float32)    { r.cache.put(id, row) }
+func (r *Router) cacheClear()                         { r.cache.clear() }

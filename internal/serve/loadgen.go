@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"embrace/internal/metrics"
+)
+
+// LoadConfig parameterizes a closed-loop load run: Clients goroutines each
+// issue Requests back-to-back (a new request the moment the previous one
+// answers), drawing ids from the Zipf distribution that models real lookup
+// traffic. Closed-loop load measures the system's sustainable throughput
+// rather than an arrival-rate fiction.
+type LoadConfig struct {
+	// Clients is the number of concurrent closed-loop clients (default 4).
+	Clients int
+	// Requests is how many requests each client issues (default 100).
+	Requests int
+	// IDsPerRequest is the lookup size / predict window (default 4).
+	IDsPerRequest int
+	// Predict switches the workload from Lookup to Predict requests.
+	Predict bool
+	// ZipfS and ZipfV shape the id skew (defaults 1.3 and 2, matching the
+	// synthetic training corpus).
+	ZipfS, ZipfV float64
+	// Vocab bounds the drawn ids; 0 uses the serving vocabulary.
+	Vocab int
+	// Seed makes each client's id stream deterministic (client i uses
+	// Seed+i), so two runs against different configurations see identical
+	// request sequences.
+	Seed int64
+	// Timeout, when positive, attaches a per-request deadline.
+	Timeout time.Duration
+}
+
+func (l LoadConfig) withDefaults(vocab int) LoadConfig {
+	if l.Clients <= 0 {
+		l.Clients = 4
+	}
+	if l.Requests <= 0 {
+		l.Requests = 100
+	}
+	if l.IDsPerRequest <= 0 {
+		l.IDsPerRequest = 4
+	}
+	if l.ZipfS <= 1 {
+		l.ZipfS = 1.3
+	}
+	if l.ZipfV < 1 {
+		l.ZipfV = 2
+	}
+	if l.Vocab <= 0 || l.Vocab > vocab {
+		l.Vocab = vocab
+	}
+	return l
+}
+
+// LoadReport summarizes one load run.
+type LoadReport struct {
+	// Requests issued; Errors how many failed, with Overloaded and Expired
+	// broken out of that count.
+	Requests, Errors, Overloaded, Expired int64
+	// Elapsed is the wall-clock span of the run; QPS the completed
+	// (non-error) requests per second over it.
+	Elapsed time.Duration
+	QPS     float64
+	// Latency digests per-request latency as observed by the clients.
+	Latency metrics.Summary
+}
+
+// String renders the report for benchmark logs.
+func (r LoadReport) String() string {
+	return fmt.Sprintf("req=%d err=%d (overloaded=%d expired=%d) elapsed=%s qps=%.0f lat{%s}",
+		r.Requests, r.Errors, r.Overloaded, r.Expired,
+		r.Elapsed.Round(time.Millisecond), r.QPS, r.Latency)
+}
+
+// RunLoad fires cfg's closed-loop workload at the cluster and reports
+// throughput and latency. It is synchronous: it returns when every client
+// has finished.
+func RunLoad(c *Cluster, cfg LoadConfig) LoadReport {
+	cfg = cfg.withDefaults(c.vocab)
+	lat := metrics.NewHistogram()
+	var errs, over, exp int64
+	var mu sync.Mutex
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < cfg.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(cl)))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Vocab-1))
+			ids := make([]int64, cfg.IDsPerRequest)
+			var nerr, nover, nexp int64
+			for i := 0; i < cfg.Requests; i++ {
+				for k := range ids {
+					ids[k] = int64(zipf.Uint64())
+				}
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if cfg.Timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+				}
+				t0 := time.Now()
+				var err error
+				if cfg.Predict {
+					_, _, err = c.Predict(ctx, ids)
+				} else {
+					_, err = c.Lookup(ctx, ids)
+				}
+				if cancel != nil {
+					cancel()
+				}
+				if err != nil {
+					nerr++
+					switch {
+					case errors.Is(err, ErrOverloaded):
+						nover++
+					case errors.Is(err, ErrDeadline):
+						nexp++
+					}
+					continue
+				}
+				lat.ObserveDuration(time.Since(t0))
+			}
+			mu.Lock()
+			errs += nerr
+			over += nover
+			exp += nexp
+			mu.Unlock()
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := int64(cfg.Clients) * int64(cfg.Requests)
+	rep := LoadReport{
+		Requests:   total,
+		Errors:     errs,
+		Overloaded: over,
+		Expired:    exp,
+		Elapsed:    elapsed,
+		Latency:    lat.Summary(),
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(total-errs) / elapsed.Seconds()
+	}
+	return rep
+}

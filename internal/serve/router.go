@@ -1,0 +1,432 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"embrace/internal/checkpoint"
+	"embrace/internal/partition"
+	"embrace/internal/tensor"
+	"embrace/internal/trace"
+)
+
+// Typed serving errors. Callers branch on these with errors.Is.
+var (
+	// ErrOverloaded is returned at admission when the bounded queue is full:
+	// the request fails fast instead of queuing unboundedly.
+	ErrOverloaded = errors.New("serve: overloaded (admission queue full)")
+	// ErrDeadline is returned when a request's deadline passes before the
+	// driver computes its answer. Expired requests are dropped before the
+	// exchange, so they never occupy an exchange slot.
+	ErrDeadline = errors.New("serve: deadline exceeded")
+	// ErrClosed is returned for requests that race or follow Close.
+	ErrClosed = errors.New("serve: cluster closed")
+)
+
+// reqKind discriminates the two request types.
+type reqKind int
+
+const (
+	kindLookup reqKind = iota
+	kindPredict
+)
+
+// request is one admitted unit of work, owned by the driver after admission.
+type request struct {
+	kind     reqKind
+	ids      []int64 // lookup: rows to fetch; predict: the token window
+	deadline time.Time
+	admitted time.Time
+	done     chan response
+}
+
+// response carries a request's result back to its submitter.
+type response struct {
+	rows  [][]float32 // lookup
+	token int64       // predict: argmax token
+	prob  float32     // predict: its probability
+	err   error
+}
+
+// reloadReq asks the driver to swap checkpoints between batches.
+type reloadReq struct {
+	ck   *checkpoint.Checkpoint
+	done chan error
+}
+
+// Router is the cluster's front end: it admits concurrent Lookup and Predict
+// calls into a bounded queue the driver micro-batches. All methods are safe
+// for concurrent use.
+type Router struct {
+	c        *Cluster
+	queue    chan *request
+	reloadCh chan *reloadReq
+	cache    *lruCache // nil when caching is disabled
+
+	closedMu chan struct{} // closed exactly once by close(); nil-check via select
+}
+
+func newRouter(c *Cluster, depth int) *Router {
+	return &Router{
+		c:        c,
+		queue:    make(chan *request, depth),
+		reloadCh: make(chan *reloadReq),
+		cache:    newLRUCache(c.cfg.CacheRows, &c.stats.cache),
+		closedMu: make(chan struct{}),
+	}
+}
+
+func (r *Router) close() { close(r.closedMu) }
+
+func (r *Router) closed() bool {
+	select {
+	case <-r.closedMu:
+		return true
+	default:
+		return false
+	}
+}
+
+// Lookup resolves the embedding row of every id, in order, including
+// duplicates. The returned rows are private copies. Fails fast with
+// ErrOverloaded when the admission queue is full and with ErrDeadline when
+// ctx's deadline expires before the rows are resolved.
+func (r *Router) Lookup(ctx context.Context, ids []int64) ([][]float32, error) {
+	resp := r.do(ctx, &request{kind: kindLookup, ids: ids})
+	return resp.rows, resp.err
+}
+
+// Predict mean-pools the window's embedding rows, runs the trunk, and
+// returns the argmax next token with its probability — arithmetic identical
+// to the training model's forward pass over the same checkpoint.
+func (r *Router) Predict(ctx context.Context, window []int64) (int64, float32, error) {
+	resp := r.do(ctx, &request{kind: kindPredict, ids: window})
+	return resp.token, resp.prob, resp.err
+}
+
+// do admits one request and waits for its reply.
+func (r *Router) do(ctx context.Context, req *request) response {
+	for _, id := range req.ids {
+		if id < 0 || id >= int64(r.c.vocab) {
+			return response{err: fmt.Errorf("serve: id %d outside vocab [0, %d)", id, r.c.vocab)}
+		}
+	}
+	if r.closed() {
+		return response{err: ErrClosed}
+	}
+	if err := ctx.Err(); err != nil {
+		return response{err: fmt.Errorf("%w: %v", ErrDeadline, err)}
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		req.deadline = dl
+	}
+	req.admitted = time.Now()
+	req.done = make(chan response, 1)
+	select {
+	case r.queue <- req:
+	default:
+		r.c.stats.overloaded.Add(1)
+		return response{err: ErrOverloaded}
+	}
+	r.c.stats.requests.Add(1)
+	if req.kind == kindLookup {
+		r.c.stats.lookups.Add(1)
+	} else {
+		r.c.stats.predicts.Add(1)
+	}
+	// The driver answers every admitted request, including during shutdown,
+	// so this receive always completes.
+	resp := <-req.done
+	r.c.stats.latency.ObserveDuration(time.Since(req.admitted))
+	return resp
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+// ---------------------------------------------------------------------------
+
+// driverLoop is rank 0's life: collect a micro-batch, resolve it, reply;
+// interleave reloads between batches; on Close, flush and release followers.
+func (c *Cluster) driverLoop(n *node) {
+	for {
+		select {
+		case <-c.closeCh:
+			c.shutdown(n)
+			return
+		case rr := <-c.router.reloadCh:
+			rr.done <- c.driverReload(n, rr.ck)
+		case req := <-c.router.queue:
+			batch := c.collectBatch(req)
+			c.processBatch(n, batch)
+		}
+	}
+}
+
+// collectBatch waits up to BatchWindow for more requests after the first,
+// capped at MaxBatch — the micro-batching that makes within-batch dedup (and
+// the single exchange per batch) worth having.
+func (c *Cluster) collectBatch(first *request) []*request {
+	batch := []*request{first}
+	if c.cfg.MaxBatch == 1 {
+		return batch
+	}
+	timer := time.NewTimer(c.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < c.cfg.MaxBatch {
+		select {
+		case req := <-c.router.queue:
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// shutdown releases followers and answers everything still queued.
+func (c *Cluster) shutdown(n *node) {
+	if err := c.broadcastCtl(n, ctlShutdown); err != nil {
+		c.fail(fmt.Errorf("serve: shutdown broadcast: %w", err))
+	}
+	for {
+		select {
+		case req := <-c.router.queue:
+			req.done <- response{err: ErrClosed}
+		case rr := <-c.router.reloadCh:
+			rr.done <- ErrClosed
+		default:
+			return
+		}
+	}
+}
+
+// driverReload validates nothing (Reload did), hands the checkpoint to every
+// rank, rebuilds, barriers, and drops the now-stale cache.
+func (c *Cluster) driverReload(n *node, ck *checkpoint.Checkpoint) error {
+	c.pendingMu.Lock()
+	c.pending = ck
+	c.pendingMu.Unlock()
+	if err := c.broadcastCtl(n, ctlReload); err != nil {
+		return fmt.Errorf("serve: reload broadcast: %w", err)
+	}
+	if err := c.doReloadOn(n); err != nil {
+		return err
+	}
+	c.router.cacheClear()
+	c.stats.reloads.Add(1)
+	return nil
+}
+
+// processBatch answers one micro-batch: drop expired requests, dedup ids,
+// resolve rows (cache, local shard, exchange), then compute and reply.
+func (c *Cluster) processBatch(n *node, batch []*request) {
+	c.stats.batches.Add(1)
+	tr := c.tracers[0]
+	now := time.Now()
+	c.stats.queueWait.ObserveDuration(now.Sub(batch[0].admitted))
+	tr.Record(trace.TrackCompute, "serve/queue-wait", -1, now.Sub(batch[0].admitted))
+
+	// Deadline gate: an expired request is answered now and excluded, so it
+	// never occupies an exchange slot.
+	live := batch[:0]
+	for _, req := range batch {
+		if !req.deadline.IsZero() && now.After(req.deadline) {
+			c.stats.expired.Add(1)
+			req.done <- response{err: ErrDeadline}
+			continue
+		}
+		live = append(live, req)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// Coalesce: the union of all ids, deduplicated in first-seen order.
+	var need []int64
+	seen := make(map[int64]struct{})
+	total := 0
+	for _, req := range live {
+		for _, id := range req.ids {
+			total++
+			if _, ok := seen[id]; !ok {
+				seen[id] = struct{}{}
+				need = append(need, id)
+			}
+		}
+	}
+	c.stats.coalesced.Add(int64(total - len(need)))
+
+	rows, err := c.resolve(n, need)
+	if err != nil {
+		c.fail(err)
+		for _, req := range live {
+			req.done <- response{err: err}
+		}
+		return
+	}
+
+	c.reply(n, live, rows)
+}
+
+// resolve maps each unique id to its full embedding row, consulting the
+// cache first and conscripting the other ranks only for what's left.
+func (c *Cluster) resolve(n *node, need []int64) (map[int64][]float32, error) {
+	rows := make(map[int64][]float32, len(need))
+	var miss []int64
+	for _, id := range need {
+		if row, ok := c.router.cacheGet(id); ok {
+			rows[id] = row
+			continue
+		}
+		miss = append(miss, id)
+	}
+	if len(miss) == 0 {
+		return rows, nil
+	}
+
+	tr := c.tracers[0]
+	span := tr.Begin(trace.TrackCompute, "serve/xchg", -1)
+	fetched, err := c.fetchRows(n, miss)
+	span.End()
+	if err != nil {
+		return nil, err
+	}
+	for id, row := range fetched {
+		rows[id] = row
+		c.router.cachePut(id, row)
+	}
+	return rows, nil
+}
+
+// fetchRows resolves cache misses from the shards. Row-hash routes each id
+// to its owner and skips the cross-rank exchange entirely when rank 0 owns
+// every miss; column-wise asks every rank for its column slice of every miss
+// and reassembles (single-rank clusters short-circuit to a local fetch).
+func (c *Cluster) fetchRows(n *node, miss []int64) (map[int64][]float32, error) {
+	ranks := c.cfg.Ranks
+	reqLists := make([][]int64, ranks)
+	switch c.cfg.Partition {
+	case PartRowHash:
+		for _, id := range miss {
+			owner := n.shard.owner(id)
+			reqLists[owner] = append(reqLists[owner], id)
+		}
+	case PartColumn:
+		for p := 0; p < ranks; p++ {
+			reqLists[p] = miss
+		}
+	}
+
+	remote := 0
+	for p := 1; p < ranks; p++ {
+		remote += len(reqLists[p])
+	}
+	c.stats.localRows.Add(int64(len(reqLists[0])))
+	c.stats.remoteRows.Add(int64(remote))
+
+	// Local fast path: nothing to ask the followers for.
+	if remote == 0 {
+		sh, err := n.shard.fetch(reqLists[0])
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[int64][]float32, len(reqLists[0]))
+		for k, id := range reqLists[0] {
+			out[id] = append([]float32(nil), sh.Row(k)...)
+		}
+		return out, nil
+	}
+
+	if err := c.broadcastCtl(n, ctlExchange); err != nil {
+		return nil, fmt.Errorf("serve: exchange broadcast: %w", err)
+	}
+	c.stats.exchanges.Add(1)
+	recv, err := c.exchange(n, reqLists)
+	if err != nil {
+		return nil, fmt.Errorf("serve: exchange: %w", err)
+	}
+
+	out := make(map[int64][]float32, len(miss))
+	switch c.cfg.Partition {
+	case PartRowHash:
+		// recv[p] holds reqLists[p]'s rows in request order.
+		for p := 0; p < ranks; p++ {
+			for k, id := range reqLists[p] {
+				out[id] = append([]float32(nil), recv[p].Row(k)...)
+			}
+		}
+	case PartColumn:
+		// Every rank answered the same miss list with its column slice;
+		// reassemble each row at the deterministic column offsets.
+		for k, id := range miss {
+			row := make([]float32, c.embDim)
+			for p := 0; p < ranks; p++ {
+				lo, hi := (partition.ColumnWise{}).Range(c.embDim, ranks, p)
+				copy(row[lo:hi], recv[p].Row(k))
+			}
+			out[id] = row
+		}
+	}
+	return out, nil
+}
+
+// reply computes each live request's answer from the resolved rows. All
+// predict requests share one batched trunk forward; Infer is row-independent,
+// so batching preserves bit-identity with a per-request forward.
+func (c *Cluster) reply(n *node, live []*request, rows map[int64][]float32) {
+	var predicts []*request
+	for _, req := range live {
+		if req.kind == kindPredict {
+			predicts = append(predicts, req)
+			continue
+		}
+		out := make([][]float32, len(req.ids))
+		for i, id := range req.ids {
+			out[i] = append([]float32(nil), rows[id]...)
+		}
+		req.done <- response{rows: out}
+	}
+	if len(predicts) == 0 {
+		return
+	}
+
+	tr := c.tracers[0]
+	span := tr.Begin(trace.TrackCompute, "serve/fwd", -1)
+	defer span.End()
+
+	// Mean-pool each window with exactly nn.Embedding.PoolLookup's
+	// arithmetic: accumulate row*inv in window order.
+	pooled := tensor.NewDense(len(predicts), c.embDim)
+	for i, req := range predicts {
+		dst := pooled.Row(i)
+		if len(req.ids) == 0 {
+			continue
+		}
+		inv := 1 / float32(len(req.ids))
+		for _, tok := range req.ids {
+			src := rows[tok]
+			for d := 0; d < c.embDim; d++ {
+				dst[d] += src[d] * inv
+			}
+		}
+	}
+	probs, err := n.trunk.Infer(pooled)
+	if err != nil {
+		for _, req := range predicts {
+			req.done <- response{err: err}
+		}
+		return
+	}
+	for i, req := range predicts {
+		row := probs.Row(i)
+		best := 0
+		for v := 1; v < len(row); v++ {
+			if row[v] > row[best] {
+				best = v
+			}
+		}
+		req.done <- response{token: int64(best), prob: row[best]}
+	}
+}

@@ -1,0 +1,594 @@
+// Package serve turns a training checkpoint into a multi-rank inference
+// service — the serving counterpart of the trainer. The mechanisms are the
+// paper's, repurposed: the embedding table is partitioned across ranks
+// (row-hash or column-wise, §4.1.1), remote rows are resolved through the
+// Communicator's sparse AlltoAll, and repeated ids within a micro-batch are
+// deduplicated before the exchange — the serving analogue of Algorithm 1's
+// gradient coalescing. The dense trunk is small and replicated, so only the
+// sparse lookups cross ranks.
+//
+// Topology: rank 0 is the front-end driver. It owns the admission queue,
+// micro-batches requests under a configurable window/size, serves the Zipf
+// head from a hot-row LRU cache, and conscripts the other ranks — which sit
+// in a control loop — only when a batch misses rows it does not hold. The
+// control protocol is SPMD over the same Communicator the trainer uses:
+// every conscripted exchange is one []int64 AlltoAll of requested ids
+// followed by one sparse AlltoAll of the rows, under monotonically stepped
+// (op, step) tags, so the fabric can be the in-process world, TCP, or the
+// chaos wrapper with no code change.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"embrace/internal/checkpoint"
+	"embrace/internal/collective"
+	"embrace/internal/comm"
+	"embrace/internal/metrics"
+	"embrace/internal/nn"
+	"embrace/internal/partition"
+	"embrace/internal/tensor"
+	"embrace/internal/trace"
+)
+
+// Partitioning schemes the serving shards support.
+const (
+	// PartRowHash shards full rows by token id hash: each lookup touches one
+	// rank, but the Zipf head concentrates on whichever ranks own hot rows.
+	PartRowHash = "row-hash"
+	// PartColumn shards every row's columns evenly: each lookup touches all
+	// ranks and each contributes 1/n of the row — EmbRace's balanced layout.
+	PartColumn = "column"
+)
+
+// Config parameterizes a serving cluster.
+type Config struct {
+	// Ranks is the number of serving ranks (default 1). Rank 0 fronts the
+	// cluster; the rest hold shards and answer exchanges.
+	Ranks int
+	// Partition selects the embedding layout: PartRowHash (default) or
+	// PartColumn.
+	Partition string
+	// CacheRows bounds the front-end hot-row LRU cache; 0 disables caching.
+	CacheRows int
+	// MaxBatch caps how many requests one micro-batch coalesces (default 32).
+	MaxBatch int
+	// BatchWindow is how long the driver waits for stragglers after the
+	// first request of a batch arrives (default 200µs).
+	BatchWindow time.Duration
+	// QueueDepth bounds the admission queue (default 256). A full queue
+	// fails fast with ErrOverloaded.
+	QueueDepth int
+	// RecvTimeout bounds blocking receives on the fabric; 0 blocks forever.
+	RecvTimeout time.Duration
+	// Chaos, when non-nil, builds the cluster over a fault-injecting fabric
+	// (comm.NewChaosWorld) instead of the plain in-process world.
+	Chaos *comm.FaultPlan
+	// Trace enables per-rank trace.Recorder span collection.
+	Trace bool
+	// TraceClock overrides the trace clock (tests); nil uses wall time.
+	TraceClock trace.Clock
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Ranks <= 0 {
+		c.Ranks = 1
+	}
+	if c.Partition == "" {
+		c.Partition = PartRowHash
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// fabric abstracts the two in-process worlds a cluster can run on.
+type fabric interface {
+	Rank(i int) comm.Transport
+	Close()
+}
+
+// Cluster is a running serving deployment: N ranks over one fabric, a loaded
+// checkpoint, and a front-end router. Create with New, stop with Close.
+type Cluster struct {
+	cfg    Config
+	world  fabric
+	chaos  *comm.ChaosWorld // == world when chaotic, for Injected()
+	router *Router
+
+	vocab, embDim int
+
+	// pending hands the next checkpoint to every rank during a reload.
+	pendingMu sync.Mutex
+	pending   *checkpoint.Checkpoint
+
+	// Per-rank instrumentation, indexed by rank.
+	recs    []*metrics.OpRecorder
+	tracers []*trace.Recorder
+
+	stats counters
+
+	closeOnce sync.Once
+	closeCh   chan struct{}
+	wg        sync.WaitGroup
+
+	// errMu guards the first fatal per-rank error.
+	errMu sync.Mutex
+	err   error
+}
+
+// counters is the cluster's atomic stat block.
+type counters struct {
+	requests, lookups, predicts  atomic.Int64
+	batches, exchanges           atomic.Int64
+	coalesced                    atomic.Int64
+	localRows, remoteRows        atomic.Int64
+	overloaded, expired, reloads atomic.Int64
+	cache                        metrics.CacheCounters
+	latency                      *metrics.Histogram
+	queueWait                    *metrics.Histogram
+}
+
+// Stats is a point-in-time snapshot of a cluster's serving counters.
+type Stats struct {
+	// Requests admitted, split into Lookups and Predicts.
+	Requests, Lookups, Predicts int64
+	// Batches processed; Exchanges is how many needed a cross-rank
+	// conscription (a batch satisfied by cache + local shard skips it).
+	Batches, Exchanges int64
+	// Coalesced counts duplicate ids removed by within-batch dedup.
+	Coalesced int64
+	// LocalRows and RemoteRows count rows resolved from rank 0's own shard
+	// versus fetched from peers.
+	LocalRows, RemoteRows int64
+	// Overloaded counts admissions refused with ErrOverloaded; Expired
+	// counts admitted requests dropped at their deadline; Reloads counts
+	// completed checkpoint swaps.
+	Overloaded, Expired, Reloads int64
+	// Cache is the hot-row cache's hit/miss/eviction snapshot.
+	Cache metrics.CacheStats
+	// Latency digests request latency (admission to reply); QueueWait the
+	// time batches spent waiting for the driver.
+	Latency, QueueWait metrics.Summary
+	// CommPerOp folds per-op communication counters across all ranks.
+	CommPerOp map[string]metrics.OpStats
+}
+
+// New boots a serving cluster from a checkpoint. The checkpoint must hold
+// the facade's parameter set ("emb", "w1", "b1", "w2", "b2"); optimizer state
+// is ignored. The returned cluster is live: its router accepts requests.
+func New(ck *checkpoint.Checkpoint, cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Partition != PartRowHash && cfg.Partition != PartColumn {
+		return nil, fmt.Errorf("serve: unknown partition %q (want %q or %q)", cfg.Partition, PartRowHash, PartColumn)
+	}
+	if err := ck.Validate(); err != nil {
+		return nil, err
+	}
+	emb := ck.Params["emb"]
+	if emb == nil || emb.Dims() != 2 {
+		return nil, fmt.Errorf("serve: checkpoint has no [vocab x dim] %q table", "emb")
+	}
+
+	var world fabric
+	var chaos *comm.ChaosWorld
+	if cfg.Chaos != nil {
+		cw, err := comm.NewChaosWorld(cfg.Ranks, *cfg.Chaos)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if cfg.RecvTimeout > 0 {
+			cw.SetRecvTimeout(cfg.RecvTimeout)
+		}
+		world, chaos = cw, cw
+	} else {
+		w, err := comm.NewWorld(cfg.Ranks)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if cfg.RecvTimeout > 0 {
+			w.SetRecvTimeout(cfg.RecvTimeout)
+		}
+		world = w
+	}
+
+	c := &Cluster{
+		cfg:     cfg,
+		world:   world,
+		chaos:   chaos,
+		vocab:   emb.Dim(0),
+		embDim:  emb.Dim(1),
+		recs:    make([]*metrics.OpRecorder, cfg.Ranks),
+		tracers: make([]*trace.Recorder, cfg.Ranks),
+		closeCh: make(chan struct{}),
+	}
+	c.stats.latency = metrics.NewHistogram()
+	c.stats.queueWait = metrics.NewHistogram()
+	c.router = newRouter(c, cfg.QueueDepth)
+
+	for r := 0; r < cfg.Ranks; r++ {
+		c.recs[r] = metrics.NewOpRecorder()
+		if cfg.Trace {
+			opts := []trace.RecorderOption{}
+			if cfg.TraceClock != nil {
+				opts = append(opts, trace.WithClock(cfg.TraceClock))
+			}
+			tr := trace.NewRecorder(r, opts...)
+			tr.RouteOp("serve/req", trace.TrackNetwork)
+			tr.RouteOp("serve/rows", trace.TrackNetwork)
+			tr.RouteOp("serve/ctl", trace.TrackNetwork)
+			c.tracers[r] = tr
+		}
+	}
+
+	for r := 0; r < cfg.Ranks; r++ {
+		cm := collective.NewCommunicator(world.Rank(r),
+			collective.WithObserver(collective.MultiObserver(c.recs[r], c.tracers[r])))
+		node, err := c.buildNode(cm, ck)
+		if err != nil {
+			world.Close()
+			return nil, err
+		}
+		c.wg.Add(1)
+		if r == 0 {
+			go func() { defer c.wg.Done(); c.driverLoop(node) }()
+		} else {
+			go func() { defer c.wg.Done(); c.followerLoop(node) }()
+		}
+	}
+	return c, nil
+}
+
+// Router returns the cluster's front end.
+func (c *Cluster) Router() *Router { return c.router }
+
+// Lookup resolves embedding rows; see Router.Lookup.
+func (c *Cluster) Lookup(ctx context.Context, ids []int64) ([][]float32, error) {
+	return c.router.Lookup(ctx, ids)
+}
+
+// Predict runs the trunk over a pooled token window; see Router.Predict.
+func (c *Cluster) Predict(ctx context.Context, window []int64) (int64, float32, error) {
+	return c.router.Predict(ctx, window)
+}
+
+// Stats snapshots the cluster's counters.
+func (c *Cluster) Stats() Stats {
+	per := make(map[string]metrics.OpStats)
+	for _, rec := range c.recs {
+		for op, s := range rec.PerOp() {
+			per[op] = per[op].Add(s)
+		}
+	}
+	return Stats{
+		Requests:   c.stats.requests.Load(),
+		Lookups:    c.stats.lookups.Load(),
+		Predicts:   c.stats.predicts.Load(),
+		Batches:    c.stats.batches.Load(),
+		Exchanges:  c.stats.exchanges.Load(),
+		Coalesced:  c.stats.coalesced.Load(),
+		LocalRows:  c.stats.localRows.Load(),
+		RemoteRows: c.stats.remoteRows.Load(),
+		Overloaded: c.stats.overloaded.Load(),
+		Expired:    c.stats.expired.Load(),
+		Reloads:    c.stats.reloads.Load(),
+		Cache:      c.stats.cache.Snapshot(),
+		Latency:    c.stats.latency.Summary(),
+		QueueWait:  c.stats.queueWait.Summary(),
+		CommPerOp:  per,
+	}
+}
+
+// Tracers returns the per-rank trace recorders (nil entries when tracing is
+// off), for span inspection and Chrome-trace export.
+func (c *Cluster) Tracers() []*trace.Recorder { return c.tracers }
+
+// FaultsInjected reports the chaos fabric's injected-fault counts, or nil
+// when the cluster runs on a fault-free fabric.
+func (c *Cluster) FaultsInjected() map[string]int64 {
+	if c.chaos == nil {
+		return nil
+	}
+	return c.chaos.Injected()
+}
+
+// Err returns the first fatal rank error, if any.
+func (c *Cluster) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.err
+}
+
+func (c *Cluster) fail(err error) {
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+}
+
+// Reload swaps in a new checkpoint with zero downtime: the swap happens
+// between micro-batches, every rank rebuilds its shard and trunk from the
+// new snapshot, and the hot-row cache is invalidated — after Reload returns,
+// every response is computed from the new checkpoint, exactly as a cold
+// restart would compute it. The checkpoint is validated (shape agreement,
+// same vocab/dim) before any rank commits to it.
+func (c *Cluster) Reload(ck *checkpoint.Checkpoint) error {
+	if err := ck.Validate(); err != nil {
+		return err
+	}
+	emb := ck.Params["emb"]
+	if emb == nil || emb.Dims() != 2 || emb.Dim(0) != c.vocab || emb.Dim(1) != c.embDim {
+		return fmt.Errorf("serve: reload checkpoint shape mismatch (want [%d x %d] %q)", c.vocab, c.embDim, "emb")
+	}
+	rr := &reloadReq{ck: ck, done: make(chan error, 1)}
+	select {
+	case c.router.reloadCh <- rr:
+	case <-c.closeCh:
+		return ErrClosed
+	}
+	select {
+	case err := <-rr.done:
+		return err
+	case <-c.closeCh:
+		return ErrClosed
+	}
+}
+
+// Close shuts the cluster down: pending requests are answered with ErrClosed,
+// followers are released, and the fabric is torn down. Idempotent.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		c.router.close()
+		close(c.closeCh)
+	})
+	c.wg.Wait()
+	c.world.Close()
+}
+
+// ---------------------------------------------------------------------------
+// Per-rank state.
+// ---------------------------------------------------------------------------
+
+// node is one rank's live serving state: its communicator, embedding shard
+// and trunk replica, plus the step counters that keep its (op, step) tags in
+// lockstep with the driver's.
+type node struct {
+	cm    *collective.Communicator
+	rank  int
+	shard *shard
+	trunk *nn.Trunk
+
+	ctlSeq, xSeq, reloadSeq int
+}
+
+// step folds a monotone sequence number into the Communicator's step range.
+func step(seq int) int { return seq % (collective.MaxStep + 1) }
+
+// buildNode deep-copies rank r's slice of the checkpoint.
+func (c *Cluster) buildNode(cm *collective.Communicator, ck *checkpoint.Checkpoint) (*node, error) {
+	n := &node{cm: cm, rank: cm.Rank()}
+	if err := n.load(c, ck); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// load (re)builds the node's shard and trunk from a checkpoint. Everything is
+// deep-copied so the caller's checkpoint stays untouched and two reloads
+// never share tensors.
+func (n *node) load(c *Cluster, ck *checkpoint.Checkpoint) error {
+	for _, name := range []string{"w1", "b1", "w2", "b2"} {
+		if ck.Params[name] == nil {
+			return fmt.Errorf("serve: checkpoint missing trunk param %q", name)
+		}
+	}
+	n.trunk = &nn.Trunk{
+		W1: ck.Params["w1"].Clone(),
+		B1: ck.Params["b1"].Clone(),
+		W2: ck.Params["w2"].Clone(),
+		B2: ck.Params["b2"].Clone(),
+	}
+	sh, err := newShard(ck.Params["emb"], c.cfg.Partition, c.cfg.Ranks, n.rank)
+	if err != nil {
+		return err
+	}
+	n.shard = sh
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Embedding shards.
+// ---------------------------------------------------------------------------
+
+// shard is one rank's slice of the embedding table. For row-hash it holds
+// the full rows it owns; for column-wise it holds every row's [lo, hi)
+// column slice. fetch answers requests in request order so the driver can
+// zip ids with rows positionally.
+type shard struct {
+	part    string
+	ranks   int
+	rank    int
+	vocab   int
+	dim     int // full embedding width
+	lo, hi  int // owned column range (column-wise; [0, dim) for row-hash)
+	rows    map[int64][]float32
+	columns *tensor.Dense // [vocab x (hi-lo)] (column-wise)
+}
+
+func newShard(emb *tensor.Dense, part string, ranks, rank int) (*shard, error) {
+	vocab, dim := emb.Dim(0), emb.Dim(1)
+	s := &shard{part: part, ranks: ranks, rank: rank, vocab: vocab, dim: dim, lo: 0, hi: dim}
+	switch part {
+	case PartRowHash:
+		s.rows = make(map[int64][]float32)
+		for tok := 0; tok < vocab; tok++ {
+			if (partition.RowHash{}).Owner(int64(tok), ranks) == rank {
+				s.rows[int64(tok)] = append([]float32(nil), emb.Row(tok)...)
+			}
+		}
+	case PartColumn:
+		lo, hi := partition.ColumnWise{}.Range(dim, ranks, rank)
+		s.lo, s.hi = lo, hi
+		cols := tensor.NewDense(vocab, hi-lo)
+		for tok := 0; tok < vocab; tok++ {
+			copy(cols.Row(tok), emb.Row(tok)[lo:hi])
+		}
+		s.columns = cols
+	default:
+		return nil, fmt.Errorf("serve: unknown partition %q", part)
+	}
+	return s, nil
+}
+
+// width is the number of columns this shard contributes per row.
+func (s *shard) width() int { return s.hi - s.lo }
+
+// owner returns the rank holding id's full row (row-hash layouts only).
+func (s *shard) owner(id int64) int { return (partition.RowHash{}).Owner(id, s.ranks) }
+
+// fetch returns the shard's payload for the requested ids, one sparse row
+// per id in request order. Unowned or out-of-range ids are a protocol bug
+// upstream (the router validates ids at admission) and error out rather than
+// silently serving zeros.
+func (s *shard) fetch(ids []int64) (*tensor.Sparse, error) {
+	if len(ids) == 0 {
+		return tensor.EmptySparse(s.vocab, s.width()), nil
+	}
+	vals := make([]float32, 0, len(ids)*s.width())
+	for _, id := range ids {
+		switch s.part {
+		case PartRowHash:
+			row, ok := s.rows[id]
+			if !ok {
+				return nil, fmt.Errorf("serve: rank %d asked for row %d it does not own", s.rank, id)
+			}
+			vals = append(vals, row...)
+		case PartColumn:
+			if id < 0 || id >= int64(s.vocab) {
+				return nil, fmt.Errorf("serve: row %d outside vocab %d", id, s.vocab)
+			}
+			vals = append(vals, s.columns.Row(int(id))...)
+		}
+	}
+	return tensor.NewSparse(s.vocab, s.width(), append([]int64(nil), ids...), vals)
+}
+
+// ---------------------------------------------------------------------------
+// Control protocol.
+// ---------------------------------------------------------------------------
+
+// Control message kinds, sent rank 0 -> followers under "serve/ctl".
+const (
+	ctlExchange = iota // run one id/row AlltoAll pair
+	ctlReload          // rebuild from Cluster.pending, then barrier
+	ctlShutdown        // exit the follower loop
+)
+
+// broadcastCtl tells every follower what happens next. One ctl sequence
+// number is consumed per broadcast on every rank, keeping tags aligned.
+func (c *Cluster) broadcastCtl(n *node, kind int) error {
+	st := step(n.ctlSeq)
+	n.ctlSeq++
+	for p := 1; p < c.cfg.Ranks; p++ {
+		if err := n.cm.Send("serve/ctl", st, p, kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exchange runs the two-phase sparse fetch on any rank: an AlltoAll of
+// requested ids, a local shard fetch, and an AlltoAll of the resulting rows.
+// The driver passes its per-rank request lists; followers pass empties.
+// Returns the per-sender sparse shards (request order preserved).
+func (c *Cluster) exchange(n *node, reqLists [][]int64) ([]*tensor.Sparse, error) {
+	st := step(n.xSeq)
+	n.xSeq++
+	if reqLists == nil {
+		reqLists = make([][]int64, c.cfg.Ranks)
+	}
+	got, err := collective.AllToAllVia(n.cm, "serve/req", st, reqLists)
+	if err != nil {
+		return nil, err
+	}
+	shards := make([]*tensor.Sparse, c.cfg.Ranks)
+	for p := range shards {
+		sh, err := n.shard.fetch(got[p])
+		if err != nil {
+			return nil, err
+		}
+		shards[p] = sh
+	}
+	return n.cm.SparseAllToAll("serve/rows", st, shards)
+}
+
+// doReloadOn rebuilds this rank from the pending checkpoint and joins the
+// reload barrier. Called on every rank, driver included.
+func (c *Cluster) doReloadOn(n *node) error {
+	c.pendingMu.Lock()
+	ck := c.pending
+	c.pendingMu.Unlock()
+	if ck == nil {
+		return errors.New("serve: reload signaled with no pending checkpoint")
+	}
+	if err := n.load(c, ck); err != nil {
+		return err
+	}
+	st := step(n.reloadSeq)
+	n.reloadSeq++
+	return n.cm.Barrier("serve/reload", st)
+}
+
+// followerLoop is every non-zero rank's life: wait for a control message,
+// obey it, repeat. Timeouts while idle (when a RecvTimeout is configured)
+// are not errors — the rank just keeps listening.
+func (c *Cluster) followerLoop(n *node) {
+	for {
+		st := step(n.ctlSeq)
+		payload, err := n.cm.Recv("serve/ctl", st, 0)
+		if err != nil {
+			if errors.Is(err, comm.ErrTimeout) {
+				continue // idle; same step, keep waiting
+			}
+			c.fail(fmt.Errorf("serve: rank %d ctl: %w", n.rank, err))
+			return
+		}
+		n.ctlSeq++
+		kind, ok := payload.(int)
+		if !ok {
+			c.fail(fmt.Errorf("serve: rank %d: ctl payload %T", n.rank, payload))
+			return
+		}
+		switch kind {
+		case ctlExchange:
+			if _, err := c.exchange(n, nil); err != nil {
+				c.fail(fmt.Errorf("serve: rank %d exchange: %w", n.rank, err))
+				return
+			}
+		case ctlReload:
+			if err := c.doReloadOn(n); err != nil {
+				c.fail(fmt.Errorf("serve: rank %d reload: %w", n.rank, err))
+				return
+			}
+		case ctlShutdown:
+			return
+		default:
+			c.fail(fmt.Errorf("serve: rank %d: unknown ctl kind %d", n.rank, kind))
+			return
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package embrace
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"embrace/internal/checkpoint"
+	"embrace/internal/comm"
+	"embrace/internal/serve"
+)
+
+// ---------------------------------------------------------------------------
+// Serving
+// ---------------------------------------------------------------------------
+
+// Embedding partitioning schemes for serving (§4.1.1 applied to inference).
+const (
+	// ServeRowHash shards full embedding rows by token-id hash.
+	ServeRowHash = serve.PartRowHash
+	// ServeColumn gives every rank a 1/N column slice of every row —
+	// EmbRace's balanced layout.
+	ServeColumn = serve.PartColumn
+)
+
+// ServeConfig describes a serving deployment booted from a checkpoint.
+type ServeConfig struct {
+	// Ranks is the number of serving ranks (default 1); rank 0 is the
+	// front end, the rest hold embedding shards.
+	Ranks int
+	// Partition is ServeRowHash (default) or ServeColumn.
+	Partition string
+	// CacheRows bounds the front-end hot-row LRU cache; 0 disables it.
+	CacheRows int
+	// MaxBatch and BatchWindow control request micro-batching (defaults 32
+	// and 200µs): the front end coalesces up to MaxBatch requests arriving
+	// within the window and dedups their ids before touching the shards.
+	MaxBatch    int
+	BatchWindow time.Duration
+	// QueueDepth bounds the admission queue (default 256); a full queue
+	// fails fast with a typed overload error.
+	QueueDepth int
+	// ChaosSeed, when non-zero, serves over the deterministic
+	// fault-injecting fabric (see TrainConfig.ChaosSeed); the self-healing
+	// collectives keep responses bit-identical.
+	ChaosSeed int64
+	// Trace enables per-rank span recording.
+	Trace bool
+}
+
+func (c ServeConfig) internal() serve.Config {
+	cfg := serve.Config{
+		Ranks:       c.Ranks,
+		Partition:   c.Partition,
+		CacheRows:   c.CacheRows,
+		MaxBatch:    c.MaxBatch,
+		BatchWindow: c.BatchWindow,
+		QueueDepth:  c.QueueDepth,
+		Trace:       c.Trace,
+	}
+	if c.ChaosSeed != 0 {
+		plan := comm.MaskableChaosPlan(c.ChaosSeed)
+		cfg.Chaos = &plan
+	}
+	return cfg
+}
+
+// Server is a live multi-rank inference deployment. Lookup and Predict are
+// safe for concurrent use; stop it with Close.
+type Server struct {
+	c *serve.Cluster
+}
+
+// Serve boots a serving cluster from a checkpoint file written by Train
+// (TrainConfig.CheckpointPath). The embedding table is partitioned across
+// the ranks, the dense trunk replicated, and the returned server answers
+// immediately.
+func Serve(checkpointPath string, cfg ServeConfig) (*Server, error) {
+	ck, err := checkpoint.LoadFile(checkpointPath)
+	if err != nil {
+		return nil, err
+	}
+	c, err := serve.New(ck, cfg.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Server{c: c}, nil
+}
+
+// Lookup resolves the embedding rows of ids, in order (duplicates allowed).
+// ctx's deadline becomes the request deadline.
+func (s *Server) Lookup(ctx context.Context, ids []int64) ([][]float32, error) {
+	return s.c.Lookup(ctx, ids)
+}
+
+// Predict mean-pools the window's embedding rows, runs the trunk forward,
+// and returns the argmax next token with its probability — bit-identical to
+// the training model's forward pass over the served checkpoint.
+func (s *Server) Predict(ctx context.Context, window []int64) (int64, float32, error) {
+	return s.c.Predict(ctx, window)
+}
+
+// Reload atomically swaps in a new checkpoint with zero downtime: in-flight
+// batches finish on the old snapshot, the swap happens between batches on
+// every rank, and the hot-row cache is invalidated. After Reload returns,
+// responses are exactly what a fresh Serve of the new checkpoint would give.
+func (s *Server) Reload(checkpointPath string) error {
+	ck, err := checkpoint.LoadFile(checkpointPath)
+	if err != nil {
+		return err
+	}
+	return s.c.Reload(ck)
+}
+
+// Close shuts the deployment down; pending requests fail with a typed
+// closed error. Idempotent.
+func (s *Server) Close() { s.c.Close() }
+
+// ServeStats is a snapshot of a server's counters.
+type ServeStats struct {
+	// Requests admitted, split into Lookups and Predicts.
+	Requests, Lookups, Predicts int64
+	// Batches processed; Exchanges is how many conscripted remote ranks.
+	Batches, Exchanges int64
+	// Coalesced counts duplicate ids removed by within-batch dedup.
+	Coalesced int64
+	// Overloaded counts fast-failed admissions; Expired deadline drops;
+	// Reloads completed checkpoint swaps.
+	Overloaded, Expired, Reloads int64
+	// CacheHits/CacheMisses/CacheEvictions describe the hot-row cache;
+	// CacheHitRate is hits over lookups.
+	CacheHits, CacheMisses, CacheEvictions int64
+	CacheHitRate                           float64
+	// LatencyP50/P95/P99 digest request latency (admission to reply).
+	LatencyP50, LatencyP95, LatencyP99 time.Duration
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() ServeStats {
+	st := s.c.Stats()
+	return ServeStats{
+		Requests:       st.Requests,
+		Lookups:        st.Lookups,
+		Predicts:       st.Predicts,
+		Batches:        st.Batches,
+		Exchanges:      st.Exchanges,
+		Coalesced:      st.Coalesced,
+		Overloaded:     st.Overloaded,
+		Expired:        st.Expired,
+		Reloads:        st.Reloads,
+		CacheHits:      st.Cache.Hits,
+		CacheMisses:    st.Cache.Misses,
+		CacheEvictions: st.Cache.Evictions,
+		CacheHitRate:   st.Cache.HitRate(),
+		LatencyP50:     time.Duration(st.Latency.P50 * float64(time.Second)),
+		LatencyP95:     time.Duration(st.Latency.P95 * float64(time.Second)),
+		LatencyP99:     time.Duration(st.Latency.P99 * float64(time.Second)),
+	}
+}
+
+// LoadSpec parameterizes a closed-loop Zipf load run against a server: each
+// of Clients goroutines issues Requests back-to-back.
+type LoadSpec struct {
+	// Clients and Requests shape the run (defaults 4 and 100).
+	Clients, Requests int
+	// IDsPerRequest is the lookup size / predict window (default 4).
+	IDsPerRequest int
+	// Predict switches the workload from Lookup to Predict.
+	Predict bool
+	// ZipfS and ZipfV shape the id skew (defaults 1.3, 2).
+	ZipfS, ZipfV float64
+	// Seed makes the id streams deterministic.
+	Seed int64
+	// Timeout, when positive, attaches a per-request deadline.
+	Timeout time.Duration
+}
+
+// LoadResult reports a completed load run.
+type LoadResult struct {
+	// Requests issued; Errors failed, with Overloaded and Expired broken out.
+	Requests, Errors, Overloaded, Expired int64
+	// Elapsed wall clock and completed requests per second.
+	Elapsed time.Duration
+	QPS     float64
+	// P50/P99/Max request latency as the clients saw it.
+	P50, P99, Max time.Duration
+}
+
+// String renders the result for logs.
+func (r LoadResult) String() string {
+	return fmt.Sprintf("req=%d err=%d qps=%.0f p50=%s p99=%s max=%s",
+		r.Requests, r.Errors, r.QPS, r.P50, r.P99, r.Max)
+}
+
+// RunLoad fires the closed-loop workload at the server and reports
+// throughput and latency percentiles.
+func (s *Server) RunLoad(spec LoadSpec) LoadResult {
+	rep := serve.RunLoad(s.c, serve.LoadConfig{
+		Clients:       spec.Clients,
+		Requests:      spec.Requests,
+		IDsPerRequest: spec.IDsPerRequest,
+		Predict:       spec.Predict,
+		ZipfS:         spec.ZipfS,
+		ZipfV:         spec.ZipfV,
+		Seed:          spec.Seed,
+		Timeout:       spec.Timeout,
+	})
+	return LoadResult{
+		Requests:   rep.Requests,
+		Errors:     rep.Errors,
+		Overloaded: rep.Overloaded,
+		Expired:    rep.Expired,
+		Elapsed:    rep.Elapsed,
+		QPS:        rep.QPS,
+		P50:        time.Duration(rep.Latency.P50 * float64(time.Second)),
+		P99:        time.Duration(rep.Latency.P99 * float64(time.Second)),
+		Max:        time.Duration(rep.Latency.Max * float64(time.Second)),
+	}
+}

@@ -6,7 +6,7 @@ BENCH ?= AllReduce64MB
 # chaos seed sweep offset; override with e.g. `make chaos CHAOS_SEED=20260806`.
 CHAOS_SEED ?= 1
 
-.PHONY: build test lint check race bench-comm chaos trace-demo serve-demo
+.PHONY: build test lint check race bench-comm bench-hot chaos trace-demo serve-demo
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,14 @@ race: check
 
 bench-comm:
 	$(GO) test -run XXX -bench $(BENCH) -benchtime 5x .
+
+## bench-hot: the steady-state hot-path step bench — an 8-rank world runs
+## real lockstep training steps per strategy with allocation accounting, and
+## the parsed numbers (ns/op, B/op, allocs/op) land in BENCH_hotpath.json
+## for diffing across PRs. EXPERIMENTS.md § "Hot-path rebuild" tracks them.
+bench-hot:
+	$(GO) test -run '^$$' -bench HotPathStep -benchtime 30x -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
 
 ## chaos: the deterministic fault-injection suite (DESIGN.md §8) under the
 ## race detector — every collective and an end-to-end training job must be

@@ -1,0 +1,125 @@
+// Hot-path step benchmarks: a persistent 8-rank world runs real training
+// steps in lockstep, so ns/op, B/op and allocs/op price the steady-state
+// per-step cost of each strategy's embedding exchange — world setup, model
+// init and the warm-up step are all outside the timed region. `make
+// bench-hot` runs these with -benchmem and records the numbers in
+// BENCH_hotpath.json; EXPERIMENTS.md tracks them across PRs.
+package embrace_test
+
+import (
+	"sync"
+	"testing"
+
+	"embrace/internal/collective"
+	"embrace/internal/comm"
+	"embrace/internal/strategies"
+)
+
+// hotBenchRanks is the world size of the hot-path bench — the 8-rank
+// configuration the ROADMAP's ≥2× step-time target is measured on.
+const hotBenchRanks = 8
+
+// hotBenchConfig is the model shape of the hot-path bench: a vocabulary and
+// batch large enough that the sparse exchange dominates, with EmbDim
+// divisible by the world size as column partitioning requires.
+func hotBenchConfig() strategies.Config {
+	return strategies.Config{
+		Seed:      7,
+		Vocab:     8192,
+		EmbDim:    64,
+		Hidden:    32,
+		Optimizer: strategies.OptAdam,
+		LR:        1e-3,
+		PSServers: 2,
+	}
+}
+
+// hotBenchBatch builds rank r's fixed synthetic batch: 8 windows of 16
+// tokens each, deterministic in (rank, window, position) so every run —
+// before or after a refactor — feeds the identical ids through the exchange.
+func hotBenchBatch(r int) (windows [][]int64, targets []int64, next []int64) {
+	const nwin, wlen = 8, 16
+	windows = make([][]int64, nwin)
+	targets = make([]int64, nwin)
+	for i := range windows {
+		win := make([]int64, wlen)
+		for j := range win {
+			// A mix of a Zipf-ish hot head and rank-spread tail rows.
+			win[j] = int64((r*131 + i*37 + j*j*11) % 8192)
+		}
+		windows[i] = win
+		targets[i] = int64((r*17 + i*29) % 8192)
+	}
+	next = make([]int64, nwin*wlen)
+	for j := range next {
+		next[j] = int64((r*257 + j*13) % 8192)
+	}
+	return windows, targets, next
+}
+
+// benchStrategySteps drives b.N lockstep training steps of one strategy
+// across a persistent world. Each rank performs one untimed warm-up step
+// (growing every pooled buffer to its high-water mark), all ranks
+// rendezvous, and only then does the timed region begin.
+func benchStrategySteps(b *testing.B, name strategies.Name, sched strategies.SchedMode) {
+	b.Helper()
+	cfg := hotBenchConfig()
+	cfg.Sched = sched
+	sh, err := strategies.NewShared(name, cfg, hotBenchRanks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	ready := make(chan struct{}, hotBenchRanks)
+	start := make(chan struct{})
+	done := make(chan error, 1)
+	var once sync.Once
+	go func() {
+		done <- comm.RunRanks(hotBenchRanks, func(t comm.Transport) error {
+			w, err := strategies.NewWorker(name, collective.NewCommunicator(t), cfg, sh)
+			if err != nil {
+				return err
+			}
+			windows, targets, next := hotBenchBatch(t.Rank())
+			if _, err := w.Step(0, windows, targets, next); err != nil {
+				return err
+			}
+			ready <- struct{}{}
+			<-start
+			for i := 0; i < b.N; i++ {
+				if _, err := w.Step(i+1, windows, targets, next); err != nil {
+					return err
+				}
+			}
+			// Drain any in-flight delayed exchange so allocs/op attributes
+			// every step's work inside the timed region symmetrically.
+			_, err = w.FullEmbedding()
+			once.Do(func() { b.StopTimer() })
+			return err
+		})
+	}()
+	for i := 0; i < hotBenchRanks; i++ {
+		<-ready
+	}
+	b.ResetTimer()
+	close(start)
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkHotPathStepEmbRace2D(b *testing.B) {
+	benchStrategySteps(b, strategies.EmbRace, strategies.Sched2D)
+}
+
+func BenchmarkHotPathStepEmbRaceNoSched(b *testing.B) {
+	benchStrategySteps(b, strategies.EmbRace, strategies.SchedNone)
+}
+
+func BenchmarkHotPathStepAllGather(b *testing.B) {
+	benchStrategySteps(b, strategies.HorovodAllGather, strategies.SchedNone)
+}
+
+func BenchmarkHotPathStepParallax(b *testing.B) {
+	benchStrategySteps(b, strategies.Parallax, strategies.SchedNone)
+}

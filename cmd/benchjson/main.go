@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON report, so benchmark numbers land in a file diffable across PRs
+// instead of scrolling away in a terminal. Only benchmark result lines are
+// parsed; everything else (PASS, ok, log noise) is ignored.
+//
+// Usage:
+//
+//	go test -run '^$' -bench HotPathStep -benchmem . | go run ./cmd/benchjson -out BENCH_hotpath.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line. AllocedBytesPerOp and AllocsPerOp are
+// present only when the run used -benchmem.
+type result struct {
+	Name              string  `json:"name"`
+	Procs             int     `json:"procs"`
+	Iterations        int64   `json:"iterations"`
+	NsPerOp           float64 `json:"ns_per_op"`
+	AllocedBytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp       int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee: keep the human-readable output visible
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(results), *out)
+}
+
+// parseLine matches one `BenchmarkName-P  iters  ns/op [B/op allocs/op]`
+// line. The -P GOMAXPROCS suffix is split off into Procs.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || fields[3] != "ns/op" {
+		return result{}, false
+	}
+	name, procs := fields[0], 1
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(fields[2], 64)
+	if err1 != nil || err2 != nil {
+		return result{}, false
+	}
+	r := result{Name: name, Procs: procs, Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			r.AllocedBytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, true
+}

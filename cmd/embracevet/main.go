@@ -24,6 +24,7 @@ import (
 
 	"embrace/internal/analysis"
 	"embrace/internal/analysis/determinism"
+	"embrace/internal/analysis/hotalloc"
 	"embrace/internal/analysis/locksend"
 	"embrace/internal/analysis/rawtag"
 	"embrace/internal/analysis/sliceret"
@@ -34,6 +35,7 @@ var analyzers = []*analysis.Analyzer{
 	determinism.Analyzer,
 	locksend.Analyzer,
 	sliceret.Analyzer,
+	hotalloc.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,156 @@
+// Package hotalloc polices the zero-steady-state-allocation discipline of
+// functions marked `//embrace:hotpath`.
+//
+// The hot-path rebuild moved every per-step allocation of the training loop
+// into reusable scratch (arena exchanges, coalesce buffers, row bucketers),
+// and the steady-state alloc-budget tests pin the result. But a budget test
+// only counts — it cannot point at the line that regressed. This analyzer
+// does: inside any function whose doc comment carries the
+// `//embrace:hotpath` directive it flags the expressions that allocate on
+// every call:
+//
+//   - make and new calls
+//   - slice and map composite literals
+//   - function literals (closure capture allocates)
+//   - go statements (a goroutine plus its closure)
+//   - append whose result lands somewhere other than its own first argument
+//     (x = append(y, ...) grows fresh storage; x = append(x, ...) reuses)
+//
+// Deliberate allocations — amortized high-water growth, per-step protocol
+// objects like a join channel — are justified in place:
+//
+//	//embrace:allow hotalloc <why this allocation is acceptable>
+//
+// Cold functions are never inspected, so the annotation is also the
+// contract: marking a function hotpath opts its body into the discipline.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"embrace/internal/analysis"
+)
+
+// Directive marks a function as hot-path in its doc comment.
+const Directive = "//embrace:hotpath"
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid steady-state allocations (make/new/literals/closures/goroutines/growing append) in //embrace:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPath(fd.Doc) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// isHotPath reports whether the doc comment group carries the directive.
+// Directive comments are invisible to CommentGroup.Text, so the raw list is
+// scanned.
+func isHotPath(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == Directive || strings.HasPrefix(c.Text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc walks one hot-path body. Function literals and go statements are
+// flagged as allocations themselves and not descended into: the code inside
+// them runs off the caller's critical path (or is covered by its own
+// justification), and one finding per construct keeps the signal readable.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	sanctioned := selfAppends(pass, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path %s builds a closure: hoist it or justify with //embrace:allow hotalloc", name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hot path %s spawns a goroutine: reuse a worker or justify with //embrace:allow hotalloc", name)
+			return false
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "hot path %s allocates a slice literal: reuse scratch or justify with //embrace:allow hotalloc", name)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "hot path %s allocates a map literal: reuse scratch or justify with //embrace:allow hotalloc", name)
+			}
+		case *ast.CallExpr:
+			switch builtinName(pass.TypesInfo, n) {
+			case "make", "new":
+				pass.Reportf(n.Pos(), "hot path %s allocates with %s: hoist into reusable scratch or justify with //embrace:allow hotalloc",
+					name, builtinName(pass.TypesInfo, n))
+			case "append":
+				if !sanctioned[n] {
+					pass.Reportf(n.Pos(), "hot path %s grows fresh storage with append: assign back to the appended slice (x = append(x, ...)) or justify with //embrace:allow hotalloc", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// selfAppends collects the append calls of the x = append(x, ...) and
+// x = append(x[:0], ...) shapes — result assigned back over the (possibly
+// resliced) first argument, which reuses capacity and is the blessed growth
+// idiom. Structural equality of the two expressions is judged by their
+// printed form; anything trickier (aliased names, swapped fields) is flagged
+// and must carry a justification.
+func selfAppends(pass *analysis.Pass, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	out := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || builtinName(pass.TypesInfo, call) != "append" || len(call.Args) == 0 {
+				continue
+			}
+			target := ast.Unparen(call.Args[0])
+			if sl, ok := target.(*ast.SliceExpr); ok {
+				target = ast.Unparen(sl.X)
+			}
+			if types.ExprString(ast.Unparen(as.Lhs[i])) == types.ExprString(target) {
+				out[call] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// builtinName returns the name of the builtin a call invokes, or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

@@ -61,6 +61,9 @@ type Communicator struct {
 
 	pool   sync.Pool // *[]float32 holding scratch data
 	spares sync.Pool // *[]float32 holding empty containers
+
+	poolI64   sync.Pool // *[]int64 holding scratch data (sparse index streams)
+	sparesI64 sync.Pool // *[]int64 holding empty containers
 }
 
 // Observer receives per-logical-operation traffic notifications from a
@@ -238,6 +241,36 @@ func (c *Communicator) putBuf(buf []float32) {
 	}
 	*v = buf[:cap(buf)]
 	c.pool.Put(v)
+}
+
+// getBufI64 and putBufI64 are the []int64 twins of getBuf/putBuf, used for
+// the index streams of the sparse exchanges. Same ownership discipline: the
+// buffer travels with the message and the receiver recycles it into its own
+// pool.
+func (c *Communicator) getBufI64(n int) []int64 {
+	v, _ := c.poolI64.Get().(*[]int64)
+	if v == nil {
+		v = new([]int64)
+	}
+	buf := *v
+	*v = nil
+	c.sparesI64.Put(v)
+	if cap(buf) < n {
+		buf = make([]int64, n)
+	}
+	return buf[:n]
+}
+
+func (c *Communicator) putBufI64(buf []int64) {
+	if cap(buf) == 0 {
+		return
+	}
+	v, _ := c.sparesI64.Get().(*[]int64)
+	if v == nil {
+		v = new([]int64)
+	}
+	*v = buf[:cap(buf)]
+	c.poolI64.Put(v)
 }
 
 // ---------------------------------------------------------------------------

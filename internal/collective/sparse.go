@@ -1,0 +1,204 @@
+package collective
+
+import (
+	"fmt"
+
+	"embrace/internal/comm"
+	"embrace/internal/tensor"
+)
+
+// AlltoAllSparse is the zero-steady-state-allocation sparse exchange of the
+// hot-path rebuild. Instead of shipping *tensor.Sparse values and
+// concatenating the results (SparseAllToAll + tensor.Concat, which allocates
+// a fresh tensor per shard per step), each peer stream is sent as a
+// length-prefixed header followed by the raw index and value slices drawn
+// from the Communicator's buffer pools, and every received stream is copied
+// straight into a caller-owned SparseShards arena. The arena's backing
+// arrays grow to a high-water mark and are then reused forever.
+//
+// Streams ride sendRaw/recvRaw, so they inherit the seq-framing, duplicate
+// suppression, reorder parking and transient-send retry of every other
+// collective — chaos self-healing holds unchanged, which the chaos
+// equivalence tests assert.
+//
+// The self shard never touches the wire, the observer, or the pooled wire
+// buffers: rank r's own rows are copied directly into the arena at sender
+// position r (self-send elision).
+
+// sparseStreamHeader announces one AlltoAllSparse peer stream: how many rows
+// follow and how many values each row carries (senders may hold different
+// column widths, e.g. a remainder-bearing column partition). Zero rows means
+// the index/value messages are omitted entirely.
+type sparseStreamHeader struct {
+	Rows int32
+	Dim  int32
+}
+
+func init() {
+	comm.RegisterWireType(sparseStreamHeader{})
+}
+
+// SparseShards is the reusable receive arena of AlltoAllSparse. Shards are
+// stored back to back in sender order, so when every sender shares one column
+// width the arena itself is the concatenation tensor.Concat would have
+// produced — Merged() exposes it without copying, and ShardView slices out
+// one sender's rows. Senders may also carry different widths (a
+// remainder-bearing column partition); ShardView stays exact then, while
+// Merged()'s single-dim view is meaningless and must not be used. The arena
+// is owned by one exchange call site and must not be shared between
+// concurrent exchanges; its contents are valid until the next AlltoAllSparse
+// call that fills it.
+type SparseShards struct {
+	merged tensor.Sparse
+	ends   []int   // ends[p] = exclusive row end of sender p's shard
+	vends  []int   // vends[p] = exclusive value end of sender p's shard
+	dims   []int32 // dims[p] = sender p's column width
+}
+
+// Merged returns the concatenation of all received shards in sender order —
+// bit-identical to tensor.Concat over SparseAllToAll's results. Only
+// meaningful when every sender shares the receiver's column width.
+//
+// aliases: the returned tensor is a view of the arena, valid until the next
+// exchange into it.
+func (a *SparseShards) Merged() *tensor.Sparse { return &a.merged }
+
+// Senders returns the number of shards held (the world size of the exchange).
+func (a *SparseShards) Senders() int { return len(a.ends) }
+
+// ShardView makes dst a view of sender p's rows inside the arena. No data is
+// copied; dst shares the arena's backing arrays and is valid until the next
+// exchange into the arena.
+//
+//embrace:hotpath
+func (a *SparseShards) ShardView(p int, dst *tensor.Sparse) {
+	lo, vlo := 0, 0
+	if p > 0 {
+		lo, vlo = a.ends[p-1], a.vends[p-1]
+	}
+	hi, vhi := a.ends[p], a.vends[p]
+	dst.NumRows, dst.Dim = a.merged.NumRows, int(a.dims[p])
+	dst.Indices = a.merged.Indices[lo:hi:hi]
+	dst.Vals = a.merged.Vals[vlo:vhi:vhi]
+}
+
+// reset prepares the arena for an n-sender exchange of numRows-row shards,
+// keeping its backing arrays. dim is the receiver's own width, the default
+// for senders until their streams say otherwise.
+func (a *SparseShards) reset(n, numRows, dim int) {
+	if cap(a.ends) < n {
+		a.ends = make([]int, n)
+		a.vends = make([]int, n)
+		a.dims = make([]int32, n)
+	}
+	a.ends = a.ends[:n]
+	a.vends = a.vends[:n]
+	a.dims = a.dims[:n]
+	a.merged.Reset()
+	a.merged.NumRows, a.merged.Dim = numRows, dim
+}
+
+// appendShard copies one received (or self) stream into the arena.
+//
+//embrace:hotpath
+func (a *SparseShards) appendShard(p int, dim int32, idx []int64, vals []float32) {
+	a.merged.Indices = append(a.merged.Indices, idx...)
+	a.merged.Vals = append(a.merged.Vals, vals...)
+	a.ends[p] = len(a.merged.Indices)
+	a.vends[p] = len(a.merged.Vals)
+	a.dims[p] = dim
+}
+
+// AlltoAllSparse routes shard send[p] to rank p and fills arena with the
+// received shards in sender order. Senders may carry different column widths
+// (each stream's header says its own); when every sender matches the
+// receiver's width the merged arena is bit-identical to
+// tensor.Concat(SparseAllToAll(...)). Per-sender views come from ShardView
+// either way.
+//
+//embrace:hotpath
+func (c *Communicator) AlltoAllSparse(op string, step int, send []*tensor.Sparse, arena *SparseShards) error {
+	n, r := c.t.Size(), c.t.Rank()
+	if len(send) != n {
+		return fmt.Errorf("collective: alltoallsparse wants %d send parts, got %d", n, len(send))
+	}
+	tag, err := c.Tag(op, step)
+	if err != nil {
+		return err
+	}
+	numRows, dim := send[r].NumRows, send[r].Dim
+
+	// Send phase: every peer gets a header, then — when non-empty — the
+	// index and value streams in pooled wire buffers. Ownership of the
+	// buffers travels with the message; the receiver recycles them. The
+	// self shard is skipped entirely.
+	for p := 0; p < n; p++ {
+		if p == r {
+			continue
+		}
+		sh := send[p]
+		if err := c.sendRaw(op, p, tag, sparseStreamHeader{Rows: int32(len(sh.Indices)), Dim: int32(sh.Dim)}); err != nil {
+			return fmt.Errorf("alltoallsparse header to %d: %w", p, err)
+		}
+		if len(sh.Indices) == 0 {
+			continue
+		}
+		ibuf := c.getBufI64(len(sh.Indices))
+		copy(ibuf, sh.Indices)
+		if err := c.sendRaw(op, p, tag, ibuf); err != nil {
+			return fmt.Errorf("alltoallsparse indices to %d: %w", p, err)
+		}
+		vbuf := c.getBuf(len(sh.Vals))
+		copy(vbuf, sh.Vals)
+		if err := c.sendRaw(op, p, tag, vbuf); err != nil {
+			return fmt.Errorf("alltoallsparse values to %d: %w", p, err)
+		}
+	}
+
+	// Receive phase, in sender order, so the arena is the sender-ordered
+	// concatenation. Rank r's own shard is copied in at its position
+	// without ever having been packed.
+	arena.reset(n, numRows, dim)
+	for p := 0; p < n; p++ {
+		if p == r {
+			arena.appendShard(p, int32(send[r].Dim), send[r].Indices, send[r].Vals)
+			continue
+		}
+		payload, err := c.recvRaw(op, p, tag)
+		if err != nil {
+			return fmt.Errorf("alltoallsparse header from %d: %w", p, err)
+		}
+		hdr, ok := payload.(sparseStreamHeader)
+		if !ok {
+			return fmt.Errorf("collective: alltoallsparse header type %T from rank %d", payload, p)
+		}
+		if hdr.Rows == 0 {
+			arena.appendShard(p, hdr.Dim, nil, nil)
+			continue
+		}
+		payload, err = c.recvRaw(op, p, tag)
+		if err != nil {
+			return fmt.Errorf("alltoallsparse indices from %d: %w", p, err)
+		}
+		idx, ok := payload.([]int64)
+		if !ok {
+			return fmt.Errorf("collective: alltoallsparse index type %T from rank %d", payload, p)
+		}
+		payload, err = c.recvRaw(op, p, tag)
+		if err != nil {
+			return fmt.Errorf("alltoallsparse values from %d: %w", p, err)
+		}
+		vals, ok := payload.([]float32)
+		if !ok {
+			return fmt.Errorf("collective: alltoallsparse value type %T from rank %d", payload, p)
+		}
+		if len(idx) != int(hdr.Rows) || len(vals) != int(hdr.Rows)*int(hdr.Dim) {
+			return fmt.Errorf("collective: alltoallsparse stream from rank %d: %d indices, %d values, header %d rows x dim %d",
+				p, len(idx), len(vals), hdr.Rows, hdr.Dim)
+		}
+		arena.appendShard(p, hdr.Dim, idx, vals)
+		c.putBufI64(idx)
+		c.putBuf(vals)
+	}
+	return nil
+}

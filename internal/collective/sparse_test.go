@@ -1,0 +1,217 @@
+package collective
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"embrace/internal/comm"
+	"embrace/internal/tensor"
+)
+
+// randShards builds rank r's deterministic send shards for an n-rank
+// exchange: per destination a random (possibly empty) [rows x dim] sparse
+// shard, including deliberate empties so the zero-row header path is hit.
+func randShards(seed int64, r, n, rows, dim int) []*tensor.Sparse {
+	rng := rand.New(rand.NewSource(seed + int64(r)*1013))
+	out := make([]*tensor.Sparse, n)
+	for p := 0; p < n; p++ {
+		nnz := rng.Intn(7)
+		if rng.Intn(4) == 0 {
+			nnz = 0
+		}
+		idx := make([]int64, nnz)
+		vals := make([]float32, nnz*dim)
+		for i := range idx {
+			idx[i] = rng.Int63n(int64(rows))
+		}
+		for i := range vals {
+			vals[i] = rng.Float32()*2 - 1
+		}
+		s, err := tensor.NewSparse(rows, dim, idx, vals)
+		if err != nil {
+			panic(err)
+		}
+		out[p] = s
+	}
+	return out
+}
+
+func sparseBitsEqual(a, b *tensor.Sparse) bool {
+	if a.NumRows != b.NumRows || a.Dim != b.Dim || len(a.Indices) != len(b.Indices) || len(a.Vals) != len(b.Vals) {
+		return false
+	}
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] {
+			return false
+		}
+	}
+	for i := range a.Vals {
+		if math.Float32bits(a.Vals[i]) != math.Float32bits(b.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// runAlltoAllSparseEquivalence drives both exchanges on every rank of an
+// n-rank world and asserts the arena path is bit-identical to the legacy
+// SparseAllToAll + Concat path, shard by shard and merged.
+func runAlltoAllSparseEquivalence(t *testing.T, n int, seed int64, run func(int, func(comm.Transport) error) error) {
+	t.Helper()
+	err := run(n, func(tr comm.Transport) error {
+		cm := NewCommunicator(tr)
+		send := randShards(seed, tr.Rank(), n, 64, 3)
+		// Two exchanges under distinct ops so tags cannot collide.
+		want, err := cm.SparseAllToAll("sparse/legacy", 0, send)
+		if err != nil {
+			return err
+		}
+		wantMerged, err := tensor.Concat(want...)
+		if err != nil {
+			return err
+		}
+		var arena SparseShards
+		if err := cm.AlltoAllSparse("sparse/arena", 0, send, &arena); err != nil {
+			return err
+		}
+		if !sparseBitsEqual(wantMerged, arena.Merged()) {
+			return fmt.Errorf("rank %d: merged arena differs from Concat(SparseAllToAll)", tr.Rank())
+		}
+		var view tensor.Sparse
+		for p := 0; p < n; p++ {
+			arena.ShardView(p, &view)
+			if !sparseBitsEqual(want[p], &view) {
+				return fmt.Errorf("rank %d: shard view %d differs", tr.Rank(), p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoAllSparseMatchesLegacyPath(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		for seed := int64(1); seed <= 4; seed++ {
+			runAlltoAllSparseEquivalence(t, n, seed, comm.RunRanks)
+		}
+	}
+}
+
+func TestAlltoAllSparseUnderChaos(t *testing.T) {
+	// The streams ride the seq-framed self-healing point-to-point, so every
+	// maskable fault plan must leave results bit-identical.
+	for _, n := range []int{2, 3, 4, 8} {
+		for seed := int64(1); seed <= 5; seed++ {
+			run := func(n int, fn func(comm.Transport) error) error {
+				return comm.RunRanksChaos(n, comm.MaskableChaosPlan(seed), fn)
+			}
+			runAlltoAllSparseEquivalence(t, n, seed+100, run)
+		}
+	}
+}
+
+func TestAlltoAllSparseOverTCP(t *testing.T) {
+	runAlltoAllSparseEquivalence(t, 4, 77, comm.RunRanksTCP)
+}
+
+// byteCountObserver tallies the wire traffic per op, element-wise.
+type byteCountObserver struct {
+	mu        sync.Mutex
+	sentRows  int // int64 index elements sent
+	sentVals  int // float32 value elements sent
+	sentMsgs  int
+	headerCnt int
+}
+
+func (o *byteCountObserver) Sent(op string, payload any, _ time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.sentMsgs++
+	switch p := payload.(type) {
+	case []int64:
+		o.sentRows += len(p)
+	case []float32:
+		o.sentVals += len(p)
+	case sparseStreamHeader:
+		o.headerCnt++
+	}
+}
+
+func (o *byteCountObserver) Received(string, any, time.Duration) {}
+
+// Self shards must never be packed or observed: the observer's byte counts
+// must equal exactly the non-self shard payloads, and nothing else.
+func TestAlltoAllSparseSelfSendElided(t *testing.T) {
+	const n, rows, dim = 4, 32, 2
+	obs := make([]*byteCountObserver, n)
+	sends := make([][]*tensor.Sparse, n)
+	err := comm.RunRanks(n, func(tr comm.Transport) error {
+		r := tr.Rank()
+		o := &byteCountObserver{}
+		obs[r] = o
+		cm := NewCommunicator(tr, WithObserver(o))
+		send := randShards(9, r, n, rows, dim)
+		sends[r] = send
+		var arena SparseShards
+		return cm.AlltoAllSparse("sparse/elide", 0, send, &arena)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		wantRows, wantVals, wantStreams := 0, 0, 0
+		for p := 0; p < n; p++ {
+			if p == r {
+				continue // the self shard must contribute nothing
+			}
+			wantRows += len(sends[r][p].Indices)
+			wantVals += len(sends[r][p].Vals)
+			if len(sends[r][p].Indices) > 0 {
+				wantStreams++
+			}
+		}
+		o := obs[r]
+		if o.headerCnt != n-1 {
+			t.Errorf("rank %d: %d headers observed, want %d (one per non-self peer)", r, o.headerCnt, n-1)
+		}
+		if o.sentRows != wantRows || o.sentVals != wantVals {
+			t.Errorf("rank %d: observed %d rows / %d vals on the wire, want %d / %d — self shard leaked into pack",
+				r, o.sentRows, o.sentVals, wantRows, wantVals)
+		}
+		if o.sentMsgs != (n-1)+2*wantStreams {
+			t.Errorf("rank %d: %d messages, want %d", r, o.sentMsgs, (n-1)+2*wantStreams)
+		}
+	}
+}
+
+// Steady state: after the warm-up call grows the arena and pools to their
+// high-water marks, a single-rank exchange (pure arena path, no goroutine
+// scheduling noise) allocates nothing.
+func TestAlltoAllSparseSteadyStateAllocs(t *testing.T) {
+	err := comm.RunRanks(1, func(tr comm.Transport) error {
+		cm := NewCommunicator(tr)
+		send := randShards(5, 0, 1, 128, 4)
+		var arena SparseShards
+		step := 0
+		do := func() {
+			if err := cm.AlltoAllSparse("sparse/allocs", step, send, &arena); err != nil {
+				panic(err)
+			}
+			step++
+		}
+		do() // warm-up
+		if n := testing.AllocsPerRun(50, do); n != 0 {
+			return fmt.Errorf("steady-state AlltoAllSparse allocates %v times", n)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

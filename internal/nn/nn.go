@@ -76,12 +76,20 @@ func (e *Embedding) PoolBackward(tokens [][]int64, gradPooled *tensor.Dense) *te
 // the gradient depends only on the window structure, not the table values,
 // so no table is needed.
 func PoolBackwardDims(vocab, dim int, tokens [][]int64, gradPooled *tensor.Dense) *tensor.Sparse {
-	total := 0
-	for _, w := range tokens {
-		total += len(w)
-	}
-	idx := make([]int64, 0, total)
-	vals := make([]float32, 0, total*dim)
+	dst := &tensor.Sparse{}
+	PoolBackwardInto(vocab, dim, tokens, gradPooled, dst)
+	return dst
+}
+
+// PoolBackwardInto is PoolBackwardDims writing into a reused destination:
+// dst's backing arrays grow to their high-water mark once and every later
+// call appends into them, so the steady-state gradient build allocates
+// nothing. Row order and arithmetic are identical to PoolBackwardDims.
+//
+//embrace:hotpath
+func PoolBackwardInto(vocab, dim int, tokens [][]int64, gradPooled *tensor.Dense, dst *tensor.Sparse) {
+	dst.Reset()
+	dst.NumRows, dst.Dim = vocab, dim
 	for i, window := range tokens {
 		if len(window) == 0 {
 			continue
@@ -89,19 +97,17 @@ func PoolBackwardDims(vocab, dim int, tokens [][]int64, gradPooled *tensor.Dense
 		inv := 1 / float32(len(window))
 		g := gradPooled.Row(i)
 		for _, tok := range window {
-			idx = append(idx, tok)
+			if tok < 0 || tok >= int64(vocab) {
+				// Tokens are validated upstream by the data generator; an
+				// invalid index here is a programming error, not input error.
+				panic(fmt.Sprintf("nn: PoolBackward: token %d out of range [0,%d)", tok, vocab))
+			}
+			dst.Indices = append(dst.Indices, tok)
 			for d := 0; d < dim; d++ {
-				vals = append(vals, g[d]*inv)
+				dst.Vals = append(dst.Vals, g[d]*inv)
 			}
 		}
 	}
-	s, err := tensor.NewSparse(vocab, dim, idx, vals)
-	if err != nil {
-		// Tokens are validated upstream by the data generator; an invalid
-		// index here is a programming error, not an input error.
-		panic(fmt.Sprintf("nn: PoolBackward: %v", err))
-	}
-	return s
 }
 
 // Trunk is the dense part of the model: pooled -> Linear -> ReLU -> Linear
@@ -195,32 +201,43 @@ func (t *Trunk) infer(pooled *tensor.Dense) (hidden, probs *tensor.Dense, err er
 		return nil, nil, fmt.Errorf("nn: pooled width %d != embDim %d", pooled.Dim(1), embDim)
 	}
 
+	// Both matmuls run row-major over contiguous weight rows instead of
+	// strided per-element At() calls. The restructure is bit-identical to
+	// the naive loops: element (i, j) still accumulates B1[j] then
+	// x[k]*W1[k][j] for k ascending (and likewise for W2 over j), so every
+	// float is added in exactly the original order.
 	hidden = tensor.NewDense(batch, hiddenDim)
+	b1 := t.B1.Data()
 	for i := 0; i < batch; i++ {
 		x := pooled.Row(i)
 		h := hidden.Row(i)
+		copy(h, b1)
+		for k := 0; k < embDim; k++ {
+			xk := x[k]
+			w1row := t.W1.Row(k)
+			for j := 0; j < hiddenDim; j++ {
+				h[j] += xk * w1row[j]
+			}
+		}
 		for j := 0; j < hiddenDim; j++ {
-			acc := t.B1.Data()[j]
-			for k := 0; k < embDim; k++ {
-				acc += x[k] * t.W1.At(k, j)
+			if h[j] < 0 { // ReLU
+				h[j] = 0
 			}
-			if acc < 0 { // ReLU
-				acc = 0
-			}
-			h[j] = acc
 		}
 	}
 
 	probs = tensor.NewDense(batch, vocab)
+	b2 := t.B2.Data()
 	for i := 0; i < batch; i++ {
 		h := hidden.Row(i)
 		logits := probs.Row(i)
-		for v := 0; v < vocab; v++ {
-			acc := t.B2.Data()[v]
-			for j := 0; j < hiddenDim; j++ {
-				acc += h[j] * t.W2.At(j, v)
+		copy(logits, b2)
+		for j := 0; j < hiddenDim; j++ {
+			hj := h[j]
+			w2row := t.W2.Row(j)
+			for v := 0; v < vocab; v++ {
+				logits[v] += hj * w2row[v]
 			}
-			logits[v] = acc
 		}
 		// Numerically stable softmax.
 		maxL := logits[0]
@@ -291,9 +308,10 @@ func (t *Trunk) Backward(c *forwardCache) *TrunkGrads {
 		Pooled: tensor.NewDense(batch, embDim),
 	}
 	dHidden := make([]float32, hiddenDim)
+	dLogits := make([]float32, vocab)
 	for i := 0; i < batch; i++ {
 		// dLogits = (probs - onehot(target)) / batch
-		dLogits := append([]float32(nil), c.probs.Row(i)...)
+		copy(dLogits, c.probs.Row(i))
 		dLogits[c.targets[i]] -= 1
 		for v := range dLogits {
 			dLogits[v] *= inv

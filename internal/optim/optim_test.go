@@ -175,10 +175,10 @@ func TestModifiedAdamSplitEquivalence(t *testing.T) {
 		oSplit := NewAdamDefault(pSplit, 0.01)
 		for it := 0; it < 6; it++ {
 			g := randSparse(rng, rows, dim, 1+rng.Intn(20)).Coalesce()
-			prior := make(map[int64]struct{})
+			var prior []int64
 			for _, ix := range g.Indices {
 				if rng.Intn(2) == 0 {
-					prior[ix] = struct{}{}
+					prior = append(prior, ix) // Indices sorted: prior stays sorted
 				}
 			}
 			gp, gd := g.Partition(prior)
@@ -213,10 +213,10 @@ func TestUnmodifiedSplitDiverges(t *testing.T) {
 	oSplit := NewAdamDefault(pSplit, 0.01)
 	for it := 0; it < 5; it++ {
 		g := randSparse(rng, rows, dim, 12).Coalesce()
-		prior := make(map[int64]struct{})
+		var prior []int64
 		for i, ix := range g.Indices {
 			if i%2 == 0 {
-				prior[ix] = struct{}{}
+				prior = append(prior, ix)
 			}
 		}
 		gp, gd := g.Partition(prior)

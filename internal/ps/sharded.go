@@ -31,6 +31,24 @@ type sparseShard struct {
 	round   int
 	pending []*tensor.Sparse
 	err     error
+
+	// Round-merge scratch, guarded by mu: pending parts are accumulated
+	// into acc (exactly Concat's arrival order) and coalesced into coal,
+	// both reused across rounds at their high-water capacity.
+	acc  tensor.Sparse
+	coal tensor.Sparse
+	sort tensor.SortScratch
+}
+
+// PushScratch owns the reusable buffers of PushAndWaitWith: the row bucketer
+// that groups gradient rows by owning shard and the per-shard part tensors.
+// One PushScratch belongs to one worker; it must not be shared. The zero
+// value is ready to use.
+type PushScratch struct {
+	bucket tensor.RowBucketer
+	parts  []tensor.Sparse
+	nS     int
+	destOf func(int64) int // bound to the server's shard count, rebound on change
 }
 
 // NewShardedSparse creates S server shards over a [vocab x dim] embedding.
@@ -77,33 +95,44 @@ func (s *ShardedSparse) shardOf(row int64) int { return int(row) % len(s.shards)
 // shard's round can complete — every worker pushes to every shard each
 // round, like Parallax clients do.
 func (s *ShardedSparse) PushAndWait(grad *tensor.Sparse) error {
+	var sc PushScratch
+	return s.PushAndWaitWith(grad, &sc)
+}
+
+// PushAndWaitWith is PushAndWait against caller-owned scratch: the per-shard
+// split runs through a stable counting-sort row bucketer instead of per-row
+// map/append bucketing, and the shard parts are packed into reused tensors.
+// Within each part, rows keep the gradient's original order (the bucketer is
+// stable), so aggregation is bit-identical to PushAndWait. The scratch is
+// safe to reuse immediately after return: a shard's round has completed —
+// and its pending list been consumed — before pushAndWait returns.
+//
+//embrace:hotpath
+func (s *ShardedSparse) PushAndWaitWith(grad *tensor.Sparse, sc *PushScratch) error {
 	if grad.NumRows != s.vocab || grad.Dim != s.dim {
 		return fmt.Errorf("ps: gradient [%d x %d] incompatible with table [%d x %d]",
 			grad.NumRows, grad.Dim, s.vocab, s.dim)
 	}
-	parts := make([][]int, len(s.shards)) // stored-row indices per shard
-	for i, ix := range grad.Indices {
-		sh := s.shardOf(ix)
-		parts[sh] = append(parts[sh], i)
+	nS := len(s.shards)
+	sc.ensure(nS)
+	sc.bucket.Bucket(grad.Indices, nS, sc.destOf)
+	offs, perm := sc.bucket.Offsets(), sc.bucket.Perm()
+	for shard := 0; shard < nS; shard++ {
+		p := &sc.parts[shard]
+		p.Reset()
+		p.NumRows, p.Dim = s.vocab, s.dim
+		for _, i := range perm[offs[shard]:offs[shard+1]] {
+			p.Indices = append(p.Indices, grad.Indices[i])
+			p.Vals = append(p.Vals, grad.Row(int(i))...)
+		}
 	}
 	var wg sync.WaitGroup
-	errs := make([]error, len(s.shards))
+	errs := make([]error, nS) //embrace:allow hotalloc per-call error slab shared with spawned pushes
 	for shard := range s.shards {
 		wg.Add(1)
-		go func(shard int) {
+		go func(shard int) { //embrace:allow hotalloc one concurrent push per shard is the point of sharding
 			defer wg.Done()
-			idx := make([]int64, 0, len(parts[shard]))
-			vals := make([]float32, 0, len(parts[shard])*s.dim)
-			for _, i := range parts[shard] {
-				idx = append(idx, grad.Indices[i])
-				vals = append(vals, grad.Row(i)...)
-			}
-			part, err := tensor.NewSparse(s.vocab, s.dim, idx, vals)
-			if err != nil {
-				errs[shard] = err
-				return
-			}
-			errs[shard] = s.shards[shard].pushAndWait(part)
+			errs[shard] = s.shards[shard].pushAndWait(&sc.parts[shard])
 		}(shard)
 	}
 	wg.Wait()
@@ -113,6 +142,17 @@ func (s *ShardedSparse) PushAndWait(grad *tensor.Sparse) error {
 		}
 	}
 	return nil
+}
+
+// ensure binds the scratch to an S-shard server — the cold growth path.
+func (sc *PushScratch) ensure(nS int) {
+	if len(sc.parts) < nS {
+		sc.parts = make([]tensor.Sparse, nS)
+	}
+	if sc.destOf == nil || sc.nS != nS {
+		sc.nS = nS
+		sc.destOf = func(row int64) int { return int(row) % nS }
+	}
 }
 
 func (sh *sparseShard) pushAndWait(part *tensor.Sparse) error {
@@ -126,15 +166,24 @@ func (sh *sparseShard) pushAndWait(part *tensor.Sparse) error {
 	if len(sh.pending) == sh.workers {
 		// Apply even when the round's gradient is empty: Adam's step
 		// counter must advance once per round on every shard, matching a
-		// monolithic server's single update.
-		merged, err := tensor.Concat(sh.pending...)
+		// monolithic server's single update. Accumulating the pending
+		// parts in arrival order into the reused acc/coal scratch is
+		// exactly Concat + the optimizer's internal Coalesce, without the
+		// per-round tensors.
+		sh.acc.Reset()
+		var err error
+		for _, p := range sh.pending {
+			if err = p.AppendTo(&sh.acc); err != nil {
+				break
+			}
+		}
 		if err == nil {
-			err = sh.opt.StepSparse(merged)
+			err = sh.opt.StepSparse(sh.acc.CoalesceInto(&sh.coal, &sh.sort))
 		}
 		if err != nil {
 			sh.err = fmt.Errorf("ps: shard update: %w", err)
 		}
-		sh.pending = nil
+		sh.pending = sh.pending[:0]
 		sh.round++
 		sh.cond.Broadcast()
 		return sh.err
@@ -148,17 +197,32 @@ func (sh *sparseShard) pushAndWait(part *tensor.Sparse) error {
 // PullRows returns current values of the requested rows, reading each from
 // its owning shard.
 func (s *ShardedSparse) PullRows(rows []int64) (*tensor.Sparse, error) {
-	vals := make([]float32, len(rows)*s.dim)
-	for i, r := range rows {
+	dst := &tensor.Sparse{}
+	if err := s.PullRowsInto(rows, dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// PullRowsInto is PullRows writing into a reused destination tensor, so a
+// worker pulling the same working set every step allocates nothing after the
+// first pull. Row order and locking are identical to PullRows.
+//
+//embrace:hotpath
+func (s *ShardedSparse) PullRowsInto(rows []int64, dst *tensor.Sparse) error {
+	dst.Reset()
+	dst.NumRows, dst.Dim = s.vocab, s.dim
+	for _, r := range rows {
 		if r < 0 || r >= int64(s.vocab) {
-			return nil, fmt.Errorf("ps: pull row %d out of range [0,%d)", r, s.vocab)
+			return fmt.Errorf("ps: pull row %d out of range [0,%d)", r, s.vocab)
 		}
 		sh := s.shards[s.shardOf(r)]
 		sh.mu.Lock()
-		copy(vals[i*s.dim:(i+1)*s.dim], sh.table.Row(int(r)))
+		dst.Indices = append(dst.Indices, r)
+		dst.Vals = append(dst.Vals, sh.table.Row(int(r))...)
 		sh.mu.Unlock()
 	}
-	return tensor.NewSparse(s.vocab, s.dim, append([]int64(nil), rows...), vals)
+	return nil
 }
 
 // PullAll assembles the authoritative table from the shards.

@@ -168,9 +168,8 @@ func BlockPriorities(n int) []int {
 // contain exactly the coalesced form of G.
 func VerticalSplit(g *tensor.Sparse, curUnique, nextUnique []int64) (prior, delayed *tensor.Sparse) {
 	coalesced := g.Coalesce()                         // line 2
-	iPrior := tensor.Intersect(curUnique, nextUnique) // line 4
-	priorSet := tensor.ToSet(iPrior)
-	prior, delayed = coalesced.Partition(priorSet) // lines 6-7
+	iPrior := tensor.Intersect(curUnique, nextUnique) // line 4: sorted
+	prior, delayed = coalesced.Partition(iPrior)      // lines 6-7
 	return prior, delayed
 }
 

@@ -326,15 +326,18 @@ func (c *Cluster) fetchRows(n *node, miss []int64) (map[int64][]float32, error) 
 	c.stats.localRows.Add(int64(len(reqLists[0])))
 	c.stats.remoteRows.Add(int64(remote))
 
-	// Local fast path: nothing to ask the followers for.
+	// Local fast path: every missed row lives in the driver's own shard, so
+	// resolve straight from shard storage — no sparse packing, no exchange,
+	// no follower conscription. Stats().Packed staying 0 is the observable
+	// form of this elision.
 	if remote == 0 {
-		sh, err := n.shard.fetch(reqLists[0])
-		if err != nil {
-			return nil, err
-		}
 		out := make(map[int64][]float32, len(reqLists[0]))
-		for k, id := range reqLists[0] {
-			out[id] = append([]float32(nil), sh.Row(k)...)
+		for _, id := range reqLists[0] {
+			src, err := n.shard.payload(id)
+			if err != nil {
+				return nil, err
+			}
+			out[id] = append([]float32(nil), src...)
 		}
 		return out, nil
 	}
@@ -343,18 +346,20 @@ func (c *Cluster) fetchRows(n *node, miss []int64) (map[int64][]float32, error) 
 		return nil, fmt.Errorf("serve: exchange broadcast: %w", err)
 	}
 	c.stats.exchanges.Add(1)
-	recv, err := c.exchange(n, reqLists)
+	arena, err := c.exchange(n, reqLists)
 	if err != nil {
 		return nil, fmt.Errorf("serve: exchange: %w", err)
 	}
 
 	out := make(map[int64][]float32, len(miss))
+	var recv tensor.Sparse
 	switch c.cfg.Partition {
 	case PartRowHash:
-		// recv[p] holds reqLists[p]'s rows in request order.
+		// Sender p's arena shard holds reqLists[p]'s rows in request order.
 		for p := 0; p < ranks; p++ {
+			arena.ShardView(p, &recv)
 			for k, id := range reqLists[p] {
-				out[id] = append([]float32(nil), recv[p].Row(k)...)
+				out[id] = append([]float32(nil), recv.Row(k)...)
 			}
 		}
 	case PartColumn:
@@ -364,7 +369,8 @@ func (c *Cluster) fetchRows(n *node, miss []int64) (map[int64][]float32, error) 
 			row := make([]float32, c.embDim)
 			for p := 0; p < ranks; p++ {
 				lo, hi := (partition.ColumnWise{}).Range(c.embDim, ranks, p)
-				copy(row[lo:hi], recv[p].Row(k))
+				arena.ShardView(p, &recv)
+				copy(row[lo:hi], recv.Row(k))
 			}
 			out[id] = row
 		}

@@ -134,7 +134,7 @@ type Cluster struct {
 type counters struct {
 	requests, lookups, predicts  atomic.Int64
 	batches, exchanges           atomic.Int64
-	coalesced                    atomic.Int64
+	coalesced, packed            atomic.Int64
 	localRows, remoteRows        atomic.Int64
 	overloaded, expired, reloads atomic.Int64
 	cache                        metrics.CacheCounters
@@ -151,6 +151,10 @@ type Stats struct {
 	Batches, Exchanges int64
 	// Coalesced counts duplicate ids removed by within-batch dedup.
 	Coalesced int64
+	// Packed counts rows packed into sparse exchange payloads across all
+	// ranks. Driver-owned lookups resolve straight from shard storage and
+	// never pack, so a workload the driver can satisfy alone keeps this 0.
+	Packed int64
 	// LocalRows and RemoteRows count rows resolved from rank 0's own shard
 	// versus fetched from peers.
 	LocalRows, RemoteRows int64
@@ -280,6 +284,7 @@ func (c *Cluster) Stats() Stats {
 		Batches:    c.stats.batches.Load(),
 		Exchanges:  c.stats.exchanges.Load(),
 		Coalesced:  c.stats.coalesced.Load(),
+		Packed:     c.stats.packed.Load(),
 		LocalRows:  c.stats.localRows.Load(),
 		RemoteRows: c.stats.remoteRows.Load(),
 		Overloaded: c.stats.overloaded.Load(),
@@ -373,6 +378,13 @@ type node struct {
 	trunk *nn.Trunk
 
 	ctlSeq, xSeq, reloadSeq int
+
+	// Exchange scratch, reused across conscriptions: the per-destination
+	// packed row payloads and the receive arena of the sparse AlltoAll. Only
+	// the rank's own serving goroutine touches them.
+	send     []tensor.Sparse
+	sendPtrs []*tensor.Sparse
+	arena    collective.SparseShards
 }
 
 // step folds a monotone sequence number into the Communicator's step range.
@@ -381,6 +393,11 @@ func step(seq int) int { return seq % (collective.MaxStep + 1) }
 // buildNode deep-copies rank r's slice of the checkpoint.
 func (c *Cluster) buildNode(cm *collective.Communicator, ck *checkpoint.Checkpoint) (*node, error) {
 	n := &node{cm: cm, rank: cm.Rank()}
+	n.send = make([]tensor.Sparse, c.cfg.Ranks)
+	n.sendPtrs = make([]*tensor.Sparse, c.cfg.Ranks)
+	for i := range n.send {
+		n.sendPtrs[i] = &n.send[i]
+	}
 	if err := n.load(c, ck); err != nil {
 		return nil, err
 	}
@@ -460,31 +477,42 @@ func (s *shard) width() int { return s.hi - s.lo }
 // owner returns the rank holding id's full row (row-hash layouts only).
 func (s *shard) owner(id int64) int { return (partition.RowHash{}).Owner(id, s.ranks) }
 
-// fetch returns the shard's payload for the requested ids, one sparse row
-// per id in request order. Unowned or out-of-range ids are a protocol bug
-// upstream (the router validates ids at admission) and error out rather than
-// silently serving zeros.
-func (s *shard) fetch(ids []int64) (*tensor.Sparse, error) {
-	if len(ids) == 0 {
-		return tensor.EmptySparse(s.vocab, s.width()), nil
-	}
-	vals := make([]float32, 0, len(ids)*s.width())
-	for _, id := range ids {
-		switch s.part {
-		case PartRowHash:
-			row, ok := s.rows[id]
-			if !ok {
-				return nil, fmt.Errorf("serve: rank %d asked for row %d it does not own", s.rank, id)
-			}
-			vals = append(vals, row...)
-		case PartColumn:
-			if id < 0 || id >= int64(s.vocab) {
-				return nil, fmt.Errorf("serve: row %d outside vocab %d", id, s.vocab)
-			}
-			vals = append(vals, s.columns.Row(int(id))...)
+// payload returns the shard's stored values for one id without packing:
+// a direct view into shard storage, valid until the next reload. Unowned or
+// out-of-range ids are a protocol bug upstream (the router validates ids at
+// admission) and error out rather than silently serving zeros.
+func (s *shard) payload(id int64) ([]float32, error) {
+	switch s.part {
+	case PartRowHash:
+		row, ok := s.rows[id]
+		if !ok {
+			return nil, fmt.Errorf("serve: rank %d asked for row %d it does not own", s.rank, id)
 		}
+		return row, nil
+	default: // PartColumn
+		if id < 0 || id >= int64(s.vocab) {
+			return nil, fmt.Errorf("serve: row %d outside vocab %d", id, s.vocab)
+		}
+		return s.columns.Row(int(id)), nil
 	}
-	return tensor.NewSparse(s.vocab, s.width(), append([]int64(nil), ids...), vals)
+}
+
+// fetchInto packs the shard's payload for the requested ids into dst, one
+// sparse row per id in request order, reusing dst's backing arrays.
+//
+//embrace:hotpath
+func (s *shard) fetchInto(ids []int64, dst *tensor.Sparse) error {
+	dst.Reset()
+	dst.NumRows, dst.Dim = s.vocab, s.width()
+	for _, id := range ids {
+		row, err := s.payload(id)
+		if err != nil {
+			return err
+		}
+		dst.Indices = append(dst.Indices, id)
+		dst.Vals = append(dst.Vals, row...)
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -512,28 +540,35 @@ func (c *Cluster) broadcastCtl(n *node, kind int) error {
 }
 
 // exchange runs the two-phase sparse fetch on any rank: an AlltoAll of
-// requested ids, a local shard fetch, and an AlltoAll of the resulting rows.
-// The driver passes its per-rank request lists; followers pass empties.
-// Returns the per-sender sparse shards (request order preserved).
-func (c *Cluster) exchange(n *node, reqLists [][]int64) ([]*tensor.Sparse, error) {
+// requested ids, a local shard fetch into reused send scratch, and an arena
+// AlltoAll of the resulting rows (self shard elided from the wire). The
+// driver passes its per-rank request lists; followers pass empties. The
+// returned arena holds the per-sender shards (request order preserved) and
+// is valid until the node's next exchange.
+//
+//embrace:hotpath
+func (c *Cluster) exchange(n *node, reqLists [][]int64) (*collective.SparseShards, error) {
 	st := step(n.xSeq)
 	n.xSeq++
 	if reqLists == nil {
-		reqLists = make([][]int64, c.cfg.Ranks)
+		reqLists = make([][]int64, c.cfg.Ranks) //embrace:allow hotalloc follower conscription is off the request fast path
 	}
 	got, err := collective.AllToAllVia(n.cm, "serve/req", st, reqLists)
 	if err != nil {
 		return nil, err
 	}
-	shards := make([]*tensor.Sparse, c.cfg.Ranks)
-	for p := range shards {
-		sh, err := n.shard.fetch(got[p])
-		if err != nil {
+	packed := 0
+	for p := range n.send {
+		if err := n.shard.fetchInto(got[p], &n.send[p]); err != nil {
 			return nil, err
 		}
-		shards[p] = sh
+		packed += len(got[p])
 	}
-	return n.cm.SparseAllToAll("serve/rows", st, shards)
+	c.stats.packed.Add(int64(packed))
+	if err := n.cm.AlltoAllSparse("serve/rows", st, n.sendPtrs, &n.arena); err != nil {
+		return nil, err
+	}
+	return &n.arena, nil
 }
 
 // doReloadOn rebuilds this rank from the pending checkpoint and joins the

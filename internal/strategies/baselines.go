@@ -150,6 +150,12 @@ func (w *allGatherWorker) Step(step int, windows [][]int64, targets []int64, _ [
 type parallaxWorker struct {
 	*replicaWorker
 	srv *ps.ShardedSparse
+
+	// Steady-state scratch: the batch's unique-row working set, the pulled
+	// rows, and the push-side bucketing buffers, all reused across steps.
+	need   []int64
+	pulled tensor.Sparse
+	push   ps.PushScratch
 }
 
 func newParallaxWorker(cm *collective.Communicator, cfg Config, srv *ps.ShardedSparse, rec *trace.Recorder) *parallaxWorker {
@@ -163,16 +169,17 @@ func (w *parallaxWorker) Step(step int, windows [][]int64, targets []int64, _ []
 	// the frequent GPU<->server row traffic §5.3 blames for Parallax's
 	// memory-copy overhead.
 	sp := w.rec.Begin(trace.TrackCompute, SpanPSPull, step)
-	need := make([]int64, 0, len(windows)*4)
+	w.need = w.need[:0]
 	for _, win := range windows {
-		need = append(need, win...)
+		w.need = append(w.need, win...)
 	}
-	rows, err := w.srv.PullRows(tensor.UniqueInt64(need))
-	if err != nil {
+	tensor.SortInt64(w.need)
+	w.need = tensor.UniqueSorted(w.need)
+	if err := w.srv.PullRowsInto(w.need, &w.pulled); err != nil {
 		return nn.StepStats{}, fmt.Errorf("embedding pull: %w", err)
 	}
-	for i, ix := range rows.Indices {
-		copy(w.model.Emb.Table.Row(int(ix)), rows.Row(i))
+	for i, ix := range w.pulled.Indices {
+		copy(w.model.Emb.Table.Row(int(ix)), w.pulled.Row(i))
 	}
 	sp.End()
 
@@ -181,7 +188,7 @@ func (w *parallaxWorker) Step(step int, windows [][]int64, targets []int64, _ []
 		return nn.StepStats{}, err
 	}
 	sp = w.rec.Begin(trace.TrackCompute, SpanPSPush, step)
-	if err := w.srv.PushAndWait(embGrad); err != nil {
+	if err := w.srv.PushAndWaitWith(embGrad, &w.push); err != nil {
 		return nn.StepStats{}, fmt.Errorf("embedding push: %w", err)
 	}
 	sp.End()

@@ -51,6 +51,62 @@ type embraceWorker struct {
 	// applied with the modified optimizer's final call — at the start of
 	// the next step, before any of its rows can be read again.
 	delayed chan delayedResult
+
+	hot hotScratch
+}
+
+// hotScratch owns every reusable buffer of the steady-state step: the raw
+// sparse gradient, the per-shard column slices, the prior/delayed split, the
+// sorted next-batch sets, the exchange arenas and the coalesce targets. Each
+// buffer grows to its high-water mark on the first step and is then reused,
+// so steady-state gradient packing, splitting, exchanging and coalescing
+// allocate nothing — the discipline the hotalloc analyzer enforces.
+//
+// The background delayed exchange overlaps the next step's foreground, so it
+// gets its own arena and coalesce scratch (bg*); harvestDelayed joins the
+// goroutine before any foreground buffer it read (the delayed split) is
+// rewritten.
+type hotScratch struct {
+	rows        tensor.Sparse   // raw uncoalesced pooled gradient (PoolBackwardInto)
+	send        []tensor.Sparse // per-destination-shard column slices
+	sendPtrs    []*tensor.Sparse
+	prior       []tensor.Sparse // prior part of each send shard
+	priorPtrs   []*tensor.Sparse
+	delayed     []tensor.Sparse // delayed part of each send shard
+	delayedPtrs []*tensor.Sparse
+
+	// myNext is double-buffered: the gathered next-batch slice travels by
+	// reference through the in-process transport, and although every peer
+	// has consumed step k's slice before this rank can reach step k+1's
+	// rewrite (the step-k+1 token gather is a rendezvous), alternating
+	// buffers keeps the invariant local instead of resting on that global
+	// ordering argument.
+	myNext  [2][]int64
+	flip    int
+	nextAll []int64 // merged sorted next ids of all ranks
+
+	arena collective.SparseShards // foreground exchange (whole or prior)
+	coal  tensor.Sparse           // foreground coalesce target
+	sort  tensor.SortScratch
+
+	bgArena collective.SparseShards // background delayed exchange
+	bgCoal  tensor.Sparse
+	bgSort  tensor.SortScratch
+}
+
+// init sizes the fixed-world-size slices once; everything else grows lazily.
+func (h *hotScratch) init(n int) {
+	h.send = make([]tensor.Sparse, n)
+	h.prior = make([]tensor.Sparse, n)
+	h.delayed = make([]tensor.Sparse, n)
+	h.sendPtrs = make([]*tensor.Sparse, n)
+	h.priorPtrs = make([]*tensor.Sparse, n)
+	h.delayedPtrs = make([]*tensor.Sparse, n)
+	for i := 0; i < n; i++ {
+		h.sendPtrs[i] = &h.send[i]
+		h.priorPtrs[i] = &h.prior[i]
+		h.delayedPtrs[i] = &h.delayed[i]
+	}
 }
 
 // delayedResult carries the background AlltoAll's outcome.
@@ -71,7 +127,7 @@ func newEmbRaceWorker(cm *collective.Communicator, cfg Config, rec *trace.Record
 	for r := 0; r < cfg.Vocab; r++ {
 		copy(shardTable.Row(r), full.Emb.Table.Row(r)[lo:lo+dimShard])
 	}
-	return &embraceWorker{
+	w := &embraceWorker{
 		cm:        cm,
 		cfg:       cfg,
 		rec:       rec,
@@ -81,6 +137,8 @@ func newEmbRaceWorker(cm *collective.Communicator, cfg Config, rec *trace.Record
 		embOpt:    newOptimizer(cfg, shardTable),
 		dimShard:  dimShard,
 	}
+	w.hot.init(n)
+	return w
 }
 
 func (w *embraceWorker) Strategy() Name { return EmbRace }
@@ -114,8 +172,10 @@ func (w *embraceWorker) harvestDelayed(step int) error {
 	return nil
 }
 
+//embrace:hotpath
 func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextTokens []int64) (nn.StepStats, error) {
 	n := w.cm.Size()
+	h := &w.hot
 
 	// (0) The previous step's delayed gradients have been traveling in the
 	// background; apply them before their rows can be read again.
@@ -132,7 +192,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	// (2) Shard-side lookup for every rank, then AlltoAll the partial
 	// pooled activations (the "Emb Data" exchange of Figure 5).
 	sp := w.rec.Begin(trace.TrackCompute, SpanLookup, step)
-	partials := make([]*tensor.Dense, n)
+	partials := make([]*tensor.Dense, n) //embrace:allow hotalloc lookups travel by reference in-process; reuse would race with peers
 	for p := 0; p < n; p++ {
 		partials[p] = w.shard.PoolLookup(allWindows[p])
 	}
@@ -184,18 +244,17 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	// exactly the uncoalesced gradient Algorithm 1 starts from.
 	local := w.shardOf(windows, grads.Pooled) // my batch, sliced per shard
 
-	// (5a) Without vertical scheduling: one whole-gradient AlltoAll, then
-	// a whole update.
+	// (5a) Without vertical scheduling: one whole-gradient arena exchange,
+	// then a whole update. The arena's merged view is exactly the
+	// sender-ordered concatenation the legacy SparseAllToAll + Concat path
+	// produced, and CoalesceInto sums it in the same order Coalesce would —
+	// the update is bit-identical, it just reuses last step's buffers.
 	if w.cfg.Sched != Sched2D {
 		sp = w.rec.Begin(trace.TrackCompute, SpanEmbExchange, step)
-		shards, err := w.cm.SparseAllToAll(OpEmbGrad, step, local)
-		if err != nil {
+		if err := w.cm.AlltoAllSparse(OpEmbGrad, step, local, &h.arena); err != nil {
 			return nn.StepStats{}, fmt.Errorf("embedding grad alltoall: %w", err)
 		}
-		raw, err := tensor.Concat(shards...)
-		if err != nil {
-			return nn.StepStats{}, fmt.Errorf("embrace: merging shard gradients: %w", err)
-		}
+		raw := h.arena.Merged().CoalesceInto(&h.coal, &h.sort)
 		sp.End()
 		sp = w.rec.Begin(trace.TrackCompute, SpanEmbUpdate, step)
 		if err := w.embOpt.StepSparse(raw); err != nil {
@@ -209,36 +268,36 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	// the prefetched next batch (gathered across ranks) form the prior
 	// part, exchanged and applied immediately; the rest is exchanged by a
 	// background goroutine and harvested at the start of the next step.
-	allNext, err := collective.AllGatherVia(w.cm, OpNextBatch, step, tensor.UniqueInt64(nextTokens))
+	my := h.myNext[h.flip][:0]
+	my = append(my, nextTokens...)
+	tensor.SortInt64(my)
+	my = tensor.UniqueSorted(my)
+	h.myNext[h.flip] = my
+	h.flip ^= 1
+	allNext, err := collective.AllGatherVia(w.cm, OpNextBatch, step, my)
 	if err != nil {
 		return nn.StepStats{}, fmt.Errorf("next-batch gather: %w", err)
 	}
-	var nextAll []int64
+	h.nextAll = h.nextAll[:0]
 	for _, ns := range allNext {
-		nextAll = append(nextAll, ns...)
+		h.nextAll = append(h.nextAll, ns...)
 	}
-	nextSet := tensor.ToSet(nextAll)
+	tensor.SortInt64(h.nextAll)
 
 	sp = w.rec.Begin(trace.TrackCompute, SpanVSplit, step)
-	priorSend := make([]*tensor.Sparse, n)
-	delayedSend := make([]*tensor.Sparse, n)
 	for s := 0; s < n; s++ {
-		priorSend[s], delayedSend[s] = local[s].Partition(nextSet)
+		local[s].PartitionSortedInto(h.nextAll, &h.prior[s], &h.delayed[s])
 	}
 	sp.End()
 	sp = w.rec.Begin(trace.TrackCompute, SpanPriorExchange, step)
-	priorShards, err := w.cm.SparseAllToAll(OpEmbGrad, step, priorSend)
-	if err != nil {
+	if err := w.cm.AlltoAllSparse(OpEmbGrad, step, h.priorPtrs, &h.arena); err != nil {
 		return nn.StepStats{}, fmt.Errorf("prior grad alltoall: %w", err)
 	}
-	prior, err := tensor.Concat(priorShards...)
-	if err != nil {
-		return nn.StepStats{}, fmt.Errorf("embrace: merging prior gradients: %w", err)
-	}
+	prior := h.arena.Merged().CoalesceInto(&h.coal, &h.sort)
 	sp.End()
 	sp = w.rec.Begin(trace.TrackCompute, SpanPriorUpdate, step)
 	if adam, ok := w.embOpt.(*optim.Adam); ok {
-		if err := adam.StepSparsePartial(prior.Coalesce(), false); err != nil {
+		if err := adam.StepSparsePartial(prior, false); err != nil {
 			return nn.StepStats{}, fmt.Errorf("prior update: %w", err)
 		}
 	} else if err := w.embOpt.StepSparse(prior); err != nil {
@@ -249,24 +308,19 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	// Background delayed exchange, overlapping whatever comes next. Its span
 	// lives on the background track so it cannot interleave with the
 	// foreground lanes' events — this is the overlap §4.2.2 promises, visible
-	// directly on the timeline.
-	done := make(chan delayedResult, 1)
+	// directly on the timeline. It owns the bg* scratch exclusively: the
+	// goroutine is joined (harvestDelayed) before the delayed split it reads
+	// or the coalesce target it fills can be touched again.
+	done := make(chan delayedResult, 1) //embrace:allow hotalloc one-shot join channel per in-flight exchange
 	w.delayed = done
-	go func() {
+	go func() { //embrace:allow hotalloc the overlap of §4.2.2 is a real goroutine per step
 		bg := w.rec.Begin(trace.TrackBackground, SpanDelayedExchange, step)
-		shards, err := w.cm.SparseAllToAll(OpEmbDelayed, step, delayedSend)
-		if err != nil {
+		if err := w.cm.AlltoAllSparse(OpEmbDelayed, step, h.delayedPtrs, &h.bgArena); err != nil {
 			bg.End()
 			done <- delayedResult{err: err}
 			return
 		}
-		merged, err := tensor.Concat(shards...)
-		if err != nil {
-			bg.End()
-			done <- delayedResult{err: err}
-			return
-		}
-		grad := merged.Coalesce()
+		grad := h.bgArena.Merged().CoalesceInto(&h.bgCoal, &h.bgSort)
 		bg.End()
 		done <- delayedResult{grad: grad}
 	}()
@@ -275,15 +329,17 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 
 // shardOf converts this rank's pooled-activation gradient into the N
 // column-sliced sparse gradients the AlltoAll routes: slot s holds the rows
-// of this rank's tokens restricted to shard s's columns.
+// of this rank's tokens restricted to shard s's columns. The rows and the
+// slices live in the worker's hot scratch and are valid until the next call.
+//
+//embrace:hotpath
 func (w *embraceWorker) shardOf(windows [][]int64, gradPooled *tensor.Dense) []*tensor.Sparse {
-	n := w.cm.Size()
-	rows := nn.PoolBackwardDims(w.cfg.Vocab, w.cfg.EmbDim, windows, gradPooled)
-	out := make([]*tensor.Sparse, n)
-	for s := 0; s < n; s++ {
-		out[s] = rows.ColumnSlice(s*w.dimShard, (s+1)*w.dimShard)
+	h := &w.hot
+	nn.PoolBackwardInto(w.cfg.Vocab, w.cfg.EmbDim, windows, gradPooled, &h.rows)
+	for s := range h.send {
+		h.rows.ColumnSliceInto(s*w.dimShard, (s+1)*w.dimShard, &h.send[s])
 	}
-	return out
+	return h.sendPtrs
 }
 
 // FullEmbedding reassembles the complete table from every rank's column

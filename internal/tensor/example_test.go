@@ -24,7 +24,7 @@ func ExampleSparse_Coalesce() {
 // appears in the next batch ship first.
 func ExampleSparse_Partition() {
 	g, _ := tensor.NewSparse(10, 1, []int64{2, 5, 7}, []float32{20, 50, 70})
-	nextBatch := tensor.ToSet([]int64{5, 7})
+	nextBatch := []int64{5, 7} // sorted token ids of the prefetched batch
 	prior, delayed := g.Partition(nextBatch)
 	fmt.Println("prior:", prior.Indices, "delayed:", delayed.Indices)
 	// Output:

@@ -1,0 +1,162 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bitsEqual compares two sparse tensors for exact bit equality of indices
+// and values — the equivalence the in-place variants must provide.
+func bitsEqual(a, b *Sparse) bool {
+	if a.NumRows != b.NumRows || a.Dim != b.Dim || len(a.Indices) != len(b.Indices) {
+		return false
+	}
+	for i := range a.Indices {
+		if a.Indices[i] != b.Indices[i] {
+			return false
+		}
+	}
+	for i := range a.Vals {
+		if math.Float32bits(a.Vals[i]) != math.Float32bits(b.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCoalesceIntoBitIdenticalToCoalesce(t *testing.T) {
+	var dst Sparse
+	var sc SortScratch
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSparse(rng, 25, 3, rng.Intn(80))
+		want := s.Coalesce()
+		got := s.CoalesceInto(&dst, &sc)
+		return got.IsCoalesced() && bitsEqual(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalesceIntoOnCoalescedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randomSparse(rng, 20, 2, 30).Coalesce()
+	var dst Sparse
+	var sc SortScratch
+	if got := s.CoalesceInto(&dst, &sc); !bitsEqual(s, got) {
+		t.Fatal("coalesced input must copy through unchanged")
+	}
+}
+
+func TestCoalesceIntoAliasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dst == s")
+		}
+	}()
+	s := &Sparse{NumRows: 2, Dim: 1, Indices: []int64{0}, Vals: []float32{1}}
+	s.CoalesceInto(s, &SortScratch{})
+}
+
+func TestPartitionSortedIntoBitIdentical(t *testing.T) {
+	var in, out Sparse
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randomSparse(rng, 30, 2, rng.Intn(60))
+		var prior []int64
+		for ix := int64(0); ix < 30; ix++ {
+			if rng.Intn(3) == 0 {
+				prior = append(prior, ix)
+			}
+		}
+		wantIn, wantOut := s.Partition(prior)
+		s.PartitionSortedInto(prior, &in, &out)
+		return bitsEqual(wantIn, &in) && bitsEqual(wantOut, &out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendToMatchesConcat(t *testing.T) {
+	var acc Sparse
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parts := make([]*Sparse, 1+rng.Intn(5))
+		for i := range parts {
+			parts[i] = randomSparse(rng, 12, 2, rng.Intn(20))
+		}
+		want, err := Concat(parts...)
+		if err != nil {
+			return false
+		}
+		acc.Reset()
+		for _, p := range parts {
+			if err := p.AppendTo(&acc); err != nil {
+				return false
+			}
+		}
+		return bitsEqual(want, &acc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendToShapeMismatch(t *testing.T) {
+	a := &Sparse{NumRows: 4, Dim: 2, Indices: []int64{1}, Vals: []float32{1, 2}}
+	b := &Sparse{NumRows: 4, Dim: 3}
+	var acc Sparse
+	if err := a.AppendTo(&acc); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendTo(&acc); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestColumnSliceIntoBitIdentical(t *testing.T) {
+	var dst Sparse
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 2 + rng.Intn(6)
+		s := randomSparse(rng, 20, dim, rng.Intn(30))
+		lo := rng.Intn(dim)
+		hi := lo + rng.Intn(dim-lo+1)
+		want := s.ColumnSlice(lo, hi)
+		s.ColumnSliceInto(lo, hi, &dst)
+		return bitsEqual(want, &dst)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The headline property of the in-place layer: after the first call grows
+// every buffer to its high-water mark, the whole pack/split/merge/coalesce
+// pipeline allocates nothing.
+func TestInPlacePipelineSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randomSparse(rng, 512, 8, 300)
+	prior := make([]int64, 0, 256)
+	for ix := int64(0); ix < 512; ix += 2 {
+		prior = append(prior, ix)
+	}
+	var in, out, col, acc, coal Sparse
+	var sc SortScratch
+	step := func() {
+		s.ColumnSliceInto(2, 6, &col)
+		col.PartitionSortedInto(prior, &in, &out)
+		acc.Reset()
+		_ = in.AppendTo(&acc)
+		_ = out.AppendTo(&acc)
+		acc.CoalesceInto(&coal, &sc)
+	}
+	step() // warm-up
+	if n := testing.AllocsPerRun(50, step); n != 0 {
+		t.Fatalf("steady-state in-place pipeline allocates %v times", n)
+	}
+}

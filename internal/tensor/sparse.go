@@ -133,15 +133,17 @@ func (s *Sparse) Coalesce() *Sparse {
 	return &Sparse{NumRows: s.NumRows, Dim: s.Dim, Indices: outIdx, Vals: outVals, coalesced: true}
 }
 
-// IndexSelect returns the stored rows whose logical index is in keep,
-// preserving the receiver's row order. It corresponds to INDEX_SELECT in
-// Algorithm 1. The receiver should be coalesced for the Algorithm-1 use,
-// but any sparse tensor is accepted.
-func (s *Sparse) IndexSelect(keep map[int64]struct{}) *Sparse {
+// IndexSelect returns the stored rows whose logical index occurs in keep,
+// preserving the receiver's row order. keep must be sorted ascending
+// (duplicates are harmless); membership is a binary search, so no per-call
+// map needs to be built. It corresponds to INDEX_SELECT in Algorithm 1. The
+// receiver should be coalesced for the Algorithm-1 use, but any sparse
+// tensor is accepted.
+func (s *Sparse) IndexSelect(keep []int64) *Sparse {
 	outIdx := make([]int64, 0, len(keep))
 	outVals := make([]float32, 0, len(keep)*s.Dim)
 	for i, ix := range s.Indices {
-		if _, ok := keep[ix]; ok {
+		if ContainsSorted(keep, ix) {
 			outIdx = append(outIdx, ix)
 			outVals = append(outVals, s.Row(i)...)
 		}
@@ -149,25 +151,15 @@ func (s *Sparse) IndexSelect(keep map[int64]struct{}) *Sparse {
 	return &Sparse{NumRows: s.NumRows, Dim: s.Dim, Indices: outIdx, Vals: outVals, coalesced: s.coalesced}
 }
 
-// Partition splits the receiver into the rows whose index is in prior and
-// the rest. The two results are disjoint and together contain every stored
-// row of the receiver — the invariant Algorithm 1 depends on.
-func (s *Sparse) Partition(prior map[int64]struct{}) (in, out *Sparse) {
-	inIdx := make([]int64, 0, len(prior))
-	inVals := make([]float32, 0, len(prior)*s.Dim)
-	outIdx := make([]int64, 0)
-	outVals := make([]float32, 0)
-	for i, ix := range s.Indices {
-		if _, ok := prior[ix]; ok {
-			inIdx = append(inIdx, ix)
-			inVals = append(inVals, s.Row(i)...)
-		} else {
-			outIdx = append(outIdx, ix)
-			outVals = append(outVals, s.Row(i)...)
-		}
-	}
-	in = &Sparse{NumRows: s.NumRows, Dim: s.Dim, Indices: inIdx, Vals: inVals, coalesced: s.coalesced}
-	out = &Sparse{NumRows: s.NumRows, Dim: s.Dim, Indices: outIdx, Vals: outVals, coalesced: s.coalesced}
+// Partition splits the receiver into the rows whose index occurs in prior
+// and the rest. prior must be sorted ascending (duplicates are harmless);
+// membership is a binary search. The two results are disjoint and together
+// contain every stored row of the receiver — the invariant Algorithm 1
+// depends on. PartitionSortedInto is the buffer-reusing form.
+func (s *Sparse) Partition(prior []int64) (in, out *Sparse) {
+	in = &Sparse{NumRows: s.NumRows, Dim: s.Dim, coalesced: s.coalesced}
+	out = &Sparse{NumRows: s.NumRows, Dim: s.Dim, coalesced: s.coalesced}
+	s.PartitionSortedInto(prior, in, out)
 	return in, out
 }
 

@@ -113,10 +113,10 @@ func TestPartitionInvariants(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		s := randomSparse(rng, 30, 2, rng.Intn(60)).Coalesce()
-		prior := make(map[int64]struct{})
+		var prior []int64
 		for _, ix := range s.Indices {
 			if rng.Intn(2) == 0 {
-				prior[ix] = struct{}{}
+				prior = append(prior, ix) // Indices are sorted: prior stays sorted
 			}
 		}
 		in, out := s.Partition(prior)
@@ -124,12 +124,12 @@ func TestPartitionInvariants(t *testing.T) {
 			return false
 		}
 		for _, ix := range in.Indices {
-			if _, ok := prior[ix]; !ok {
+			if !ContainsSorted(prior, ix) {
 				return false
 			}
 		}
 		for _, ix := range out.Indices {
-			if _, ok := prior[ix]; ok {
+			if ContainsSorted(prior, ix) {
 				return false
 			}
 		}
@@ -147,7 +147,7 @@ func TestPartitionInvariants(t *testing.T) {
 
 func TestIndexSelect(t *testing.T) {
 	s := mustSparse(t, 10, 1, []int64{1, 5, 7}, []float32{10, 50, 70})
-	sel := s.IndexSelect(ToSet([]int64{5, 7, 9}))
+	sel := s.IndexSelect([]int64{5, 7, 9})
 	if sel.NNZ() != 2 || sel.Indices[0] != 5 || sel.Indices[1] != 7 {
 		t.Fatalf("IndexSelect got %v", sel.Indices)
 	}

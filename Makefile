@@ -14,9 +14,10 @@ build:
 test:
 	$(GO) test ./...
 
-## lint: go vet plus embracevet, the repo's own analyzers (tag discipline,
-## determinism, lock-over-send, slice aliasing contracts). See DESIGN.md
-## § Static analysis.
+## lint: go vet plus embracevet, the repo's seven analyzers (tag discipline,
+## determinism, lock-over-send, slice aliasing contracts, hot-path
+## allocations, arena lifetimes, collective-schedule divergence). See
+## DESIGN.md § Static analysis; `-json` emits the machine-readable stream.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/embracevet ./...

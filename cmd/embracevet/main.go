@@ -1,28 +1,48 @@
 // Command embracevet runs the repo's custom static analyzers over the
-// module and reports violations of its concurrency, determinism, and
-// tag-discipline invariants.
+// module and reports violations of its concurrency, determinism,
+// tag-discipline, allocation, arena-lifetime, and collective-schedule
+// invariants.
 //
 // Usage:
 //
 //	go run ./cmd/embracevet ./...
+//	go run ./cmd/embracevet -json ./... > embracevet.json
 //	go run ./cmd/embracevet ./internal/collective ./internal/sched
 //
 // Each pattern is a directory path relative to the module root; a trailing
-// /... recurses. Findings print as file:line:col: message (analyzer) and the
-// exit status is 1 when any finding survives. A finding is suppressed by a
-// justified directive on its line or the line above:
+// /... recurses. All matched packages are loaded into one program first, so
+// the interprocedural analyzers (arenalife, commdiverge) see cross-package
+// contracts and call-graph facts regardless of which directories were
+// named.
+//
+// Findings print as file:line:col: message (analyzer). With -json, every
+// diagnostic — including suppressed ones — prints as one JSON object per
+// line ({"file","line","col","analyzer","message","suppressed"}) on stdout,
+// and a per-analyzer finding/timing summary goes to stderr. A finding is
+// suppressed by a justified directive on its line or the line above:
 //
 //	//embrace:allow <analyzer> <why this exception is safe>
+//
+// Exit codes:
+//
+//	0  no findings (suppressed findings do not count)
+//	1  at least one non-suppressed finding
+//	2  usage, load, or typecheck error
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"embrace/internal/analysis"
+	"embrace/internal/analysis/arenalife"
+	"embrace/internal/analysis/commdiverge"
 	"embrace/internal/analysis/determinism"
 	"embrace/internal/analysis/hotalloc"
 	"embrace/internal/analysis/locksend"
@@ -36,61 +56,108 @@ var analyzers = []*analysis.Analyzer{
 	locksend.Analyzer,
 	sliceret.Analyzer,
 	hotalloc.Analyzer,
+	arenalife.Analyzer,
+	commdiverge.Analyzer,
+}
+
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
 }
 
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic per line on stdout and a per-analyzer summary on stderr")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	root, module, err := moduleRoot()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "embracevet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	dirs, err := expand(root, patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "embracevet:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 
 	loader := analysis.NewLoader([]analysis.Root{{Prefix: module, Dir: root}})
-	found := false
+	var units []*analysis.Package
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "embracevet:", err)
-			os.Exit(2)
+			fatal(err)
 		}
 		importPath := module
 		if rel != "." {
 			importPath = module + "/" + filepath.ToSlash(rel)
 		}
-		units, err := loader.LoadDir(dir, importPath, true)
+		loaded, err := loader.LoadDir(dir, importPath, true)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "embracevet: %s: %v\n", importPath, err)
-			os.Exit(2)
+			fatal(fmt.Errorf("%s: %w", importPath, err))
 		}
-		for _, unit := range units {
-			diags, err := analysis.Run(analyzers, unit, loader.Fset)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "embracevet: %s: %v\n", unit.Path, err)
-				os.Exit(2)
+		units = append(units, loaded...)
+	}
+
+	runner := analysis.NewRunner(analyzers, loader.Fset, units)
+	enc := json.NewEncoder(os.Stdout)
+	found := false
+	for _, unit := range units {
+		diags, err := runner.Check(unit)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", unit.Path, err))
+		}
+		for _, d := range diags {
+			pos := loader.Fset.Position(d.Pos)
+			file := pos.Filename
+			if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
+				file = r
 			}
-			for _, d := range diags {
-				pos := loader.Fset.Position(d.Pos)
-				file := pos.Filename
-				if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
-					file = r
+			if *jsonOut {
+				if err := enc.Encode(jsonDiag{
+					File: file, Line: pos.Line, Col: pos.Column,
+					Analyzer: d.Analyzer, Message: d.Message, Suppressed: d.Suppressed,
+				}); err != nil {
+					fatal(err)
 				}
+			} else if !d.Suppressed {
 				fmt.Printf("%s:%d:%d: %s (%s)\n", file, pos.Line, pos.Column, d.Message, d.Analyzer)
+			}
+			if !d.Suppressed {
 				found = true
 			}
 		}
 	}
+	if *jsonOut {
+		summarize(runner)
+	}
 	if found {
 		os.Exit(1)
 	}
+}
+
+// summarize prints the per-analyzer finding/timing table on stderr.
+func summarize(runner *analysis.Runner) {
+	names := make([]string, 0, len(runner.Stats))
+	for name := range runner.Stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "%-12s %9s %11s %10s\n", "analyzer", "findings", "suppressed", "elapsed")
+	for _, name := range names {
+		s := runner.Stats[name]
+		fmt.Fprintf(os.Stderr, "%-12s %9d %11d %10s\n", name, s.Findings, s.Suppressed, s.Elapsed.Round(10*time.Microsecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "embracevet:", err)
+	os.Exit(2)
 }
 
 // moduleRoot finds the enclosing go.mod from the working directory and

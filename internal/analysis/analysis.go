@@ -37,6 +37,15 @@ type Analyzer struct {
 	// pass.Reportf. The returned value is ignored by the driver (kept for
 	// x/tools API parity).
 	Run func(pass *Pass) (any, error)
+	// Summarize, when set, is called once per unit of the whole program
+	// before any Run, so the analyzer can export per-function facts into
+	// pass.Program. Reporting from Summarize is a no-op: facts are the only
+	// legitimate output of the phase.
+	Summarize func(pass *Pass)
+	// Finish, when set, runs once after every unit has been summarized —
+	// the place for program-wide fixpoints (taint propagation through the
+	// call graph, transitive summaries) before per-unit Run begins.
+	Finish func(prog *Program)
 }
 
 // Pass connects an Analyzer to the single package unit being checked.
@@ -51,6 +60,9 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds the resolution tables (Uses, Defs, Types, ...).
 	TypesInfo *types.Info
+	// Program is the whole-program view (call graph and exported facts)
+	// when the pass runs under a Runner; nil for bare single-unit passes.
+	Program *Program
 	// report receives each finding; installed by the checker.
 	report func(Diagnostic)
 }
@@ -60,6 +72,10 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// Suppressed marks a finding silenced by a justified //embrace:allow
+	// directive. The checker returns suppressed findings (so drivers can
+	// surface them in audits, e.g. -json) but they do not fail a run.
+	Suppressed bool
 }
 
 // Reportf records a finding at pos.

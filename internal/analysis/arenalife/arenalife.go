@@ -1,0 +1,774 @@
+// Package arenalife polices the lifetime of arena- and pool-backed memory.
+//
+// The zero-alloc hot path works by handing out views of reusable storage:
+// SparseShards.ShardView and Merged return slices of the exchange arena,
+// getBuf/getBufI64 lend pooled wire buffers, RowBucketer accessors expose
+// bucketing scratch. Every such value has an expiry the compiler cannot
+// see — the next exchange into the arena, the putBuf returning the buffer,
+// the next Bucket call — and code that lets a view outlive its boundary
+// reads recycled memory.
+//
+// The contract is declared where the memory is lent, in doc-comment
+// directives:
+//
+//	//embrace:arena                 function results are arena-backed views
+//	//embrace:arena <param>...      the named pointer params become views
+//	//embrace:arena reuse <name>    calling this recycles <name>'s arena
+//	                                (<name> a param, or the receiver)
+//	//embrace:arena                 on a type: values of the type are arenas;
+//	                                functions returning one must be annotated
+//
+// Views derived from contract calls are tracked through assignments,
+// slicing, field access, and `aliases:`-documented accessors (the sliceret
+// contract), and a finding is reported when a view:
+//
+//   - is stored into a struct field, map/slice element, or package variable
+//   - is returned from a function not itself marked //embrace:arena
+//   - is captured by a closure or goroutine
+//   - is passed to a callee whose corresponding parameter escapes
+//     (escape summaries propagate through the call graph)
+//   - is used after a `reuse` boundary recycled its arena in the same
+//     function (straight-line source order; loop back-edges are not modeled)
+//
+// Justified exceptions: //embrace:allow arenalife <why the value is dead or
+// copied before the boundary>.
+package arenalife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"embrace/internal/analysis"
+)
+
+// Directive introduces an arena contract in a doc comment.
+const Directive = "//embrace:arena"
+
+const ns = "arenalife"
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "arenalife",
+	Doc:       "track arena/pool-backed views declared by //embrace:arena contracts and report flows that outlive their reuse boundary",
+	Summarize: summarize,
+	Finish:    finish,
+	Run:       run,
+}
+
+// contract is the parsed //embrace:arena declaration of one function.
+type contract struct {
+	// source marks the function's results as arena-backed views.
+	source bool
+	// out lists parameter indices the call turns into views.
+	out []int
+	// reuse lists parameters (or -1 for the receiver) whose arena the call
+	// recycles, invalidating outstanding views.
+	reuse []int
+}
+
+// escEdge records that parameter `param` flows into argument `arg` of
+// `callee` — the conduit transitive escape propagates through.
+type escEdge struct {
+	param  int
+	callee string
+	arg    int
+}
+
+// escapeInfo is one function's escape summary: mask[i] is true when the
+// i-th parameter may outlive the call.
+type escapeInfo struct {
+	mask  []bool
+	edges []escEdge
+}
+
+// summarize exports per-function facts for the unit: arena contracts,
+// arena-typed declarations, `aliases:` accessor markers, and parameter
+// escape summaries.
+func summarize(pass *analysis.Pass) {
+	prog := pass.Program
+	if prog == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || (!hasDirective(d.Doc) && !hasDirective(ts.Doc)) {
+						continue
+					}
+					if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil && obj.Pkg() != nil {
+						prog.ExportFact(ns, "type:"+obj.Pkg().Path()+"."+obj.Name(), true)
+					}
+				}
+			case *ast.FuncDecl:
+				key := analysis.DeclKey(pass.TypesInfo, d)
+				if key == "" {
+					continue
+				}
+				if c := parseContract(d); c != nil {
+					prog.ExportFact(ns, "fn:"+key, c)
+				}
+				if d.Doc != nil && strings.Contains(d.Doc.Text(), "aliases:") {
+					prog.ExportFact(ns, "alias:"+key, true)
+				}
+				if d.Body != nil {
+					prog.ExportFact(ns, "esc:"+key, escapeSummary(pass.TypesInfo, d))
+				}
+			}
+		}
+	}
+}
+
+// finish propagates escape summaries through the call graph: a parameter
+// escapes if it is passed into an escaping parameter of any callee.
+func finish(prog *analysis.Program) {
+	for range prog.Funcs { // bounded by graph depth; one extra pass detects quiescence
+		changed := false
+		for key := range prog.Funcs {
+			v, ok := prog.Fact(ns, "esc:"+key)
+			if !ok {
+				continue
+			}
+			ei := v.(*escapeInfo)
+			for _, e := range ei.edges {
+				if e.param >= len(ei.mask) || ei.mask[e.param] {
+					continue
+				}
+				if cv, ok := prog.Fact(ns, "esc:"+e.callee); ok {
+					if cei := cv.(*escapeInfo); e.arg < len(cei.mask) && cei.mask[e.arg] {
+						ei.mask[e.param] = true
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// hasDirective reports an //embrace:arena line in the raw comment list
+// (directives are invisible to CommentGroup.Text).
+func hasDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if _, ok := cutDirective(c.Text); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func cutDirective(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, Directive)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	return rest, true
+}
+
+// parseContract reads the arena directives of a function's doc comment.
+func parseContract(fd *ast.FuncDecl) *contract {
+	if fd.Doc == nil {
+		return nil
+	}
+	var c *contract
+	for _, cm := range fd.Doc.List {
+		rest, ok := cutDirective(cm.Text)
+		if !ok {
+			continue
+		}
+		if c == nil {
+			c = &contract{}
+		}
+		args := strings.Fields(rest)
+		switch {
+		case len(args) == 0:
+			c.source = true
+		case args[0] == "reuse":
+			if len(args) == 1 {
+				c.reuse = append(c.reuse, -1)
+			}
+			for _, name := range args[1:] {
+				if i, ok := paramIndex(fd, name); ok {
+					c.reuse = append(c.reuse, i)
+				}
+			}
+		default:
+			for _, name := range args {
+				if i, ok := paramIndex(fd, name); ok {
+					c.out = append(c.out, i)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// paramIndex resolves a contract name to a flattened parameter index, or -1
+// for the receiver.
+func paramIndex(fd *ast.FuncDecl, name string) (int, bool) {
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, nm := range f.Names {
+				if nm.Name == name {
+					return -1, true
+				}
+			}
+		}
+	}
+	idx := 0
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, nm := range f.Names {
+			if nm.Name == name {
+				return idx, true
+			}
+			idx++
+		}
+	}
+	return 0, false
+}
+
+// escapeSummary computes which parameters of fd may outlive the call: a
+// parameter escapes when it is stored into a field, element, dereference,
+// or package variable, sent on a channel, captured by a function literal,
+// or handed to a goroutine. Plain returns and call-argument passing do not
+// count (the latter is resolved transitively in finish), and wrapping in a
+// composite literal is tracked by the caller's own taint, not the summary.
+func escapeSummary(info *types.Info, fd *ast.FuncDecl) *escapeInfo {
+	objs := make(map[types.Object]int)
+	idx := 0
+	for _, f := range fd.Type.Params.List {
+		if len(f.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, nm := range f.Names {
+			if o := info.Defs[nm]; o != nil {
+				objs[o] = idx
+			}
+			idx++
+		}
+	}
+	ei := &escapeInfo{mask: make([]bool, idx)}
+	paramOf := func(e ast.Expr) (int, bool) {
+		e = ast.Unparen(e)
+		if sl, ok := e.(*ast.SliceExpr); ok {
+			e = ast.Unparen(sl.X)
+		}
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		i, ok := objs[info.Uses[id]]
+		return i, ok
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				if pi, ok := paramOf(n.Rhs[i]); ok && heapLHS(info, n.Lhs[i]) {
+					ei.mask[pi] = true
+				}
+			}
+		case *ast.SendStmt:
+			if pi, ok := paramOf(n.Value); ok {
+				ei.mask[pi] = true
+			}
+		case *ast.GoStmt:
+			for _, a := range n.Call.Args {
+				if pi, ok := paramOf(a); ok {
+					ei.mask[pi] = true
+				}
+			}
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if pi, ok := objs[info.Uses[id]]; ok {
+						ei.mask[pi] = true
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			if callee := analysis.CalleeFunc(info, n); callee != nil {
+				for ai, a := range n.Args {
+					if pi, ok := paramOf(a); ok {
+						ei.edges = append(ei.edges, escEdge{param: pi, callee: analysis.FuncKeyOf(callee), arg: ai})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ei
+}
+
+// heapLHS reports whether assigning to e publishes the value beyond the
+// frame: a field, element, dereference, or package-level variable.
+func heapLHS(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Program == nil {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// eventKind orders same-position events: a use at the position of a
+// boundary call must not see the boundary's own kill.
+type eventKind int
+
+const (
+	evUse eventKind = iota
+	evBoundary
+	evUntaint
+	evTaint
+)
+
+type event struct {
+	kind   eventKind
+	pos    token.Pos
+	key    string // variable key (use/taint/untaint) or source key (boundary)
+	source string // taint: source key; boundary: call label
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	prog := pass.Program
+	my := contractOf(prog, analysis.DeclKey(info, fd))
+
+	// An unannotated function whose signature hands back an arena type is a
+	// contract hole: its callers receive views with an invisible expiry.
+	if (my == nil || !my.source) && fd.Type.Results != nil {
+		for _, r := range fd.Type.Results.List {
+			if tn := arenaTypeName(prog, info.TypeOf(r.Type)); tn != "" {
+				pass.Reportf(r.Type.Pos(), "%s returns arena type %s without an //embrace:arena contract: annotate the function or return a copy", fd.Name.Name, tn)
+			}
+		}
+	}
+
+	var flow *analysis.Flow
+	flow = analysis.NewFlow(info, func(e ast.Expr) (string, bool) {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return "", false
+		}
+		callee := analysis.CalleeFunc(info, call)
+		if callee == nil {
+			return "", false
+		}
+		ck := analysis.FuncKeyOf(callee)
+		if c := contractOf(prog, ck); c != nil && c.source {
+			return sourceKeyForCall(pass, prog, call, callee), true
+		}
+		// An `aliases:` accessor shares its receiver's memory: the result
+		// of recv.Row(k) on a tainted recv is a view of the same arena.
+		if _, ok := prog.Fact(ns, "alias:"+ck); ok {
+			if recv := recvExprOf(call, callee); recv != nil {
+				return flow.SourceKey(recv)
+			}
+		}
+		return "", false
+	})
+	// A scalar copied out of a view is the caller's own value; only types
+	// that can alias the arena's memory stay tracked.
+	flow.Narrow = func(lhs ast.Expr) bool { return aliasable(info.TypeOf(lhs)) }
+
+	// Seed out-parameter views (ShardView's dst) before the fixpoint.
+	var ccalls []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.CalleeFunc(info, call)
+		if callee == nil {
+			return true
+		}
+		c := contractOf(prog, analysis.FuncKeyOf(callee))
+		if c == nil {
+			return true
+		}
+		ccalls = append(ccalls, call)
+		for _, oi := range c.out {
+			if oi < 0 || oi >= len(call.Args) {
+				continue
+			}
+			if k, ok := flow.Key(stripAddr(call.Args[oi])); ok {
+				if _, dup := flow.Tainted[k]; !dup {
+					flow.Tainted[k] = sourceKeyForCall(pass, prog, call, callee)
+				}
+			}
+		}
+		return true
+	})
+	flow.Propagate(fd.Body)
+
+	// Idents inside a contract call are handoffs, not uses: putBuf(buf) is
+	// buf's last use, ShardView(p, &dst) re-taints dst.
+	inContract := func(p token.Pos) bool {
+		for _, c := range ccalls {
+			if c.Pos() <= p && p < c.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	var events []event
+	reportedEscape := map[token.Pos]bool{}
+	lhsPos := map[token.Pos]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) && len(n.Rhs) == 1 {
+				// v, ok := x.(T): fold to the value edge.
+				n = &ast.AssignStmt{Lhs: n.Lhs[:1], Rhs: n.Rhs, TokPos: n.TokPos}
+			}
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Lhs {
+				key, keyed := flow.Key(n.Lhs[i])
+				if keyed {
+					// A rebind is not a read; writes through an index or
+					// dereference stay use events (they touch the memory).
+					lhsPos[ast.Unparen(n.Lhs[i]).Pos()] = true
+				}
+				src, tainted := flow.SourceKey(n.Rhs[i])
+				tainted = tainted && aliasable(info.TypeOf(n.Rhs[i]))
+				if tainted && heapLHS(info, n.Lhs[i]) && !reportedEscape[n.Pos()] {
+					reportedEscape[n.Pos()] = true
+					pass.Reportf(n.Pos(), "arena-backed value (from %s) stored in %s, which outlives the reuse boundary: copy it first or justify with //embrace:allow arenalife",
+						display(src), types.ExprString(n.Lhs[i]))
+				}
+				if !keyed {
+					continue
+				}
+				if tainted {
+					events = append(events, event{kind: evTaint, pos: n.Pos(), key: key, source: src})
+				} else if _, was := flow.Tainted[key]; was {
+					events = append(events, event{kind: evUntaint, pos: n.Pos(), key: key})
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) != len(n.Values) {
+				return true
+			}
+			for i, nm := range n.Names {
+				lhsPos[nm.Pos()] = true
+				if src, ok := flow.SourceKey(n.Values[i]); ok {
+					events = append(events, event{kind: evTaint, pos: nm.Pos(), key: nm.Name, source: src})
+				}
+			}
+		case *ast.ReturnStmt:
+			if my != nil && my.source {
+				return true
+			}
+			for _, res := range n.Results {
+				if src, ok := flow.SourceKey(res); ok && aliasable(info.TypeOf(res)) {
+					pass.Reportf(n.Pos(), "%s returns arena-backed value (from %s) but is not annotated //embrace:arena: callers cannot see its expiry",
+						fd.Name.Name, display(src))
+				}
+			}
+		case *ast.SendStmt:
+			if src, ok := flow.SourceKey(n.Value); ok && aliasable(info.TypeOf(n.Value)) {
+				pass.Reportf(n.Pos(), "arena-backed value (from %s) sent on a channel, which outlives the reuse boundary: copy it first", display(src))
+			}
+		case *ast.GoStmt:
+			for _, a := range n.Call.Args {
+				if src, ok := flow.SourceKey(a); ok && aliasable(info.TypeOf(a)) {
+					pass.Reportf(a.Pos(), "arena-backed value (from %s) handed to a goroutine, which may outlive the reuse boundary: copy it first", display(src))
+				}
+			}
+		case *ast.FuncLit:
+			reportCaptures(pass, flow, n)
+			return false
+		case *ast.CallExpr:
+			callee := analysis.CalleeFunc(info, n)
+			if callee == nil {
+				return true
+			}
+			ck := analysis.FuncKeyOf(callee)
+			if c := contractOf(prog, ck); c != nil {
+				// An out-param call re-derives the view: record the taint so
+				// the replay sees a fresh binding after any boundary.
+				for _, oi := range c.out {
+					if oi < 0 || oi >= len(n.Args) {
+						continue
+					}
+					if k, ok := flow.Key(stripAddr(n.Args[oi])); ok {
+						events = append(events, event{kind: evTaint, pos: n.Pos(), key: k,
+							source: sourceKeyForCall(pass, prog, n, callee)})
+					}
+				}
+				for _, ri := range c.reuse {
+					var arg ast.Expr
+					if ri == -1 {
+						arg = recvExprOf(n, callee)
+					} else if ri < len(n.Args) {
+						arg = n.Args[ri]
+					}
+					if arg == nil {
+						continue
+					}
+					kill, ok := flow.SourceKey(arg)
+					if !ok {
+						kill = types.ExprString(stripAddr(arg))
+					}
+					events = append(events, event{kind: evBoundary, pos: n.Pos(), key: kill, source: types.ExprString(n.Fun)})
+				}
+			}
+			if ev, ok := prog.Fact(ns, "esc:"+ck); ok {
+				mask := ev.(*escapeInfo).mask
+				// Reuse parameters escape into the pool by design; the
+				// boundary event above already models that recycling.
+				reused := map[int]bool{}
+				if c := contractOf(prog, ck); c != nil {
+					for _, ri := range c.reuse {
+						reused[ri] = true
+					}
+				}
+				for ai, a := range n.Args {
+					if ai >= len(mask) || !mask[ai] || reused[ai] {
+						continue
+					}
+					if src, ok := flow.SourceKey(a); ok && aliasable(info.TypeOf(a)) {
+						pass.Reportf(a.Pos(), "arena-backed value (from %s) passed to %s, whose parameter escapes: copy it first", display(src), callee.Name())
+					}
+				}
+			}
+		case *ast.Ident:
+			if lhsPos[n.Pos()] || inContract(n.Pos()) {
+				return true
+			}
+			if _, ok := flow.Tainted[n.Name]; !ok {
+				return true
+			}
+			if v, ok := info.Uses[n].(*types.Var); ok && !v.IsField() {
+				events = append(events, event{kind: evUse, pos: n.Pos(), key: n.Name})
+			}
+		case *ast.SelectorExpr:
+			if key := types.ExprString(n); !lhsPos[n.Pos()] && !inContract(n.Pos()) {
+				if _, ok := flow.Tainted[key]; ok {
+					events = append(events, event{kind: evUse, pos: n.Pos(), key: key})
+				}
+			}
+		}
+		return true
+	})
+
+	replay(pass, events)
+}
+
+// replay walks the function's events in source order and reports uses of a
+// view after a boundary recycled its arena. A re-derived view (taint after
+// the boundary) is fresh and legal; loop back-edges are not modeled.
+func replay(pass *analysis.Pass, events []event) {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].pos != events[j].pos {
+			return events[i].pos < events[j].pos
+		}
+		return events[i].kind < events[j].kind
+	})
+	type binding struct {
+		source string
+		pos    token.Pos
+	}
+	type kill struct {
+		pos   token.Pos
+		label string
+	}
+	bindings := map[string]binding{}
+	killed := map[string]kill{}
+	reported := map[string]bool{}
+	for _, ev := range events {
+		switch ev.kind {
+		case evTaint:
+			bindings[ev.key] = binding{source: ev.source, pos: ev.pos}
+		case evUntaint:
+			delete(bindings, ev.key)
+		case evBoundary:
+			killed[ev.key] = kill{pos: ev.pos, label: ev.source}
+		case evUse:
+			b, ok := bindings[ev.key]
+			if !ok || reported[ev.key] {
+				continue
+			}
+			if k, ok := killed[b.source]; ok && k.pos > b.pos {
+				reported[ev.key] = true
+				pass.Reportf(ev.pos, "%s is a view of %s, recycled by %s at line %d: reading it now sees reused memory",
+					ev.key, display(b.source), k.label, pass.Fset.Position(k.pos).Line)
+			}
+		}
+	}
+}
+
+// reportCaptures flags tainted variables referenced inside a function
+// literal, which may run after the enclosing frame's boundaries.
+func reportCaptures(pass *analysis.Pass, flow *analysis.Flow, fl *ast.FuncLit) {
+	seen := map[string]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		src, tainted := flow.Tainted[id.Name]
+		if !tainted || seen[id.Name] {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Pos() == token.NoPos || (fl.Pos() <= obj.Pos() && obj.Pos() < fl.End()) {
+			return true // declared inside the literal: a different variable
+		}
+		seen[id.Name] = true
+		pass.Reportf(id.Pos(), "arena-backed %s (from %s) captured by closure: it may outlive the reuse boundary — copy it first", id.Name, display(src))
+		return true
+	})
+}
+
+// contractOf fetches a function's parsed contract, if any.
+func contractOf(prog *analysis.Program, key string) *contract {
+	if key == "" {
+		return nil
+	}
+	if v, ok := prog.Fact(ns, "fn:"+key); ok {
+		return v.(*contract)
+	}
+	return nil
+}
+
+// sourceKeyForCall names the arena a contract call lends views of: the
+// receiver expression when the receiver is an arena type (views of h.arena
+// die when h.arena is exchanged into), otherwise the allocation site
+// (each getBuf call lends a distinct buffer).
+func sourceKeyForCall(pass *analysis.Pass, prog *analysis.Program, call *ast.CallExpr, callee *types.Func) string {
+	if recv := recvExprOf(call, callee); recv != nil {
+		if arenaTypeName(prog, pass.TypesInfo.TypeOf(recv)) != "" {
+			return types.ExprString(recv)
+		}
+	}
+	return types.ExprString(call.Fun) + "@" + strconv.Itoa(pass.Fset.Position(call.Pos()).Line)
+}
+
+// recvExprOf returns the receiver expression of a method call, or nil.
+func recvExprOf(call *ast.CallExpr, callee *types.Func) ast.Expr {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// arenaTypeName returns the canonical name of t's arena type, or "" when t
+// is not (a pointer to) a type carrying the //embrace:arena mark.
+func arenaTypeName(prog *analysis.Program, t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	key := obj.Pkg().Path() + "." + obj.Name()
+	if _, ok := prog.Fact(ns, "type:"+key); ok {
+		return key
+	}
+	return ""
+}
+
+// stripAddr unwraps &x and parentheses.
+func stripAddr(e ast.Expr) ast.Expr {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return ast.Unparen(u.X)
+	}
+	return e
+}
+
+// aliasable reports whether a value of type t can share memory with its
+// source: copying a basic value (or an array/struct of only basic values)
+// severs the alias; slices, pointers, maps, interfaces, and anything
+// containing them keep it.
+func aliasable(t types.Type) bool {
+	if t == nil {
+		return true // unresolved: stay conservative
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Array:
+		return aliasable(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if aliasable(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// display trims the line qualifier off an allocation-site source key for
+// messages.
+func display(src string) string {
+	if i := strings.IndexByte(src, '@'); i >= 0 {
+		return src[:i] + " (line " + src[i+1:] + ")"
+	}
+	return src
+}

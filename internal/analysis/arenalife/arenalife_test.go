@@ -1,0 +1,13 @@
+package arenalife_test
+
+import (
+	"testing"
+
+	"embrace/internal/analysis/analysistest"
+	"embrace/internal/analysis/arenalife"
+)
+
+func TestArenaLife(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), arenalife.Analyzer,
+		"embrace/internal/tensor", "embrace/internal/collective", "a")
+}

@@ -1,0 +1,186 @@
+// Package a exercises arenalife: true positives for every leak class and
+// the safe patterns that must stay silent.
+package a
+
+import (
+	"embrace/internal/collective"
+	"embrace/internal/tensor"
+)
+
+func sink(xs ...interface{}) {}
+
+var global []float32
+
+// --- pooled wire buffers -------------------------------------------------
+
+// useAfterPut reads a pooled buffer after returning it (the seeded-fault
+// shape: use-after-reuse of a pooled buffer).
+func useAfterPut(c *collective.Communicator) {
+	buf := c.GetBuf(8)
+	sink(buf)
+	c.PutBuf(buf)
+	sink(buf) // want `recycled by c\.PutBuf`
+}
+
+// putThenConsume is the blessed shape: every read precedes the boundary.
+func putThenConsume(c *collective.Communicator) {
+	buf := c.GetBuf(8)
+	sink(buf)
+	c.PutBuf(buf)
+}
+
+// independentBufs returns one buffer while another stays live: the
+// allocation-site keys must not be conflated.
+func independentBufs(c *collective.Communicator) {
+	x := c.GetBuf(4)
+	y := c.GetBuf(4)
+	c.PutBuf(x)
+	sink(y)
+	c.PutBuf(y)
+}
+
+// scalarCopyIsFine copies a value out of the buffer before the boundary;
+// the copy owes nothing to the pool.
+func scalarCopyIsFine(c *collective.Communicator) float32 {
+	buf := c.GetBuf(4)
+	v := buf[0]
+	c.PutBuf(buf)
+	return v
+}
+
+// --- exchange arena views ------------------------------------------------
+
+// viewAcrossExchange holds a ShardView across the next exchange into the
+// same arena.
+func viewAcrossExchange(c *collective.Communicator, arena *collective.SparseShards, send []*tensor.Sparse) {
+	var v tensor.Sparse
+	arena.ShardView(0, &v)
+	sink(v.Vals)
+	_ = c.AlltoAllSparse("grad", 1, send, arena)
+	sink(v.Vals) // want `recycled by c\.AlltoAllSparse`
+}
+
+// refreshView re-derives the view after the exchange: fresh and legal.
+func refreshView(c *collective.Communicator, arena *collective.SparseShards, send []*tensor.Sparse) {
+	var v tensor.Sparse
+	arena.ShardView(0, &v)
+	sink(v.Vals)
+	_ = c.AlltoAllSparse("grad", 1, send, arena)
+	arena.ShardView(0, &v)
+	sink(v.Vals)
+}
+
+type holder struct {
+	rows *tensor.Sparse
+}
+
+// stash parks a merged view in a struct field, where it outlives the arena.
+func stash(h *holder, arena *collective.SparseShards) {
+	h.rows = arena.Merged() // want `stored in h\.rows`
+}
+
+// leakMerged hands a view to its caller without declaring the expiry.
+func leakMerged(arena *collective.SparseShards) *tensor.Sparse {
+	return arena.Merged() // want `not annotated //embrace:arena`
+}
+
+// mergedView declares the contract, so passing the view on is legal.
+//
+//embrace:arena
+func mergedView(arena *collective.SparseShards) *tensor.Sparse {
+	return arena.Merged()
+}
+
+type wrap struct {
+	arena collective.SparseShards
+}
+
+// Arena returns the arena type itself without a contract: callers receive
+// views with an invisible expiry.
+func (w *wrap) Arena() *collective.SparseShards { // want `returns arena type`
+	return &w.arena
+}
+
+// rowLeak publishes an aliases:-documented row of a merged view.
+func rowLeak(arena *collective.SparseShards) {
+	m := arena.Merged()
+	global = m.Row(0) // want `stored in global`
+}
+
+// rowCopy copies the row out first — append from a fresh slice severs the
+// alias.
+func rowCopy(arena *collective.SparseShards) {
+	m := arena.Merged()
+	global = append([]float32(nil), m.Row(0)...)
+}
+
+// --- closures, goroutines, callees ---------------------------------------
+
+// capture closes over a pooled buffer that is recycled before the closure
+// can run.
+func capture(c *collective.Communicator) func() float32 {
+	buf := c.GetBuf(4)
+	f := func() float32 { return buf[0] } // want `captured by closure`
+	c.PutBuf(buf)
+	return f
+}
+
+// spawn hands a pooled buffer to a goroutine racing the recycle.
+func spawn(c *collective.Communicator) {
+	buf := c.GetBuf(4)
+	go process(buf) // want `handed to a goroutine`
+	c.PutBuf(buf)
+}
+
+func process(xs []float32) {}
+
+// throughCallee leaks via a same-package callee whose parameter escapes.
+func throughCallee(c *collective.Communicator) {
+	buf := c.GetBuf(4)
+	stashGlobal(buf) // want `whose parameter escapes`
+	c.PutBuf(buf)
+}
+
+func stashGlobal(b []float32) { global = b }
+
+// throughTwo leaks through two levels of calls (transitive summaries).
+func throughTwo(c *collective.Communicator) {
+	buf := c.GetBuf(4)
+	stashIndirect(buf) // want `whose parameter escapes`
+	c.PutBuf(buf)
+}
+
+func stashIndirect(b []float32) { stashGlobal(b) }
+
+// crossPackage leaks into another package's global — the summary travels as
+// a fact, not syntax.
+func crossPackage(c *collective.Communicator) {
+	buf := c.GetBuf(4)
+	collective.Retain(buf) // want `whose parameter escapes`
+	c.PutBuf(buf)
+}
+
+// handOff passes the buffer to a callee that only reads it: no finding.
+func handOff(c *collective.Communicator) {
+	buf := c.GetBuf(4)
+	process(buf)
+	c.PutBuf(buf)
+}
+
+// --- bucketer scratch ----------------------------------------------------
+
+// rebucket reads offsets computed before the bucketer was recycled.
+func rebucket(b *tensor.RowBucketer, idx []int64) int32 {
+	b.Bucket(idx, 4)
+	offs := b.Offsets()
+	b.Bucket(idx, 8)
+	return offs[0] // want `recycled by b\.Bucket`
+}
+
+// bucketOnce consumes the scratch before the next ingest: silent.
+func bucketOnce(b *tensor.RowBucketer, idx []int64) int32 {
+	b.Bucket(idx, 4)
+	offs, perm := b.Offsets(), b.Perm()
+	sink(offs, perm)
+	return offs[0]
+}

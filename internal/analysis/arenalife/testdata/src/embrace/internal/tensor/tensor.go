@@ -1,0 +1,53 @@
+// Package tensor is a stub of the real tensor package carrying the arena
+// contracts the analyzer consumes.
+package tensor
+
+// Sparse is a COO index–value batch.
+type Sparse struct {
+	Indices []int64
+	Vals    []float32
+	Dim     int
+}
+
+// Row returns row k of the value matrix.
+//
+// aliases: the returned slice is the tensor's own backing array; callers
+// must not retain it across mutations.
+func (s *Sparse) Row(k int) []float32 {
+	return s.Vals[k*s.Dim : (k+1)*s.Dim]
+}
+
+// RowBucketer reorders rows into per-destination buckets using reusable
+// scratch.
+//
+//embrace:arena
+type RowBucketer struct {
+	counts []int32
+	offs   []int32
+	perm   []int32
+}
+
+// Bucket ingests a batch, recycling the bucketer's scratch: views handed
+// out by Counts/Offsets/Perm die here.
+//
+//embrace:arena reuse b
+func (b *RowBucketer) Bucket(idx []int64, nb int) {
+	b.counts = b.counts[:0]
+	b.offs = b.offs[:0]
+	b.perm = b.perm[:0]
+}
+
+// Counts returns the per-bucket row counts.
+//
+//embrace:arena
+func (b *RowBucketer) Counts() []int32 { return b.counts }
+
+// Offsets returns the per-bucket start offsets.
+//
+//embrace:arena
+func (b *RowBucketer) Offsets() []int32 { return b.offs }
+
+// Perm returns the permutation of rows into bucket order.
+//
+//embrace:arena
+func (b *RowBucketer) Perm() []int32 { return b.perm }

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The loader typechecks each unit's dependencies with function bodies
+// ignored, so the *types.Func for a cross-package callee is a different
+// object in the calling unit than in the unit that defines it. The program
+// layer therefore never keys anything by object identity: functions are
+// named by their canonical string key (types.Func.FullName, e.g.
+// "(*embrace/internal/collective.Communicator).AlltoAllSparse"), which is
+// stable across units, and facts travel between analyzers' phases under
+// those keys.
+
+// FuncKeyOf returns the canonical program-wide key of a function.
+func FuncKeyOf(fn *types.Func) string {
+	return fn.FullName()
+}
+
+// DeclKey returns the canonical key of a function declaration, or "" when
+// the declaration did not typecheck.
+func DeclKey(info *types.Info, fd *ast.FuncDecl) string {
+	if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+		return FuncKeyOf(fn)
+	}
+	return ""
+}
+
+// FuncNode is one declared function of the program: its syntax, the unit it
+// lives in, and the canonical keys of every function it calls (calls inside
+// nested function literals are attributed to the enclosing declaration).
+type FuncNode struct {
+	Key     string
+	Decl    *ast.FuncDecl
+	Unit    *Package
+	Callees []string
+}
+
+// Program is the cross-package layer the Runner builds over all loaded
+// units: a call graph plus a string-keyed fact store that analyzers fill in
+// during Summarize and consume during Finish and Run.
+type Program struct {
+	Fset  *token.FileSet
+	Units []*Package
+	// Funcs maps canonical function key to its node, for every function
+	// declared with a body in some unit. Bodiless dependency packages
+	// contribute call-graph leaves only.
+	Funcs map[string]*FuncNode
+
+	facts map[string]any
+}
+
+// NewProgram indexes the declared functions of units and resolves each
+// call site to its callee's canonical key.
+func NewProgram(fset *token.FileSet, units []*Package) *Program {
+	prog := &Program{
+		Fset:  fset,
+		Units: units,
+		Funcs: make(map[string]*FuncNode),
+		facts: make(map[string]any),
+	}
+	for _, unit := range units {
+		for _, file := range unit.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				key := DeclKey(unit.Info, fd)
+				if key == "" {
+					continue
+				}
+				node := &FuncNode{Key: key, Decl: fd, Unit: unit}
+				seen := map[string]bool{}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := CalleeFunc(unit.Info, call); callee != nil {
+						if k := FuncKeyOf(callee); !seen[k] {
+							seen[k] = true
+							node.Callees = append(node.Callees, k)
+						}
+					}
+					return true
+				})
+				sort.Strings(node.Callees)
+				prog.Funcs[key] = node
+			}
+		}
+	}
+	return prog
+}
+
+// ExportFact stores v for key in the analyzer-owned namespace ns. Facts are
+// write-once per (ns, key): the first export wins, which keeps the in-pkg
+// test unit (a superset of the plain unit's files) from clobbering facts
+// with equivalent re-derivations.
+func (p *Program) ExportFact(ns, key string, v any) {
+	k := ns + "\x00" + key
+	if _, ok := p.facts[k]; !ok {
+		p.facts[k] = v
+	}
+}
+
+// Fact retrieves the fact stored for key in namespace ns.
+func (p *Program) Fact(ns, key string) (any, bool) {
+	v, ok := p.facts[ns+"\x00"+key]
+	return v, ok
+}

@@ -6,12 +6,14 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // AllowPrefix is the suppression directive: `//embrace:allow <analyzer>
 // <justification>` on the finding's line (or the line directly above)
 // silences that analyzer there. The justification is mandatory — an
-// unjustified directive is itself a finding.
+// unjustified directive is itself a finding. The directive is also honored
+// in block form (`/*embrace:allow ...*/`).
 const AllowPrefix = "//embrace:allow"
 
 // directive is one parsed //embrace:allow comment.
@@ -19,20 +21,25 @@ type directive struct {
 	pos       token.Pos
 	analyzers []string
 	justified bool
+	// hits counts the findings this directive suppressed in the current
+	// Check; a justified directive that suppresses nothing is stale and
+	// reported, so dead suppressions cannot silently accumulate.
+	hits int
 }
 
 // parseDirectives extracts the allow directives of a file, keyed by the line
-// they appear on.
-func parseDirectives(fset *token.FileSet, file *ast.File) map[int]directive {
-	out := make(map[int]directive)
+// they appear on. Both line comments and single-line block comments are
+// recognized.
+func parseDirectives(fset *token.FileSet, file *ast.File) map[int]*directive {
+	out := make(map[int]*directive)
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			rest, ok := strings.CutPrefix(c.Text, AllowPrefix)
-			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			rest, ok := directiveRest(c.Text)
+			if !ok {
 				continue
 			}
 			fields := strings.Fields(rest)
-			d := directive{pos: c.Pos()}
+			d := &directive{pos: c.Pos()}
 			if len(fields) > 0 {
 				d.analyzers = strings.Split(fields[0], ",")
 				d.justified = len(fields) > 1
@@ -43,7 +50,27 @@ func parseDirectives(fset *token.FileSet, file *ast.File) map[int]directive {
 	return out
 }
 
-func (d directive) covers(analyzer string) bool {
+// directiveRest returns the text after the embrace:allow marker, accepting
+// //-comments and /* */-comments (first line only).
+func directiveRest(text string) (string, bool) {
+	body, block := strings.CutPrefix(text, "/*")
+	if block {
+		text = "//" + body
+	}
+	rest, ok := strings.CutPrefix(text, AllowPrefix)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	if block {
+		if i := strings.IndexByte(rest, '\n'); i >= 0 {
+			rest = rest[:i]
+		}
+		rest = strings.TrimSuffix(strings.TrimRight(rest, " \t"), "*/")
+	}
+	return rest, true
+}
+
+func (d *directive) covers(analyzer string) bool {
 	for _, a := range d.analyzers {
 		if a == analyzer || a == "all" {
 			return true
@@ -52,56 +79,163 @@ func (d directive) covers(analyzer string) bool {
 	return false
 }
 
-// Run executes the analyzers over one package unit and returns the surviving
-// diagnostics sorted by position: suppressed findings are dropped, and
-// malformed or unjustified directives are reported.
-func Run(analyzers []*Analyzer, pkg *Package, fset *token.FileSet) ([]Diagnostic, error) {
-	allow := make(map[string]map[int]directive, len(pkg.Files))
-	for _, f := range pkg.Files {
-		name := fset.Position(f.Pos()).Filename
-		dirs := parseDirectives(fset, f)
-		allow[name] = dirs
+// AnalyzerStats accumulates one analyzer's tallies across the units a
+// Runner checks.
+type AnalyzerStats struct {
+	// Findings counts diagnostics that survived suppression.
+	Findings int
+	// Suppressed counts diagnostics silenced by justified directives.
+	Suppressed int
+	// Elapsed is total wall time in the analyzer's Summarize/Finish/Run
+	// hooks.
+	Elapsed time.Duration
+}
+
+// Runner executes a set of analyzers over a whole program: NewRunner builds
+// the call graph and runs every analyzer's Summarize/Finish phases, then
+// Check audits one unit at a time. Findings suppressed by justified
+// directives are returned with Suppressed set rather than dropped, so
+// drivers can expose the full audit trail.
+type Runner struct {
+	Analyzers []*Analyzer
+	Fset      *token.FileSet
+	Program   *Program
+	// Stats tallies findings and time per analyzer name.
+	Stats map[string]*AnalyzerStats
+}
+
+// NewRunner builds the program over units and runs the summary phases.
+func NewRunner(analyzers []*Analyzer, fset *token.FileSet, units []*Package) *Runner {
+	r := &Runner{
+		Analyzers: analyzers,
+		Fset:      fset,
+		Program:   NewProgram(fset, units),
+		Stats:     make(map[string]*AnalyzerStats),
+	}
+	for _, a := range analyzers {
+		r.Stats[a.Name] = &AnalyzerStats{}
+		if a.Summarize == nil && a.Finish == nil {
+			continue
+		}
+		start := time.Now()
+		if a.Summarize != nil {
+			for _, unit := range units {
+				a.Summarize(&Pass{
+					Analyzer:  a,
+					Fset:      fset,
+					Files:     unit.Files,
+					Pkg:       unit.Types,
+					TypesInfo: unit.Info,
+					Program:   r.Program,
+					report:    func(Diagnostic) {},
+				})
+			}
+		}
+		if a.Finish != nil {
+			a.Finish(r.Program)
+		}
+		r.Stats[a.Name].Elapsed += time.Since(start)
+	}
+	return r
+}
+
+// Check executes the analyzers over one unit and returns its diagnostics
+// sorted by position: findings (suppressed ones marked), plus directive
+// audits — unjustified directives, directives naming analyzers outside the
+// active set, and stale directives that suppressed nothing this run.
+func (r *Runner) Check(unit *Package) ([]Diagnostic, error) {
+	allow := make(map[string]map[int]*directive, len(unit.Files))
+	for _, f := range unit.Files {
+		allow[r.Fset.Position(f.Pos()).Filename] = parseDirectives(r.Fset, f)
 	}
 
 	var diags []Diagnostic
-	for _, a := range analyzers {
+	for _, a := range r.Analyzers {
+		start := time.Now()
 		pass := &Pass{
 			Analyzer:  a,
-			Fset:      fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
+			Fset:      r.Fset,
+			Files:     unit.Files,
+			Pkg:       unit.Types,
+			TypesInfo: unit.Info,
+			Program:   r.Program,
 		}
 		pass.report = func(d Diagnostic) {
-			pos := fset.Position(d.Pos)
+			pos := r.Fset.Position(d.Pos)
 			if dirs, ok := allow[pos.Filename]; ok {
 				for _, line := range []int{pos.Line, pos.Line - 1} {
 					if dir, ok := dirs[line]; ok && dir.covers(a.Name) && dir.justified {
-						return
+						dir.hits++
+						d.Suppressed = true
+						break
 					}
 				}
+			}
+			if d.Suppressed {
+				r.Stats[a.Name].Suppressed++
+			} else {
+				r.Stats[a.Name].Findings++
 			}
 			diags = append(diags, d)
 		}
 		if _, err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, unit.Path, err)
 		}
+		r.Stats[a.Name].Elapsed += time.Since(start)
 	}
 
-	// Unjustified or unparseable directives defeat the audit trail the
-	// mechanism exists for; flag them wherever they appear.
+	// Directive audit. Malformed or unjustified directives defeat the audit
+	// trail the mechanism exists for; unknown names and stale suppressions
+	// are dead weight that hides real exceptions among expired ones.
+	active := map[string]bool{"all": true}
+	for _, a := range r.Analyzers {
+		active[a.Name] = true
+	}
 	for _, dirs := range allow {
 		for _, d := range dirs {
-			if len(d.analyzers) == 0 {
+			switch {
+			case len(d.analyzers) == 0:
 				diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "allow",
 					Message: "embrace:allow directive names no analyzer"})
-			} else if !d.justified {
+			case !d.justified:
 				diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "allow",
 					Message: fmt.Sprintf("embrace:allow %s needs a justification", strings.Join(d.analyzers, ","))})
+			default:
+				unknown := ""
+				for _, name := range d.analyzers {
+					if !active[name] {
+						unknown = name
+						break
+					}
+				}
+				if unknown != "" {
+					diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "allow",
+						Message: fmt.Sprintf("embrace:allow names unknown analyzer %q (active: %s)", unknown, activeNames(r.Analyzers))})
+				} else if d.hits == 0 {
+					diags = append(diags, Diagnostic{Pos: d.pos, Analyzer: "allow",
+						Message: fmt.Sprintf("stale embrace:allow %s: suppresses no finding — remove it", strings.Join(d.analyzers, ","))})
+				}
 			}
 		}
 	}
 
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
+}
+
+func activeNames(analyzers []*Analyzer) string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// Run executes the analyzers over one package unit in isolation — a
+// convenience wrapper building a single-unit Runner. Interprocedural
+// analyzers see only this unit's functions; drivers that want cross-package
+// facts must pool units through NewRunner themselves.
+func Run(analyzers []*Analyzer, pkg *Package, fset *token.FileSet) ([]Diagnostic, error) {
+	return NewRunner(analyzers, fset, []*Package{pkg}).Check(pkg)
 }

@@ -1,0 +1,13 @@
+package commdiverge_test
+
+import (
+	"testing"
+
+	"embrace/internal/analysis/analysistest"
+	"embrace/internal/analysis/commdiverge"
+)
+
+func TestCommDiverge(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), commdiverge.Analyzer,
+		"embrace/internal/collective", "a", "regress")
+}

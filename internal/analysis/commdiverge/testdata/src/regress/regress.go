@@ -1,0 +1,12 @@
+// Package regress reproduces the PR-1 magic-gather-tag-era bug shape: a
+// gather issued only on rank 0, which deadlocks every other rank's next
+// collective. The analyzer must report it without suppression.
+package regress
+
+import "embrace/internal/collective"
+
+func gatherStats(cm *collective.Communicator, buf []float32) {
+	if cm.Rank() == 0 { // want `no matching collective`
+		_, _ = collective.GatherVia(cm, "stats", 7, 0, buf)
+	}
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Flow is a small intraprocedural taint engine shared by the
+// interprocedural analyzers. Variables are keyed by their printed
+// expression form (the locksend idiom): "buf", "h.arena", "sc.bucket" — a
+// deliberate trade of aliasing precision for zero dependence on SSA. Taint
+// starts at expressions the analyzer's Source hook recognizes (an arena
+// accessor call, a Rank() read) and propagates through assignments,
+// derivations (slicing, indexing, field selection, address-of, composite
+// literals), and range statements to a fixpoint. The engine is
+// flow-insensitive: ordering questions (use-after-reuse) are answered by
+// the analyzers' own source-order replays on top of the final map.
+type Flow struct {
+	Info *types.Info
+	// Source classifies an expression as a fresh taint origin, returning
+	// the source key findings should name. It is consulted before variable
+	// lookup, on every sub-expression SourceKey unwraps.
+	Source func(e ast.Expr) (string, bool)
+	// Tainted maps variable key -> source key. First writer wins; the map
+	// may be pre-seeded (e.g. with tainted parameters).
+	Tainted map[string]string
+	// Narrow, when set, vetoes tainting an assignment target — e.g.
+	// arenalife restricts tracking to types that can alias memory, so a
+	// scalar copied out of a pooled buffer is not mistaken for a view.
+	Narrow func(lhs ast.Expr) bool
+}
+
+// NewFlow returns an engine over info with the given source classifier.
+func NewFlow(info *types.Info, source func(ast.Expr) (string, bool)) *Flow {
+	return &Flow{Info: info, Source: source, Tainted: make(map[string]string)}
+}
+
+// Key returns the variable key of an assignable expression: identifiers and
+// field selections key by printed form; anything else (index expressions,
+// the blank identifier) is untracked.
+func (f *Flow) Key(e ast.Expr) (string, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return "", false
+		}
+		return e.Name, true
+	case *ast.SelectorExpr:
+		return types.ExprString(e), true
+	}
+	return "", false
+}
+
+// SourceKey reports whether e evaluates to a tainted value and, if so, the
+// key of the source it derives from.
+func (f *Flow) SourceKey(e ast.Expr) (string, bool) {
+	e = ast.Unparen(e)
+	if f.Source != nil {
+		if s, ok := f.Source(e); ok {
+			return s, true
+		}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if s, ok := f.Tainted[x.Name]; ok {
+			return s, true
+		}
+	case *ast.SelectorExpr:
+		if s, ok := f.Tainted[types.ExprString(x)]; ok {
+			return s, true
+		}
+		// A field of a tainted struct aliases whatever the struct does.
+		return f.SourceKey(x.X)
+	case *ast.SliceExpr:
+		return f.SourceKey(x.X)
+	case *ast.IndexExpr:
+		return f.SourceKey(x.X)
+	case *ast.StarExpr:
+		return f.SourceKey(x.X)
+	case *ast.TypeAssertExpr:
+		return f.SourceKey(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return f.SourceKey(x.X)
+		}
+	case *ast.BinaryExpr:
+		// Arithmetic on a tainted scalar stays tainted (leader := (r/n)*n).
+		if s, ok := f.SourceKey(x.X); ok {
+			return s, true
+		}
+		return f.SourceKey(x.Y)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if s, ok := f.SourceKey(elt); ok {
+				return s, true
+			}
+		}
+	case *ast.CallExpr:
+		// append's result can alias its first argument's backing array;
+		// later arguments are copied by value and do not propagate.
+		if builtinNameOf(f.Info, x) == "append" && len(x.Args) > 0 {
+			return f.SourceKey(x.Args[0])
+		}
+	}
+	return "", false
+}
+
+// Propagate runs the assignment fixpoint over root, growing Tainted until
+// nothing new derives.
+func (f *Flow) Propagate(root ast.Node) {
+	for {
+		changed := false
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						changed = f.edge(n.Lhs[i], n.Rhs[i]) || changed
+					}
+				} else if len(n.Rhs) == 1 {
+					// v, ok := x.(T) / m[k] / <-ch: the value lands first.
+					changed = f.edge(n.Lhs[0], n.Rhs[0]) || changed
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						changed = f.edge(n.Names[i], n.Values[i]) || changed
+					}
+				} else if len(n.Values) == 1 && len(n.Names) > 0 {
+					changed = f.edge(n.Names[0], n.Values[0]) || changed
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					changed = f.edge(n.Value, n.X) || changed
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// edge records lhs as tainted when rhs is; reports whether the map grew.
+func (f *Flow) edge(lhs, rhs ast.Expr) bool {
+	key, ok := f.Key(lhs)
+	if !ok {
+		return false
+	}
+	if _, seen := f.Tainted[key]; seen {
+		return false
+	}
+	src, ok := f.SourceKey(rhs)
+	if !ok {
+		return false
+	}
+	if f.Narrow != nil && !f.Narrow(lhs) {
+		return false
+	}
+	f.Tainted[key] = src
+	return true
+}
+
+// builtinNameOf returns the builtin a call invokes, or "".
+func builtinNameOf(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

@@ -214,6 +214,8 @@ func (c *Communicator) Ticket(op string) int {
 // getBuf returns a scratch buffer of length n, reusing pooled memory. The
 // container pointer is parked in the spares pool so putBuf can return
 // received buffers without allocating a new header.
+//
+//embrace:arena
 func (c *Communicator) getBuf(n int) []float32 {
 	v, _ := c.pool.Get().(*[]float32)
 	if v == nil {
@@ -231,6 +233,8 @@ func (c *Communicator) getBuf(n int) []float32 {
 // putBuf recycles a buffer whose contents have been fully consumed. With the
 // in-process transport this is typically a buffer a peer's getBuf allocated;
 // ownership travels with the message.
+//
+//embrace:arena reuse buf
 func (c *Communicator) putBuf(buf []float32) {
 	if cap(buf) == 0 {
 		return
@@ -247,6 +251,8 @@ func (c *Communicator) putBuf(buf []float32) {
 // the index streams of the sparse exchanges. Same ownership discipline: the
 // buffer travels with the message and the receiver recycles it into its own
 // pool.
+//
+//embrace:arena
 func (c *Communicator) getBufI64(n int) []int64 {
 	v, _ := c.poolI64.Get().(*[]int64)
 	if v == nil {
@@ -261,6 +267,7 @@ func (c *Communicator) getBufI64(n int) []int64 {
 	return buf[:n]
 }
 
+//embrace:arena reuse buf
 func (c *Communicator) putBufI64(buf []int64) {
 	if cap(buf) == 0 {
 		return

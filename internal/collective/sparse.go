@@ -48,6 +48,8 @@ func init() {
 // is owned by one exchange call site and must not be shared between
 // concurrent exchanges; its contents are valid until the next AlltoAllSparse
 // call that fills it.
+//
+//embrace:arena
 type SparseShards struct {
 	merged tensor.Sparse
 	ends   []int   // ends[p] = exclusive row end of sender p's shard
@@ -61,6 +63,8 @@ type SparseShards struct {
 //
 // aliases: the returned tensor is a view of the arena, valid until the next
 // exchange into it.
+//
+//embrace:arena
 func (a *SparseShards) Merged() *tensor.Sparse { return &a.merged }
 
 // Senders returns the number of shards held (the world size of the exchange).
@@ -71,6 +75,7 @@ func (a *SparseShards) Senders() int { return len(a.ends) }
 // exchange into the arena.
 //
 //embrace:hotpath
+//embrace:arena dst
 func (a *SparseShards) ShardView(p int, dst *tensor.Sparse) {
 	lo, vlo := 0, 0
 	if p > 0 {
@@ -117,6 +122,7 @@ func (a *SparseShards) appendShard(p int, dim int32, idx []int64, vals []float32
 // either way.
 //
 //embrace:hotpath
+//embrace:arena reuse arena
 func (c *Communicator) AlltoAllSparse(op string, step int, send []*tensor.Sparse, arena *SparseShards) error {
 	n, r := c.t.Size(), c.t.Rank()
 	if len(send) != n {

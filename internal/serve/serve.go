@@ -547,6 +547,7 @@ func (c *Cluster) broadcastCtl(n *node, kind int) error {
 // is valid until the node's next exchange.
 //
 //embrace:hotpath
+//embrace:arena
 func (c *Cluster) exchange(n *node, reqLists [][]int64) (*collective.SparseShards, error) {
 	st := step(n.xSeq)
 	n.xSeq++

@@ -122,6 +122,8 @@ func UniqueSorted(xs []int64) []int64 {
 // streams without ever building a map. The buffers grow to a high-water mark
 // on first use and are reused on every later call, so steady-state bucketing
 // allocates nothing. A RowBucketer is not safe for concurrent use.
+//
+//embrace:arena
 type RowBucketer struct {
 	counts []int
 	offs   []int
@@ -133,12 +135,16 @@ type RowBucketer struct {
 //
 // aliases: the returned slice is the bucketer's scratch — valid until the
 // next Bucket call.
+//
+//embrace:arena
 func (b *RowBucketer) Counts() []int { return b.counts }
 
 // Offsets returns the exclusive prefix sums of Counts, with ndst+1 entries.
 //
 // aliases: the returned slice is the bucketer's scratch — valid until the
 // next Bucket call.
+//
+//embrace:arena
 func (b *RowBucketer) Offsets() []int { return b.offs }
 
 // Perm returns the stable destination-grouped permutation of the last Bucket
@@ -146,11 +152,14 @@ func (b *RowBucketer) Offsets() []int { return b.offs }
 //
 // aliases: the returned slice is the bucketer's scratch — valid until the
 // next Bucket call.
+//
+//embrace:arena
 func (b *RowBucketer) Perm() []int32 { return b.perm }
 
 // Bucket groups ids by destOf(id), which must return a value in [0, ndst).
 //
 //embrace:hotpath
+//embrace:arena reuse b
 func (b *RowBucketer) Bucket(ids []int64, ndst int, destOf func(int64) int) {
 	b.ensure(len(ids), ndst)
 	counts := b.counts
@@ -172,6 +181,7 @@ func (b *RowBucketer) Bucket(ids []int64, ndst int, destOf func(int64) int) {
 // bucketing of a contiguously row-partitioned table.
 //
 //embrace:hotpath
+//embrace:arena reuse b
 func (b *RowBucketer) BucketRanges(ids []int64, bounds []int64) {
 	ndst := len(bounds) - 1
 	b.ensure(len(ids), ndst)

@@ -6,7 +6,7 @@ BENCH ?= AllReduce64MB
 # chaos seed sweep offset; override with e.g. `make chaos CHAOS_SEED=20260806`.
 CHAOS_SEED ?= 1
 
-.PHONY: build test lint check race bench-comm bench-hot chaos trace-demo serve-demo
+.PHONY: build test lint check race bench-comm bench-hot bench-compress chaos trace-demo serve-demo
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,15 @@ bench-comm:
 bench-hot:
 	$(GO) test -run '^$$' -bench HotPathStep -benchtime 30x -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_hotpath.json
+
+## bench-compress: the wire-compression bench — the 8-rank Zipf hot-path
+## workload re-runs with the embedding AlltoAll in each wire mode (raw,
+## lossless delta-varint, dual-level lossy quantization) and reports bytes on
+## the wire next to step time and final loss. BENCH_compress.json records the
+## parsed table; EXPERIMENTS.md § "Sparse wire compression" tracks it.
+bench-compress:
+	$(GO) test -run '^$$' -bench CompressExchange -benchtime 30x -benchmem . \
+		| $(GO) run ./cmd/benchjson -out BENCH_compress.json
 
 ## chaos: the deterministic fault-injection suite (DESIGN.md §8) under the
 ## race detector — every collective and an end-to-end training job must be

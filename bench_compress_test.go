@@ -1,0 +1,121 @@
+// Wire-compression benchmarks: the hot-path 8-rank Zipf workload runs with
+// the embedding AlltoAll in each wire mode — raw, lossless delta-varint, and
+// dual-level lossy quantization — and reports bytes on the wire next to step
+// time. The custom columns are raw_MB_per_step (pre-codec payload),
+// wire_MB_per_step (what actually crossed the fabric), raw_over_wire (the
+// compression ratio), and final_loss (mean across ranks at the last timed
+// step, the accuracy column of the EXPERIMENTS.md table). `make
+// bench-compress` runs these and records BENCH_compress.json.
+package embrace_test
+
+import (
+	"sync"
+	"testing"
+
+	"embrace/internal/collective"
+	"embrace/internal/comm"
+	"embrace/internal/compress"
+	"embrace/internal/metrics"
+	"embrace/internal/strategies"
+)
+
+// benchCompressSteps drives b.N lockstep EmbRace 2D training steps with the
+// given wire codec, then reports per-step byte traffic of the two sparse
+// embedding exchanges aggregated across all ranks.
+func benchCompressSteps(b *testing.B, codec collective.SparseCodec) {
+	b.Helper()
+	cfg := hotBenchConfig()
+	cfg.Sched = strategies.Sched2D
+	cfg.Codec = codec
+	sh, err := strategies.NewShared(strategies.EmbRace, cfg, hotBenchRanks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	recorders := make([]*metrics.OpRecorder, hotBenchRanks)
+	finalLoss := make([]float64, hotBenchRanks)
+	for i := range recorders {
+		recorders[i] = metrics.NewOpRecorder()
+	}
+	ready := make(chan struct{}, hotBenchRanks)
+	start := make(chan struct{})
+	done := make(chan error, 1)
+	var once sync.Once
+	go func() {
+		done <- comm.RunRanks(hotBenchRanks, func(t comm.Transport) error {
+			r := t.Rank()
+			cm := collective.NewCommunicator(t, collective.WithObserver(recorders[r]))
+			w, err := strategies.NewWorker(strategies.EmbRace, cm, cfg, sh)
+			if err != nil {
+				return err
+			}
+			windows, targets, next := hotBenchBatch(r)
+			if _, err := w.Step(0, windows, targets, next); err != nil {
+				return err
+			}
+			ready <- struct{}{}
+			<-start
+			for i := 0; i < b.N; i++ {
+				stats, err := w.Step(i+1, windows, targets, next)
+				if err != nil {
+					return err
+				}
+				finalLoss[r] = stats.Loss
+			}
+			_, err = w.FullEmbedding()
+			once.Do(func() { b.StopTimer() })
+			return err
+		})
+	}()
+	for i := 0; i < hotBenchRanks; i++ {
+		<-ready
+	}
+	b.ResetTimer()
+	close(start)
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+
+	var raw, wire int64
+	for _, rec := range recorders {
+		for _, op := range []string{strategies.OpEmbGrad, strategies.OpEmbDelayed} {
+			st := rec.PerOp()[op]
+			if codec == nil {
+				// The raw path reports no codec counters; its wire bytes are
+				// its payload bytes (index/value streams plus headers).
+				raw += st.PayloadBytes
+				wire += st.PayloadBytes
+				continue
+			}
+			raw += st.RawBytes
+			wire += st.WireBytes
+		}
+	}
+	steps := float64(b.N)
+	b.ReportMetric(float64(raw)/1e6/steps, "raw_MB_per_step")
+	b.ReportMetric(float64(wire)/1e6/steps, "wire_MB_per_step")
+	if wire > 0 {
+		b.ReportMetric(float64(raw)/float64(wire), "raw_over_wire")
+	}
+	var loss float64
+	for _, l := range finalLoss {
+		loss += l
+	}
+	b.ReportMetric(loss/float64(hotBenchRanks), "final_loss")
+}
+
+func BenchmarkCompressExchangeRaw(b *testing.B) {
+	benchCompressSteps(b, nil)
+}
+
+func BenchmarkCompressExchangeLossless(b *testing.B) {
+	benchCompressSteps(b, compress.DeltaRaw{})
+}
+
+func BenchmarkCompressExchangeLossy(b *testing.B) {
+	q, err := compress.NewDualQuant(1e-4, 1e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchCompressSteps(b, q)
+}

@@ -27,6 +27,9 @@ type result struct {
 	NsPerOp           float64 `json:"ns_per_op"`
 	AllocedBytesPerOp int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp       int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric columns (e.g. raw_over_wire from
+	// the compression bench), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -89,15 +92,23 @@ func parseLine(line string) (result, bool) {
 	}
 	r := result{Name: name, Procs: procs, Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseInt(fields[i], 10, 64)
-		if err != nil {
-			continue
-		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "B/op":
-			r.AllocedBytesPerOp = v
+			if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+				r.AllocedBytesPerOp = v
+			}
 		case "allocs/op":
-			r.AllocsPerOp = v
+			if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+				r.AllocsPerOp = v
+			}
+		default:
+			// Custom b.ReportMetric columns are floats with bench-chosen units.
+			if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
 		}
 	}
 	return r, true

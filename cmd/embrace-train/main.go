@@ -35,24 +35,30 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "save final parameters to this file")
 		resume   = flag.String("resume", "", "warm-start from a checkpoint written with the same configuration")
 		every    = flag.Int("every", 5, "print loss every N steps")
+		comp     = flag.String("compress", "", "embedding AlltoAll wire codec: \"\" | lossless | lossy")
+		epsP     = flag.Float64("eps-prior", 0, "lossy codec error bound for prior rows (0 = default 1e-4)")
+		epsD     = flag.Float64("eps-delayed", 0, "lossy codec error bound for delayed rows (0 = default 1e-3)")
 	)
 	flag.Parse()
 
 	res, err := embrace.Train(embrace.TrainConfig{
-		Strategy:       embrace.Strategy(*strategy),
-		Sched:          embrace.SchedLevel(*sched),
-		Workers:        *workers,
-		Steps:          *steps,
-		Vocab:          *vocab,
-		EmbDim:         *embDim,
-		Hidden:         *hidden,
-		BatchSentences: *batch,
-		Adam:           *adam,
-		LR:             float32(*lr),
-		Seed:           *seed,
-		OverTCP:        *overTCP,
-		CheckpointPath: *ckpt,
-		ResumeFrom:     *resume,
+		Strategy:           embrace.Strategy(*strategy),
+		Sched:              embrace.SchedLevel(*sched),
+		Workers:            *workers,
+		Steps:              *steps,
+		Vocab:              *vocab,
+		EmbDim:             *embDim,
+		Hidden:             *hidden,
+		BatchSentences:     *batch,
+		Adam:               *adam,
+		LR:                 float32(*lr),
+		Seed:               *seed,
+		OverTCP:            *overTCP,
+		CheckpointPath:     *ckpt,
+		ResumeFrom:         *resume,
+		Compress:           *comp,
+		CompressEpsPrior:   float32(*epsP),
+		CompressEpsDelayed: float32(*epsD),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -65,4 +71,15 @@ func main() {
 	}
 	fmt.Printf("final PPL %.2f over %d trained tokens\n", res.FinalPPL, res.TokensTrained)
 	fmt.Printf("communication: %.2f MB in %d messages\n", float64(res.CommBytes)/1e6, res.CommMessages)
+	var raw, wire int64
+	for _, t := range res.CommPerOp {
+		if t.RawBytes > 0 {
+			raw += t.RawBytes
+			wire += t.Bytes
+		}
+	}
+	if raw > 0 {
+		fmt.Printf("compression (%s): %.2f MB raw -> %.2f MB wire (%.2fx)\n",
+			*comp, float64(raw)/1e6, float64(wire)/1e6, float64(raw)/float64(wire))
+	}
 }

@@ -29,7 +29,9 @@ import (
 	"os"
 
 	"embrace/internal/checkpoint"
+	"embrace/internal/collective"
 	"embrace/internal/comm"
+	"embrace/internal/compress"
 	"embrace/internal/data"
 	"embrace/internal/experiments"
 	"embrace/internal/metrics"
@@ -304,6 +306,17 @@ type TrainConfig struct {
 	// chrome://tracing). The per-phase time breakdown lands in
 	// TrainResult.PhaseSeconds.
 	TracePath string
+	// Compress selects the wire codec for EmbRace's embedding-gradient
+	// AlltoAll (DESIGN.md §12; baselines ignore it). "" ships raw
+	// index/value streams; "lossless" (alias "delta-raw") delta-varint
+	// encodes row ids and keeps training bit-identical; "lossy" (alias
+	// "dualq") adds dual-level error-bounded value quantization — prior
+	// rows get CompressEpsPrior, delayed rows CompressEpsDelayed.
+	Compress string
+	// CompressEpsPrior and CompressEpsDelayed bound the per-element
+	// absolute error of the lossy codec's prior and delayed rows. Zero
+	// values pick 1e-4 and 1e-3. Ignored unless Compress is "lossy"/"dualq".
+	CompressEpsPrior, CompressEpsDelayed float32
 }
 
 // TrainResult reports a completed training run.
@@ -340,8 +353,13 @@ type TrainResult struct {
 type OpTraffic struct {
 	// Messages counts point-to-point sends across all ranks.
 	Messages int64
-	// Bytes is the payload volume across all ranks.
+	// Bytes is the payload volume across all ranks — for compressed sparse
+	// ops, the encoded bytes that actually hit the wire.
 	Bytes int64
+	// RawBytes is what the op's sparse streams would have occupied
+	// uncompressed; zero when the op ran without a wire codec. RawBytes /
+	// Bytes is the op's compression ratio.
+	RawBytes int64
 }
 
 // perOpTraffic converts the trainer's per-op stats into the public form.
@@ -351,9 +369,34 @@ func perOpTraffic(per map[string]metrics.OpStats) map[string]OpTraffic {
 	}
 	out := make(map[string]OpTraffic, len(per))
 	for op, s := range per {
-		out[op] = OpTraffic{Messages: s.Messages, Bytes: s.PayloadBytes}
+		out[op] = OpTraffic{Messages: s.Messages, Bytes: s.PayloadBytes, RawBytes: s.RawBytes}
 	}
 	return out
+}
+
+// sparseCodecFor resolves a codec mode name from TrainConfig/ServeConfig
+// into the collective-side codec. Empty mode means no compression.
+func sparseCodecFor(mode string, epsPrior, epsDelayed float32) (collective.SparseCodec, error) {
+	switch mode {
+	case "":
+		return nil, nil
+	case "lossless", "delta-raw":
+		return compress.DeltaRaw{}, nil
+	case "lossy", "dualq":
+		if epsPrior == 0 {
+			epsPrior = 1e-4
+		}
+		if epsDelayed == 0 {
+			epsDelayed = 1e-3
+		}
+		dq, err := compress.NewDualQuant(epsPrior, epsDelayed)
+		if err != nil {
+			return nil, err
+		}
+		return dq, nil
+	default:
+		return nil, fmt.Errorf("embrace: unknown compression mode %q (want \"\", \"lossless\" or \"lossy\")", mode)
+	}
 }
 
 func (c TrainConfig) job() (trainer.Job, error) {
@@ -400,6 +443,10 @@ func (c TrainConfig) job() (trainer.Job, error) {
 	if lr == 0 {
 		lr = 0.01
 	}
+	codec, err := sparseCodecFor(c.Compress, c.CompressEpsPrior, c.CompressEpsDelayed)
+	if err != nil {
+		return trainer.Job{}, err
+	}
 	job := trainer.Job{
 		Strategy: name,
 		Workers:  c.Workers,
@@ -414,6 +461,7 @@ func (c TrainConfig) job() (trainer.Job, error) {
 			LR:        lr,
 			Sched:     sched,
 			PSServers: max(1, c.Workers/4),
+			Codec:     codec,
 		},
 		Data: data.Config{
 			VocabSize:      vocab,

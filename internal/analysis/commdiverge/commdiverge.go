@@ -60,6 +60,7 @@ var collectiveMethods = map[string]argIdx{
 	"SparseAllGather":       {0, 1},
 	"SparseAllToAll":        {0, 1},
 	"AlltoAllSparse":        {0, 1},
+	"AlltoAllSparseCodec":   {0, 1},
 	"HierarchicalAllReduce": {0, 1},
 }
 

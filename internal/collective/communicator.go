@@ -49,6 +49,7 @@ type Communicator struct {
 	chunkElems int
 	obs        Observer
 	faults     FaultObserver // c.obs, when it also counts faults
+	codecObs   CodecObserver // c.obs, when it also times codec work
 
 	mu      sync.Mutex
 	ops     map[string]int64 // op name -> slot in the tag space
@@ -64,6 +65,9 @@ type Communicator struct {
 
 	poolI64   sync.Pool // *[]int64 holding scratch data (sparse index streams)
 	sparesI64 sync.Pool // *[]int64 holding empty containers
+
+	poolB   sync.Pool // *[]byte holding scratch data (compressed wire payloads)
+	sparesB sync.Pool // *[]byte holding empty containers
 }
 
 // Observer receives per-logical-operation traffic notifications from a
@@ -88,6 +92,20 @@ type FaultObserver interface {
 	// Communicator absorbed it (true) or surfaced an error (false). kind is
 	// one of "duplicate", "reorder", "transient", "peer-down", "timeout".
 	Fault(op string, kind string, masked bool)
+}
+
+// CodecObserver is the optional extension of Observer for wire-codec
+// accounting. When the installed Observer also implements it, the
+// Communicator reports every shard it encodes or decodes during a compressed
+// sparse exchange: how many bytes the raw index/value streams would have
+// occupied, how many actually hit the wire, and how long the codec ran.
+// metrics.OpRecorder derives per-op compression ratios from it and
+// trace.Recorder turns the durations into encode/decode spans.
+type CodecObserver interface {
+	// CodecOp is called once per encoded or decoded peer shard of op. phase
+	// is "encode" or "decode"; rawBytes is the uncompressed index+value
+	// footprint, wireBytes the encoded payload length.
+	CodecOp(op, phase string, rawBytes, wireBytes int, d time.Duration)
 }
 
 // Tag-space layout: tags are tagBase + opSlot<<stepBits + step. The base
@@ -129,6 +147,7 @@ func NewCommunicator(t comm.Transport, opts ...Option) *Communicator {
 		o(c)
 	}
 	c.faults, _ = c.obs.(FaultObserver)
+	c.codecObs, _ = c.obs.(CodecObserver)
 	return c
 }
 
@@ -278,6 +297,36 @@ func (c *Communicator) putBufI64(buf []int64) {
 	}
 	*v = buf[:cap(buf)]
 	c.poolI64.Put(v)
+}
+
+// getBufB and putBufB are the []byte twins of getBuf/putBuf, used for the
+// encoded payloads of the compressed sparse exchanges. getBufB returns a
+// zero-length buffer (codecs append into it), so the pool converges on
+// high-water-mark capacities after warm-up just like the float pools.
+//
+//embrace:arena
+func (c *Communicator) getBufB() []byte {
+	v, _ := c.poolB.Get().(*[]byte)
+	if v == nil {
+		v = new([]byte)
+	}
+	buf := *v
+	*v = nil
+	c.sparesB.Put(v)
+	return buf[:0]
+}
+
+//embrace:arena reuse buf
+func (c *Communicator) putBufB(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	v, _ := c.sparesB.Get().(*[]byte)
+	if v == nil {
+		v = new([]byte)
+	}
+	*v = buf[:cap(buf)]
+	c.poolB.Put(v)
 }
 
 // ---------------------------------------------------------------------------

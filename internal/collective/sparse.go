@@ -2,6 +2,7 @@ package collective
 
 import (
 	"fmt"
+	"time"
 
 	"embrace/internal/comm"
 	"embrace/internal/tensor"
@@ -24,6 +25,54 @@ import (
 // The self shard never touches the wire, the observer, or the pooled wire
 // buffers: rank r's own rows are copied directly into the arena at sender
 // position r (self-send elision).
+
+// RowClass tells a SparseCodec which scheduling class the rows of a shard
+// belong to, so dual-level codecs can pick their error bound from the
+// prior/delayed split the EmbRace scheduler already maintains (§4.2.2):
+// prior rows feed the very next step's lookup and get the tighter bound,
+// delayed rows are harvested a step later and tolerate the looser one.
+type RowClass uint8
+
+const (
+	// RowsWhole marks an unsplit exchange (no scheduler, or serving row
+	// fetches). Codecs treat it like RowsPrior: the conservative bound.
+	RowsWhole RowClass = iota
+	// RowsPrior marks rows of the prefetched next batch, exchanged and
+	// applied immediately.
+	RowsPrior
+	// RowsDelayed marks rows exchanged by the background goroutine and
+	// folded in at the next step's start.
+	RowsDelayed
+)
+
+// SparseCodec compresses one peer shard of a sparse exchange into a wire
+// payload and back. It is declared here, next to the exchange that uses it,
+// so internal/compress can provide implementations without an import cycle
+// (compress already imports collective for the dense allreduce path) — the
+// same structural-interface move that lets trace.Recorder satisfy Observer.
+//
+// Both methods are append-style and must not allocate in steady state: dst
+// and the decode targets come from pooled or arena-backed memory that grows
+// to a high-water mark. DecodeShard appends exactly rows indices and
+// rows*dim values onto idx and vals and returns the extended slices; it must
+// bounds-check src and return an error (never panic) on truncated or
+// corrupt payloads.
+type SparseCodec interface {
+	// Name identifies the codec in logs, benches and config errors.
+	Name() string
+	// Lossless reports whether decode reproduces every value bit-identically.
+	Lossless() bool
+	// AppendShard encodes rows of width dim onto dst and returns it.
+	AppendShard(dst []byte, idx []int64, vals []float32, dim int, class RowClass) []byte
+	// DecodeShard decodes rows of width dim from src, appending onto idx and
+	// vals.
+	DecodeShard(src []byte, rows, dim int, idx []int64, vals []float32) ([]int64, []float32, error)
+}
+
+func init() {
+	// Compressed payloads must survive the gob-encoded TCP transport too.
+	comm.RegisterWireType([]byte{})
+}
 
 // sparseStreamHeader announces one AlltoAllSparse peer stream: how many rows
 // follow and how many values each row carries (senders may hold different
@@ -113,6 +162,34 @@ func (a *SparseShards) appendShard(p int, dim int32, idx []int64, vals []float32
 	a.vends[p] = len(a.merged.Vals)
 	a.dims[p] = dim
 }
+
+// appendDecoded decodes one received wire payload straight onto the arena's
+// backing arrays — the codec's decode scratch IS the arena, so the
+// compressed path keeps the zero-steady-state-allocation property of the raw
+// one.
+//
+//embrace:hotpath
+func (a *SparseShards) appendDecoded(p int, rows int, dim int32, src []byte, codec SparseCodec) error {
+	lo, vlo := len(a.merged.Indices), len(a.merged.Vals)
+	idx, vals, err := codec.DecodeShard(src, rows, int(dim), a.merged.Indices, a.merged.Vals)
+	if err != nil {
+		return err
+	}
+	if len(idx)-lo != rows || len(vals)-vlo != rows*int(dim) {
+		return fmt.Errorf("collective: codec %s decoded %d rows, %d values; header %d rows x dim %d",
+			codec.Name(), len(idx)-lo, len(vals)-vlo, rows, dim)
+	}
+	a.merged.Indices = idx
+	a.merged.Vals = vals
+	a.ends[p] = len(a.merged.Indices)
+	a.vends[p] = len(a.merged.Vals)
+	a.dims[p] = dim
+	return nil
+}
+
+// sparseRawBytes is the uncompressed wire footprint of a shard: 8 bytes per
+// index, 4 per value — what AlltoAllSparse would have shipped.
+func sparseRawBytes(rows, dim int) int { return rows * (8 + 4*dim) }
 
 // AlltoAllSparse routes shard send[p] to rank p and fills arena with the
 // received shards in sender order. Senders may carry different column widths
@@ -205,6 +282,107 @@ func (c *Communicator) AlltoAllSparse(op string, step int, send []*tensor.Sparse
 		arena.appendShard(p, hdr.Dim, idx, vals)
 		c.putBufI64(idx)
 		c.putBuf(vals)
+	}
+	return nil
+}
+
+// AlltoAllSparseCodec is AlltoAllSparse with an opt-in wire codec: each
+// non-empty peer shard is encoded into one pooled []byte payload instead of
+// the raw index/value pair, and each received payload is decoded straight
+// into the arena. A nil codec delegates to the raw exchange, so call sites
+// can thread an optional codec without branching.
+//
+// Everything else is unchanged from AlltoAllSparse: the self shard never
+// touches the wire (and is therefore never quantized by a lossy codec —
+// rank r's own rows stay exact), streams ride the same seq-framed
+// self-healing point-to-point, and senders may carry ragged column widths.
+// class tells dual-level codecs which error bound applies to every row of
+// this exchange. When the Communicator's observer implements CodecObserver,
+// each encoded and decoded shard is reported with its raw vs wire footprint
+// and codec latency.
+//
+//embrace:hotpath
+//embrace:arena reuse arena
+func (c *Communicator) AlltoAllSparseCodec(op string, step int, send []*tensor.Sparse, arena *SparseShards, codec SparseCodec, class RowClass) error {
+	if codec == nil {
+		return c.AlltoAllSparse(op, step, send, arena)
+	}
+	n, r := c.t.Size(), c.t.Rank()
+	if len(send) != n {
+		return fmt.Errorf("collective: alltoallsparse wants %d send parts, got %d", n, len(send))
+	}
+	tag, err := c.Tag(op, step)
+	if err != nil {
+		return err
+	}
+	numRows, dim := send[r].NumRows, send[r].Dim
+
+	// Send phase: header, then — when non-empty — one encoded payload drawn
+	// from the byte pool. Ownership travels with the message; the receiver
+	// recycles the buffer into its own pool.
+	for p := 0; p < n; p++ {
+		if p == r {
+			continue
+		}
+		sh := send[p]
+		if err := c.sendRaw(op, p, tag, sparseStreamHeader{Rows: int32(len(sh.Indices)), Dim: int32(sh.Dim)}); err != nil {
+			return fmt.Errorf("alltoallsparse header to %d: %w", p, err)
+		}
+		if len(sh.Indices) == 0 {
+			continue
+		}
+		var start time.Time
+		if c.codecObs != nil {
+			start = time.Now()
+		}
+		wire := codec.AppendShard(c.getBufB(), sh.Indices, sh.Vals, sh.Dim, class)
+		if c.codecObs != nil {
+			c.codecObs.CodecOp(op, "encode", sparseRawBytes(len(sh.Indices), sh.Dim), len(wire), time.Since(start))
+		}
+		if err := c.sendRaw(op, p, tag, wire); err != nil {
+			return fmt.Errorf("alltoallsparse payload to %d: %w", p, err)
+		}
+	}
+
+	// Receive phase, in sender order. Rank r's own shard is copied in raw at
+	// its position — self-send elision, never encoded.
+	arena.reset(n, numRows, dim)
+	for p := 0; p < n; p++ {
+		if p == r {
+			arena.appendShard(p, int32(send[r].Dim), send[r].Indices, send[r].Vals)
+			continue
+		}
+		payload, err := c.recvRaw(op, p, tag)
+		if err != nil {
+			return fmt.Errorf("alltoallsparse header from %d: %w", p, err)
+		}
+		hdr, ok := payload.(sparseStreamHeader)
+		if !ok {
+			return fmt.Errorf("collective: alltoallsparse header type %T from rank %d", payload, p)
+		}
+		if hdr.Rows == 0 {
+			arena.appendShard(p, hdr.Dim, nil, nil)
+			continue
+		}
+		payload, err = c.recvRaw(op, p, tag)
+		if err != nil {
+			return fmt.Errorf("alltoallsparse payload from %d: %w", p, err)
+		}
+		wire, ok := payload.([]byte)
+		if !ok {
+			return fmt.Errorf("collective: alltoallsparse payload type %T from rank %d", payload, p)
+		}
+		var start time.Time
+		if c.codecObs != nil {
+			start = time.Now()
+		}
+		if err := arena.appendDecoded(p, int(hdr.Rows), hdr.Dim, wire, codec); err != nil {
+			return fmt.Errorf("alltoallsparse decode from %d: %w", p, err)
+		}
+		if c.codecObs != nil {
+			c.codecObs.CodecOp(op, "decode", sparseRawBytes(int(hdr.Rows), int(hdr.Dim)), len(wire), time.Since(start))
+		}
+		c.putBufB(wire)
 	}
 	return nil
 }

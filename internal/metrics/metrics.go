@@ -125,6 +125,9 @@ func PayloadSize(payload any) int64 {
 		return n
 	case []int64:
 		return int64(len(v) * 8)
+	case []byte:
+		// Encoded sparse-exchange wire payloads: what actually hit the wire.
+		return int64(len(v))
 	case [][]int64:
 		var n int64
 		for _, row := range v {
@@ -159,21 +162,44 @@ type OpStats struct {
 	// FaultsMasked and FaultsFatal count communication faults the op
 	// absorbed and surfaced, respectively (see Stats).
 	FaultsMasked, FaultsFatal int64
+	// RawBytes and WireBytes account the op's sparse wire codec, when one is
+	// installed: RawBytes is what the raw index/value streams would have
+	// occupied, WireBytes what the encoded payloads actually did (the same
+	// bytes PayloadBytes sees). Zero when the op runs uncompressed.
+	RawBytes, WireBytes int64
+	// EncodeSeconds and DecodeSeconds are wall-clock time inside the codec.
+	EncodeSeconds, DecodeSeconds float64
 }
+
+// CompressionRatio returns RawBytes/WireBytes — how many times smaller the
+// codec made the op's sparse streams. 1 when the op recorded no codec work.
+func (s OpStats) CompressionRatio() float64 {
+	if s.WireBytes == 0 {
+		return 1
+	}
+	return float64(s.RawBytes) / float64(s.WireBytes)
+}
+
+// MaskedBytes returns the bytes the codec kept off the wire.
+func (s OpStats) MaskedBytes() int64 { return s.RawBytes - s.WireBytes }
 
 // Add returns the element-wise sum of two per-op snapshots. Blocked-time
 // histograms merge exactly (shared bucket layout), so cross-rank percentiles
 // are those of the pooled observations.
 func (s OpStats) Add(o OpStats) OpStats {
 	return OpStats{
-		Messages:     s.Messages + o.Messages,
-		PayloadBytes: s.PayloadBytes + o.PayloadBytes,
-		SendSeconds:  s.SendSeconds + o.SendSeconds,
-		RecvSeconds:  s.RecvSeconds + o.RecvSeconds,
-		SendBlocked:  MergeHistograms(s.SendBlocked, o.SendBlocked),
-		RecvBlocked:  MergeHistograms(s.RecvBlocked, o.RecvBlocked),
-		FaultsMasked: s.FaultsMasked + o.FaultsMasked,
-		FaultsFatal:  s.FaultsFatal + o.FaultsFatal,
+		Messages:      s.Messages + o.Messages,
+		PayloadBytes:  s.PayloadBytes + o.PayloadBytes,
+		SendSeconds:   s.SendSeconds + o.SendSeconds,
+		RecvSeconds:   s.RecvSeconds + o.RecvSeconds,
+		SendBlocked:   MergeHistograms(s.SendBlocked, o.SendBlocked),
+		RecvBlocked:   MergeHistograms(s.RecvBlocked, o.RecvBlocked),
+		FaultsMasked:  s.FaultsMasked + o.FaultsMasked,
+		FaultsFatal:   s.FaultsFatal + o.FaultsFatal,
+		RawBytes:      s.RawBytes + o.RawBytes,
+		WireBytes:     s.WireBytes + o.WireBytes,
+		EncodeSeconds: s.EncodeSeconds + o.EncodeSeconds,
+		DecodeSeconds: s.DecodeSeconds + o.DecodeSeconds,
 	}
 }
 
@@ -225,6 +251,25 @@ func (r *OpRecorder) Received(op string, payload any, blocked time.Duration) {
 		s.RecvBlocked = NewHistogram()
 	}
 	s.RecvBlocked.Observe(blocked.Seconds())
+	r.mu.Unlock()
+}
+
+// CodecOp implements collective.CodecObserver: one encoded or decoded peer
+// shard of op, with its uncompressed footprint, wire length and codec
+// latency. Raw/wire bytes are counted on the encode side only (both ends of
+// a link would otherwise double-count the same payload); decode contributes
+// its latency.
+func (r *OpRecorder) CodecOp(op, phase string, rawBytes, wireBytes int, d time.Duration) {
+	r.mu.Lock()
+	s := r.get(op)
+	switch phase {
+	case "encode":
+		s.RawBytes += int64(rawBytes)
+		s.WireBytes += int64(wireBytes)
+		s.EncodeSeconds += d.Seconds()
+	case "decode":
+		s.DecodeSeconds += d.Seconds()
+	}
 	r.mu.Unlock()
 }
 

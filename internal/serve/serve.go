@@ -73,6 +73,11 @@ type Config struct {
 	Trace bool
 	// TraceClock overrides the trace clock (tests); nil uses wall time.
 	TraceClock trace.Clock
+	// Codec, when non-nil, compresses the row-fetch AlltoAll wire streams
+	// between ranks (DESIGN.md §12). Lossless codecs keep responses
+	// bit-identical to the raw wire; lossy ones would perturb served
+	// embeddings and are rejected by the facade.
+	Codec collective.SparseCodec
 }
 
 // withDefaults fills unset fields.
@@ -566,7 +571,7 @@ func (c *Cluster) exchange(n *node, reqLists [][]int64) (*collective.SparseShard
 		packed += len(got[p])
 	}
 	c.stats.packed.Add(int64(packed))
-	if err := n.cm.AlltoAllSparse("serve/rows", st, n.sendPtrs, &n.arena); err != nil {
+	if err := n.cm.AlltoAllSparseCodec("serve/rows", st, n.sendPtrs, &n.arena, c.cfg.Codec, collective.RowsWhole); err != nil {
 		return nil, err
 	}
 	return &n.arena, nil

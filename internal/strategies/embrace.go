@@ -251,7 +251,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	// the update is bit-identical, it just reuses last step's buffers.
 	if w.cfg.Sched != Sched2D {
 		sp = w.rec.Begin(trace.TrackCompute, SpanEmbExchange, step)
-		if err := w.cm.AlltoAllSparse(OpEmbGrad, step, local, &h.arena); err != nil {
+		if err := w.cm.AlltoAllSparseCodec(OpEmbGrad, step, local, &h.arena, w.cfg.Codec, collective.RowsWhole); err != nil {
 			return nn.StepStats{}, fmt.Errorf("embedding grad alltoall: %w", err)
 		}
 		raw := h.arena.Merged().CoalesceInto(&h.coal, &h.sort)
@@ -290,7 +290,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	}
 	sp.End()
 	sp = w.rec.Begin(trace.TrackCompute, SpanPriorExchange, step)
-	if err := w.cm.AlltoAllSparse(OpEmbGrad, step, h.priorPtrs, &h.arena); err != nil {
+	if err := w.cm.AlltoAllSparseCodec(OpEmbGrad, step, h.priorPtrs, &h.arena, w.cfg.Codec, collective.RowsPrior); err != nil {
 		return nn.StepStats{}, fmt.Errorf("prior grad alltoall: %w", err)
 	}
 	prior := h.arena.Merged().CoalesceInto(&h.coal, &h.sort)
@@ -315,7 +315,7 @@ func (w *embraceWorker) Step(step int, windows [][]int64, targets []int64, nextT
 	w.delayed = done
 	go func() { //embrace:allow hotalloc the overlap of §4.2.2 is a real goroutine per step
 		bg := w.rec.Begin(trace.TrackBackground, SpanDelayedExchange, step)
-		if err := w.cm.AlltoAllSparse(OpEmbDelayed, step, h.delayedPtrs, &h.bgArena); err != nil {
+		if err := w.cm.AlltoAllSparseCodec(OpEmbDelayed, step, h.delayedPtrs, &h.bgArena, w.cfg.Codec, collective.RowsDelayed); err != nil {
 			bg.End()
 			done <- delayedResult{err: err}
 			return

@@ -46,9 +46,14 @@ type ServeConfig struct {
 	ChaosSeed int64
 	// Trace enables per-rank span recording.
 	Trace bool
+	// Compress selects the wire codec for the inter-rank row-fetch AlltoAll:
+	// "" ships raw index/value streams, "lossless" (alias "delta-raw")
+	// delta-varint encodes them and keeps responses bit-identical. Lossy
+	// modes are rejected — serving must return the checkpoint's exact rows.
+	Compress string
 }
 
-func (c ServeConfig) internal() serve.Config {
+func (c ServeConfig) internal() (serve.Config, error) {
 	cfg := serve.Config{
 		Ranks:       c.Ranks,
 		Partition:   c.Partition,
@@ -58,11 +63,19 @@ func (c ServeConfig) internal() serve.Config {
 		QueueDepth:  c.QueueDepth,
 		Trace:       c.Trace,
 	}
+	codec, err := sparseCodecFor(c.Compress, 0, 0)
+	if err != nil {
+		return serve.Config{}, err
+	}
+	if codec != nil && !codec.Lossless() {
+		return serve.Config{}, fmt.Errorf("embrace: serving requires a lossless compression mode, got %q", c.Compress)
+	}
+	cfg.Codec = codec
 	if c.ChaosSeed != 0 {
 		plan := comm.MaskableChaosPlan(c.ChaosSeed)
 		cfg.Chaos = &plan
 	}
-	return cfg
+	return cfg, nil
 }
 
 // Server is a live multi-rank inference deployment. Lookup and Predict are
@@ -80,7 +93,11 @@ func Serve(checkpointPath string, cfg ServeConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := serve.New(ck, cfg.internal())
+	icfg, err := cfg.internal()
+	if err != nil {
+		return nil, err
+	}
+	c, err := serve.New(ck, icfg)
 	if err != nil {
 		return nil, err
 	}

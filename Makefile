@@ -6,7 +6,7 @@ BENCH ?= AllReduce64MB
 # chaos seed sweep offset; override with e.g. `make chaos CHAOS_SEED=20260806`.
 CHAOS_SEED ?= 1
 
-.PHONY: build test lint check race bench-comm bench-hot bench-compress chaos trace-demo serve-demo
+.PHONY: build test lint check race bench-comm bench-hot bench-compress chaos elastic trace-demo serve-demo
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,20 @@ chaos:
 	EMBRACE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -timeout 5m -count=1 \
 		-run 'Chaos|Maskable|Crash|Fault' \
 		./internal/comm ./internal/collective ./internal/trainer
+
+## elastic: the crash-shrink-rejoin suite (DESIGN.md §13) under the race
+## detector — the elastic supervisor must stitch a bit-identical trajectory
+## through rank crash, world shrink, and full-size rejoin — followed by a
+## CLI demo run whose per-epoch recovery-latency report lands in
+## ELASTIC_recovery.json for CI to archive. CHAOS_SEED offsets the seeds.
+elastic:
+	EMBRACE_CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -timeout 10m -count=1 \
+		-run 'Elastic|Salvage|FaultAttribution|FaultErrors|Readmit|Leave|Epoch|ColumnShard|Remap|MaskedBytes|CompressionRatio' \
+		./internal/comm ./internal/collective ./internal/trainer \
+		./internal/partition ./internal/checkpoint ./internal/metrics
+	$(GO) run ./cmd/embrace-train -elastic -workers 4 -dim 12 -steps 9 \
+		-ckpt-every 3 -rejoin -rejoin-after 2 -crash-rank 3 -crash-step 4 \
+		-chaos-seed $(CHAOS_SEED) -adam=false -elastic-report ELASTIC_recovery.json
 
 ## trace-demo: trace a real 4-rank EmbRace training run and write trace.json
 ## (Chrome trace-event format; open in Perfetto or chrome://tracing). The

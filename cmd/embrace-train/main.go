@@ -8,9 +8,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"embrace"
 )
@@ -38,32 +40,76 @@ func main() {
 		comp     = flag.String("compress", "", "embedding AlltoAll wire codec: \"\" | lossless | lossy")
 		epsP     = flag.Float64("eps-prior", 0, "lossy codec error bound for prior rows (0 = default 1e-4)")
 		epsD     = flag.Float64("eps-delayed", 0, "lossy codec error bound for delayed rows (0 = default 1e-3)")
+
+		chaosSeed   = flag.Int64("chaos-seed", 0, "train over a seeded fault-injecting transport (0 = off)")
+		elastic     = flag.Bool("elastic", false, "run under the elastic supervisor: crash -> shrink -> resume (DESIGN.md §13)")
+		ckptEvery   = flag.Int("ckpt-every", 0, "elastic snapshot cadence in steps (0 = default 5)")
+		rejoin      = flag.Bool("rejoin", false, "elastic: readmit recovered ranks at full world size")
+		rejoinAfter = flag.Int("rejoin-after", 0, "steps the shrunk world trains before readmitting (0 = ckpt cadence)")
+		crashRank   = flag.Int("crash-rank", 0, "elastic: rank to crash deterministically")
+		crashStep   = flag.Int("crash-step", 0, "elastic: step at which crash-rank dies (0 = no injected crash)")
+		elasticOut  = flag.String("elastic-report", "", "write the elastic epoch/recovery-latency report as JSON to this file")
 	)
 	flag.Parse()
 
 	res, err := embrace.Train(embrace.TrainConfig{
-		Strategy:           embrace.Strategy(*strategy),
-		Sched:              embrace.SchedLevel(*sched),
-		Workers:            *workers,
-		Steps:              *steps,
-		Vocab:              *vocab,
-		EmbDim:             *embDim,
-		Hidden:             *hidden,
-		BatchSentences:     *batch,
-		Adam:               *adam,
-		LR:                 float32(*lr),
-		Seed:               *seed,
-		OverTCP:            *overTCP,
-		CheckpointPath:     *ckpt,
-		ResumeFrom:         *resume,
-		Compress:           *comp,
-		CompressEpsPrior:   float32(*epsP),
-		CompressEpsDelayed: float32(*epsD),
+		Strategy:               embrace.Strategy(*strategy),
+		Sched:                  embrace.SchedLevel(*sched),
+		Workers:                *workers,
+		Steps:                  *steps,
+		Vocab:                  *vocab,
+		EmbDim:                 *embDim,
+		Hidden:                 *hidden,
+		BatchSentences:         *batch,
+		Adam:                   *adam,
+		LR:                     float32(*lr),
+		Seed:                   *seed,
+		OverTCP:                *overTCP,
+		CheckpointPath:         *ckpt,
+		ResumeFrom:             *resume,
+		Compress:               *comp,
+		CompressEpsPrior:       float32(*epsP),
+		CompressEpsDelayed:     float32(*epsD),
+		ChaosSeed:              *chaosSeed,
+		Elastic:                *elastic,
+		ElasticCheckpointEvery: *ckptEvery,
+		ElasticRejoin:          *rejoin,
+		ElasticRejoinAfter:     *rejoinAfter,
+		CrashRank:              *crashRank,
+		CrashStep:              *crashStep,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("strategy=%s sched=%s workers=%d\n", *strategy, *sched, *workers)
+	if *elastic {
+		fmt.Printf("elastic: %d recoveries across %d world epochs\n", res.Recoveries, len(res.Elastic))
+		for _, ep := range res.Elastic {
+			fmt.Printf("  epoch %d: %d workers, steps [%d,%d) -> %s", ep.Epoch, ep.Workers, ep.StartStep, ep.EndStep, ep.End)
+			if len(ep.Crashed) > 0 {
+				fmt.Printf(" (crashed ranks %v)", ep.Crashed)
+			}
+			if ep.RecoverySeconds > 0 {
+				fmt.Printf(", recovered in %.3fs", ep.RecoverySeconds)
+			}
+			fmt.Println()
+		}
+		if *elasticOut != "" {
+			report := struct {
+				Recoveries int                    `json:"recoveries"`
+				Epochs     []embrace.ElasticEpoch `json:"epochs"`
+				FinalPPL   float64                `json:"final_ppl"`
+			}{res.Recoveries, res.Elastic, res.FinalPPL}
+			buf, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(*elasticOut, append(buf, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("elastic report written to %s\n", *elasticOut)
+		}
+	}
 	for i, loss := range res.Losses {
 		if (i+1)%*every == 0 || i == 0 || i == len(res.Losses)-1 {
 			fmt.Printf("step %4d  loss %.4f\n", i+1, loss)

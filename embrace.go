@@ -317,6 +317,31 @@ type TrainConfig struct {
 	// absolute error of the lossy codec's prior and delayed rows. Zero
 	// values pick 1e-4 and 1e-3. Ignored unless Compress is "lossy"/"dualq".
 	CompressEpsPrior, CompressEpsDelayed float32
+	// Elastic runs the job under the self-healing supervisor (DESIGN.md
+	// §13): on an attributed rank crash the run rolls back to its last
+	// in-memory snapshot, shrinks the world by the dead ranks (redistributing
+	// EmbRace's embedding columns across the survivors) and resumes; the
+	// training trajectory stays bit-identical to an uninterrupted run of the
+	// same effective batch schedule. Incompatible with OverTCP (the
+	// supervisor rebuilds in-process worlds) and TracePath. The epoch
+	// segmentation lands in TrainResult.Elastic.
+	Elastic bool
+	// ElasticCheckpointEvery is the snapshot cadence in steps; a fault rolls
+	// back at most ElasticCheckpointEvery-1 steps. Zero picks the trainer
+	// default (5).
+	ElasticCheckpointEvery int
+	// ElasticRejoin readmits recovered ranks: ElasticRejoinAfter steps after
+	// a shrink (zero: the checkpoint cadence) the shrunk world stops at a
+	// step boundary and the next epoch resumes at full size.
+	ElasticRejoin      bool
+	ElasticRejoinAfter int
+	// CrashRank and CrashStep inject a deterministic rank failure for
+	// elastic demos and experiments: rank CrashRank crashes on its first
+	// send of training step CrashStep — the token gather under EmbRace, the
+	// embedding-gradient collective under the Horovod baselines. Enabled
+	// when CrashStep > 0 and Elastic is set; the surrounding chaos noise is
+	// drawn from ChaosSeed (or seed 1 when ChaosSeed is zero).
+	CrashRank, CrashStep int
 }
 
 // TrainResult reports a completed training run.
@@ -347,6 +372,27 @@ type TrainResult struct {
 	// ranks (only when TracePath was set): e.g. "fp+bp" vs "xchg/prior" vs
 	// "xchg/delayed" — where the run's wall time went.
 	PhaseSeconds map[string]float64
+	// Elastic records the world-epoch segmentation of an elastic run (only
+	// when TrainConfig.Elastic was set): one entry per world build, in
+	// order. Recoveries counts the faults the supervisor absorbed.
+	Elastic    []ElasticEpoch
+	Recoveries int
+}
+
+// ElasticEpoch summarizes one world epoch of an elastic run: which global
+// steps it contributed, at what world size, and how it ended ("completed",
+// "fault", or "rejoin" — stopped so recovered ranks could be readmitted).
+type ElasticEpoch struct {
+	Epoch     int
+	Workers   int
+	StartStep int
+	EndStep   int
+	End       string
+	// Crashed lists the ranks lost to a faulted epoch (old-world numbering).
+	Crashed []int
+	// RecoverySeconds is the fault-detected (or rejoin-stop) to
+	// resumed-traffic latency entering this epoch; zero for epoch 0.
+	RecoverySeconds float64
 }
 
 // OpTraffic is the measured traffic of one logical collective operation.
@@ -598,6 +644,9 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 		}
 		job.SkipBatches = ckpt.Step
 	}
+	if cfg.Elastic {
+		return trainElastic(cfg, job)
+	}
 	job.Trace = cfg.TracePath != ""
 	res, err := trainer.Run(job)
 	if err != nil {
@@ -642,6 +691,87 @@ func Train(cfg TrainConfig) (*TrainResult, error) {
 	}
 	if n := len(res.Losses); n > 0 {
 		out.FinalPPL = perplexity(res.Losses[n-1])
+	}
+	return out, nil
+}
+
+// trainElastic runs the elastic branch of Train: supervised crash–shrink–
+// rejoin execution with the epoch segmentation reported in the result. Like
+// trainer.RunElastic, a run that exhausts its recovery budget returns the
+// salvaged partial TrainResult ALONGSIDE the error.
+func trainElastic(cfg TrainConfig, job trainer.Job) (*TrainResult, error) {
+	if cfg.TracePath != "" {
+		return nil, fmt.Errorf("embrace: TracePath is incompatible with Elastic (the supervisor rebuilds worlds mid-run)")
+	}
+	ej := trainer.ElasticJob{
+		Job:             job,
+		CheckpointEvery: cfg.ElasticCheckpointEvery,
+		Rejoin:          cfg.ElasticRejoin,
+		RejoinAfter:     cfg.ElasticRejoinAfter,
+	}
+	if cfg.CrashStep > 0 {
+		seed := cfg.ChaosSeed
+		if seed == 0 {
+			seed = 1
+		}
+		plan, err := trainer.CrashPlan(seed, cfg.CrashRank, cfg.CrashStep)
+		if err != nil {
+			return nil, err
+		}
+		if job.Strategy != strategies.EmbRace {
+			// The baselines never gather tokens; pin the crash to their
+			// first wire op, the embedding-gradient collective.
+			tag, err := collective.TagOf(strategies.OpEmbGrad, cfg.CrashStep)
+			if err != nil {
+				return nil, err
+			}
+			plan.Rules[0].Match = func(pt comm.FaultPoint) bool { return pt.Tag == tag }
+		}
+		ej.Chaos = &plan
+	}
+	res, runErr := trainer.RunElastic(ej)
+	if res == nil {
+		return nil, runErr
+	}
+	out := &TrainResult{
+		Losses:        res.Losses,
+		Accuracies:    res.Accuracies,
+		TokensTrained: res.TokensTrained,
+		CommBytes:     res.Comm.PayloadBytes,
+		CommMessages:  res.Comm.Messages,
+		CommPerOp:     perOpTraffic(res.CommPerOp),
+		FaultsMasked:  res.Comm.FaultsMasked,
+		FaultsFatal:   res.Comm.FaultsFatal,
+		Recoveries:    res.Recoveries,
+	}
+	for _, ep := range res.Epochs {
+		out.Elastic = append(out.Elastic, ElasticEpoch{
+			Epoch:           ep.Epoch,
+			Workers:         ep.Workers,
+			StartStep:       ep.StartStep,
+			EndStep:         ep.EndStep,
+			End:             ep.End,
+			Crashed:         ep.Crashed,
+			RecoverySeconds: ep.RecoverySeconds,
+		})
+	}
+	if n := len(res.Losses); n > 0 {
+		out.FinalPPL = perplexity(res.Losses[n-1])
+	}
+	if runErr != nil {
+		return out, runErr
+	}
+	if cfg.CheckpointPath != "" {
+		ckpt := &checkpoint.Checkpoint{
+			Step:   job.SkipBatches + job.Steps,
+			Params: map[string]*tensor.Dense{"emb": res.Embedding},
+		}
+		for _, p := range res.Trunk.Params() {
+			ckpt.Params[p.Name] = p.Tensor
+		}
+		if err := checkpoint.SaveFile(cfg.CheckpointPath, ckpt); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"embrace/internal/optim"
+	"embrace/internal/partition"
 	"embrace/internal/tensor"
 )
 
@@ -154,6 +155,37 @@ func (c *Checkpoint) Validate() error {
 		}
 	}
 	return nil
+}
+
+// ColumnShard slices shard r's column-wise partition of the named 2-D
+// parameter out of the snapshot, for a world of n shards — the per-rank
+// restore primitive of an elastic world rebuild. The interval comes from
+// partition.ColumnWise.Range, the same tiling the EmbRace workers shard
+// with, so a rank restoring its shard from a checkpoint written at any
+// world size gets exactly the columns the new layout assigns it. The
+// returned tensor is a copy: many ranks can slice the same snapshot
+// concurrently, and training on the shard never mutates the checkpoint.
+func (c *Checkpoint) ColumnShard(name string, n, r int) (*tensor.Dense, error) {
+	if c == nil {
+		return nil, fmt.Errorf("checkpoint: nil checkpoint")
+	}
+	if n <= 0 || r < 0 || r >= n {
+		return nil, fmt.Errorf("checkpoint: shard %d of %d out of range", r, n)
+	}
+	p, ok := c.Params[name]
+	if !ok || p == nil {
+		return nil, fmt.Errorf("checkpoint: no param %q to shard", name)
+	}
+	if p.Dims() != 2 {
+		return nil, fmt.Errorf("checkpoint: param %q has %d dims, need 2 to column-shard", name, p.Dims())
+	}
+	rows, dim := p.Dim(0), p.Dim(1)
+	lo, hi := partition.ColumnWise{}.Range(dim, n, r)
+	out := tensor.NewDense(rows, hi-lo)
+	for row := 0; row < rows; row++ {
+		copy(out.Row(row), p.Row(row)[lo:hi])
+	}
+	return out, nil
 }
 
 // accLen is Len tolerant of nil, for error messages.

@@ -11,8 +11,20 @@ import (
 	"embrace/internal/nn"
 	"embrace/internal/optim"
 	"embrace/internal/tensor"
-	"embrace/internal/trainer"
 )
+
+// windowsTargets mirrors trainer.WindowsTargets; inlined here because the
+// trainer package now imports checkpoint (elastic restore), so the test
+// cannot import it back without a cycle.
+func windowsTargets(b *data.Batch, window int) ([][]int64, []int64) {
+	windows := make([][]int64, len(b.Sentences))
+	targets := make([]int64, len(b.Sentences))
+	for i, s := range b.Sentences {
+		windows[i] = s[:window]
+		targets[i] = s[window]
+	}
+	return windows, targets
+}
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
@@ -137,7 +149,7 @@ func TestResumeIsBitIdentical(t *testing.T) {
 	train := func(m *nn.Model, opts map[string]optim.Optimizer, loader *data.Loader, steps int) {
 		for s := 0; s < steps; s++ {
 			batch := loader.Next()
-			windows, targets := trainer.WindowsTargets(batch, 4)
+			windows, targets := windowsTargets(batch, 4)
 			_, embGrad, grads, err := m.Step(windows, targets)
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,79 @@
+package checkpoint
+
+import (
+	"math/rand"
+	"testing"
+
+	"embrace/internal/partition"
+	"embrace/internal/tensor"
+)
+
+// ColumnShard must slice exactly the ColumnWise tiling: reassembling every
+// shard of any world size reproduces the full table bit-for-bit — the
+// property the elastic restore leans on when a snapshot taken at world size
+// N is redistributed to N-1 survivors.
+func TestColumnShardReassemblesExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	full := tensor.RandDense(rng, 1, 10, 12)
+	ckpt := &Checkpoint{Step: 3, Params: map[string]*tensor.Dense{"emb": full}}
+
+	for _, n := range []int{1, 2, 3, 4, 6, 12} {
+		got := tensor.NewDense(10, 12)
+		for r := 0; r < n; r++ {
+			shard, err := ckpt.ColumnShard("emb", n, r)
+			if err != nil {
+				t.Fatalf("n=%d r=%d: %v", n, r, err)
+			}
+			lo, hi := (partition.ColumnWise{}).Range(12, n, r)
+			if shard.Dim(0) != 10 || shard.Dim(1) != hi-lo {
+				t.Fatalf("n=%d r=%d: shard shape %v, want [10 x %d]", n, r, shard.Shape(), hi-lo)
+			}
+			for row := 0; row < 10; row++ {
+				copy(got.Row(row)[lo:hi], shard.Row(row))
+			}
+		}
+		if got.MaxAbsDiff(full) != 0 {
+			t.Fatalf("n=%d: reassembled table differs from original", n)
+		}
+	}
+}
+
+// The shard is a copy, not a view: mutating it must not corrupt the
+// snapshot a later rollback would restore from.
+func TestColumnShardIsACopy(t *testing.T) {
+	full := tensor.NewDense(2, 4)
+	full.Fill(1)
+	ckpt := &Checkpoint{Params: map[string]*tensor.Dense{"emb": full}}
+	shard, err := ckpt.ColumnShard("emb", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard.Fill(9)
+	if full.At(0, 0) != 1 {
+		t.Fatal("mutating the shard wrote through to the checkpoint")
+	}
+}
+
+func TestColumnShardErrors(t *testing.T) {
+	ckpt := &Checkpoint{Params: map[string]*tensor.Dense{
+		"emb": tensor.NewDense(4, 6),
+		"b1":  tensor.NewDense(5),
+	}}
+	cases := []struct {
+		name    string
+		call    func() (*tensor.Dense, error)
+		wantErr string
+	}{
+		{"nil checkpoint", func() (*tensor.Dense, error) { var c *Checkpoint; return c.ColumnShard("emb", 2, 0) }, "nil"},
+		{"missing param", func() (*tensor.Dense, error) { return ckpt.ColumnShard("nope", 2, 0) }, "nope"},
+		{"non-matrix param", func() (*tensor.Dense, error) { return ckpt.ColumnShard("b1", 2, 0) }, "b1"},
+		{"zero shards", func() (*tensor.Dense, error) { return ckpt.ColumnShard("emb", 0, 0) }, "shard"},
+		{"negative rank", func() (*tensor.Dense, error) { return ckpt.ColumnShard("emb", 2, -1) }, "shard"},
+		{"rank out of range", func() (*tensor.Dense, error) { return ckpt.ColumnShard("emb", 2, 2) }, "shard"},
+	}
+	for _, tc := range cases {
+		if _, err := tc.call(); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}

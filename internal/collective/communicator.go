@@ -47,6 +47,7 @@ import (
 type Communicator struct {
 	t          comm.Transport
 	chunkElems int
+	epoch      int // world epoch; offsets every tag into its own plane
 	obs        Observer
 	faults     FaultObserver // c.obs, when it also counts faults
 	codecObs   CodecObserver // c.obs, when it also times codec work
@@ -108,16 +109,25 @@ type CodecObserver interface {
 	CodecOp(op, phase string, rawBytes, wireBytes int, d time.Duration)
 }
 
-// Tag-space layout: tags are tagBase + opSlot<<stepBits + step. The base
-// keeps Communicator tags disjoint from every legacy hand-numbered tag space
-// (all below 1<<32); the per-op slot gives each logical operation 2^21
-// step values. Requires 64-bit ints (every supported platform).
+// Tag-space layout: tags are epoch<<epochShift + tagBase + opSlot<<stepBits
+// + step. The base keeps Communicator tags disjoint from every legacy
+// hand-numbered tag space (all below 1<<32); the per-op slot gives each
+// logical operation 2^21 step values; the world-epoch bits (zero by default,
+// so legacy tags are unchanged) give each rebuild of a world its own
+// disjoint tag plane. Requires 64-bit ints (every supported platform).
 const (
 	stepBits = 21
 	// MaxStep is the largest step (or Ticket) value a tag can encode.
 	MaxStep = 1<<stepBits - 1
 	opSlots = 1 << 30
 	tagBase = 1 << 32
+	// epochShift places the world-epoch bits above the whole epoch-0 tag
+	// space (tagBase + opSlots<<stepBits < 1<<52).
+	epochShift = 52
+	// MaxEpoch is the largest world epoch a tag can encode while keeping
+	// the tag a positive int64. Elastic training consumes one epoch per
+	// world rebuild, so the bound is unreachable in practice.
+	MaxEpoch = 1<<(63-epochShift) - 1
 )
 
 // Option configures a Communicator.
@@ -138,6 +148,17 @@ func WithChunkBytes(n int) Option {
 // WithObserver installs a per-operation traffic observer.
 func WithObserver(o Observer) Option {
 	return func(c *Communicator) { c.obs = o }
+}
+
+// WithEpoch places every tag the Communicator allocates in world-epoch e's
+// tag plane. Epochs partition the tag space: a Communicator of epoch e+1
+// can never receive a frame addressed by an epoch-e Communicator, so after
+// an elastic world rebuild the stale in-flight frames of the dead world —
+// delayed deliveries, a leaked background exchange's sends — are simply
+// never matched, instead of corrupting the rebuilt collectives' sequence
+// streams. Epoch 0 (the default) is the legacy tag plane.
+func WithEpoch(e int) Option {
+	return func(c *Communicator) { c.epoch = e }
 }
 
 // NewCommunicator creates the rank-local collective endpoint over t.
@@ -169,9 +190,7 @@ func (c *Communicator) opIndex(op string) (int64, error) {
 	if idx, ok := c.ops[op]; ok {
 		return idx, nil
 	}
-	h := fnv.New64a()
-	h.Write([]byte(op))
-	idx := int64(h.Sum64() % opSlots)
+	idx := opSlot(op)
 	if prev, ok := c.byIndex[idx]; ok && prev != op {
 		return 0, fmt.Errorf("collective: op %q collides with %q in the tag space; rename one", op, prev)
 	}
@@ -184,18 +203,45 @@ func (c *Communicator) opIndex(op string) (int64, error) {
 	return idx, nil
 }
 
-// Tag returns the transport tag of (op, step). Distinct (op, step) pairs map
-// to distinct tags; an unresolvable hash collision between op names is
-// reported as an error (astronomically unlikely with a 2^30 slot space).
+// Tag returns the transport tag of (op, step) in this Communicator's epoch
+// plane. Distinct (op, step) pairs map to distinct tags; an unresolvable
+// hash collision between op names is reported as an error (astronomically
+// unlikely with a 2^30 slot space).
 func (c *Communicator) Tag(op string, step int) (int, error) {
 	if step < 0 || step > MaxStep {
 		return 0, fmt.Errorf("collective: step %d outside [0, %d] for op %q", step, MaxStep, op)
+	}
+	if c.epoch < 0 || c.epoch > MaxEpoch {
+		return 0, fmt.Errorf("collective: world epoch %d outside [0, %d]", c.epoch, MaxEpoch)
 	}
 	idx, err := c.opIndex(op)
 	if err != nil {
 		return 0, err
 	}
-	return tagBase + int(idx)<<stepBits + step, nil
+	return c.epoch<<epochShift + tagBase + int(idx)<<stepBits + step, nil
+}
+
+// Epoch returns the world epoch this Communicator's tags live in.
+func (c *Communicator) Epoch() int { return c.epoch }
+
+// TagOf computes the epoch-0 transport tag of (op, step) without a
+// Communicator — the targeting hook chaos plans use to aim a fault at one
+// collective of one training step (a FaultRule.Match on FaultPoint.Tag).
+// It is the same pure function of the op name every Communicator resolves,
+// minus the cross-op collision registry, so it must only feed predicates,
+// never tag allocation.
+func TagOf(op string, step int) (int, error) {
+	if step < 0 || step > MaxStep {
+		return 0, fmt.Errorf("collective: step %d outside [0, %d] for op %q", step, MaxStep, op)
+	}
+	return tagBase + int(opSlot(op))<<stepBits + step, nil
+}
+
+// opSlot is the stable hash placing an op name in the tag space.
+func opSlot(op string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(op))
+	return int64(h.Sum64() % opSlots)
 }
 
 // Ops returns the op names registered so far, sorted.

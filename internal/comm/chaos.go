@@ -327,6 +327,15 @@ func (c *chaosTransport) Leave(reason error) {
 	}
 }
 
+// Readmit forwards to the wrapped transport when it supports readmission.
+// It clears receiver-side down markers only; the crash flag a FaultCrash set
+// lives in the shared chaos core — use ChaosWorld.Readmit to clear both.
+func (c *chaosTransport) Readmit(peer int) {
+	if ra, ok := c.inner.(Readmitter); ok {
+		ra.Readmit(peer)
+	}
+}
+
 func (c *chaosTransport) stream(to, tag int) *chaosStream {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -517,6 +526,10 @@ var (
 	_ Transport     = (*chaosTransport)(nil)
 	_ TimeoutSetter = (*chaosTransport)(nil)
 	_ Leaver        = (*chaosTransport)(nil)
+	_ Readmitter    = (*chaosTransport)(nil)
+	_ Readmitter    = (*rank)(nil)
+	_ Readmitter    = (*tcpRank)(nil)
+	_ Readmitter    = (*TCPNode)(nil)
 )
 
 // WrapChaos wraps a single rank's transport with a fault plan. Every rank of
@@ -565,6 +578,34 @@ func (cw *ChaosWorld) SetRecvTimeout(d time.Duration) { cw.world.SetRecvTimeout(
 // FaultKind.String(). Tests use it to prove a plan exercised anything at
 // all; zero-count kinds are omitted.
 func (cw *ChaosWorld) Injected() map[string]int64 { return cw.core.snapshot() }
+
+// Crashed returns the ranks FaultCrash has killed so far, ascending. The
+// elastic supervisor reads it after a faulted epoch to decide how far the
+// world must shrink.
+func (cw *ChaosWorld) Crashed() []int {
+	var out []int
+	for i := range cw.core.crashed {
+		if cw.core.crashed[i].Load() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Readmit returns a recovered rank to the world: the crash flag is cleared
+// (its transport operates again, and peers' sends to it deliver again) and
+// every rank's receiver-side down markers for it are reset. The caller
+// readmits between steps and barriers before traffic resumes, like
+// World.Readmit. Crash *rules* stay armed — they target tags, and a rebuilt
+// world's Communicators run in a fresh epoch plane, so a once-fired
+// step-targeted rule cannot re-fire on the readmitted rank.
+func (cw *ChaosWorld) Readmit(rank int) {
+	if rank < 0 || rank >= len(cw.core.crashed) {
+		return
+	}
+	cw.core.crashed[rank].Store(false)
+	cw.world.Readmit(rank)
+}
 
 // Close tears the world down and waits for every in-flight delayed delivery
 // and reorder flush to finish, so chaos leaves no goroutines behind.

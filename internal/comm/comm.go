@@ -67,9 +67,23 @@ type TimeoutSetter interface {
 // Leave marks this rank down for every peer, so receivers blocked on it fail
 // fast with ErrPeerDown instead of hanging until the whole world closes.
 // A rank that aborts a collective mid-protocol should Leave so the failure
-// cascades cleanly instead of deadlocking the survivors.
+// cascades cleanly instead of deadlocking the survivors. Leave is idempotent:
+// the first call's reason wins, and later calls — its own Leave racing a
+// peer's death notice during a failure cascade — are no-ops that neither
+// re-wake receivers nor clobber the recorded reason.
 type Leaver interface {
 	Leave(reason error)
+}
+
+// Readmitter is implemented by transports that can clear a peer's down
+// markers after it recovers: Readmit makes subsequent receives from the peer
+// block normally again instead of failing fast with its stale death notice.
+// It is receiver-side state only — re-establishing the peer's connectivity
+// (if the fabric ever lost it) is a separate concern, so on the TCP fabrics
+// a readmitted-but-unreachable peer surfaces as ErrTimeout rather than
+// ErrPeerDown.
+type Readmitter interface {
+	Readmit(peer int)
 }
 
 // SeqFrame is the ordered-delivery envelope resilient senders wrap payloads
@@ -103,6 +117,14 @@ type mailboxSet struct {
 	boxes map[mailboxKey]chan any
 	peers map[int]*peerState
 
+	// closedCh is closed by closeAll. Teardown signals through it instead of
+	// closing the mailbox channels: an in-flight deliver (a chaos-delayed
+	// send, a TCP reader landing a late frame) may be blocked in `ch <-` at
+	// that very moment, and close-under-send is a data race. Selecting on
+	// closedCh lets senders and receivers observe teardown without anyone
+	// ever closing a channel someone else might be writing.
+	closedCh chan struct{}
+
 	// timeoutNS is the receive timeout in nanoseconds; zero blocks forever.
 	timeoutNS atomic.Int64
 }
@@ -118,8 +140,9 @@ type peerState struct {
 
 func newMailboxSet() *mailboxSet {
 	return &mailboxSet{
-		boxes: make(map[mailboxKey]chan any),
-		peers: make(map[int]*peerState),
+		boxes:    make(map[mailboxKey]chan any),
+		peers:    make(map[int]*peerState),
+		closedCh: make(chan struct{}),
 	}
 }
 
@@ -141,15 +164,20 @@ func (m *mailboxSet) box(from, tag int) chan any {
 }
 
 // deliver enqueues payload for (from, tag). It reports false if the set is
-// closed.
+// closed. A deliver blocked on a full mailbox unblocks (and drops) when the
+// set closes underneath it — late stragglers observe teardown through
+// closedCh rather than panicking on a closed channel.
 func (m *mailboxSet) deliver(from, tag int, payload any) bool {
 	ch := m.box(from, tag)
 	if ch == nil {
 		return false
 	}
-	defer func() { recover() }() //nolint:errcheck // racing close surfaces as drop
-	ch <- payload
-	return true
+	select {
+	case ch <- payload:
+		return true
+	case <-m.closedCh:
+		return false
+	}
 }
 
 // peer returns (creating if needed) the liveness record for `from`, or nil
@@ -194,6 +222,22 @@ func (m *mailboxSet) markDown(from int, reason error) {
 	close(ps.downCh)
 }
 
+// readmit clears `from`'s down marker by installing a fresh liveness record,
+// so subsequent receives block normally again. A receiver that grabbed the
+// old record before the swap still observes the stale death notice once —
+// the benign race window of a between-steps readmission, closed by the
+// barrier every world rebuild runs before new traffic flows.
+func (m *mailboxSet) readmit(from int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.peers == nil {
+		return // closed
+	}
+	if ps, ok := m.peers[from]; ok && ps.down {
+		m.peers[from] = &peerState{downCh: make(chan struct{})}
+	}
+}
+
 // setTimeout bounds every subsequent blocking receive; zero disables.
 func (m *mailboxSet) setTimeout(d time.Duration) {
 	m.timeoutNS.Store(int64(d))
@@ -211,10 +255,7 @@ func (m *mailboxSet) receive(from, tag int) (any, error) {
 	}
 	// Fast path: queued messages win over down markers and timeouts.
 	select {
-	case payload, ok := <-ch:
-		if !ok {
-			return nil, ErrClosed
-		}
+	case payload := <-ch:
 		return payload, nil
 	default:
 	}
@@ -229,37 +270,42 @@ func (m *mailboxSet) receive(from, tag int) (any, error) {
 		timeC = timer.C
 	}
 	select {
-	case payload, ok := <-ch:
-		if !ok {
-			return nil, ErrClosed
-		}
+	case payload := <-ch:
 		return payload, nil
 	case <-ps.downCh:
 		// A message may have raced in just before the down marker; prefer it.
 		select {
-		case payload, ok := <-ch:
-			if ok {
-				return payload, nil
-			}
-			return nil, ErrClosed
+		case payload := <-ch:
+			return payload, nil
 		default:
 		}
 		return nil, fmt.Errorf("recv from rank %d: %w", from, ps.reason)
+	case <-m.closedCh:
+		// Same drain preference on teardown: a queued message beats ErrClosed.
+		select {
+		case payload := <-ch:
+			return payload, nil
+		default:
+		}
+		return nil, ErrClosed
 	case <-timeC:
 		return nil, fmt.Errorf("%w: nothing from rank %d under tag %d within %v",
 			ErrTimeout, from, tag, time.Duration(m.timeoutNS.Load()))
 	}
 }
 
-// closeAll closes every mailbox, unblocking receivers with ErrClosed.
+// closeAll tears the set down, unblocking receivers with ErrClosed and
+// blocked senders with a drop. The mailbox channels themselves are never
+// closed — see closedCh.
 func (m *mailboxSet) closeAll() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for _, ch := range m.boxes {
-		close(ch)
+	if m.boxes == nil {
+		return
 	}
 	m.boxes = nil
 	m.peers = nil
+	close(m.closedCh)
 }
 
 // World is a set of N in-process ranks wired all-to-all.
@@ -277,6 +323,9 @@ type rank struct {
 	world *World
 	id    int
 	mail  *mailboxSet
+	// left latches the first Leave so later calls of a failure cascade
+	// cannot re-mark a readmitted rank down with a stale reason.
+	left atomic.Bool
 }
 
 // NewWorld creates a fully connected in-process world of n ranks.
@@ -315,6 +364,23 @@ func (w *World) Close() {
 func (w *World) SetRecvTimeout(d time.Duration) {
 	for _, r := range w.ranks {
 		r.mail.setTimeout(d)
+	}
+}
+
+// Readmit clears `peer`'s down markers in every other rank's mailboxes and
+// re-arms its Leave latch — the world-level readmission of a recovered rank.
+// The caller owns the protocol above it: readmit between steps, then barrier
+// before the readmitted rank's traffic resumes.
+func (w *World) Readmit(peer int) {
+	if peer < 0 || peer >= w.size {
+		return
+	}
+	w.ranks[peer].left.Store(false)
+	for i, r := range w.ranks {
+		if i == peer {
+			continue
+		}
+		r.mail.readmit(peer)
 	}
 }
 
@@ -360,10 +426,21 @@ func (r *rank) SetRecvTimeout(d time.Duration) { r.mail.setTimeout(d) }
 
 // Leave implements Leaver: it marks this rank down for every peer, so their
 // blocked receives fail fast with ErrPeerDown instead of deadlocking on a
-// participant that has abandoned the protocol.
+// participant that has abandoned the protocol. Only the first call acts;
+// repeats (common during a failure cascade, where a rank's own Leave races
+// peers' death notices) are no-ops, so a rank readmitted after recovery is
+// not re-marked down by a stale second Leave.
 func (r *rank) Leave(reason error) {
+	if r.left.Swap(true) {
+		return
+	}
 	r.world.markPeerDown(r.id, fmt.Errorf("rank %d left the world: %v", r.id, reason))
 }
+
+// Readmit implements Readmitter for this rank's receive side alone: clears
+// the local down marker for `peer`, so this rank's receives from it block
+// normally again.
+func (r *rank) Readmit(peer int) { r.mail.readmit(peer) }
 
 // RunRanks runs fn concurrently on every rank of a fresh world of size n and
 // waits for all to finish, returning the first error encountered (all other

@@ -76,6 +76,9 @@ type tcpRank struct {
 	// get ErrClosed) from a peer dying underneath us (readers mark the peer
 	// down, receivers get ErrPeerDown).
 	shutdown atomic.Bool
+	// left latches the first Leave so a failure cascade's repeat calls
+	// cannot clobber the recorded reason or re-close connections.
+	left atomic.Bool
 
 	mu    sync.Mutex
 	conns []*tcpConn // indexed by peer rank; nil for self
@@ -300,8 +303,14 @@ func (r *tcpRank) Recv(from, tag int) (any, error) {
 func (r *tcpRank) SetRecvTimeout(d time.Duration) { r.mail.setTimeout(d) }
 
 // Leave implements Leaver: closing this rank's connections makes every
-// peer's reader observe the breakage and mark this rank down.
+// peer's reader observe the breakage and mark this rank down. Idempotent:
+// only the first call closes anything; repeats during a failure cascade are
+// no-ops (the peers' recorded reason — their reader's first observation —
+// is never rewritten).
 func (r *tcpRank) Leave(reason error) {
+	if r.left.Swap(true) {
+		return
+	}
 	r.shutdown.Store(true)
 	r.mu.Lock()
 	for _, c := range r.conns {
@@ -311,6 +320,12 @@ func (r *tcpRank) Leave(reason error) {
 	}
 	r.mu.Unlock()
 }
+
+// Readmit implements Readmitter for this rank's receive side: clears the
+// local down marker for `peer`. The TCP connections a Leave or crash closed
+// stay closed — readmission restores blocking semantics (ErrTimeout bounds
+// them), not connectivity.
+func (r *tcpRank) Readmit(peer int) { r.mail.readmit(peer) }
 
 // Size returns the number of ranks.
 func (w *TCPWorld) Size() int { return w.size }

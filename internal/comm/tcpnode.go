@@ -77,7 +77,12 @@ func (n *TCPNode) SetRecvTimeout(d time.Duration) { n.rank.SetRecvTimeout(d) }
 
 // Leave announces this node's departure by closing its peer connections, so
 // every peer's blocked receives on this rank fail fast with ErrPeerDown.
+// Idempotent; only the first call acts.
 func (n *TCPNode) Leave(reason error) { n.rank.Leave(reason) }
+
+// Readmit clears this node's local down marker for `peer` after it
+// recovers; see Readmitter for the connectivity caveat.
+func (n *TCPNode) Readmit(peer int) { n.rank.Readmit(peer) }
 
 // Close shuts the node down: listener, peer connections, mailboxes.
 func (n *TCPNode) Close() {

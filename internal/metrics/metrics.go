@@ -172,7 +172,11 @@ type OpStats struct {
 }
 
 // CompressionRatio returns RawBytes/WireBytes — how many times smaller the
-// codec made the op's sparse streams. 1 when the op recorded no codec work.
+// codec made the op's sparse streams. The WireBytes == 0 guard (no codec
+// work recorded, or an all-empty exchange whose shards encoded to zero
+// bytes) returns the neutral 1 rather than dividing by zero. Ratios below 1
+// are real, not clamped: a codec can inflate a tiny payload (header
+// overhead on a 1-row shard), and the report should show it.
 func (s OpStats) CompressionRatio() float64 {
 	if s.WireBytes == 0 {
 		return 1
@@ -180,8 +184,18 @@ func (s OpStats) CompressionRatio() float64 {
 	return float64(s.RawBytes) / float64(s.WireBytes)
 }
 
-// MaskedBytes returns the bytes the codec kept off the wire.
-func (s OpStats) MaskedBytes() int64 { return s.RawBytes - s.WireBytes }
+// MaskedBytes returns the bytes the codec kept off the wire, clamped at
+// zero: when the codec inflates a payload (DeltaRaw's per-shard header on a
+// 1-row shard exceeds the row it frames), the wire carried MORE than raw
+// and no bytes were masked — a negative "savings" here would corrupt the
+// aggregate totals reports sum it into. The inflation itself stays visible
+// as CompressionRatio < 1 and WireBytes > RawBytes.
+func (s OpStats) MaskedBytes() int64 {
+	if s.WireBytes >= s.RawBytes {
+		return 0
+	}
+	return s.RawBytes - s.WireBytes
+}
 
 // Add returns the element-wise sum of two per-op snapshots. Blocked-time
 // histograms merge exactly (shared bucket layout), so cross-rank percentiles

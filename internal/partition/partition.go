@@ -139,6 +139,96 @@ func (ColumnWise) ShardLoads(tokens []int64, n int) []float64 {
 	return loads
 }
 
+// ShardMove is one span of embedding state that must travel when a world
+// resizes: the half-open interval [Lo, Hi) moves from shard From of the old
+// world to shard To of the new one. For ColumnWise the interval indexes
+// columns (every row's slice moves together); for the row schemes it indexes
+// vocabulary rows. Moves with From == To are the self-send elision of the
+// AlltoAll applied to resharding: the span is already resident, so a
+// surviving rank keeps it in place and its values stay bit-exact through the
+// remap — no serialize/deserialize round trip can perturb them.
+type ShardMove struct {
+	From, To int
+	Lo, Hi   int
+}
+
+// Remap plans the column movement when a dim-wide ColumnWise layout resizes
+// from oldN to newN shards: the intersections of the old and new Range
+// tilings, ordered by column. Every column appears in exactly one move, so
+// applying the plan to the old shards reproduces the new tiling exactly.
+func (c ColumnWise) Remap(dim, oldN, newN int) []ShardMove {
+	return remapIntervals(dim, oldN, newN, c.Range)
+}
+
+// Remap plans the row movement when a RowRange layout resizes from oldN to
+// newN shards, in the same intersection form as ColumnWise.Remap but over
+// vocabulary rows.
+func (p RowRange) Remap(oldN, newN int) []ShardMove {
+	rng := func(vocab, n, r int) (int, int) {
+		per := (vocab + n - 1) / n
+		lo := r * per
+		hi := min(lo+per, vocab)
+		if lo > vocab {
+			lo = vocab
+		}
+		return lo, hi
+	}
+	return remapIntervals(p.Vocab, oldN, newN, rng)
+}
+
+// Remap plans the row movement when a RowHash layout over `vocab` rows
+// resizes from oldN to newN shards. Hashing scatters ownership, so instead
+// of interval intersections the plan lists maximal runs of consecutive rows
+// sharing the same (old owner, new owner) pair — contiguous spans a bulk
+// copy can move, degenerating to single rows in the worst case.
+func (RowHash) Remap(vocab, oldN, newN int) []ShardMove {
+	var out []ShardMove
+	for row := 0; row < vocab; {
+		from := hashShard(int64(row), oldN)
+		to := hashShard(int64(row), newN)
+		hi := row + 1
+		for hi < vocab && hashShard(int64(hi), oldN) == from && hashShard(int64(hi), newN) == to {
+			hi++
+		}
+		out = append(out, ShardMove{From: from, To: to, Lo: row, Hi: hi})
+		row = hi
+	}
+	return out
+}
+
+// remapIntervals intersects two contiguous tilings of [0, extent): the moves
+// are the maximal spans with constant (old owner, new owner), in order.
+func remapIntervals(extent, oldN, newN int, rng func(extent, n, r int) (lo, hi int)) []ShardMove {
+	if extent <= 0 || oldN <= 0 || newN <= 0 {
+		return nil
+	}
+	ownerAt := func(n, pos int) int {
+		for r := 0; r < n; r++ {
+			lo, hi := rng(extent, n, r)
+			if pos >= lo && pos < hi {
+				return r
+			}
+		}
+		return n - 1
+	}
+	endAt := func(n, r int) int {
+		_, hi := rng(extent, n, r)
+		return hi
+	}
+	var out []ShardMove
+	for pos := 0; pos < extent; {
+		from := ownerAt(oldN, pos)
+		to := ownerAt(newN, pos)
+		hi := min(endAt(oldN, from), endAt(newN, to))
+		if hi <= pos { // degenerate empty range; cannot happen with tilings
+			hi = pos + 1
+		}
+		out = append(out, ShardMove{From: from, To: to, Lo: pos, Hi: hi})
+		pos = hi
+	}
+	return out
+}
+
 // Stats summarizes the load balance of one scheme over sampled batches.
 type Stats struct {
 	Scheme string

@@ -1,0 +1,129 @@
+package partition
+
+import "testing"
+
+// checkTiling asserts the universal Remap contract: the moves tile
+// [0, extent) exactly (no gap, no overlap, in order), every move's source
+// span lies inside the old owner's range and its destination span inside
+// the new owner's, per the supplied ownership oracle.
+func checkTiling(t *testing.T, moves []ShardMove, extent int, oldOwner, newOwner func(pos int) int) {
+	t.Helper()
+	pos := 0
+	for i, m := range moves {
+		if m.Lo != pos {
+			t.Fatalf("move %d starts at %d, want %d (gap or overlap)", i, m.Lo, pos)
+		}
+		if m.Hi <= m.Lo {
+			t.Fatalf("move %d empty: [%d, %d)", i, m.Lo, m.Hi)
+		}
+		for p := m.Lo; p < m.Hi; p++ {
+			if got := oldOwner(p); got != m.From {
+				t.Fatalf("move %d: position %d owned by old shard %d, move says From=%d", i, p, got, m.From)
+			}
+			if got := newOwner(p); got != m.To {
+				t.Fatalf("move %d: position %d owned by new shard %d, move says To=%d", i, p, got, m.To)
+			}
+		}
+		pos = m.Hi
+	}
+	if pos != extent {
+		t.Fatalf("moves cover [0, %d), want [0, %d)", pos, extent)
+	}
+}
+
+func columnOwner(dim, n int) func(pos int) int {
+	return func(pos int) int {
+		for r := 0; r < n; r++ {
+			lo, hi := (ColumnWise{}).Range(dim, n, r)
+			if pos >= lo && pos < hi {
+				return r
+			}
+		}
+		return -1
+	}
+}
+
+func TestColumnWiseRemapTilesExactly(t *testing.T) {
+	cases := []struct{ dim, oldN, newN int }{
+		{8, 4, 3},   // the elastic shrink shape
+		{8, 3, 4},   // and the rejoin growth back
+		{56, 8, 7},  // world-size-8 shrink
+		{12, 4, 4},  // no resize: all moves are self-sends
+		{7, 3, 2},   // uneven columns on both sides
+		{5, 5, 1},   // collapse to one shard
+		{5, 1, 5},   // explode from one shard
+		{64, 2, 16}, // large growth
+	}
+	for _, tc := range cases {
+		moves := ColumnWise{}.Remap(tc.dim, tc.oldN, tc.newN)
+		checkTiling(t, moves, tc.dim, columnOwner(tc.dim, tc.oldN), columnOwner(tc.dim, tc.newN))
+		if tc.oldN == tc.newN {
+			for _, m := range moves {
+				if m.From != m.To {
+					t.Fatalf("dim %d same-size remap produced a real move %+v", tc.dim, m)
+				}
+			}
+		}
+	}
+}
+
+// The elastic fast path: spans with From == To stay resident on their
+// surviving rank. For the canonical 4 -> 3 shrink of an 8-wide table, shard
+// 0's first two columns never travel.
+func TestColumnWiseRemapElidesResidentSpans(t *testing.T) {
+	moves := ColumnWise{}.Remap(8, 4, 3)
+	resident := 0
+	for _, m := range moves {
+		if m.From == m.To {
+			resident += m.Hi - m.Lo
+		}
+	}
+	if resident == 0 {
+		t.Fatal("4 -> 3 shrink of 8 columns should keep some spans resident")
+	}
+	// Shard 0 owns [0,2) in both tilings ([0,2) of 4, [0,3) of 3).
+	m := moves[0]
+	if m.From != 0 || m.To != 0 || m.Lo != 0 || m.Hi < 2 {
+		t.Fatalf("first move %+v should keep shard 0's head columns in place", m)
+	}
+}
+
+func TestColumnWiseRemapDegenerate(t *testing.T) {
+	for _, tc := range []struct{ dim, oldN, newN int }{
+		{0, 3, 2}, {-1, 3, 2}, {8, 0, 2}, {8, 3, 0}, {8, -1, 2},
+	} {
+		if moves := (ColumnWise{}).Remap(tc.dim, tc.oldN, tc.newN); moves != nil {
+			t.Fatalf("Remap(%d, %d, %d) = %v, want nil", tc.dim, tc.oldN, tc.newN, moves)
+		}
+	}
+}
+
+func TestRowRangeRemapAgreesWithOwner(t *testing.T) {
+	for _, tc := range []struct{ vocab, oldN, newN int }{
+		{100, 4, 3}, {100, 3, 4}, {17, 5, 2}, {40, 8, 8},
+	} {
+		p := RowRange{Vocab: tc.vocab}
+		moves := p.Remap(tc.oldN, tc.newN)
+		checkTiling(t, moves, tc.vocab,
+			func(pos int) int { return p.Owner(int64(pos), tc.oldN) },
+			func(pos int) int { return p.Owner(int64(pos), tc.newN) })
+	}
+}
+
+func TestRowHashRemapAgreesWithOwner(t *testing.T) {
+	for _, tc := range []struct{ vocab, oldN, newN int }{
+		{40, 4, 3}, {40, 3, 4}, {13, 5, 2},
+	} {
+		moves := RowHash{}.Remap(tc.vocab, tc.oldN, tc.newN)
+		checkTiling(t, moves, tc.vocab,
+			func(pos int) int { return RowHash{}.Owner(int64(pos), tc.oldN) },
+			func(pos int) int { return RowHash{}.Owner(int64(pos), tc.newN) })
+		// Hashing scatters ownership: runs must be maximal (two adjacent
+		// moves never share the same From/To pair).
+		for i := 1; i < len(moves); i++ {
+			if moves[i].From == moves[i-1].From && moves[i].To == moves[i-1].To {
+				t.Fatalf("moves %d and %d should have merged: %+v %+v", i-1, i, moves[i-1], moves[i])
+			}
+		}
+	}
+}

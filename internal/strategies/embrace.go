@@ -115,17 +115,25 @@ type delayedResult struct {
 	err  error
 }
 
-func newEmbRaceWorker(cm *collective.Communicator, cfg Config, rec *trace.Recorder) *embraceWorker {
+func newEmbRaceWorker(cm *collective.Communicator, cfg Config, rec *trace.Recorder, embShard *tensor.Dense) *embraceWorker {
 	n := cm.Size()
 	dimShard := cfg.EmbDim / n
 	// Build the same full model every baseline starts from (warm-start
 	// overrides included), then keep only this rank's column shard, so
-	// cross-strategy equivalence holds exactly.
+	// cross-strategy equivalence holds exactly. A caller-provided shard
+	// (WithEmbShard, shape-checked by NewWorker) replaces the slice — the
+	// elastic restore path, where each rank gets its remapped columns from
+	// a checkpoint and nobody holds the full table — and is copied so
+	// training never writes through to the caller's tensor.
 	full := newInitialModel(cfg)
 	shardTable := tensor.NewDense(cfg.Vocab, dimShard)
-	lo := cm.Rank() * dimShard
-	for r := 0; r < cfg.Vocab; r++ {
-		copy(shardTable.Row(r), full.Emb.Table.Row(r)[lo:lo+dimShard])
+	if embShard != nil {
+		copy(shardTable.Data(), embShard.Data())
+	} else {
+		lo := cm.Rank() * dimShard
+		for r := 0; r < cfg.Vocab; r++ {
+			copy(shardTable.Row(r), full.Emb.Table.Row(r)[lo:lo+dimShard])
+		}
 	}
 	w := &embraceWorker{
 		cm:        cm,

@@ -255,7 +255,8 @@ type WorkerOption func(*workerExtras)
 
 // workerExtras holds the per-rank extras threaded into workers.
 type workerExtras struct {
-	rec *trace.Recorder
+	rec      *trace.Recorder
+	embShard *tensor.Dense
 }
 
 // WithRecorder threads a per-rank span recorder through the worker: every
@@ -264,6 +265,18 @@ type workerExtras struct {
 // cost of one pointer compare per phase.
 func WithRecorder(rec *trace.Recorder) WorkerOption {
 	return func(e *workerExtras) { e.rec = rec }
+}
+
+// WithEmbShard hands an EmbRace worker its [vocab x EmbDim/N] embedding
+// column shard directly instead of slicing it out of the full (seed-derived
+// or InitEmbedding) table — the per-rank warm start of an elastic world
+// rebuild, where each survivor restores exactly its new columns from the
+// last checkpoint without any rank materializing the full table. The shard
+// is copied, never aliased, so the caller's tensor (typically a checkpoint
+// slice shared across ranks) stays untouched by training. Rejected by
+// non-EmbRace strategies, which have no column shards.
+func WithEmbShard(shard *tensor.Dense) WorkerOption {
+	return func(e *workerExtras) { e.embShard = shard }
 }
 
 // newOptimizer binds the configured optimizer kind to a parameter.
@@ -349,6 +362,16 @@ func NewWorker(name Name, cm *collective.Communicator, cfg Config, sh *Shared, o
 		o(&extras)
 	}
 	rec := extras.rec
+	if extras.embShard != nil {
+		if name != EmbRace {
+			return nil, fmt.Errorf("strategies: WithEmbShard applies only to embrace, not %s", name)
+		}
+		want := cfg.EmbDim / cm.Size()
+		if extras.embShard.Dims() != 2 || extras.embShard.Dim(0) != cfg.Vocab || extras.embShard.Dim(1) != want {
+			return nil, fmt.Errorf("strategies: WithEmbShard shape %v != [%d x %d]",
+				extras.embShard.Shape(), cfg.Vocab, want)
+		}
+	}
 	switch name {
 	case HorovodAllReduce:
 		return newAllReduceWorker(cm, cfg, rec), nil
@@ -365,7 +388,7 @@ func NewWorker(name Name, cm *collective.Communicator, cfg Config, sh *Shared, o
 		}
 		return newBytePSWorker(cm, cfg, sh, rec), nil
 	case EmbRace:
-		return newEmbRaceWorker(cm, cfg, rec), nil
+		return newEmbRaceWorker(cm, cfg, rec, extras.embShard), nil
 	default:
 		return nil, fmt.Errorf("strategies: unknown strategy %q", name)
 	}

@@ -102,10 +102,20 @@ func NewRecorder(rank int, opts ...RecorderOption) *Recorder {
 		o(r)
 	}
 	if r.clock == nil {
-		epoch := time.Now()
-		r.clock = func() time.Duration { return time.Since(epoch) }
+		r.clock = NewWallClock()
 	}
 	return r
+}
+
+// NewWallClock returns a monotonic wall-clock Clock anchored at the call —
+// the same default a Recorder builds for itself, exported for instrumented
+// packages that need a duration measurement outside any recorder (the
+// elastic trainer times fault-to-recovery latency with one). Keeping the
+// time.Now call here preserves the determinism analyzer's guarantee that
+// trainer/comm code never reads the wall clock directly.
+func NewWallClock() Clock {
+	epoch := time.Now()
+	return func() time.Duration { return time.Since(epoch) }
 }
 
 // Rank returns the rank this recorder belongs to.

@@ -186,7 +186,10 @@ func init() {
 	comm.RegisterWireType(nn.StepStats{})
 }
 
-// Run executes the job and returns its result.
+// Run executes the job and returns its result. When the job fails mid-run
+// (an attributed FaultError, reachable via errors.As on the joined per-rank
+// errors), the Result is still returned — it carries every loss, accuracy
+// and communication counter recorded before the fault.
 func Run(job Job) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
@@ -215,10 +218,11 @@ func Run(job Job) (*Result, error) {
 	runErr := runRanks(job.Workers, func(raw comm.Transport) error {
 		return runRank(job, raw, shared, res, &mu)
 	})
-	if runErr != nil {
-		return nil, runErr
-	}
-	return res, nil
+	// On failure the partial Result is returned WITH the error: the losses,
+	// accuracies and comm counters folded in before the fault are real
+	// progress a caller (the elastic supervisor above all) salvages, not
+	// state to discard. Entries past the fault step keep their zero values.
+	return res, runErr
 }
 
 // FaultError attributes an unmaskable communication fault to where it
@@ -390,8 +394,7 @@ func RunWorker(job Job, t comm.Transport) (*Result, error) {
 		Accuracies: make([]float64, job.Steps),
 	}
 	var mu sync.Mutex
-	if err := runRank(job, t, &strategies.Shared{}, res, &mu); err != nil {
-		return nil, err
-	}
-	return res, nil
+	// Like Run, a fault returns the partial Result alongside the error.
+	err := runRank(job, t, &strategies.Shared{}, res, &mu)
+	return res, err
 }

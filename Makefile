@@ -6,7 +6,7 @@ BENCH ?= AllReduce64MB
 # chaos seed sweep offset; override with e.g. `make chaos CHAOS_SEED=20260806`.
 CHAOS_SEED ?= 1
 
-.PHONY: build test lint check race bench-comm bench-hot bench-compress chaos elastic trace-demo serve-demo
+.PHONY: build test lint check race bench-comm bench-hot bench-compress bench-serve-scale chaos elastic trace-demo serve-demo
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,15 @@ bench-hot:
 bench-compress:
 	$(GO) test -run '^$$' -bench CompressExchange -benchtime 30x -benchmem . \
 		| $(GO) run ./cmd/benchjson -out BENCH_compress.json
+
+## bench-serve-scale: the multi-driver serving scale bench — a 4-rank
+## cluster over real TCP serves a weak-scaled closed-loop Zipf workload with
+## 1, 2, and 4 ingress drivers; qps / p50 / p99 / hot-set hit rate per
+## driver count land in BENCH_serve_scale.json for diffing across PRs.
+## EXPERIMENTS.md § "Multi-driver serving" tracks the scaling curve.
+bench-serve-scale:
+	$(GO) test -run '^$$' -bench ServeScale -benchtime 5x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_serve_scale.json
 
 ## chaos: the deterministic fault-injection suite (DESIGN.md §8) under the
 ## race detector — every collective and an end-to-end training job must be

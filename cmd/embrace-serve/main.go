@@ -6,9 +6,14 @@
 //
 //	embrace-train -steps 30 -checkpoint /tmp/model.ckpt
 //	embrace-serve -checkpoint /tmp/model.ckpt -ranks 4 -cache 256
+//	embrace-serve -checkpoint /tmp/model.ckpt -ranks 4 -drivers 4 \
+//	    -partition consistent-hash -replicate 256 -tcp
 //
-// With -compare it runs the identical workload twice — hot-row cache on,
-// then off — and prints both reports side by side.
+// With -drivers N the first N ranks each run their own ingress (independent
+// admission, batching, LRU) and the load clients spread across them;
+// -replicate adds the shared hot-shard replica set every ingress serves
+// locally. With -compare it runs the identical workload twice — hot-row
+// cache on, then off — and prints both reports side by side.
 package main
 
 import (
@@ -25,15 +30,18 @@ func main() {
 	log.SetPrefix("embrace-serve: ")
 
 	var (
-		ckpt    = flag.String("checkpoint", "", "checkpoint file to serve (required)")
-		ranks   = flag.Int("ranks", 4, "number of serving ranks")
-		part    = flag.String("partition", embrace.ServeRowHash, "embedding partition: row-hash | column")
-		cache   = flag.Int("cache", 256, "hot-row LRU cache capacity (0 disables)")
-		batch   = flag.Int("batch", 32, "max requests coalesced per micro-batch")
-		window  = flag.Duration("window", 200*time.Microsecond, "micro-batch collection window")
-		queue   = flag.Int("queue", 256, "admission queue depth")
-		reload  = flag.String("reload", "", "checkpoint to hot-swap in halfway through the load run")
-		compare = flag.Bool("compare", false, "run the workload with cache on then off and compare")
+		ckpt      = flag.String("checkpoint", "", "checkpoint file to serve (required)")
+		ranks     = flag.Int("ranks", 4, "number of serving ranks")
+		drivers   = flag.Int("drivers", 1, "ingress drivers (each rank < drivers runs its own front end)")
+		part      = flag.String("partition", embrace.ServeRowHash, "embedding partition: row-hash | consistent-hash | column")
+		cache     = flag.Int("cache", 256, "per-driver hot-row LRU cache capacity (0 disables)")
+		replicate = flag.Int("replicate", 0, "replicated hot-set capacity shared by all drivers (0 disables)")
+		tcp       = flag.Bool("tcp", false, "serve over real localhost TCP sockets instead of the in-process fabric")
+		batch     = flag.Int("batch", 32, "max requests coalesced per micro-batch")
+		window    = flag.Duration("window", 200*time.Microsecond, "micro-batch collection window")
+		queue     = flag.Int("queue", 256, "admission queue depth")
+		reload    = flag.String("reload", "", "checkpoint to hot-swap in halfway through the load run")
+		compare   = flag.Bool("compare", false, "run the workload with cache on then off and compare")
 
 		clients = flag.Int("clients", 8, "closed-loop load clients")
 		reqs    = flag.Int("requests", 500, "requests per client")
@@ -52,8 +60,11 @@ func main() {
 
 	cfg := embrace.ServeConfig{
 		Ranks:       *ranks,
+		Drivers:     *drivers,
 		Partition:   *part,
 		CacheRows:   *cache,
+		Replicate:   *replicate,
+		TCP:         *tcp,
 		MaxBatch:    *batch,
 		BatchWindow: *window,
 		QueueDepth:  *queue,
@@ -100,8 +111,12 @@ func runOnce(ckpt string, cfg embrace.ServeConfig, spec embrace.LoadSpec, reload
 	}
 	defer srv.Close()
 
-	fmt.Printf("serving %s: ranks=%d partition=%s cache=%d batch=%d/%s\n",
-		ckpt, cfg.Ranks, cfg.Partition, cfg.CacheRows, cfg.MaxBatch, cfg.BatchWindow)
+	fabric := "in-process"
+	if cfg.TCP {
+		fabric = "tcp"
+	}
+	fmt.Printf("serving %s: ranks=%d drivers=%d partition=%s fabric=%s cache=%d replicate=%d batch=%d/%s\n",
+		ckpt, cfg.Ranks, cfg.Drivers, cfg.Partition, fabric, cfg.CacheRows, cfg.Replicate, cfg.MaxBatch, cfg.BatchWindow)
 
 	done := make(chan struct{})
 	if reload != "" {
@@ -123,10 +138,18 @@ func runOnce(ckpt string, cfg embrace.ServeConfig, spec embrace.LoadSpec, reload
 	st := srv.Stats()
 
 	fmt.Printf("load: %s\n", res)
-	fmt.Printf("serve: batches=%d exchanges=%d coalesced=%d overloaded=%d expired=%d reloads=%d\n",
-		st.Batches, st.Exchanges, st.Coalesced, st.Overloaded, st.Expired, st.Reloads)
+	for _, dl := range res.PerDriver {
+		fmt.Printf("  driver %d: req=%d err=%d qps=%.0f p50=%s p99=%s\n",
+			dl.Driver, dl.Requests, dl.Errors, dl.QPS, dl.P50, dl.P99)
+	}
+	fmt.Printf("serve: batches=%d exchanges=%d packed=%d coalesced=%d overloaded=%d expired=%d reloads=%d\n",
+		st.Batches, st.Exchanges, st.Packed, st.Coalesced, st.Overloaded, st.Expired, st.Reloads)
 	fmt.Printf("cache: hits=%d misses=%d evictions=%d hit-rate=%.1f%%\n",
 		st.CacheHits, st.CacheMisses, st.CacheEvictions, 100*st.CacheHitRate)
+	if st.HotResident > 0 || st.HotHits > 0 {
+		fmt.Printf("hot-set: resident=%d hits=%d misses=%d hit-rate=%.1f%%\n",
+			st.HotResident, st.HotHits, st.HotMisses, 100*st.HotHitRate)
+	}
 	fmt.Printf("latency: p50=%s p95=%s p99=%s\n", st.LatencyP50, st.LatencyP95, st.LatencyP99)
 	return result{load: res, stats: st}
 }

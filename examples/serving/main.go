@@ -53,11 +53,15 @@ func main() {
 	}
 	fmt.Printf("trained and checkpointed: %s, %s\n", filepath.Base(ckptA), filepath.Base(ckptB))
 
-	// Serve the first checkpoint across 4 ranks with a hot-row cache.
+	// Serve the first checkpoint across 4 ranks: two ingress drivers front
+	// the cluster (each with its own LRU), rows live on a consistent-hash
+	// ring, and the hottest rows replicate to every driver.
 	srv, err := embrace.Serve(ckptA, embrace.ServeConfig{
 		Ranks:     4,
-		Partition: embrace.ServeRowHash,
+		Drivers:   2,
+		Partition: embrace.ServeConsistent,
 		CacheRows: 128,
+		Replicate: 64,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -90,9 +94,10 @@ func main() {
 	<-done
 
 	st := srv.Stats()
-	fmt.Printf("\nburst: %d requests, %.0f QPS, p99 %s\n", res.Requests, res.QPS, res.P99)
+	fmt.Printf("\nburst: %d requests over %d drivers, %.0f QPS, p99 %s\n",
+		res.Requests, st.Drivers, res.QPS, res.P99)
 	fmt.Printf("coalescing removed %d duplicate ids across %d batches (%d exchanges)\n",
 		st.Coalesced, st.Batches, st.Exchanges)
-	fmt.Printf("cache hit rate %.1f%% (%d hits, %d misses)\n",
-		100*st.CacheHitRate, st.CacheHits, st.CacheMisses)
+	fmt.Printf("cache hit rate %.1f%% (%d hits, %d misses); hot set: %d resident, %.1f%% hit rate\n",
+		100*st.CacheHitRate, st.CacheHits, st.CacheMisses, st.HotResident, 100*st.HotHitRate)
 }

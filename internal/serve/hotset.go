@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// hotSet is the cluster's hot-shard replication manager. A Zipf workload
+// concentrates lookups on a small head of the vocabulary (§2.1 — the same
+// skew that makes sparse gradients sparse); the hotSet tracks per-row access
+// frequency across every ingress and, once a row proves hot, replicates it
+// so ALL drivers serve it locally — the Parallax observation (hot sparse
+// parameters deserve different placement than the cold tail) applied to
+// serving. A replicated row never crosses the fabric again: lookups hit the
+// replica before the shards, so a hot-row-only workload keeps the cluster's
+// Packed counter at zero no matter which driver admits it.
+//
+// The replica store is shared by all driver goroutines in this process —
+// promotion "pushes" a row to every ingress by publishing it once. Rows are
+// exact copies of checkpoint rows (promotion copies the resolved value, which
+// itself is bit-exact shard state), so replica reads are bit-identical to
+// shard reads. Reload invalidates everything: no stale row survives on any
+// ingress.
+//
+// A nil *hotSet (replication disabled) is inert: gets miss without counting,
+// touches and invalidations are no-ops.
+type hotSet struct {
+	cap     int // max replicated rows
+	promote int // accesses before a row is promoted
+	tracked int // max frequency-table entries before aging halves counts
+
+	mu   sync.RWMutex
+	freq map[int64]int64
+	rows map[int64][]float32
+
+	hits, misses             atomic.Int64
+	promotions, demotions    atomic.Int64
+	invalidations, residents atomic.Int64
+}
+
+// defaultHotPromote is the access count that promotes a row when
+// Config.HotPromote is unset: three sightings separate the Zipf head from
+// one-off tail lookups without warming up forever.
+const defaultHotPromote = 3
+
+func newHotSet(capacity, promote int) *hotSet {
+	if capacity <= 0 {
+		return nil
+	}
+	if promote <= 0 {
+		promote = defaultHotPromote
+	}
+	return &hotSet{
+		cap:     capacity,
+		promote: promote,
+		tracked: max(16*capacity, 1024),
+		freq:    make(map[int64]int64),
+		rows:    make(map[int64][]float32, capacity),
+	}
+}
+
+// get returns the replicated row, if id is hot. The returned slice is owned
+// by the hotSet; callers must copy before mutating or handing it out past
+// the current batch.
+func (h *hotSet) get(id int64) ([]float32, bool) {
+	if h == nil {
+		return nil, false
+	}
+	h.mu.RLock()
+	row, ok := h.rows[id]
+	h.mu.RUnlock()
+	if ok {
+		h.hits.Add(1)
+		return row, true
+	}
+	h.misses.Add(1)
+	return nil, false
+}
+
+// touchAll records one access per id (a batch's deduplicated id set, with
+// every row value in hand) and promotes ids that cross the threshold. One
+// write lock per batch, not per id, keeps the tracker off the per-request
+// path even with many concurrent drivers.
+func (h *hotSet) touchAll(ids []int64, rows map[int64][]float32) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	for _, id := range ids {
+		h.freq[id]++
+		if h.freq[id] < int64(h.promote) {
+			continue
+		}
+		if _, resident := h.rows[id]; resident {
+			continue
+		}
+		row := rows[id]
+		if row == nil {
+			continue
+		}
+		if len(h.rows) >= h.cap && !h.demoteColdestLocked(h.freq[id]) {
+			continue // every resident is at least as hot; candidate waits
+		}
+		h.rows[id] = append([]float32(nil), row...)
+		h.promotions.Add(1)
+	}
+	// Age the frequency table once it outgrows its budget: halve every
+	// count and drop the zeros. Halving preserves the hot/cold ordering
+	// while letting yesterday's head decay out of the way of today's.
+	if len(h.freq) > h.tracked {
+		for id, f := range h.freq {
+			f /= 2
+			if f == 0 {
+				delete(h.freq, id)
+			} else {
+				h.freq[id] = f
+			}
+		}
+	}
+	h.residents.Store(int64(len(h.rows)))
+	h.mu.Unlock()
+}
+
+// demoteColdestLocked evicts the least-frequent resident if it is strictly
+// colder than a candidate with frequency candFreq. Called with mu held.
+func (h *hotSet) demoteColdestLocked(candFreq int64) bool {
+	var coldest int64
+	var coldestFreq int64 = -1
+	for id := range h.rows {
+		f := h.freq[id] // absent entries (aged out) read as 0: maximally cold
+		if coldestFreq < 0 || f < coldestFreq {
+			coldest, coldestFreq = id, f
+		}
+	}
+	if coldestFreq < 0 || coldestFreq >= candFreq {
+		return false
+	}
+	delete(h.rows, coldest)
+	h.demotions.Add(1)
+	return true
+}
+
+// invalidate drops every replica and resets the frequency tracker — the
+// reload path. After it returns, no ingress can serve a pre-reload row from
+// the hot set.
+func (h *hotSet) invalidate() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	clear(h.rows)
+	clear(h.freq)
+	h.residents.Store(0)
+	h.mu.Unlock()
+	h.invalidations.Add(1)
+}
+
+// resident reports how many rows are currently replicated.
+func (h *hotSet) resident() int {
+	if h == nil {
+		return 0
+	}
+	return int(h.residents.Load())
+}
+
+// HotStats is a point-in-time snapshot of the replication manager.
+type HotStats struct {
+	// Hits and Misses count replica lookups (after the per-driver cache,
+	// before the shards). HitRate is Hits over both.
+	Hits, Misses int64
+	// Resident is the replicated row count; Promotions and Demotions the
+	// lifetime flow through the set; Invalidations counts reload flushes.
+	Resident, Promotions, Demotions, Invalidations int64
+}
+
+// HitRate returns hits over lookups, or 0 with no lookups.
+func (s HotStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// snapshot returns the current counters. Nil-safe (all zeros).
+func (h *hotSet) snapshot() HotStats {
+	if h == nil {
+		return HotStats{}
+	}
+	return HotStats{
+		Hits:          h.hits.Load(),
+		Misses:        h.misses.Load(),
+		Resident:      h.residents.Load(),
+		Promotions:    h.promotions.Load(),
+		Demotions:     h.demotions.Load(),
+		Invalidations: h.invalidations.Load(),
+	}
+}

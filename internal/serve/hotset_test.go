@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func row(v float32) []float32 { return []float32{v, v + 1} }
+
+// TestHotSetPromotionDemotion walks a row through the promote path and a
+// colder resident through demotion.
+func TestHotSetPromotionDemotion(t *testing.T) {
+	h := newHotSet(2, 3)
+	rows := map[int64][]float32{1: row(1), 2: row(2), 3: row(3)}
+
+	// Two touches: below threshold, nothing resident.
+	h.touchAll([]int64{1, 2}, rows)
+	h.touchAll([]int64{1, 2}, rows)
+	if h.resident() != 0 {
+		t.Fatalf("resident = %d before threshold", h.resident())
+	}
+	if _, ok := h.get(1); ok {
+		t.Fatal("unpromoted row served from hot set")
+	}
+
+	// Third touch promotes both.
+	h.touchAll([]int64{1, 2}, rows)
+	if h.resident() != 2 {
+		t.Fatalf("resident = %d, want 2", h.resident())
+	}
+	got, ok := h.get(1)
+	if !ok || got[0] != 1 {
+		t.Fatalf("hot get(1) = %v, %v", got, ok)
+	}
+
+	// Row 3 gets hotter than row 2 (never touched again): it must displace
+	// the coldest resident once it crosses the threshold at a full set.
+	for i := 0; i < 5; i++ {
+		h.touchAll([]int64{1, 3}, rows)
+	}
+	if _, ok := h.get(3); !ok {
+		t.Fatal("hotter row 3 not promoted into full set")
+	}
+	if _, ok := h.get(2); ok {
+		t.Fatal("coldest resident 2 survived demotion")
+	}
+	st := h.snapshot()
+	if st.Promotions != 3 || st.Demotions != 1 {
+		t.Fatalf("promotions=%d demotions=%d, want 3, 1", st.Promotions, st.Demotions)
+	}
+	if st.Resident != 2 {
+		t.Fatalf("resident = %d", st.Resident)
+	}
+}
+
+// TestHotSetNoDemotionForEqualHeat proves a candidate no hotter than every
+// resident does not churn the set.
+func TestHotSetNoDemotionForEqualHeat(t *testing.T) {
+	h := newHotSet(1, 2)
+	rows := map[int64][]float32{1: row(1), 2: row(2)}
+	h.touchAll([]int64{1}, rows)
+	h.touchAll([]int64{1}, rows) // 1 resident at freq 2
+	h.touchAll([]int64{2}, rows)
+	h.touchAll([]int64{2}, rows) // 2 reaches freq 2 == resident's: no churn
+	if _, ok := h.get(1); !ok {
+		t.Fatal("resident demoted by an equally-hot candidate")
+	}
+	if _, ok := h.get(2); ok {
+		t.Fatal("equal-heat candidate promoted into full set")
+	}
+}
+
+// TestHotSetInvalidate proves reload flushes every replica and the tracker.
+func TestHotSetInvalidate(t *testing.T) {
+	h := newHotSet(4, 1)
+	rows := map[int64][]float32{7: row(7)}
+	h.touchAll([]int64{7}, rows)
+	if _, ok := h.get(7); !ok {
+		t.Fatal("promote-after-one row not resident")
+	}
+	h.invalidate()
+	if h.resident() != 0 {
+		t.Fatalf("resident = %d after invalidate", h.resident())
+	}
+	if _, ok := h.get(7); ok {
+		t.Fatal("stale replica served after invalidate")
+	}
+	// The tracker restarted too: one touch is again enough only because
+	// promote==1; at promote>1 the count must restart from zero.
+	st := h.snapshot()
+	if st.Invalidations != 1 {
+		t.Fatalf("invalidations = %d", st.Invalidations)
+	}
+}
+
+// TestHotSetAging proves the frequency table stays bounded and decays.
+func TestHotSetAging(t *testing.T) {
+	h := newHotSet(1, 1000000) // promotion unreachable: isolate the tracker
+	h.tracked = 8
+	rows := map[int64][]float32{}
+	ids := make([]int64, 9)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	h.touchAll(ids, rows) // 9 entries > 8 tracked: halving drops all (freq 1 -> 0)
+	h.mu.RLock()
+	n := len(h.freq)
+	h.mu.RUnlock()
+	if n != 0 {
+		t.Fatalf("freq table holds %d entries after aging, want 0", n)
+	}
+}
+
+// TestHotSetCopies proves promoted rows are private copies: mutating the
+// source after promotion must not reach the replica.
+func TestHotSetCopies(t *testing.T) {
+	h := newHotSet(1, 1)
+	src := row(5)
+	h.touchAll([]int64{5}, map[int64][]float32{5: src})
+	src[0] = -99
+	got, ok := h.get(5)
+	if !ok || got[0] != 5 {
+		t.Fatalf("replica aliases its source: %v, %v", got, ok)
+	}
+}
+
+// TestHotSetNil proves the disabled (nil) hot set is inert everywhere the
+// serving path touches it.
+func TestHotSetNil(t *testing.T) {
+	var h *hotSet
+	if _, ok := h.get(1); ok {
+		t.Fatal("nil hot set hit")
+	}
+	h.touchAll([]int64{1}, nil)
+	h.invalidate()
+	if h.resident() != 0 {
+		t.Fatal("nil hot set resident")
+	}
+	if st := h.snapshot(); st != (HotStats{}) {
+		t.Fatalf("nil snapshot %+v", st)
+	}
+	if newHotSet(0, 3) != nil {
+		t.Fatal("zero-capacity hot set not disabled")
+	}
+}
+
+// TestHotStatsHitRate covers the rate arithmetic.
+func TestHotStatsHitRate(t *testing.T) {
+	if r := (HotStats{}).HitRate(); r != 0 {
+		t.Fatalf("empty hit rate %v", r)
+	}
+	if r := (HotStats{Hits: 3, Misses: 1}).HitRate(); r != 0.75 {
+		t.Fatalf("hit rate %v, want 0.75", r)
+	}
+}
+
+// TestHotSetConcurrent hammers the set from several goroutines under -race.
+func TestHotSetConcurrent(t *testing.T) {
+	h := newHotSet(8, 2)
+	rows := map[int64][]float32{}
+	for id := int64(0); id < 32; id++ {
+		rows[id] = row(float32(id))
+	}
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			ids := make([]int64, 4)
+			for i := 0; i < 200; i++ {
+				for k := range ids {
+					ids[k] = int64((g + i + k) % 32)
+				}
+				h.touchAll(ids, rows)
+				for _, id := range ids {
+					if got, ok := h.get(id); ok {
+						if want := rows[id]; got[0] != want[0] || got[1] != want[1] {
+							panic(fmt.Sprintf("hot row %d corrupted: %v", id, got))
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if h.resident() > 8 {
+		t.Fatalf("resident %d exceeds capacity", h.resident())
+	}
+}

@@ -16,6 +16,10 @@ import (
 // answers), drawing ids from the Zipf distribution that models real lookup
 // traffic. Closed-loop load measures the system's sustainable throughput
 // rather than an arrival-rate fiction.
+//
+// With a multi-driver cluster, client cl pins to ingress cl mod Drivers —
+// the external-load-balancer model — so every driver sees its own closed
+// loop and the merged report measures the whole serving plane.
 type LoadConfig struct {
 	// Clients is the number of concurrent closed-loop clients (default 4).
 	Clients int
@@ -60,7 +64,23 @@ func (l LoadConfig) withDefaults(vocab int) LoadConfig {
 	return l
 }
 
-// LoadReport summarizes one load run.
+// DriverLoad is one ingress's share of a load run.
+type DriverLoad struct {
+	// Driver is the ingress rank the clients pinned to.
+	Driver int
+	// Requests issued through this driver; Errors (with Overloaded and
+	// Expired broken out) how many failed.
+	Requests, Errors, Overloaded, Expired int64
+	// QPS is this driver's completed requests over the run's wall clock.
+	QPS float64
+	// Latency digests this driver's per-request latency.
+	Latency metrics.Summary
+}
+
+// LoadReport summarizes one load run. The top-level numbers aggregate the
+// whole serving plane: counters summed, per-driver latency histograms merged
+// exactly (metrics.Histogram.Merge), so the combined percentiles carry no
+// averaging error.
 type LoadReport struct {
 	// Requests issued; Errors how many failed, with Overloaded and Expired
 	// broken out of that count.
@@ -69,25 +89,38 @@ type LoadReport struct {
 	// (non-error) requests per second over it.
 	Elapsed time.Duration
 	QPS     float64
-	// Latency digests per-request latency as observed by the clients.
+	// Latency digests per-request latency as observed by the clients,
+	// merged across all drivers.
 	Latency metrics.Summary
+	// PerDriver breaks the run down by ingress, one entry per driver.
+	PerDriver []DriverLoad
 }
 
 // String renders the report for benchmark logs.
 func (r LoadReport) String() string {
-	return fmt.Sprintf("req=%d err=%d (overloaded=%d expired=%d) elapsed=%s qps=%.0f lat{%s}",
+	return fmt.Sprintf("req=%d err=%d (overloaded=%d expired=%d) elapsed=%s qps=%.0f drivers=%d lat{%s}",
 		r.Requests, r.Errors, r.Overloaded, r.Expired,
-		r.Elapsed.Round(time.Millisecond), r.QPS, r.Latency)
+		r.Elapsed.Round(time.Millisecond), r.QPS, len(r.PerDriver), r.Latency)
 }
 
-// RunLoad fires cfg's closed-loop workload at the cluster and reports
-// throughput and latency. It is synchronous: it returns when every client
-// has finished.
+// driverTally accumulates one ingress's share of the run. The histogram is
+// concurrency-safe; the counters are folded under the tally mutex.
+type driverTally struct {
+	mu                        sync.Mutex
+	requests, errs, over, exp int64
+	lat                       *metrics.Histogram
+}
+
+// RunLoad fires cfg's closed-loop workload at the cluster, client cl pinned
+// to driver cl mod Drivers, and reports merged plus per-driver throughput
+// and latency. It is synchronous: it returns when every client has finished.
 func RunLoad(c *Cluster, cfg LoadConfig) LoadReport {
 	cfg = cfg.withDefaults(c.vocab)
-	lat := metrics.NewHistogram()
-	var errs, over, exp int64
-	var mu sync.Mutex
+	drivers := c.Drivers()
+	tallies := make([]*driverTally, drivers)
+	for d := range tallies {
+		tallies[d] = &driverTally{lat: metrics.NewHistogram()}
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -95,6 +128,8 @@ func RunLoad(c *Cluster, cfg LoadConfig) LoadReport {
 		wg.Add(1)
 		go func(cl int) {
 			defer wg.Done()
+			tally := tallies[cl%drivers]
+			router := c.RouterAt(cl % drivers)
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(cl)))
 			zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.Vocab-1))
 			ids := make([]int64, cfg.IDsPerRequest)
@@ -111,9 +146,9 @@ func RunLoad(c *Cluster, cfg LoadConfig) LoadReport {
 				t0 := time.Now()
 				var err error
 				if cfg.Predict {
-					_, _, err = c.Predict(ctx, ids)
+					_, _, err = router.Predict(ctx, ids)
 				} else {
-					_, err = c.Lookup(ctx, ids)
+					_, err = router.Lookup(ctx, ids)
 				}
 				if cancel != nil {
 					cancel()
@@ -128,29 +163,45 @@ func RunLoad(c *Cluster, cfg LoadConfig) LoadReport {
 					}
 					continue
 				}
-				lat.ObserveDuration(time.Since(t0))
+				tally.lat.ObserveDuration(time.Since(t0))
 			}
-			mu.Lock()
-			errs += nerr
-			over += nover
-			exp += nexp
-			mu.Unlock()
+			tally.mu.Lock()
+			tally.requests += int64(cfg.Requests)
+			tally.errs += nerr
+			tally.over += nover
+			tally.exp += nexp
+			tally.mu.Unlock()
 		}(cl)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	total := int64(cfg.Clients) * int64(cfg.Requests)
-	rep := LoadReport{
-		Requests:   total,
-		Errors:     errs,
-		Overloaded: over,
-		Expired:    exp,
-		Elapsed:    elapsed,
-		Latency:    lat.Summary(),
+	merged := metrics.NewHistogram()
+	rep := LoadReport{Elapsed: elapsed, PerDriver: make([]DriverLoad, drivers)}
+	for d, tally := range tallies {
+		tally.mu.Lock()
+		dl := DriverLoad{
+			Driver:     d,
+			Requests:   tally.requests,
+			Errors:     tally.errs,
+			Overloaded: tally.over,
+			Expired:    tally.exp,
+			Latency:    tally.lat.Summary(),
+		}
+		tally.mu.Unlock()
+		if elapsed > 0 {
+			dl.QPS = float64(dl.Requests-dl.Errors) / elapsed.Seconds()
+		}
+		rep.PerDriver[d] = dl
+		rep.Requests += dl.Requests
+		rep.Errors += dl.Errors
+		rep.Overloaded += dl.Overloaded
+		rep.Expired += dl.Expired
+		merged.Merge(tally.lat)
 	}
+	rep.Latency = merged.Summary()
 	if elapsed > 0 {
-		rep.QPS = float64(total-errs) / elapsed.Seconds()
+		rep.QPS = float64(rep.Requests-rep.Errors) / elapsed.Seconds()
 	}
 	return rep
 }

@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"time"
 
-	"embrace/internal/checkpoint"
+	"embrace/internal/metrics"
 	"embrace/internal/partition"
 	"embrace/internal/tensor"
 	"embrace/internal/trace"
@@ -50,33 +50,45 @@ type response struct {
 	err   error
 }
 
-// reloadReq asks the driver to swap checkpoints between batches.
+// reloadReq asks a driver to join the reload rendezvous between batches.
+// The checkpoint itself travels via Cluster.pending, set before fan-out.
 type reloadReq struct {
-	ck   *checkpoint.Checkpoint
 	done chan error
 }
 
-// Router is the cluster's front end: it admits concurrent Lookup and Predict
-// calls into a bounded queue the driver micro-batches. All methods are safe
-// for concurrent use.
+// Router is one driver's front end: it admits concurrent Lookup and Predict
+// calls into that driver's bounded queue, where the driver goroutine
+// micro-batches them. Each Router owns its admission queue, deadline gate,
+// hot-row LRU, and stat block — drivers share nothing on the request path
+// except the read-mostly hot set and their ranks' shards. All methods are
+// safe for concurrent use.
 type Router struct {
 	c        *Cluster
+	driver   int // the driver's rank == its tag plane
 	queue    chan *request
 	reloadCh chan *reloadReq
 	cache    *lruCache // nil when caching is disabled
+	ctr      counters
 
 	closedMu chan struct{} // closed exactly once by close(); nil-check via select
 }
 
-func newRouter(c *Cluster, depth int) *Router {
-	return &Router{
+func newRouter(c *Cluster, driver, depth int) *Router {
+	r := &Router{
 		c:        c,
+		driver:   driver,
 		queue:    make(chan *request, depth),
 		reloadCh: make(chan *reloadReq),
-		cache:    newLRUCache(c.cfg.CacheRows, &c.stats.cache),
 		closedMu: make(chan struct{}),
 	}
+	r.ctr.latency = metrics.NewHistogram()
+	r.ctr.queueWait = metrics.NewHistogram()
+	r.cache = newLRUCache(c.cfg.CacheRows, &r.ctr.cache)
+	return r
 }
+
+// Driver returns the rank this router fronts.
+func (r *Router) Driver() int { return r.driver }
 
 func (r *Router) close() { close(r.closedMu) }
 
@@ -86,6 +98,27 @@ func (r *Router) closed() bool {
 		return true
 	default:
 		return false
+	}
+}
+
+// driverStats snapshots this driver's own counters as a Stats value.
+// Cluster-level fields (Packed, Reloads, Hot, CommPerOp) stay zero.
+func (r *Router) driverStats() Stats {
+	return Stats{
+		Drivers:    1,
+		Requests:   r.ctr.requests.Load(),
+		Lookups:    r.ctr.lookups.Load(),
+		Predicts:   r.ctr.predicts.Load(),
+		Batches:    r.ctr.batches.Load(),
+		Exchanges:  r.ctr.exchanges.Load(),
+		Coalesced:  r.ctr.coalesced.Load(),
+		LocalRows:  r.ctr.localRows.Load(),
+		RemoteRows: r.ctr.remoteRows.Load(),
+		Overloaded: r.ctr.overloaded.Load(),
+		Expired:    r.ctr.expired.Load(),
+		Cache:      r.ctr.cache.Snapshot(),
+		Latency:    r.ctr.latency.Summary(),
+		QueueWait:  r.ctr.queueWait.Summary(),
 	}
 }
 
@@ -127,19 +160,19 @@ func (r *Router) do(ctx context.Context, req *request) response {
 	select {
 	case r.queue <- req:
 	default:
-		r.c.stats.overloaded.Add(1)
+		r.ctr.overloaded.Add(1)
 		return response{err: ErrOverloaded}
 	}
-	r.c.stats.requests.Add(1)
+	r.ctr.requests.Add(1)
 	if req.kind == kindLookup {
-		r.c.stats.lookups.Add(1)
+		r.ctr.lookups.Add(1)
 	} else {
-		r.c.stats.predicts.Add(1)
+		r.ctr.predicts.Add(1)
 	}
 	// The driver answers every admitted request, including during shutdown,
 	// so this receive always completes.
 	resp := <-req.done
-	r.c.stats.latency.ObserveDuration(time.Since(req.admitted))
+	r.ctr.latency.ObserveDuration(time.Since(req.admitted))
 	return resp
 }
 
@@ -147,19 +180,21 @@ func (r *Router) do(ctx context.Context, req *request) response {
 // Driver.
 // ---------------------------------------------------------------------------
 
-// driverLoop is rank 0's life: collect a micro-batch, resolve it, reply;
-// interleave reloads between batches; on Close, flush and release followers.
+// driverLoop is a driver rank's life on its own plane: collect a micro-batch
+// from its router, resolve it, reply; interleave reloads between batches; on
+// Close, flush and release the plane's followers.
 func (c *Cluster) driverLoop(n *node) {
+	r := c.routers[n.plane]
 	for {
 		select {
 		case <-c.closeCh:
-			c.shutdown(n)
+			c.shutdown(n, r)
 			return
-		case rr := <-c.router.reloadCh:
-			rr.done <- c.driverReload(n, rr.ck)
-		case req := <-c.router.queue:
-			batch := c.collectBatch(req)
-			c.processBatch(n, batch)
+		case rr := <-r.reloadCh:
+			rr.done <- c.driverReload(n, r)
+		case req := <-r.queue:
+			batch := c.collectBatch(r, req)
+			c.processBatch(n, r, batch)
 		}
 	}
 }
@@ -167,7 +202,7 @@ func (c *Cluster) driverLoop(n *node) {
 // collectBatch waits up to BatchWindow for more requests after the first,
 // capped at MaxBatch — the micro-batching that makes within-batch dedup (and
 // the single exchange per batch) worth having.
-func (c *Cluster) collectBatch(first *request) []*request {
+func (c *Cluster) collectBatch(r *Router, first *request) []*request {
 	batch := []*request{first}
 	if c.cfg.MaxBatch == 1 {
 		return batch
@@ -176,7 +211,7 @@ func (c *Cluster) collectBatch(first *request) []*request {
 	defer timer.Stop()
 	for len(batch) < c.cfg.MaxBatch {
 		select {
-		case req := <-c.router.queue:
+		case req := <-r.queue:
 			batch = append(batch, req)
 		case <-timer.C:
 			return batch
@@ -185,16 +220,17 @@ func (c *Cluster) collectBatch(first *request) []*request {
 	return batch
 }
 
-// shutdown releases followers and answers everything still queued.
-func (c *Cluster) shutdown(n *node) {
+// shutdown releases the plane's followers and answers everything still
+// queued on this driver.
+func (c *Cluster) shutdown(n *node, r *Router) {
 	if err := c.broadcastCtl(n, ctlShutdown); err != nil {
-		c.fail(fmt.Errorf("serve: shutdown broadcast: %w", err))
+		c.fail(fmt.Errorf("serve: driver %d shutdown broadcast: %w", n.plane, err))
 	}
 	for {
 		select {
-		case req := <-c.router.queue:
+		case req := <-r.queue:
 			req.done <- response{err: ErrClosed}
-		case rr := <-c.router.reloadCh:
+		case rr := <-r.reloadCh:
 			rr.done <- ErrClosed
 		default:
 			return
@@ -202,30 +238,29 @@ func (c *Cluster) shutdown(n *node) {
 	}
 }
 
-// driverReload validates nothing (Reload did), hands the checkpoint to every
-// rank, rebuilds, barriers, and drops the now-stale cache.
-func (c *Cluster) driverReload(n *node, ck *checkpoint.Checkpoint) error {
-	c.pendingMu.Lock()
-	c.pending = ck
-	c.pendingMu.Unlock()
+// driverReload conscripts this plane into the cluster-wide reload: broadcast
+// ctlReload to the plane's followers, join the rendezvous (whose last
+// arrival rebuilds every rank and flushes the hot set), then drop this
+// driver's now-stale cache.
+func (c *Cluster) driverReload(n *node, r *Router) error {
 	if err := c.broadcastCtl(n, ctlReload); err != nil {
-		return fmt.Errorf("serve: reload broadcast: %w", err)
+		return fmt.Errorf("serve: driver %d reload broadcast: %w", n.plane, err)
 	}
-	if err := c.doReloadOn(n); err != nil {
+	if err := c.reloadRendezvous(n); err != nil {
 		return err
 	}
-	c.router.cacheClear()
-	c.stats.reloads.Add(1)
+	r.cacheClear()
 	return nil
 }
 
 // processBatch answers one micro-batch: drop expired requests, dedup ids,
-// resolve rows (cache, local shard, exchange), then compute and reply.
-func (c *Cluster) processBatch(n *node, batch []*request) {
-	c.stats.batches.Add(1)
-	tr := c.tracers[0]
+// resolve rows (cache, hot set, local shard, exchange), then compute and
+// reply.
+func (c *Cluster) processBatch(n *node, r *Router, batch []*request) {
+	r.ctr.batches.Add(1)
+	tr := c.tracers[n.rank]
 	now := time.Now()
-	c.stats.queueWait.ObserveDuration(now.Sub(batch[0].admitted))
+	r.ctr.queueWait.ObserveDuration(now.Sub(batch[0].admitted))
 	tr.Record(trace.TrackCompute, "serve/queue-wait", -1, now.Sub(batch[0].admitted))
 
 	// Deadline gate: an expired request is answered now and excluded, so it
@@ -233,7 +268,7 @@ func (c *Cluster) processBatch(n *node, batch []*request) {
 	live := batch[:0]
 	for _, req := range batch {
 		if !req.deadline.IsZero() && now.After(req.deadline) {
-			c.stats.expired.Add(1)
+			r.ctr.expired.Add(1)
 			req.done <- response{err: ErrDeadline}
 			continue
 		}
@@ -256,9 +291,9 @@ func (c *Cluster) processBatch(n *node, batch []*request) {
 			}
 		}
 	}
-	c.stats.coalesced.Add(int64(total - len(need)))
+	r.ctr.coalesced.Add(int64(total - len(need)))
 
-	rows, err := c.resolve(n, need)
+	rows, err := c.resolve(n, r, need)
 	if err != nil {
 		c.fail(err)
 		for _, req := range live {
@@ -270,47 +305,58 @@ func (c *Cluster) processBatch(n *node, batch []*request) {
 	c.reply(n, live, rows)
 }
 
-// resolve maps each unique id to its full embedding row, consulting the
-// cache first and conscripting the other ranks only for what's left.
-func (c *Cluster) resolve(n *node, need []int64) (map[int64][]float32, error) {
+// resolve maps each unique id to its full embedding row: this driver's LRU
+// first, then the cluster-wide replicated hot set, and only for what's left
+// the shards (conscripting the plane when remote rows are involved). Every
+// access feeds the hot set's frequency tracker, so rows any driver keeps
+// seeing get promoted into replicas all drivers serve locally.
+func (c *Cluster) resolve(n *node, r *Router, need []int64) (map[int64][]float32, error) {
 	rows := make(map[int64][]float32, len(need))
 	var miss []int64
 	for _, id := range need {
-		if row, ok := c.router.cacheGet(id); ok {
+		if row, ok := r.cacheGet(id); ok {
+			rows[id] = row
+			continue
+		}
+		if row, ok := c.hot.get(id); ok {
 			rows[id] = row
 			continue
 		}
 		miss = append(miss, id)
 	}
-	if len(miss) == 0 {
-		return rows, nil
+	if len(miss) > 0 {
+		tr := c.tracers[n.rank]
+		span := tr.Begin(trace.TrackCompute, "serve/xchg", -1)
+		fetched, err := c.fetchRows(n, r, miss)
+		span.End()
+		if err != nil {
+			return nil, err
+		}
+		for id, row := range fetched {
+			rows[id] = row
+			r.cachePut(id, row)
+		}
 	}
-
-	tr := c.tracers[0]
-	span := tr.Begin(trace.TrackCompute, "serve/xchg", -1)
-	fetched, err := c.fetchRows(n, miss)
-	span.End()
-	if err != nil {
-		return nil, err
-	}
-	for id, row := range fetched {
-		rows[id] = row
-		c.router.cachePut(id, row)
-	}
+	// One frequency update per batch over the deduplicated set, with every
+	// resolved value in hand for promotion. Hot-set rows are bit-exact copies
+	// of what this lookup path just served, so replica hits on any driver
+	// return exactly what a shard fetch would.
+	c.hot.touchAll(need, rows)
 	return rows, nil
 }
 
-// fetchRows resolves cache misses from the shards. Row-hash routes each id
-// to its owner and skips the cross-rank exchange entirely when rank 0 owns
-// every miss; column-wise asks every rank for its column slice of every miss
-// and reassembles (single-rank clusters short-circuit to a local fetch).
-func (c *Cluster) fetchRows(n *node, miss []int64) (map[int64][]float32, error) {
+// fetchRows resolves misses from the shards. The row schemes route each id
+// to its owner and skip the cross-rank exchange entirely when this driver's
+// rank owns every miss; column-wise asks every rank for its column slice of
+// every miss and reassembles (single-rank clusters short-circuit to a local
+// fetch).
+func (c *Cluster) fetchRows(n *node, r *Router, miss []int64) (map[int64][]float32, error) {
 	ranks := c.cfg.Ranks
 	reqLists := make([][]int64, ranks)
 	switch c.cfg.Partition {
-	case PartRowHash:
+	case PartRowHash, PartConsistent:
 		for _, id := range miss {
-			owner := n.shard.owner(id)
+			owner := rowOwner(c.cfg.Partition, id, ranks)
 			reqLists[owner] = append(reqLists[owner], id)
 		}
 	case PartColumn:
@@ -320,41 +366,46 @@ func (c *Cluster) fetchRows(n *node, miss []int64) (map[int64][]float32, error) 
 	}
 
 	remote := 0
-	for p := 1; p < ranks; p++ {
-		remote += len(reqLists[p])
+	for p := 0; p < ranks; p++ {
+		if p != n.rank {
+			remote += len(reqLists[p])
+		}
 	}
-	c.stats.localRows.Add(int64(len(reqLists[0])))
-	c.stats.remoteRows.Add(int64(remote))
+	r.ctr.localRows.Add(int64(len(reqLists[n.rank])))
+	r.ctr.remoteRows.Add(int64(remote))
 
 	// Local fast path: every missed row lives in the driver's own shard, so
 	// resolve straight from shard storage — no sparse packing, no exchange,
 	// no follower conscription. Stats().Packed staying 0 is the observable
 	// form of this elision.
 	if remote == 0 {
-		out := make(map[int64][]float32, len(reqLists[0]))
-		for _, id := range reqLists[0] {
-			src, err := n.shard.payload(id)
+		out := make(map[int64][]float32, len(reqLists[n.rank]))
+		n.rs.mu.RLock()
+		for _, id := range reqLists[n.rank] {
+			src, err := n.rs.shard.payload(id)
 			if err != nil {
+				n.rs.mu.RUnlock()
 				return nil, err
 			}
 			out[id] = append([]float32(nil), src...)
 		}
+		n.rs.mu.RUnlock()
 		return out, nil
 	}
 
 	if err := c.broadcastCtl(n, ctlExchange); err != nil {
-		return nil, fmt.Errorf("serve: exchange broadcast: %w", err)
+		return nil, fmt.Errorf("serve: driver %d exchange broadcast: %w", n.plane, err)
 	}
-	c.stats.exchanges.Add(1)
+	r.ctr.exchanges.Add(1)
 	arena, err := c.exchange(n, reqLists)
 	if err != nil {
-		return nil, fmt.Errorf("serve: exchange: %w", err)
+		return nil, fmt.Errorf("serve: driver %d exchange: %w", n.plane, err)
 	}
 
 	out := make(map[int64][]float32, len(miss))
 	var recv tensor.Sparse
 	switch c.cfg.Partition {
-	case PartRowHash:
+	case PartRowHash, PartConsistent:
 		// Sender p's arena shard holds reqLists[p]'s rows in request order.
 		for p := 0; p < ranks; p++ {
 			arena.ShardView(p, &recv)
@@ -398,7 +449,7 @@ func (c *Cluster) reply(n *node, live []*request, rows map[int64][]float32) {
 		return
 	}
 
-	tr := c.tracers[0]
+	tr := c.tracers[n.rank]
 	span := tr.Begin(trace.TrackCompute, "serve/fwd", -1)
 	defer span.End()
 
@@ -418,7 +469,10 @@ func (c *Cluster) reply(n *node, live []*request, rows map[int64][]float32) {
 			}
 		}
 	}
-	probs, err := n.trunk.Infer(pooled)
+	n.rs.mu.RLock()
+	trunk := n.rs.trunk
+	n.rs.mu.RUnlock()
+	probs, err := trunk.Infer(pooled)
 	if err != nil {
 		for _, req := range predicts {
 			req.done <- response{err: err}

@@ -306,9 +306,7 @@ func TestReloadEqualsColdRestart(t *testing.T) {
 func TestOverloaded(t *testing.T) {
 	// An unattached router (no driver draining it) with a one-slot queue.
 	c := &Cluster{vocab: testVocab, cfg: Config{CacheRows: 0}.withDefaults()}
-	c.stats.latency = metrics.NewHistogram()
-	c.stats.queueWait = metrics.NewHistogram()
-	r := newRouter(c, 1)
+	r := newRouter(c, 0, 1)
 	r.queue <- &request{} // fill the queue
 
 	done := make(chan error, 1)
@@ -324,8 +322,8 @@ func TestOverloaded(t *testing.T) {
 	case <-time.After(time.Second):
 		t.Fatal("overloaded admission blocked instead of failing fast")
 	}
-	if c.stats.overloaded.Load() != 1 {
-		t.Fatalf("overloaded counter = %d", c.stats.overloaded.Load())
+	if r.ctr.overloaded.Load() != 1 {
+		t.Fatalf("overloaded counter = %d", r.ctr.overloaded.Load())
 	}
 }
 

@@ -21,17 +21,37 @@ const (
 	// ServeColumn gives every rank a 1/N column slice of every row —
 	// EmbRace's balanced layout.
 	ServeColumn = serve.PartColumn
+	// ServeConsistent shards full rows on a consistent-hash ring: like
+	// ServeRowHash one rank owns each row, but ownership stays stable when
+	// the rank set resizes.
+	ServeConsistent = serve.PartConsistent
 )
 
 // ServeConfig describes a serving deployment booted from a checkpoint.
 type ServeConfig struct {
-	// Ranks is the number of serving ranks (default 1); rank 0 is the
-	// front end, the rest hold embedding shards.
+	// Ranks is the number of serving ranks (default 1); every rank holds an
+	// embedding shard, and the first Drivers ranks also front the cluster.
 	Ranks int
-	// Partition is ServeRowHash (default) or ServeColumn.
+	// Drivers is how many ranks run their own ingress — admission queue,
+	// micro-batcher, hot-row LRU (default 1, clamped to Ranks). Concurrent
+	// drivers serve independently and never collide: each one's cross-rank
+	// exchanges ride its own tag plane.
+	Drivers int
+	// Partition is ServeRowHash (default), ServeColumn, or ServeConsistent.
 	Partition string
-	// CacheRows bounds the front-end hot-row LRU cache; 0 disables it.
+	// CacheRows bounds each driver's hot-row LRU cache; 0 disables it.
 	CacheRows int
+	// Replicate bounds the replicated hot set shared by every driver; 0
+	// disables hot-shard replication. Rows the cluster keeps seeing are
+	// promoted into it and served by every ingress without touching the
+	// fabric; Reload invalidates all replicas.
+	Replicate int
+	// ReplicatePromote is how many accesses promote a row (default 3).
+	ReplicatePromote int
+	// TCP serves over real localhost TCP sockets instead of the in-process
+	// fabric — the configuration the scale benchmark measures. Incompatible
+	// with ChaosSeed.
+	TCP bool
 	// MaxBatch and BatchWindow control request micro-batching (defaults 32
 	// and 200µs): the front end coalesces up to MaxBatch requests arriving
 	// within the window and dedups their ids before touching the shards.
@@ -56,11 +76,15 @@ type ServeConfig struct {
 func (c ServeConfig) internal() (serve.Config, error) {
 	cfg := serve.Config{
 		Ranks:       c.Ranks,
+		Drivers:     c.Drivers,
 		Partition:   c.Partition,
 		CacheRows:   c.CacheRows,
+		HotRows:     c.Replicate,
+		HotPromote:  c.ReplicatePromote,
 		MaxBatch:    c.MaxBatch,
 		BatchWindow: c.BatchWindow,
 		QueueDepth:  c.QueueDepth,
+		TCP:         c.TCP,
 		Trace:       c.Trace,
 	}
 	codec, err := sparseCodecFor(c.Compress, 0, 0)
@@ -133,35 +157,47 @@ func (s *Server) Reload(checkpointPath string) error {
 // closed error. Idempotent.
 func (s *Server) Close() { s.c.Close() }
 
-// ServeStats is a snapshot of a server's counters.
+// ServeStats is a snapshot of a server's counters. It is the cluster-wide
+// aggregate: per-driver counters summed and latency histograms merged
+// exactly. DriverStats exposes one ingress's slice of it.
 type ServeStats struct {
+	// Drivers is how many ingresses the snapshot covers.
+	Drivers int
 	// Requests admitted, split into Lookups and Predicts.
 	Requests, Lookups, Predicts int64
 	// Batches processed; Exchanges is how many conscripted remote ranks.
 	Batches, Exchanges int64
 	// Coalesced counts duplicate ids removed by within-batch dedup.
 	Coalesced int64
+	// Packed counts rows packed into cross-rank exchange payloads; a
+	// workload the drivers satisfy locally (own shard, cache, or hot
+	// replicas) keeps it 0.
+	Packed int64
 	// Overloaded counts fast-failed admissions; Expired deadline drops;
 	// Reloads completed checkpoint swaps.
 	Overloaded, Expired, Reloads int64
-	// CacheHits/CacheMisses/CacheEvictions describe the hot-row cache;
-	// CacheHitRate is hits over lookups.
+	// CacheHits/CacheMisses/CacheEvictions describe the per-driver LRU
+	// caches (summed); CacheHitRate is hits over lookups.
 	CacheHits, CacheMisses, CacheEvictions int64
 	CacheHitRate                           float64
+	// HotResident is how many rows the replicated hot set currently holds;
+	// HotHits/HotMisses count replica lookups and HotHitRate their ratio.
+	HotResident, HotHits, HotMisses int64
+	HotHitRate                      float64
 	// LatencyP50/P95/P99 digest request latency (admission to reply).
 	LatencyP50, LatencyP95, LatencyP99 time.Duration
 }
 
-// Stats snapshots the server's counters.
-func (s *Server) Stats() ServeStats {
-	st := s.c.Stats()
+func statsFrom(st serve.Stats) ServeStats {
 	return ServeStats{
+		Drivers:        st.Drivers,
 		Requests:       st.Requests,
 		Lookups:        st.Lookups,
 		Predicts:       st.Predicts,
 		Batches:        st.Batches,
 		Exchanges:      st.Exchanges,
 		Coalesced:      st.Coalesced,
+		Packed:         st.Packed,
 		Overloaded:     st.Overloaded,
 		Expired:        st.Expired,
 		Reloads:        st.Reloads,
@@ -169,11 +205,25 @@ func (s *Server) Stats() ServeStats {
 		CacheMisses:    st.Cache.Misses,
 		CacheEvictions: st.Cache.Evictions,
 		CacheHitRate:   st.Cache.HitRate(),
+		HotResident:    st.Hot.Resident,
+		HotHits:        st.Hot.Hits,
+		HotMisses:      st.Hot.Misses,
+		HotHitRate:     st.Hot.HitRate(),
 		LatencyP50:     time.Duration(st.Latency.P50 * float64(time.Second)),
 		LatencyP95:     time.Duration(st.Latency.P95 * float64(time.Second)),
 		LatencyP99:     time.Duration(st.Latency.P99 * float64(time.Second)),
 	}
 }
+
+// Stats snapshots the server's cluster-wide counters.
+func (s *Server) Stats() ServeStats { return statsFrom(s.c.Stats()) }
+
+// Drivers returns the number of ingress drivers serving.
+func (s *Server) Drivers() int { return s.c.Drivers() }
+
+// DriverStats snapshots one ingress's own counters (cluster-level fields —
+// Packed, Reloads, hot set — are zero in this view).
+func (s *Server) DriverStats(d int) ServeStats { return statsFrom(s.c.DriverStats(d)) }
 
 // LoadSpec parameterizes a closed-loop Zipf load run against a server: each
 // of Clients goroutines issues Requests back-to-back.
@@ -192,7 +242,19 @@ type LoadSpec struct {
 	Timeout time.Duration
 }
 
-// LoadResult reports a completed load run.
+// DriverLoadResult is one ingress's share of a load run.
+type DriverLoadResult struct {
+	// Driver is the ingress index; Requests and Errors its traffic.
+	Driver           int
+	Requests, Errors int64
+	// QPS and P50/P99 latency as this driver's clients saw them.
+	QPS      float64
+	P50, P99 time.Duration
+}
+
+// LoadResult reports a completed load run. Top-level numbers aggregate every
+// driver (latency percentiles from an exact histogram merge); PerDriver
+// breaks the run down by ingress.
 type LoadResult struct {
 	// Requests issued; Errors failed, with Overloaded and Expired broken out.
 	Requests, Errors, Overloaded, Expired int64
@@ -201,12 +263,14 @@ type LoadResult struct {
 	QPS     float64
 	// P50/P99/Max request latency as the clients saw it.
 	P50, P99, Max time.Duration
+	// PerDriver has one entry per ingress, in driver order.
+	PerDriver []DriverLoadResult
 }
 
 // String renders the result for logs.
 func (r LoadResult) String() string {
-	return fmt.Sprintf("req=%d err=%d qps=%.0f p50=%s p99=%s max=%s",
-		r.Requests, r.Errors, r.QPS, r.P50, r.P99, r.Max)
+	return fmt.Sprintf("req=%d err=%d qps=%.0f p50=%s p99=%s max=%s drivers=%d",
+		r.Requests, r.Errors, r.QPS, r.P50, r.P99, r.Max, len(r.PerDriver))
 }
 
 // RunLoad fires the closed-loop workload at the server and reports
@@ -222,7 +286,7 @@ func (s *Server) RunLoad(spec LoadSpec) LoadResult {
 		Seed:          spec.Seed,
 		Timeout:       spec.Timeout,
 	})
-	return LoadResult{
+	res := LoadResult{
 		Requests:   rep.Requests,
 		Errors:     rep.Errors,
 		Overloaded: rep.Overloaded,
@@ -233,4 +297,15 @@ func (s *Server) RunLoad(spec LoadSpec) LoadResult {
 		P99:        time.Duration(rep.Latency.P99 * float64(time.Second)),
 		Max:        time.Duration(rep.Latency.Max * float64(time.Second)),
 	}
+	for _, dl := range rep.PerDriver {
+		res.PerDriver = append(res.PerDriver, DriverLoadResult{
+			Driver:   dl.Driver,
+			Requests: dl.Requests,
+			Errors:   dl.Errors,
+			QPS:      dl.QPS,
+			P50:      time.Duration(dl.Latency.P50 * float64(time.Second)),
+			P99:      time.Duration(dl.Latency.P99 * float64(time.Second)),
+		})
+	}
+	return res
 }
